@@ -1,0 +1,54 @@
+//! Ablation A1: delayed ACKs on vs off.
+//!
+//! The paper disables delayed ACKs in its simulations "because it
+//! exacerbates burstiness and masks the impact of DCTCP's congestion
+//! control" (§4). This ablation quantifies that choice.
+
+use bench::f;
+use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::report::Table;
+use incast_core::full_scale;
+use transport::DelayedAckConfig;
+
+fn main() {
+    bench::banner(
+        "Ablation A1",
+        "Delayed ACKs on vs off (100/500 flows, 15 ms bursts)",
+        "delayed ACKs exacerbate burstiness and mask DCTCP's control",
+    );
+
+    let mut t = Table::new([
+        "flows",
+        "delayed acks",
+        "mode",
+        "steady BCT ms",
+        "mean queue pkts",
+        "peak queue pkts",
+        "steady drops",
+        "mark share",
+    ]);
+    for &flows in &[100usize, 500] {
+        for delack in [None, Some(DelayedAckConfig::default())] {
+            let mut cfg = ModesConfig {
+                num_flows: flows,
+                burst_duration_ms: 15.0,
+                num_bursts: if full_scale() { 11 } else { 6 },
+                seed: 23,
+                ..ModesConfig::default()
+            };
+            cfg.tcp.delayed_ack = delack;
+            let r = run_incast(&cfg);
+            t.row([
+                flows.to_string(),
+                if delack.is_some() { "on (2 segs/1 ms)" } else { "off" }.to_string(),
+                r.mode().label().to_string(),
+                f(r.mean_bct_ms),
+                f(r.mean_steady_queue_pkts()),
+                f(r.peak_steady_queue_pkts()),
+                r.steady_drops.to_string(),
+                bench::pc(r.marked_pkts as f64 / r.enqueued_pkts.max(1) as f64),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,100 @@
+//! Figure 2: incast burst characteristics across the five services —
+//! burst frequency (2a), duration (2b), and active flow count (2c) CDFs,
+//! one sample per burst pooled over hosts and snapshots.
+
+use bench::{banner, f, pc};
+use incast_core::production::{run_fleet, FleetConfig};
+use incast_core::report::Table;
+use incast_core::{default_threads, full_scale};
+
+fn main() {
+    banner(
+        "Figure 2",
+        "Burst frequency / duration / flow-count CDFs across five services",
+        "2a: tens to 200 bursts/s; 2b: bursts last 1-20 ms, ~60% are 1-2 ms; \
+         2c: majority of bursts are incasts (>25 flows), p99 reaches 200-500, \
+         storage & aggregator show a low-flow cliff",
+    );
+
+    let cfg = if full_scale() {
+        FleetConfig::paper(default_threads())
+    } else {
+        FleetConfig::quick(default_threads())
+    };
+    let t0 = std::time::Instant::now();
+    let fleet = run_fleet(&cfg);
+    println!(
+        "{} traces/service ({} hosts x {} snapshots x {} s), wall {:?}\n",
+        cfg.hosts * cfg.snapshots,
+        cfg.hosts,
+        cfg.snapshots,
+        cfg.duration.as_secs_f64(),
+        t0.elapsed()
+    );
+
+    // 2a: burst frequency per trace.
+    let mut t = Table::new(["service", "freq p10 /s", "p50 /s", "p90 /s", "max /s"]);
+    for (svc, acc) in &fleet {
+        let mut c = acc.burst_frequency.clone();
+        t.row([
+            svc.name().to_string(),
+            f(c.percentile(10.0)),
+            f(c.percentile(50.0)),
+            f(c.percentile(90.0)),
+            f(c.max()),
+        ]);
+    }
+    println!("Fig 2a — bursts per second (paper: tens to 200/s):");
+    println!("{}\n", t.render());
+
+    // 2b: burst duration per burst.
+    let mut t = Table::new([
+        "service",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "max ms",
+        "<=2ms share",
+    ]);
+    for (svc, acc) in &fleet {
+        let mut c = acc.burst_duration_ms.clone();
+        t.row([
+            svc.name().to_string(),
+            f(c.percentile(50.0)),
+            f(c.percentile(90.0)),
+            f(c.percentile(99.0)),
+            f(c.max()),
+            pc(c.fraction_at_or_below(2.0)),
+        ]);
+    }
+    println!("Fig 2b — burst duration (paper: 1-20 ms, ~60% at 1-2 ms):");
+    println!("{}\n", t.render());
+
+    // 2c: flows per burst.
+    let mut t = Table::new([
+        "service",
+        "p10 flows",
+        "p50",
+        "p90",
+        "p99",
+        "incast share",
+        "<20-flow share",
+    ]);
+    for (svc, acc) in &fleet {
+        let mut c = acc.burst_flows.clone();
+        let incast_share =
+            1.0 - c.fraction_at_or_below(millisampler::INCAST_FLOW_THRESHOLD as f64);
+        t.row([
+            svc.name().to_string(),
+            f(c.percentile(10.0)),
+            f(c.percentile(50.0)),
+            f(c.percentile(90.0)),
+            f(c.percentile(99.0)),
+            pc(incast_share),
+            pc(c.fraction_at_or_below(19.9)),
+        ]);
+    }
+    println!("Fig 2c — active flows per burst (paper: majority incast; p99 200-500;");
+    println!("         storage/aggregator cliff of 10-45% below ~20 flows):");
+    println!("{}", t.render());
+}

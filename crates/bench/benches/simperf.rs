@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the simulator itself: event throughput,
+//! queue operations, RNG, and an end-to-end small incast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use incast_core::modes::{run_incast, ModesConfig};
+use simnet::{
+    EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime,
+};
+use stats::Rng;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_u64", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| std::hint::black_box(rng.next_u64()));
+    });
+    g.bench_function("f64", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| std::hint::black_box(rng.f64()));
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("enqueue_dequeue", |b| {
+        let mut q = EcnQueue::new(QueueConfig::paper_tor());
+        let pkt = Packet::data(
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            0,
+            1446,
+            false,
+            SimTime::ZERO,
+        );
+        b.iter(|| {
+            match q.enqueue(SimTime::ZERO, pkt) {
+                EnqueueOutcome::Queued { .. } => {}
+                EnqueueOutcome::Dropped(_) => unreachable!("queue drained each iter"),
+            }
+            std::hint::black_box(q.dequeue(SimTime::ZERO));
+        });
+    });
+    g.finish();
+}
+
+fn bench_incast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("incast_20f_1ms_2bursts", |b| {
+        b.iter(|| {
+            let cfg = ModesConfig {
+                num_flows: 20,
+                burst_duration_ms: 1.0,
+                num_bursts: 2,
+                warmup_bursts: 1,
+                ..ModesConfig::default()
+            };
+            std::hint::black_box(run_incast(&cfg).mean_bct_ms)
+        });
+    });
+    g.finish();
+
+    // Report simulator event throughput once, as a headline number.
+    let cfg = ModesConfig {
+        num_flows: 100,
+        burst_duration_ms: 5.0,
+        num_bursts: 4,
+        ..ModesConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let r = run_incast(&cfg);
+    let wall = t0.elapsed();
+    let pkts = r.enqueued_pkts;
+    println!(
+        "\nheadline: 100-flow / 5 ms x 4 bursts simulated in {wall:?} \
+         ({pkts} bottleneck packets; ~{:.1} Mpkt/s through the bottleneck model)",
+        pkts as f64 / wall.as_secs_f64() / 1e6
+    );
+}
+
+criterion_group!(benches, bench_rng, bench_queue, bench_incast);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Extension (paper §5.2): Swift-style pacing for very-high-degree incast.
+//!
+//! The paper discusses Swift's pacing mode — one packet every several RTTs
+//! once the window falls below 1 MSS — as the way to survive O(10k)-flow
+//! incasts, and argues it only pays off for *long* incasts: "pacing is
+//! useful only for long incasts ... whereas our incast bursts complete in
+//! milliseconds". This bench implements that pacing mode and tests the
+//! claim: window mode vs pacing mode at extreme flow counts, short vs long
+//! bursts.
+
+use bench::f;
+use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::report::Table;
+use incast_core::full_scale;
+use transport::config::PacingConfig;
+
+fn main() {
+    bench::banner(
+        "Extension: Swift pacing (§5.2)",
+        "Window floor vs sub-MSS pacing at 2000 flows",
+        "pacing enables huge incasts but 'is useful only for long incasts'; \
+         millisecond bursts complete before pacing gains traction",
+    );
+
+    let mut t = Table::new([
+        "flows",
+        "burst",
+        "mode",
+        "steady BCT ms",
+        "mean queue pkts",
+        "peak queue pkts",
+        "steady drops",
+        "steady timeouts",
+    ]);
+    for &(flows, burst_ms) in &[(2000usize, 2.0f64), (2000, 50.0)] {
+        for paced in [false, true] {
+            let mut cfg = ModesConfig {
+                num_flows: flows,
+                burst_duration_ms: burst_ms,
+                num_bursts: if full_scale() { 8 } else { 5 },
+                seed: 53,
+                horizon: simnet::SimTime::from_secs(60),
+                ..ModesConfig::default()
+            };
+            if paced {
+                // The Swift package: delay-based control + sub-MSS pacing.
+                cfg.tcp.pacing = Some(PacingConfig::default());
+                cfg.tcp.cca = transport::CcaKind::SwiftLike { target_us: 60 };
+            }
+            let r = run_incast(&cfg);
+            t.row([
+                flows.to_string(),
+                format!("{burst_ms} ms"),
+                if paced { "swift-like paced" } else { "dctcp window" }
+                    .to_string(),
+                f(r.mean_bct_ms),
+                f(r.mean_steady_queue_pkts()),
+                f(r.peak_steady_queue_pkts()),
+                r.steady_drops.to_string(),
+                r.steady_timeouts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!();
+    println!("reading: at 2000 flows the 1-MSS window floor needs 2000 packets in");
+    println!("flight (queue capacity is 1333) — guaranteed overflow and RTO-scale");
+    println!("BCTs forever. Swift-like delay control + sub-MSS pacing settles the");
+    println!("aggregate near flows/16 packets: the 2 ms burst completes cleanly");
+    println!("but stretched by the pacing stagger (~1.7x nominal — the relative");
+    println!("cost the paper's §5.2 warns about is largest exactly for ms bursts),");
+    println!("and long bursts still pay RTO generations at burst boundaries when");
+    println!("end-of-burst stragglers regrow — divergence strikes Swift too.");
+}

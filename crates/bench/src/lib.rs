@@ -1,0 +1,51 @@
+//! Shared helpers for the figure/table bench harnesses.
+//!
+//! Every bench target (see `benches/`) regenerates one table or figure of
+//! the paper and prints the paper's reported values next to the measured
+//! ones. Default runs use reduced scale; set `INCAST_FULL=1` for the
+//! paper's full parameters.
+
+/// Prints the standard bench banner.
+pub fn banner(id: &str, what: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("paper: {paper_claim}");
+    println!(
+        "scale: {}",
+        if incast_core::full_scale() {
+            "FULL (INCAST_FULL=1)"
+        } else {
+            "quick (set INCAST_FULL=1 for paper scale)"
+        }
+    );
+    println!("================================================================");
+}
+
+/// Formats a float tersely.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Percent with one decimal.
+pub fn pc(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(123.4), "123");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(pc(0.5), "50.0%");
+    }
+}

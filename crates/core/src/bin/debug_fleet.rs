@@ -1,0 +1,40 @@
+//! Developer tool: run the quick fleet study and print one calibration row
+//! per service (frequency, utilization, flows, marking, retransmissions).
+//!
+//! ```sh
+//! cargo run --release -p incast-core --bin debug_fleet
+//! ```
+
+use incast_core::production::{run_fleet, FleetConfig};
+use incast_core::default_threads;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cfg = FleetConfig::quick(default_threads());
+    let fleet = run_fleet(&cfg);
+    println!(
+        "{:<11} {:>7} {:>6} {:>7} {:>5} {:>5} {:>5} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "service", "bursts", "freq", "util%", "p50fl", "p99fl", "inc%", "mark%", "p95mark", "retx%", "p99retx", "p50qpeak"
+    );
+    for (svc, mut acc) in fleet {
+        let n = acc.total_bursts();
+        let marked_frac = 1.0 - acc.marked_fraction.fraction_at_or_below(0.0);
+        let retx_frac = 1.0 - acc.retx_fraction.fraction_at_or_below(0.0);
+        println!(
+            "{:<11} {:>7} {:>6.1} {:>7.1} {:>5.0} {:>5.0} {:>5.0} {:>7.0} {:>7.2} {:>7.1} {:>8.3} {:>8.2}",
+            svc.name(),
+            n,
+            acc.burst_frequency.mean(),
+            acc.utilization.mean() * 100.0,
+            acc.burst_flows.percentile(50.0),
+            acc.burst_flows.percentile(99.0),
+            acc.incast_fraction() * 100.0,
+            marked_frac * 100.0,
+            acc.marked_fraction.percentile(95.0),
+            retx_frac * 100.0,
+            acc.retx_fraction.percentile(99.0),
+            acc.queue_peak_fraction.percentile(50.0),
+        );
+    }
+    println!("wall {:?}", t0.elapsed());
+}

@@ -1,0 +1,39 @@
+//! Developer tool: run one aggregator service trace and dump calibration
+//! statistics (utilization, burst counts, marking, retransmissions, drop
+//! locations). Pass `off` to disable rack contention.
+//!
+//! ```sh
+//! cargo run --release -p incast-core --bin debug_trace [-- off]
+//! ```
+
+use incast_core::production::{run_service_trace, TraceConfig};
+use simnet::SimTime;
+use workload::ServiceId;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut cfg = TraceConfig::new(ServiceId::Aggregator, 1);
+    cfg.duration = SimTime::from_secs(2);
+    cfg.contention = std::env::args().nth(1).as_deref() != Some("off");
+    let r = run_service_trace(&cfg);
+    let bursts = &r.bursts;
+    println!(
+        "wall {:?} | util {:.3} | bursts {} | incast frac {:.2} | max flows {} | marked bursts {} | retx bursts {}",
+        t0.elapsed(),
+        r.trace.mean_utilization(),
+        bursts.len(),
+        bursts.iter().filter(|b| b.is_incast()).count() as f64 / bursts.len().max(1) as f64,
+        bursts.iter().map(|b| b.peak_flows).max().unwrap_or(0),
+        bursts.iter().filter(|b| b.marked_bytes > 0).count(),
+        bursts.iter().filter(|b| b.retx_bytes > 0).count(),
+    );
+    println!(
+        "downlink drops {} marks {} | trunk drops {} marks {} | contender drops {} | retx bytes {}",
+        r.downlink_drops, r.downlink_marks, r.trunk_drops, r.trunk_marks, r.contender_drops,
+        bursts.iter().map(|b| b.retx_bytes).sum::<u64>()
+    );
+    let mut durs: Vec<usize> = bursts.iter().map(|b| b.len_buckets).collect();
+    durs.sort_unstable();
+    println!("duration buckets: min {:?} p50 {:?} p90 {:?} max {:?}",
+        durs.first(), durs.get(durs.len()/2), durs.get(durs.len()*9/10), durs.last());
+}

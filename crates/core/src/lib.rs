@@ -1,0 +1,28 @@
+//! # incast-core — experiment suite for the IMC '24 incast-bursts paper
+//!
+//! One module per experiment family, each with a config struct and a `run`
+//! function, so the bench targets are thin wrappers:
+//!
+//! - [`modes`]: the Section-4 cyclic-incast engine (Figures 5–7, ablations),
+//! - [`production`]: the Section-3 fleet study (Figures 1, 2, 4; Table 1),
+//! - [`stability`]: flow-count stability over time and hosts (Figure 3),
+//! - [`straggler`]: per-flow in-flight skew (Figure 7),
+//! - [`mitigation`]: the Section-5 mitigation comparison,
+//! - [`runner`]: parallel execution of independent simulations,
+//! - [`report`]: ASCII tables/plots for bench output.
+
+pub mod mitigation;
+pub mod modes;
+pub mod production;
+pub mod report;
+pub mod runner;
+pub mod stability;
+pub mod straggler;
+
+pub use modes::{run_incast, IncastRunResult, ModesConfig, OperatingMode};
+pub use runner::{default_threads, par_map};
+
+/// True when paper-scale parameters were requested via `INCAST_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("INCAST_FULL").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,214 @@
+//! The Section-5 mitigation comparison.
+//!
+//! The paper's discussion sketches three directions; all are implemented
+//! here and compared against stock DCTCP on the same cyclic incast:
+//!
+//! 1. **Cross-burst memory** (§5.1): remember the in-burst window and
+//!    resume there at the next burst ([`transport::cca::MemoryDctcp`]).
+//! 2. **Ramp guardrail** (§5.1): a hard window ceiling that bounds
+//!    straggler ramp-up and slow-start overshoot
+//!    ([`transport::cca::GuardrailDctcp`]).
+//! 3. **Receiver-side incast scheduling** (§5.2): split the N-flow incast
+//!    into staggered groups so only a manageable number of flows are
+//!    active at once ([`workload::Grouping`]).
+
+use crate::modes::{run_incast, IncastRunResult, ModesConfig};
+use millisampler::peak_in_window;
+use simnet::SimTime;
+use transport::CcaKind;
+use workload::Grouping;
+
+/// A mitigation under comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mitigation {
+    /// Stock DCTCP (the paper's status quo).
+    Baseline,
+    /// Cross-burst window memory with the given EWMA gain.
+    Memory {
+        /// EWMA gain for the remembered window.
+        gain: f64,
+    },
+    /// Hard window ceiling in segments.
+    Guardrail {
+        /// Ceiling in segments.
+        max_cwnd_segs: u32,
+    },
+    /// Receiver-side group scheduling.
+    Grouping {
+        /// Flows per group.
+        group_size: usize,
+        /// Gap between groups' request waves.
+        group_gap: SimTime,
+    },
+}
+
+impl Mitigation {
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Mitigation::Baseline => "dctcp (baseline)".into(),
+            Mitigation::Memory { gain } => format!("cross-burst memory (gain {gain})"),
+            Mitigation::Guardrail { max_cwnd_segs } => {
+                format!("guardrail ({max_cwnd_segs} segs)")
+            }
+            Mitigation::Grouping {
+                group_size,
+                group_gap,
+            } => format!("group scheduling ({group_size} flows / {group_gap})"),
+        }
+    }
+
+    /// Applies the mitigation to a base configuration.
+    pub fn apply(&self, mut cfg: ModesConfig) -> ModesConfig {
+        let g = 1.0 / 16.0;
+        match *self {
+            Mitigation::Baseline => {}
+            Mitigation::Memory { gain } => {
+                cfg.tcp.cca = CcaKind::DctcpMemory {
+                    g,
+                    memory_gain: gain,
+                };
+            }
+            Mitigation::Guardrail { max_cwnd_segs } => {
+                cfg.tcp.cca = CcaKind::DctcpGuardrail { g, max_cwnd_segs };
+            }
+            Mitigation::Grouping {
+                group_size,
+                group_gap,
+            } => {
+                cfg.grouping = Some(Grouping {
+                    group_size,
+                    group_gap,
+                });
+            }
+        }
+        cfg
+    }
+}
+
+/// Comparison metrics for one mitigation run.
+#[derive(Debug, Clone)]
+pub struct MitigationOutcome {
+    /// Which mitigation ran.
+    pub label: String,
+    /// Mean steady-state burst completion time (ms).
+    pub mean_bct_ms: f64,
+    /// Peak bottleneck queue during steady-state bursts (packets).
+    pub peak_queue_pkts: f64,
+    /// Mean of the per-burst queue spike in the first 500 µs of each
+    /// steady-state burst — the §4.3 divergence signature.
+    pub start_spike_pkts: f64,
+    /// Steady-state drops at the bottleneck.
+    pub steady_drops: u64,
+    /// Steady-state retransmitted bytes.
+    pub steady_retx_bytes: u64,
+    /// CE marks as a fraction of enqueued packets.
+    pub mark_fraction: f64,
+}
+
+/// Mean queue spike over the first `window` of each steady-state burst.
+pub fn start_spike(result: &IncastRunResult, window: SimTime) -> f64 {
+    let mut spikes = Vec::new();
+    for &(s_ms, _) in result.burst_windows.iter().skip(1) {
+        let t0 = (s_ms * 1e9) as u64;
+        let t1 = t0 + window.as_ps();
+        spikes.push(peak_in_window(&result.queue_pkts, t0, t1));
+    }
+    if spikes.is_empty() {
+        0.0
+    } else {
+        spikes.iter().sum::<f64>() / spikes.len() as f64
+    }
+}
+
+/// Runs one mitigation on the given base config.
+pub fn run_mitigation(base: &ModesConfig, mitigation: Mitigation) -> MitigationOutcome {
+    let cfg = mitigation.apply(base.clone());
+    let r = run_incast(&cfg);
+    MitigationOutcome {
+        label: mitigation.label(),
+        mean_bct_ms: r.mean_bct_ms,
+        peak_queue_pkts: r.peak_steady_queue_pkts(),
+        start_spike_pkts: start_spike(&r, SimTime::from_us(500)),
+        steady_drops: r.steady_drops,
+        steady_retx_bytes: r.steady_retx_bytes,
+        mark_fraction: if r.enqueued_pkts == 0 {
+            0.0
+        } else {
+            r.marked_pkts as f64 / r.enqueued_pkts as f64
+        },
+    }
+}
+
+/// The default mitigation lineup.
+pub fn default_lineup() -> Vec<Mitigation> {
+    vec![
+        Mitigation::Baseline,
+        Mitigation::Memory { gain: 0.25 },
+        Mitigation::Guardrail { max_cwnd_segs: 4 },
+        Mitigation::Grouping {
+            group_size: 50,
+            group_gap: SimTime::from_ms(1),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ModesConfig {
+        ModesConfig {
+            num_flows: 60,
+            burst_duration_ms: 3.0,
+            num_bursts: 4,
+            seed: 9,
+            ..ModesConfig::default()
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = default_lineup().iter().map(|m| m.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn apply_sets_cca_and_grouping() {
+        let cfg = Mitigation::Memory { gain: 0.25 }.apply(base());
+        assert!(matches!(cfg.tcp.cca, CcaKind::DctcpMemory { .. }));
+        let cfg = Mitigation::Guardrail { max_cwnd_segs: 4 }.apply(base());
+        assert!(matches!(cfg.tcp.cca, CcaKind::DctcpGuardrail { .. }));
+        let cfg = Mitigation::Grouping {
+            group_size: 10,
+            group_gap: SimTime::from_ms(1),
+        }
+        .apply(base());
+        assert!(cfg.grouping.is_some());
+        let cfg = Mitigation::Baseline.apply(base());
+        assert!(matches!(cfg.tcp.cca, CcaKind::Dctcp { .. }));
+    }
+
+    #[test]
+    fn all_mitigations_complete_the_workload() {
+        for m in default_lineup() {
+            let out = run_mitigation(&base(), m);
+            assert!(out.mean_bct_ms > 0.0, "{}: no bursts", out.label);
+        }
+    }
+
+    #[test]
+    fn guardrail_reduces_start_spike_vs_baseline() {
+        let baseline = run_mitigation(&base(), Mitigation::Baseline);
+        let rail = run_mitigation(&base(), Mitigation::Guardrail { max_cwnd_segs: 2 });
+        assert!(
+            rail.start_spike_pkts <= baseline.start_spike_pkts,
+            "guardrail {} vs baseline {}",
+            rail.start_spike_pkts,
+            baseline.start_spike_pkts
+        );
+    }
+}

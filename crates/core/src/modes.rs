@@ -1,0 +1,442 @@
+//! The Section-4 incast experiment: N DCTCP flows through the paper's
+//! dumbbell, cyclic bursts, queue traces, and the three operating modes.
+//!
+//! This is the engine behind Figures 5 and 6, the straggler analysis of
+//! Figure 7, every ablation, and the mitigation comparison: one
+//! configuration struct in, one [`IncastRunResult`] out.
+
+use simnet::{
+    build_fabric, BufferPolicy, FabricConfig, QueueConfig, Shared, SimTime,
+};
+use stats::{Rng, TimeSeries};
+use transport::{TcpConfig, TcpHost};
+use workload::{BurstSchedule, CyclicCoordinator, Grouping, IncastConfig, Worker};
+
+/// Configuration of one cyclic-incast run.
+#[derive(Debug, Clone)]
+pub struct ModesConfig {
+    /// Number of incast flows (N senders).
+    pub num_flows: usize,
+    /// Nominal burst duration: demand = duration x 10 Gbps / N per flow.
+    pub burst_duration_ms: f64,
+    /// Bursts to run (the paper uses 11 and discards the first).
+    pub num_bursts: u32,
+    /// Bursts discarded as warm-up before "steady state". The paper
+    /// discards 1; with a Linux-like 200 ms minimum RTO the synchronized
+    /// slow-start storm of burst 0 also contaminates burst 1, so the
+    /// default here is 2.
+    pub warmup_bursts: u32,
+    /// Think time between a burst's completion and the next request wave.
+    pub gap: SimTime,
+    /// Endpoint TCP configuration (DCTCP with the paper's parameters by
+    /// default).
+    pub tcp: TcpConfig,
+    /// Bottleneck (receiver-ToR) queue configuration.
+    pub tor_queue: QueueConfig,
+    /// Optional shared buffer on the receiving ToR.
+    pub receiver_tor_buffer: Option<(u64, BufferPolicy)>,
+    /// Queue-depth recording interval.
+    pub queue_sample: SimTime,
+    /// If set, per-flow in-flight bytes are polled at this interval
+    /// (drives Fig. 7).
+    pub flight_sample: Option<SimTime>,
+    /// Optional receiver-side group scheduling (§5.2 mitigation).
+    pub grouping: Option<Grouping>,
+    /// Burst scheduling policy.
+    pub schedule: BurstSchedule,
+    /// Root seed.
+    pub seed: u64,
+    /// Hard wall-clock limit on simulated time (guards Mode-3 runs).
+    pub horizon: SimTime,
+}
+
+impl Default for ModesConfig {
+    /// The paper's Section 4 defaults (15 ms bursts, 11 bursts, 2 ms gap).
+    fn default() -> Self {
+        ModesConfig {
+            num_flows: 100,
+            burst_duration_ms: 15.0,
+            num_bursts: 11,
+            warmup_bursts: 2,
+            gap: SimTime::from_ms(2),
+            tcp: TcpConfig::default(),
+            tor_queue: QueueConfig::paper_tor(),
+            receiver_tor_buffer: None,
+            queue_sample: SimTime::from_us(20),
+            flight_sample: None,
+            grouping: None,
+            schedule: BurstSchedule::AfterCompletion {
+                gap: SimTime::from_ms(2),
+            },
+            seed: 1,
+            horizon: SimTime::from_secs(30),
+        }
+    }
+}
+
+/// The paper's three DCTCP operating modes (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatingMode {
+    /// Healthy: the queue oscillates around the marking threshold and
+    /// regularly drains below it.
+    Mode1Healthy,
+    /// Degenerate point: every flow is at the window floor, the queue is
+    /// pinned above the threshold, but capacity still absorbs it.
+    Mode2Degenerate,
+    /// Overflow: drops and RTO-driven recovery dominate.
+    Mode3Timeouts,
+}
+
+impl OperatingMode {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatingMode::Mode1Healthy => "Mode 1 (healthy)",
+            OperatingMode::Mode2Degenerate => "Mode 2 (degenerate)",
+            OperatingMode::Mode3Timeouts => "Mode 3 (timeouts)",
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct IncastRunResult {
+    /// Completion time of every burst, in order.
+    pub bcts_ms: Vec<f64>,
+    /// Mean BCT over the final bursts (first discarded, per the paper).
+    pub mean_bct_ms: f64,
+    /// Bottleneck queue depth (packets) per `queue_sample` bucket.
+    pub queue_pkts: TimeSeries,
+    /// `(start_ms, end_ms)` of each burst.
+    pub burst_windows: Vec<(f64, f64)>,
+    /// Tail drops + shared-buffer drops at the bottleneck queue.
+    pub drops: u64,
+    /// CE marks applied at the bottleneck queue.
+    pub marked_pkts: u64,
+    /// Packets enqueued at the bottleneck.
+    pub enqueued_pkts: u64,
+    /// Total retransmitted payload bytes across senders.
+    pub retx_bytes: u64,
+    /// Total RTO events across senders.
+    pub timeouts: u64,
+    /// Total fast retransmits across senders.
+    pub fast_retransmits: u64,
+    /// Drops after the warm-up bursts completed (the paper discards the
+    /// first burst, whose slow-start losses are not representative; see
+    /// [`ModesConfig::warmup_bursts`]).
+    pub steady_drops: u64,
+    /// RTO events after the warm-up bursts completed.
+    pub steady_timeouts: u64,
+    /// Retransmitted bytes after the warm-up bursts completed.
+    pub steady_retx_bytes: u64,
+    /// Number of bursts treated as warm-up.
+    pub warmup_bursts: u32,
+    /// Peak bottleneck occupancy in packets.
+    pub queue_watermark_pkts: u32,
+    /// Polled per-flow in-flight bytes (one series per flow), if enabled.
+    pub flights: Vec<TimeSeries>,
+    /// Time when the run finished (last burst completion).
+    pub finished_at: SimTime,
+    /// The ECN threshold in effect (packets), for classification.
+    pub ecn_threshold_pkts: u32,
+}
+
+impl IncastRunResult {
+    /// Queue-depth samples restricted to the steady-state burst windows
+    /// (all bursts after the warm-up).
+    pub fn steady_burst_samples(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let interval_ms = self.queue_pkts.interval() as f64 / 1e9;
+        for &(s, e) in self.burst_windows.iter().skip(self.warmup_bursts as usize) {
+            let first = (s / interval_ms) as usize;
+            let last = (e / interval_ms) as usize;
+            for i in first..=last.min(self.queue_pkts.len().saturating_sub(1)) {
+                out.push(self.queue_pkts.get(i));
+            }
+        }
+        out
+    }
+
+    /// Classifies the run into the paper's three modes, using steady-state
+    /// (post-first-burst) behavior as the paper does.
+    pub fn mode(&self) -> OperatingMode {
+        if self.steady_timeouts > 0 && self.steady_drops > 0 {
+            return OperatingMode::Mode3Timeouts;
+        }
+        let samples = self.steady_burst_samples();
+        if samples.is_empty() {
+            return OperatingMode::Mode1Healthy;
+        }
+        let below = samples
+            .iter()
+            .filter(|&&q| q < self.ecn_threshold_pkts as f64)
+            .count() as f64
+            / samples.len() as f64;
+        if below < 0.10 {
+            OperatingMode::Mode2Degenerate
+        } else {
+            OperatingMode::Mode1Healthy
+        }
+    }
+
+    /// Mean queue depth over steady-state burst windows.
+    pub fn mean_steady_queue_pkts(&self) -> f64 {
+        let s = self.steady_burst_samples();
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Peak queue depth over steady-state burst windows.
+    pub fn peak_steady_queue_pkts(&self) -> f64 {
+        self.steady_burst_samples()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// The queue trace as `(ms, packets)` points for plotting.
+    pub fn queue_points(&self) -> Vec<(f64, f64)> {
+        self.queue_pkts
+            .iter()
+            .map(|(t_ps, v)| (t_ps as f64 / 1e9, v))
+            .collect()
+    }
+}
+
+/// Runs one cyclic-incast experiment.
+pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
+    assert!(cfg.num_flows > 0);
+    assert!(cfg.burst_duration_ms > 0.0);
+
+    let fabric_cfg = FabricConfig {
+        num_senders: cfg.num_flows,
+        num_receivers: 1,
+        tor_queue: cfg.tor_queue.clone(),
+        receiver_tor_buffer: cfg.receiver_tor_buffer,
+        seed: cfg.seed,
+        ..FabricConfig::default()
+    };
+    let mut fabric = build_fabric(&fabric_cfg);
+    let bottleneck = fabric.downlinks[0];
+    fabric
+        .sim
+        .link_mut(bottleneck)
+        .queue
+        .enable_monitor(cfg.queue_sample);
+
+    // Workers.
+    let root = Rng::new(cfg.seed);
+    let mut worker_handles = Vec::with_capacity(cfg.num_flows);
+    for (i, &s) in fabric.senders.iter().enumerate() {
+        let worker = Worker::new(root.fork(1000 + i as u64));
+        let host = Shared::new(TcpHost::new(cfg.tcp.clone(), Box::new(worker)));
+        worker_handles.push(host.handle());
+        fabric.sim.set_endpoint(s, Box::new(host));
+    }
+
+    // Coordinator.
+    let mut icfg = IncastConfig::paper(
+        fabric.senders.clone(),
+        cfg.burst_duration_ms,
+        cfg.num_bursts,
+        cfg.seed,
+    );
+    icfg.schedule = cfg.schedule;
+    icfg.grouping = cfg.grouping;
+    let coordinator = Shared::new(CyclicCoordinator::new(icfg));
+    let coord_handle = coordinator.handle();
+    fabric.sim.set_endpoint(
+        fabric.receivers[0],
+        Box::new(TcpHost::new(cfg.tcp.clone(), Box::new(coordinator))),
+    );
+
+    // Drive the simulation in small steps so we can poll flow state and
+    // snapshot counters at the first burst boundary.
+    let mut flights: Vec<TimeSeries> = Vec::new();
+    if let Some(interval) = cfg.flight_sample {
+        flights = (0..cfg.num_flows)
+            .map(|_| TimeSeries::new(interval.as_ps()))
+            .collect();
+    }
+    let step = cfg.flight_sample.unwrap_or(SimTime::from_ms(1));
+    // Counters at the moment the warm-up bursts completed: (drops,
+    // timeouts, retx_bytes).
+    let mut warmup_counters: Option<(u64, u64, u64)> = None;
+    let warmup = cfg.warmup_bursts as usize;
+
+    while !coord_handle.borrow().finished() && fabric.sim.now() < cfg.horizon {
+        let next = (fabric.sim.now() + step).min(cfg.horizon);
+        fabric.sim.run_until(next);
+        if cfg.flight_sample.is_some() {
+            let t = fabric.sim.now().as_ps();
+            for (i, h) in worker_handles.iter().enumerate() {
+                let inflight = {
+                    let host = h.borrow();
+                    let v = host.core().senders().next().map(|(_, tx)| tx.in_flight());
+                    v
+                };
+                if let Some(v) = inflight {
+                    flights[i].record_max(t, v as f64);
+                }
+            }
+        }
+        if warmup_counters.is_none() && coord_handle.borrow().outcomes.len() >= warmup {
+            let drops = fabric.sim.link(bottleneck).queue.stats().dropped_pkts;
+            let mut to = 0;
+            let mut rx = 0;
+            for h in &worker_handles {
+                let host = h.borrow();
+                for (_, tx) in host.core().senders() {
+                    to += tx.stats().timeouts;
+                    rx += tx.stats().bytes_retx;
+                }
+            }
+            warmup_counters = Some((drops, to, rx));
+        }
+    }
+
+    // Collect results.
+    let coord = coord_handle.borrow();
+    let bcts_ms = coord.bcts_ms();
+    let burst_windows: Vec<(f64, f64)> = coord
+        .outcomes
+        .iter()
+        .map(|o| (o.start.as_ms_f64(), o.end.as_ms_f64()))
+        .collect();
+    let warm = (cfg.warmup_bursts as usize).min(bcts_ms.len().saturating_sub(1));
+    let mean_bct_ms = if bcts_ms.len() > warm {
+        bcts_ms[warm..].iter().sum::<f64>() / (bcts_ms.len() - warm) as f64
+    } else {
+        bcts_ms.first().copied().unwrap_or(0.0)
+    };
+
+    let link = fabric.sim.link(bottleneck);
+    let qstats = link.queue.stats();
+    let queue_pkts = link
+        .queue
+        .monitor()
+        .expect("monitor enabled above")
+        .clone();
+
+    let mut retx_bytes = 0;
+    let mut timeouts = 0;
+    let mut fast_retransmits = 0;
+    for h in &worker_handles {
+        let host = h.borrow();
+        for (_, tx) in host.core().senders() {
+            retx_bytes += tx.stats().bytes_retx;
+            timeouts += tx.stats().timeouts;
+            fast_retransmits += tx.stats().fast_retransmits;
+        }
+    }
+
+    let (d0, t0, r0) = warmup_counters.unwrap_or((0, 0, 0));
+    IncastRunResult {
+        bcts_ms,
+        mean_bct_ms,
+        queue_pkts,
+        burst_windows,
+        drops: qstats.dropped_pkts,
+        marked_pkts: qstats.marked_pkts,
+        enqueued_pkts: qstats.enqueued_pkts,
+        retx_bytes,
+        timeouts,
+        fast_retransmits,
+        steady_drops: qstats.dropped_pkts.saturating_sub(d0),
+        steady_timeouts: timeouts.saturating_sub(t0),
+        steady_retx_bytes: retx_bytes.saturating_sub(r0),
+        queue_watermark_pkts: qstats.watermark_pkts,
+        flights,
+        finished_at: fabric.sim.now(),
+        ecn_threshold_pkts: cfg.tor_queue.ecn_threshold_pkts.unwrap_or(0),
+        warmup_bursts: cfg.warmup_bursts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(num_flows: usize, burst_ms: f64, bursts: u32) -> ModesConfig {
+        ModesConfig {
+            num_flows,
+            burst_duration_ms: burst_ms,
+            num_bursts: bursts,
+            ..ModesConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_healthy_incast_is_mode1() {
+        let r = run_incast(&quick(20, 2.0, 3));
+        assert_eq!(r.bcts_ms.len(), 3);
+        assert_eq!(r.mode(), OperatingMode::Mode1Healthy);
+        assert_eq!(r.drops, 0);
+        assert_eq!(r.timeouts, 0);
+        // Near-optimal BCT: 2 ms of data, finished within 4x.
+        assert!(r.mean_bct_ms < 8.0, "bct {}", r.mean_bct_ms);
+        // Data actually moved through the bottleneck.
+        assert!(r.enqueued_pkts > 1000);
+    }
+
+    #[test]
+    fn degenerate_incast_pins_queue() {
+        // The paper's Fig. 5b setup: 500 flows, 15 ms bursts. At the window
+        // floor the in-flight floor is 500 pkts >> K=65: the queue pins.
+        let r = run_incast(&quick(500, 15.0, 3));
+        assert_eq!(r.mode(), OperatingMode::Mode2Degenerate);
+        assert_eq!(
+            r.steady_timeouts, 0,
+            "deep queue absorbs the degenerate point in steady state"
+        );
+        // Queue pinned near flows - BDP (the paper's §4.1.2 relation says
+        // ~475 pkts; the start-of-burst spike and completion drain pull the
+        // mean around it).
+        let mean_q = r.mean_steady_queue_pkts();
+        assert!(
+            (330.0..640.0).contains(&mean_q),
+            "steady queue {mean_q} pkts"
+        );
+    }
+
+    #[test]
+    fn massive_incast_times_out() {
+        // 1600 flows exceed queue capacity + BDP even at the window floor,
+        // so every burst (warm-up or not) drops and times out.
+        let r = run_incast(&quick(1600, 2.0, 3));
+        assert_eq!(r.mode(), OperatingMode::Mode3Timeouts);
+        assert!(r.drops > 0);
+        assert!(r.timeouts > 0);
+        // Timeouts push the BCT to RTO scale (>= 200 ms).
+        assert!(r.mean_bct_ms >= 100.0, "bct {}", r.mean_bct_ms);
+    }
+
+    #[test]
+    fn flight_polling_produces_per_flow_series() {
+        let mut cfg = quick(10, 1.0, 2);
+        cfg.flight_sample = Some(SimTime::from_us(100));
+        let r = run_incast(&cfg);
+        assert_eq!(r.flights.len(), 10);
+        assert!(r.flights.iter().any(|f| f.max() > 0.0));
+    }
+
+    #[test]
+    fn burst_windows_align_with_bcts() {
+        let r = run_incast(&quick(20, 1.0, 3));
+        assert_eq!(r.burst_windows.len(), 3);
+        for ((s, e), bct) in r.burst_windows.iter().zip(&r.bcts_ms) {
+            assert!((e - s - bct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_incast(&quick(30, 1.0, 2));
+        let b = run_incast(&quick(30, 1.0, 2));
+        assert_eq!(a.bcts_ms, b.bcts_ms);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.marked_pkts, b.marked_pkts);
+    }
+}

@@ -1,0 +1,213 @@
+//! Report formatting: ASCII tables and plots for bench output.
+//!
+//! Every bench target prints the paper's reported values next to the
+//! measured ones; these helpers keep that output consistent.
+
+/// A simple fixed-width ASCII table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                s.push(' ');
+                s.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    s.push(' ');
+                }
+                s.push_str(" |");
+            }
+            s
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                for _ in 0..w + 2 {
+                    s.push('-');
+                }
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Renders an ASCII line plot of `(x, y)` series.
+///
+/// Multiple series get distinct glyphs; axes are linear. Good enough to eyeball
+/// the shape of a queue trace or a CDF in bench output.
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, pts) in series {
+        for &(x, y) in *pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return format!("{title}\n(no data)");
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in *pts {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>10.1} ")
+        } else if i == height - 1 {
+            format!("{ymin:>10.1} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<12.3}{:>w$.3}\n",
+        " ".repeat(12),
+        xmin,
+        xmax,
+        w = width.saturating_sub(12)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("            legend: {}\n", legend.join("   ")));
+    out
+}
+
+/// Formats a fraction as a percent with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["service", "flows"]);
+        t.row(["storage", "60"]);
+        t.row(["aggregator", "160"]);
+        let s = t.render();
+        assert!(s.contains("| service    | flows |"));
+        assert!(s.contains("| aggregator | 160   |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.render();
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn plot_contains_series_glyphs_and_bounds() {
+        let s1: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s2: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 2500.0 - (i * i) as f64)).collect();
+        let out = ascii_plot("test", &[("up", &s1), ("down", &s2)], 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("legend: * up   o down"));
+        assert!(out.contains("2500.0"));
+    }
+
+    #[test]
+    fn plot_empty_series_is_graceful() {
+        let out = ascii_plot("empty", &[("none", &[])], 40, 10);
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,102 @@
+//! Parallel experiment execution.
+//!
+//! A simulation is single-threaded and deterministic; experiments
+//! parallelize by running many independent simulations. [`par_map`] is a
+//! tiny scoped-thread work queue: items are claimed atomically, results
+//! land at their item's index, so the output order (and therefore every
+//! downstream aggregate) is independent of thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("poisoned result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned result slot")
+                .expect("worker thread skipped an item")
+        })
+        .collect()
+}
+
+/// A default thread count: available parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, 8, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = par_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(vec![5], 64, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn results_match_serial_regardless_of_threads() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = par_map(items.clone(), 1, |&x| x.wrapping_mul(0x9E3779B9));
+        let parallel = par_map(items, 7, |&x| x.wrapping_mul(0x9E3779B9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

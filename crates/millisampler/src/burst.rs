@@ -1,0 +1,249 @@
+//! Burst detection.
+//!
+//! The paper's definition (§3.1): *"any contiguous time span where the
+//! average aggregate ingress data rate, measured at the receiver at 1 ms
+//! intervals, is greater than 50 % of the NIC line rate."* A burst's flow
+//! count is the maximum number of distinct active flows in any of its 1 ms
+//! buckets (flows are counted per interval, §3.3), and the paper calls a
+//! burst an *incast* when that count exceeds 25 flows.
+
+use crate::sampler::MsTrace;
+use serde::{Deserialize, Serialize};
+
+/// The paper's burst threshold: 50 % of line rate.
+pub const BURST_THRESHOLD_FRACTION: f64 = 0.5;
+/// The paper's incast threshold: more than 25 active flows.
+pub const INCAST_FLOW_THRESHOLD: u32 = 25;
+
+/// One detected burst.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct Burst {
+    /// Index of the first bucket of the burst.
+    pub start_bucket: usize,
+    /// Length in buckets (>= 1).
+    pub len_buckets: usize,
+    /// Total ingress bytes during the burst.
+    pub bytes: u64,
+    /// CE-marked ingress bytes during the burst.
+    pub marked_bytes: u64,
+    /// Retransmitted payload bytes during the burst.
+    pub retx_bytes: u64,
+    /// Peak per-bucket distinct flow count.
+    pub peak_flows: u32,
+    /// Packets during the burst.
+    pub pkts: u64,
+}
+
+impl Burst {
+    /// Burst duration in milliseconds given the trace's bucket width.
+    pub fn duration_ms(&self, trace: &MsTrace) -> f64 {
+        self.len_buckets as f64 * trace.interval.as_ms_f64()
+    }
+
+    /// Fraction of the burst's bytes that were CE-marked (paper Fig. 4b).
+    pub fn marked_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.marked_bytes as f64 / self.bytes as f64
+        }
+    }
+
+    /// Retransmitted volume as a fraction of what line rate could carry for
+    /// the burst's duration (paper Fig. 4c's "percent of line rate").
+    pub fn retx_fraction_of_line_rate(&self, trace: &MsTrace) -> f64 {
+        let capacity = trace.line_rate_bytes_per_bucket() * self.len_buckets as f64;
+        self.retx_bytes as f64 / capacity
+    }
+
+    /// True if this burst is an incast under the paper's >25-flow rule.
+    pub fn is_incast(&self) -> bool {
+        self.peak_flows > INCAST_FLOW_THRESHOLD
+    }
+
+    /// Start time of the burst in milliseconds.
+    pub fn start_ms(&self, trace: &MsTrace) -> f64 {
+        self.start_bucket as f64 * trace.interval.as_ms_f64()
+    }
+}
+
+/// Finds all bursts in a trace using the paper's 50 %-of-line-rate rule.
+pub fn detect_bursts(trace: &MsTrace) -> Vec<Burst> {
+    detect_bursts_with_threshold(trace, BURST_THRESHOLD_FRACTION)
+}
+
+/// Burst detection with an explicit utilization threshold.
+pub fn detect_bursts_with_threshold(trace: &MsTrace, threshold: f64) -> Vec<Burst> {
+    assert!(threshold > 0.0, "non-positive burst threshold");
+    let floor = trace.line_rate_bytes_per_bucket() * threshold;
+    let mut bursts = Vec::new();
+    let mut active: Option<Burst> = None;
+    for (i, b) in trace.buckets.iter().enumerate() {
+        let hot = b.bytes as f64 > floor;
+        match (&mut active, hot) {
+            (None, true) => {
+                active = Some(Burst {
+                    start_bucket: i,
+                    len_buckets: 1,
+                    bytes: b.bytes,
+                    marked_bytes: b.marked_bytes,
+                    retx_bytes: b.retx_bytes,
+                    peak_flows: b.flows,
+                    pkts: b.pkts,
+                });
+            }
+            (Some(burst), true) => {
+                burst.len_buckets += 1;
+                burst.bytes += b.bytes;
+                burst.marked_bytes += b.marked_bytes;
+                burst.retx_bytes += b.retx_bytes;
+                burst.peak_flows = burst.peak_flows.max(b.flows);
+                burst.pkts += b.pkts;
+            }
+            (Some(_), false) => {
+                bursts.push(active.take().expect("active burst"));
+            }
+            (None, false) => {}
+        }
+    }
+    if let Some(b) = active {
+        bursts.push(b);
+    }
+    bursts
+}
+
+/// Bursts per second over the trace (paper Fig. 2a's per-trace sample).
+pub fn bursts_per_second(trace: &MsTrace, bursts: &[Burst]) -> f64 {
+    let secs = trace.duration().as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        bursts.len() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::MsBucket;
+    use simnet::{Rate, SimTime};
+
+    /// Builds a trace from per-ms utilization fractions at 10 Gbps.
+    fn trace_from_util(utils: &[f64]) -> MsTrace {
+        let line_rate = Rate::gbps(10);
+        let per_bucket = line_rate.bytes_per_sec() / 1000.0;
+        MsTrace {
+            interval: SimTime::from_ms(1),
+            line_rate,
+            buckets: utils
+                .iter()
+                .map(|&u| MsBucket {
+                    bytes: (u * per_bucket) as u64,
+                    marked_bytes: 0,
+                    retx_bytes: 0,
+                    flows: if u > 0.0 { 30 } else { 0 },
+                    pkts: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn detects_contiguous_runs() {
+        let t = trace_from_util(&[0.1, 0.9, 0.8, 0.1, 0.6, 0.0]);
+        let bursts = detect_bursts(&t);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].start_bucket, 1);
+        assert_eq!(bursts[0].len_buckets, 2);
+        assert_eq!(bursts[1].start_bucket, 4);
+        assert_eq!(bursts[1].len_buckets, 1);
+        assert_eq!(bursts[0].duration_ms(&t), 2.0);
+    }
+
+    #[test]
+    fn burst_running_to_end_is_closed() {
+        let t = trace_from_util(&[0.0, 0.9, 0.9]);
+        let bursts = detect_bursts(&t);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].len_buckets, 2);
+    }
+
+    #[test]
+    fn no_bursts_below_threshold() {
+        let t = trace_from_util(&[0.4, 0.49, 0.3]);
+        assert!(detect_bursts(&t).is_empty());
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_not_a_burst() {
+        // The definition says strictly greater than 50 %.
+        let t = trace_from_util(&[0.5]);
+        assert!(detect_bursts(&t).is_empty());
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let t = trace_from_util(&[0.4, 0.49, 0.3]);
+        let bursts = detect_bursts_with_threshold(&t, 0.35);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].len_buckets, 2);
+    }
+
+    #[test]
+    fn burst_aggregates_and_fractions() {
+        let line_rate = Rate::gbps(10);
+        let per_bucket = (line_rate.bytes_per_sec() / 1000.0) as u64;
+        let t = MsTrace {
+            interval: SimTime::from_ms(1),
+            line_rate,
+            buckets: vec![
+                MsBucket {
+                    bytes: per_bucket,
+                    marked_bytes: per_bucket / 2,
+                    retx_bytes: per_bucket / 10,
+                    flows: 100,
+                    pkts: 800,
+                },
+                MsBucket {
+                    bytes: per_bucket,
+                    marked_bytes: 0,
+                    retx_bytes: 0,
+                    flows: 150,
+                    pkts: 800,
+                },
+            ],
+        };
+        let bursts = detect_bursts(&t);
+        assert_eq!(bursts.len(), 1);
+        let b = &bursts[0];
+        assert_eq!(b.peak_flows, 150);
+        assert!((b.marked_fraction() - 0.25).abs() < 1e-9);
+        assert!((b.retx_fraction_of_line_rate(&t) - 0.05).abs() < 1e-9);
+        assert!(b.is_incast());
+        assert_eq!(b.start_ms(&t), 0.0);
+    }
+
+    #[test]
+    fn incast_threshold_is_strict() {
+        let b = Burst {
+            start_bucket: 0,
+            len_buckets: 1,
+            bytes: 1,
+            marked_bytes: 0,
+            retx_bytes: 0,
+            peak_flows: 25,
+            pkts: 1,
+        };
+        assert!(!b.is_incast());
+        let b = Burst { peak_flows: 26, ..b };
+        assert!(b.is_incast());
+    }
+
+    #[test]
+    fn bursts_per_second_math() {
+        let t = trace_from_util(&[0.9; 2000]); // 2 s, one long burst
+        let bursts = detect_bursts(&t);
+        assert_eq!(bursts.len(), 1);
+        assert!((bursts_per_second(&t, &bursts) - 0.5).abs() < 1e-9);
+    }
+}

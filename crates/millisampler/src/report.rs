@@ -1,0 +1,165 @@
+//! Fleet-level aggregation.
+//!
+//! The paper's Figures 2 and 4 are CDFs where "each sample corresponds to
+//! one burst", pooled across hosts and snapshots of a service.
+//! [`FleetAccumulator`] implements that pooling: feed it one
+//! ([`MsTrace`], bursts, optional queue series) per host-trace and read out
+//! the figure-ready CDFs.
+
+use crate::burst::{bursts_per_second, Burst};
+use crate::sampler::MsTrace;
+use crate::watermark::peak_fraction;
+use stats::{Cdf, TimeSeries};
+
+/// Pooled per-burst and per-trace distributions for one service.
+#[derive(Debug, Default)]
+pub struct FleetAccumulator {
+    /// Per-trace: bursts per second (Fig. 2a).
+    pub burst_frequency: Cdf,
+    /// Per-burst: duration in ms (Fig. 2b).
+    pub burst_duration_ms: Cdf,
+    /// Per-burst: peak active flows (Fig. 2c).
+    pub burst_flows: Cdf,
+    /// Per-burst: ECN-marked fraction of bytes (Fig. 4b).
+    pub marked_fraction: Cdf,
+    /// Per-burst: retransmitted volume as a fraction of line rate (Fig. 4c).
+    pub retx_fraction: Cdf,
+    /// Per-burst: peak bottleneck-queue occupancy as a fraction of capacity
+    /// (Fig. 4a); empty if no queue series was supplied.
+    pub queue_peak_fraction: Cdf,
+    /// Per-trace: mean utilization (diagnostic; the paper reports ~10 %).
+    pub utilization: Cdf,
+    /// Traces accumulated.
+    pub traces: usize,
+}
+
+impl FleetAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one host-trace. `queue` is the bottleneck queue's depth series
+    /// in *packets* with `queue_capacity_pkts` capacity, if recorded.
+    pub fn add_trace(
+        &mut self,
+        trace: &MsTrace,
+        bursts: &[Burst],
+        queue: Option<(&TimeSeries, f64)>,
+    ) {
+        self.traces += 1;
+        self.burst_frequency.add(bursts_per_second(trace, bursts));
+        self.utilization.add(trace.mean_utilization());
+        for b in bursts {
+            self.burst_duration_ms.add(b.duration_ms(trace));
+            self.burst_flows.add(b.peak_flows as f64);
+            self.marked_fraction.add(b.marked_fraction());
+            self.retx_fraction.add(b.retx_fraction_of_line_rate(trace));
+            if let Some((series, capacity)) = queue {
+                let t0 = b.start_bucket as u64 * trace.interval.as_ps();
+                let t1 = t0 + b.len_buckets as u64 * trace.interval.as_ps();
+                self.queue_peak_fraction
+                    .add(peak_fraction(series, t0, t1, capacity));
+            }
+        }
+    }
+
+    /// Total bursts pooled.
+    pub fn total_bursts(&self) -> usize {
+        self.burst_duration_ms.len()
+    }
+
+    /// Fraction of pooled bursts that qualify as incasts (>25 flows).
+    pub fn incast_fraction(&mut self) -> f64 {
+        if self.burst_flows.is_empty() {
+            return 0.0;
+        }
+        1.0 - self
+            .burst_flows
+            .fraction_at_or_below(crate::burst::INCAST_FLOW_THRESHOLD as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::MsBucket;
+    use simnet::{Rate, SimTime};
+
+    fn hot_trace() -> (MsTrace, Vec<Burst>) {
+        let line_rate = Rate::gbps(10);
+        let per_bucket = (line_rate.bytes_per_sec() / 1000.0) as u64;
+        let mk = |util: f64, flows: u32| MsBucket {
+            bytes: (util * per_bucket as f64) as u64,
+            marked_bytes: 0,
+            retx_bytes: 0,
+            flows,
+            pkts: 10,
+        };
+        let trace = MsTrace {
+            interval: SimTime::from_ms(1),
+            line_rate,
+            buckets: vec![mk(0.1, 2), mk(0.9, 100), mk(0.9, 120), mk(0.1, 1)],
+        };
+        let bursts = crate::burst::detect_bursts(&trace);
+        (trace, bursts)
+    }
+
+    #[test]
+    fn accumulates_per_burst_and_per_trace() {
+        let (trace, bursts) = hot_trace();
+        assert_eq!(bursts.len(), 1);
+        let mut acc = FleetAccumulator::new();
+        acc.add_trace(&trace, &bursts, None);
+        acc.add_trace(&trace, &bursts, None);
+        assert_eq!(acc.traces, 2);
+        assert_eq!(acc.total_bursts(), 2);
+        assert_eq!(acc.burst_frequency.len(), 2);
+        assert_eq!(acc.burst_duration_ms.percentile(50.0), 2.0);
+        assert_eq!(acc.burst_flows.percentile(100.0), 120.0);
+        assert!(acc.queue_peak_fraction.is_empty());
+        assert!((acc.incast_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_series_drives_peak_fraction() {
+        let (trace, bursts) = hot_trace();
+        // Queue depth series at 0.5 ms buckets: peak 666 pkts inside the
+        // burst window [1 ms, 3 ms).
+        let mut q = TimeSeries::new(SimTime::from_us(500).as_ps());
+        q.record_max(SimTime::from_us(1600).as_ps(), 666.0);
+        q.record_max(SimTime::from_us(3500).as_ps(), 1333.0); // outside burst
+        let mut acc = FleetAccumulator::new();
+        acc.add_trace(&trace, &bursts, Some((&q, 1333.0)));
+        assert_eq!(acc.queue_peak_fraction.len(), 1);
+        let f = acc.queue_peak_fraction.percentile(50.0);
+        assert!((f - 666.0 / 1333.0).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn incast_fraction_with_small_bursts() {
+        let line_rate = Rate::gbps(10);
+        let per_bucket = (line_rate.bytes_per_sec() / 1000.0) as u64;
+        let trace = MsTrace {
+            interval: SimTime::from_ms(1),
+            line_rate,
+            buckets: vec![
+                MsBucket {
+                    bytes: per_bucket,
+                    flows: 5,
+                    ..Default::default()
+                },
+                MsBucket::default(),
+                MsBucket {
+                    bytes: per_bucket,
+                    flows: 200,
+                    ..Default::default()
+                },
+            ],
+        };
+        let bursts = crate::burst::detect_bursts(&trace);
+        let mut acc = FleetAccumulator::new();
+        acc.add_trace(&trace, &bursts, None);
+        assert!((acc.incast_fraction() - 0.5).abs() < 1e-12);
+    }
+}

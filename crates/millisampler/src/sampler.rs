@@ -1,0 +1,273 @@
+//! The 1 ms ingress sampler.
+//!
+//! [`Millisampler`] reproduces the measurement semantics of Meta's
+//! Millisampler (Ghabashneh et al., IMC '22; the paper's §3 tool): it runs
+//! on the receiving host as a passive tap (our stand-in for an eBPF tc
+//! filter), sees packet headers only, and accumulates per-1 ms buckets of:
+//!
+//! - ingress bytes (wire bytes, all packet types),
+//! - ECN CE-marked bytes,
+//! - retransmitted bytes (data whose sequence range overlaps bytes already
+//!   seen — a header-only heuristic, exactly what a tap can infer),
+//! - the set of distinct flows that sent data in the bucket.
+
+use simnet::{FlowId, IngressTap, Packet, PacketKind, Rate, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// One fixed-interval measurement bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MsBucket {
+    /// Total ingress wire bytes.
+    pub bytes: u64,
+    /// Ingress wire bytes of CE-marked packets.
+    pub marked_bytes: u64,
+    /// Payload bytes that re-covered already-seen sequence ranges.
+    pub retx_bytes: u64,
+    /// Distinct flows that delivered data in this bucket.
+    pub flows: u32,
+    /// Packets of any kind.
+    pub pkts: u64,
+}
+
+/// A finished trace: the bucket series plus its geometry.
+#[derive(Debug, Clone)]
+pub struct MsTrace {
+    /// Bucket width.
+    pub interval: SimTime,
+    /// The NIC line rate the host receives at.
+    pub line_rate: Rate,
+    /// The buckets, index 0 starting at time zero.
+    pub buckets: Vec<MsBucket>,
+}
+
+impl MsTrace {
+    /// Bytes a fully utilized link delivers per bucket.
+    pub fn line_rate_bytes_per_bucket(&self) -> f64 {
+        self.line_rate.bytes_per_sec() * self.interval.as_secs_f64()
+    }
+
+    /// Utilization of bucket `i` as a fraction of line rate.
+    pub fn utilization(&self, i: usize) -> f64 {
+        match self.buckets.get(i) {
+            Some(b) => b.bytes as f64 / self.line_rate_bytes_per_bucket(),
+            None => 0.0,
+        }
+    }
+
+    /// Mean utilization across the whole trace.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.buckets.iter().map(|b| b.bytes).sum();
+        total as f64 / (self.line_rate_bytes_per_bucket() * self.buckets.len() as f64)
+    }
+
+    /// Trace duration.
+    pub fn duration(&self) -> SimTime {
+        SimTime::from_ps(self.interval.as_ps() * self.buckets.len() as u64)
+    }
+}
+
+/// The sampler itself; install with `sim.set_tap(receiver, ...)` (wrapped in
+/// [`simnet::Shared`] to keep a handle) and call
+/// [`Millisampler::finish`] after the run.
+#[derive(Debug)]
+pub struct Millisampler {
+    interval: SimTime,
+    line_rate: Rate,
+    buckets: Vec<MsBucket>,
+    cur: MsBucket,
+    cur_idx: usize,
+    cur_flows: HashSet<FlowId>,
+    /// Highest absolute byte offset seen per flow (for retransmission
+    /// detection via sequence overlap).
+    flow_high: HashMap<FlowId, u64>,
+}
+
+impl Millisampler {
+    /// Creates a sampler with the paper's 1 ms interval.
+    pub fn new(line_rate: Rate) -> Self {
+        Self::with_interval(line_rate, SimTime::from_ms(1))
+    }
+
+    /// Creates a sampler with a custom bucket width.
+    pub fn with_interval(line_rate: Rate, interval: SimTime) -> Self {
+        assert!(interval.as_ps() > 0);
+        Millisampler {
+            interval,
+            line_rate,
+            buckets: Vec::new(),
+            cur: MsBucket::default(),
+            cur_idx: 0,
+            cur_flows: HashSet::new(),
+            flow_high: HashMap::new(),
+        }
+    }
+
+    fn roll_to(&mut self, idx: usize) {
+        while self.cur_idx < idx {
+            let mut done = std::mem::take(&mut self.cur);
+            done.flows = self.cur_flows.len() as u32;
+            self.cur_flows.clear();
+            self.buckets.push(done);
+            self.cur_idx += 1;
+        }
+    }
+
+    /// Finalizes the trace, padding with empty buckets out to `end`.
+    pub fn finish(mut self, end: SimTime) -> MsTrace {
+        let last = (end.as_ps().div_ceil(self.interval.as_ps())) as usize;
+        self.roll_to(last);
+        MsTrace {
+            interval: self.interval,
+            line_rate: self.line_rate,
+            buckets: self.buckets,
+        }
+    }
+
+    fn on_data(&mut self, flow: FlowId, seq_wire: u32, payload: u32) {
+        self.cur_flows.insert(flow);
+        let high = self.flow_high.entry(flow).or_insert(0);
+        let s = crate::unwrap_seq(seq_wire, *high);
+        let e = s + payload as u64;
+        if e <= *high {
+            self.cur.retx_bytes += payload as u64;
+        } else if s < *high {
+            self.cur.retx_bytes += *high - s;
+        }
+        *high = (*high).max(e);
+    }
+}
+
+impl IngressTap for Millisampler {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        let idx = (now.as_ps() / self.interval.as_ps()) as usize;
+        debug_assert!(idx >= self.cur_idx, "time went backwards");
+        self.roll_to(idx);
+        self.cur.bytes += pkt.wire_size as u64;
+        self.cur.pkts += 1;
+        if pkt.is_ce() {
+            self.cur.marked_bytes += pkt.wire_size as u64;
+        }
+        if let PacketKind::Data { seq, payload, .. } = pkt.kind {
+            self.on_data(pkt.flow, seq, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Ecn, NodeId};
+
+    fn data(flow: u32, seq: u32, payload: u32, ce: bool) -> Packet {
+        let mut p = Packet::data(
+            FlowId(flow),
+            NodeId(0),
+            NodeId(1),
+            seq,
+            payload,
+            false,
+            SimTime::ZERO,
+        );
+        if ce {
+            p.ecn = Ecn::Ce;
+        }
+        p
+    }
+
+    #[test]
+    fn buckets_accumulate_by_time() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        ms.on_packet(SimTime::from_us(100), &data(0, 0, 1446, false));
+        ms.on_packet(SimTime::from_us(900), &data(0, 1446, 1446, false));
+        ms.on_packet(SimTime::from_us(1500), &data(0, 2892, 1446, false));
+        let trace = ms.finish(SimTime::from_ms(3));
+        assert_eq!(trace.buckets.len(), 3);
+        assert_eq!(trace.buckets[0].bytes, 3000);
+        assert_eq!(trace.buckets[0].pkts, 2);
+        assert_eq!(trace.buckets[1].bytes, 1500);
+        assert_eq!(trace.buckets[2], MsBucket::default());
+    }
+
+    #[test]
+    fn marked_bytes_counted() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        ms.on_packet(SimTime::ZERO, &data(0, 0, 1446, true));
+        ms.on_packet(SimTime::ZERO, &data(0, 1446, 1446, false));
+        let t = ms.finish(SimTime::from_ms(1));
+        assert_eq!(t.buckets[0].marked_bytes, 1500);
+        assert_eq!(t.buckets[0].bytes, 3000);
+    }
+
+    #[test]
+    fn distinct_flows_per_bucket() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        for f in 0..5u32 {
+            ms.on_packet(SimTime::from_us(10), &data(f, 0, 100, false));
+            ms.on_packet(SimTime::from_us(20), &data(f, 100, 100, false));
+        }
+        ms.on_packet(SimTime::from_us(1100), &data(0, 200, 100, false));
+        let t = ms.finish(SimTime::from_ms(2));
+        assert_eq!(t.buckets[0].flows, 5);
+        assert_eq!(t.buckets[1].flows, 1);
+    }
+
+    #[test]
+    fn retransmission_detected_by_overlap() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        ms.on_packet(SimTime::ZERO, &data(0, 0, 1000, false));
+        // Exact duplicate.
+        ms.on_packet(SimTime::ZERO, &data(0, 0, 1000, false));
+        // Partial overlap: 500 old + 500 new.
+        ms.on_packet(SimTime::ZERO, &data(0, 500, 1000, false));
+        let t = ms.finish(SimTime::from_ms(1));
+        assert_eq!(t.buckets[0].retx_bytes, 1500);
+    }
+
+    #[test]
+    fn hole_fill_counts_as_retransmission() {
+        // Segment 2 lost: receiver sees 1, 3, then the retransmitted 2.
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        ms.on_packet(SimTime::ZERO, &data(0, 0, 1000, false));
+        ms.on_packet(SimTime::ZERO, &data(0, 2000, 1000, false));
+        ms.on_packet(SimTime::ZERO, &data(0, 1000, 1000, false));
+        let t = ms.finish(SimTime::from_ms(1));
+        assert_eq!(t.buckets[0].retx_bytes, 1000);
+    }
+
+    #[test]
+    fn acks_count_bytes_but_not_flows() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        let ack = Packet::ack(FlowId(3), NodeId(0), NodeId(1), 0, false, SimTime::ZERO);
+        ms.on_packet(SimTime::ZERO, &ack);
+        let t = ms.finish(SimTime::from_ms(1));
+        assert_eq!(t.buckets[0].bytes, 64);
+        assert_eq!(t.buckets[0].flows, 0);
+        assert_eq!(t.buckets[0].retx_bytes, 0);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        // 10 Gbps = 1.25 MB/ms. Fill half a bucket.
+        for i in 0..417u32 {
+            ms.on_packet(SimTime::from_us(500), &data(0, i * 1446, 1446, false));
+        }
+        let t = ms.finish(SimTime::from_ms(2));
+        let u = t.utilization(0);
+        assert!((u - 0.5).abs() < 0.01, "utilization {u}");
+        assert_eq!(t.utilization(1), 0.0);
+        assert!((t.mean_utilization() - u / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_pads_to_duration() {
+        let ms = Millisampler::new(Rate::gbps(10));
+        let t = ms.finish(SimTime::from_secs(2));
+        assert_eq!(t.buckets.len(), 2000);
+        assert_eq!(t.duration(), SimTime::from_secs(2));
+        assert_eq!(t.mean_utilization(), 0.0);
+    }
+}

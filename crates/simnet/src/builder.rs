@@ -1,0 +1,306 @@
+//! Topology construction.
+//!
+//! [`NetworkBuilder`] accumulates hosts, switches, shared buffers, and
+//! full-duplex cables, then computes shortest-path forwarding tables and
+//! produces a ready [`Simulator`]. Routing is deterministic: BFS visits
+//! links in id order, so equal-cost ties always resolve the same way.
+
+use crate::buffer::BufferPolicy;
+use crate::ids::{BufferId, LinkId, NodeId};
+use crate::link::{Link, LinkConfig};
+use crate::node::Node;
+use crate::sim::Simulator;
+use crate::SharedBuffer;
+
+struct LinkSpec {
+    src: NodeId,
+    dst: NodeId,
+    cfg: LinkConfig,
+}
+
+struct SwitchSpec {
+    buffer: Option<BufferId>,
+}
+
+enum NodeSpec {
+    Host { name: String },
+    Switch { name: String, spec: SwitchSpec },
+}
+
+/// Incremental network description; call [`NetworkBuilder::build`] to get a
+/// runnable [`Simulator`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<NodeSpec>,
+    links: Vec<LinkSpec>,
+    buffers: Vec<SharedBuffer>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an end host.
+    pub fn add_host(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSpec::Host { name: name.into() });
+        id
+    }
+
+    /// Adds a switch with per-port (unshared) buffering.
+    pub fn add_switch(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSpec::Switch {
+            name: name.into(),
+            spec: SwitchSpec { buffer: None },
+        });
+        id
+    }
+
+    /// Adds a switch whose egress queues all charge one shared memory pool.
+    pub fn add_switch_with_buffer(
+        &mut self,
+        name: &str,
+        total_bytes: u64,
+        policy: BufferPolicy,
+    ) -> NodeId {
+        let bid = BufferId(self.buffers.len() as u32);
+        self.buffers.push(SharedBuffer::new(total_bytes, policy));
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSpec::Switch {
+            name: name.into(),
+            spec: SwitchSpec { buffer: Some(bid) },
+        });
+        id
+    }
+
+    /// Cables `a` and `b` with a full-duplex link: `a_to_b` configures the
+    /// `a -> b` direction, `b_to_a` the reverse. Returns the two link ids in
+    /// that order.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        a_to_b: LinkConfig,
+        b_to_a: LinkConfig,
+    ) -> (LinkId, LinkId) {
+        assert!(a != b, "self-loop link");
+        let l0 = LinkId(self.links.len() as u32);
+        self.links.push(LinkSpec {
+            src: a,
+            dst: b,
+            cfg: a_to_b,
+        });
+        let l1 = LinkId(self.links.len() as u32);
+        self.links.push(LinkSpec {
+            src: b,
+            dst: a,
+            cfg: b_to_a,
+        });
+        (l0, l1)
+    }
+
+    /// Finalizes the topology: computes forwarding tables and returns a
+    /// simulator seeded with `seed` (used only for fault injection).
+    ///
+    /// Panics on malformed topologies (host with zero or multiple uplinks).
+    pub fn build(self, seed: u64) -> Simulator {
+        let n = self.nodes.len();
+
+        // Host uplinks and switch port lists.
+        let mut uplinks: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for (i, spec) in self.links.iter().enumerate() {
+            uplinks[spec.src.index()].push(LinkId(i as u32));
+        }
+
+        // Reverse adjacency for BFS: incoming links per node.
+        let mut incoming: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for (i, spec) in self.links.iter().enumerate() {
+            incoming[spec.dst.index()].push(LinkId(i as u32));
+        }
+
+        // Forwarding: for each destination *host*, BFS backwards from it.
+        let mut fwd: Vec<Vec<Option<LinkId>>> = vec![vec![None; n]; n];
+        for (d, spec) in self.nodes.iter().enumerate() {
+            if !matches!(spec, NodeSpec::Host { .. }) {
+                continue;
+            }
+            let mut visited = vec![false; n];
+            visited[d] = true;
+            let mut frontier = std::collections::VecDeque::from([d]);
+            while let Some(cur) = frontier.pop_front() {
+                for &lid in &incoming[cur] {
+                    let s = self.links[lid.index()].src.index();
+                    if !visited[s] {
+                        visited[s] = true;
+                        fwd[s][d] = Some(lid);
+                        frontier.push_back(s);
+                    }
+                }
+            }
+        }
+
+        // Materialize nodes.
+        let mut nodes = Vec::with_capacity(n);
+        for (i, spec) in self.nodes.into_iter().enumerate() {
+            match spec {
+                NodeSpec::Host { name } => {
+                    let ups = &uplinks[i];
+                    assert!(
+                        ups.len() <= 1,
+                        "host {name} has {} uplinks (max 1)",
+                        ups.len()
+                    );
+                    nodes.push(Node::Host {
+                        name,
+                        uplink: ups.first().copied(),
+                    });
+                }
+                NodeSpec::Switch { name, spec } => {
+                    nodes.push(Node::Switch {
+                        name,
+                        ports: uplinks[i].clone(),
+                        fwd: std::mem::take(&mut fwd[i]),
+                        buffer: spec.buffer,
+                    });
+                }
+            }
+        }
+
+        // Materialize links; egress queues of buffered switches charge the
+        // switch's pool.
+        let links: Vec<Link> = self
+            .links
+            .into_iter()
+            .map(|spec| {
+                let shared = match &nodes[spec.src.index()] {
+                    Node::Switch { buffer, .. } => *buffer,
+                    Node::Host { .. } => None,
+                };
+                Link::new(spec.src, spec.dst, spec.cfg, shared)
+            })
+            .collect();
+
+        Simulator::assemble(nodes, links, self.buffers, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+    use crate::time::SimTime;
+    use crate::units::Rate;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig::new(
+            Rate::gbps(10),
+            SimTime::from_us(1),
+            QueueConfig::host_nic(),
+        )
+    }
+
+    #[test]
+    fn routes_through_two_tiers() {
+        // h0 - tor0 - spine - tor1 - h1
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let tor0 = b.add_switch("tor0");
+        let spine = b.add_switch("spine");
+        let tor1 = b.add_switch("tor1");
+        let h1 = b.add_host("h1");
+        b.connect(h0, tor0, cfg(), cfg());
+        b.connect(tor0, spine, cfg(), cfg());
+        b.connect(spine, tor1, cfg(), cfg());
+        b.connect(tor1, h1, cfg(), cfg());
+        let sim = b.build(0);
+
+        // tor0 must have routes toward both hosts.
+        let t0 = sim.node(tor0);
+        let to_h1 = t0.next_hop(h1).expect("route to h1");
+        assert_eq!(sim.link(to_h1).dst, spine);
+        let to_h0 = t0.next_hop(h0).expect("route to h0");
+        assert_eq!(sim.link(to_h0).dst, h0);
+
+        // spine routes toward each side's host.
+        let sp = sim.node(spine);
+        assert_eq!(sim.link(sp.next_hop(h0).unwrap()).dst, tor0);
+        assert_eq!(sim.link(sp.next_hop(h1).unwrap()).dst, tor1);
+    }
+
+    #[test]
+    fn shortest_path_wins_over_longer() {
+        // h0 - s0 - s1 - s2 - h1, plus a direct s0-s2 shortcut: the route
+        // from s0 to h1 must skip s1.
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let s0 = b.add_switch("s0");
+        let s1 = b.add_switch("s1");
+        let s2 = b.add_switch("s2");
+        let h1 = b.add_host("h1");
+        b.connect(h0, s0, cfg(), cfg());
+        b.connect(s0, s1, cfg(), cfg());
+        b.connect(s1, s2, cfg(), cfg());
+        b.connect(s2, h1, cfg(), cfg());
+        b.connect(s0, s2, cfg(), cfg()); // shortcut
+        let sim = b.build(0);
+        let hop = sim.node(s0).next_hop(h1).unwrap();
+        assert_eq!(sim.link(hop).dst, s2, "must take the shortcut port");
+    }
+
+    #[test]
+    fn host_uplink_is_recorded() {
+        let mut b = NetworkBuilder::new();
+        let h = b.add_host("h");
+        let s = b.add_switch("s");
+        let (up, _down) = b.connect(h, s, cfg(), cfg());
+        let sim = b.build(0);
+        match sim.node(h) {
+            Node::Host { uplink, .. } => assert_eq!(*uplink, Some(up)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn buffered_switch_links_share_pool() {
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let h1 = b.add_host("h1");
+        let s = b.add_switch_with_buffer("s", 1_000_000, BufferPolicy::StaticPool);
+        let (_, s_to_h0) = b.connect(h0, s, cfg(), cfg());
+        let (_, s_to_h1) = b.connect(h1, s, cfg(), cfg());
+        let sim = b.build(0);
+        assert_eq!(sim.link(s_to_h0).shared, Some(BufferId(0)));
+        assert_eq!(sim.link(s_to_h1).shared, Some(BufferId(0)));
+        assert_eq!(sim.buffers().len(), 1);
+        // Host egress never charges a pool.
+        match sim.node(h0) {
+            Node::Host { uplink, .. } => {
+                assert_eq!(sim.link(uplink.unwrap()).shared, None)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut b = NetworkBuilder::new();
+        let h = b.add_host("h");
+        b.connect(h, h, cfg(), cfg());
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_uplink_host_rejected() {
+        let mut b = NetworkBuilder::new();
+        let h = b.add_host("h");
+        let s0 = b.add_switch("s0");
+        let s1 = b.add_switch("s1");
+        b.connect(h, s0, cfg(), cfg());
+        b.connect(h, s1, cfg(), cfg());
+        b.build(0);
+    }
+}

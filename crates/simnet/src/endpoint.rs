@@ -1,0 +1,192 @@
+//! The host/application boundary.
+//!
+//! An [`Endpoint`] is the software running on a host: the transport crate's
+//! TCP demux, a workload coordinator, or a test stub. Endpoints react to
+//! packet deliveries and timers and emit commands (send a packet, arm a
+//! timer) through a [`Ctx`]. Commands are buffered and applied by the
+//! simulator after the callback returns, which keeps the event loop free of
+//! re-entrancy.
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+/// A deferred action requested by an endpoint.
+#[derive(Debug, Clone)]
+pub enum Cmd {
+    /// Transmit a packet out of this host's uplink. The simulator assigns
+    /// the packet id and stamps `src` with the sending node.
+    Send(Packet),
+    /// Arm (or re-arm) the one-shot timer identified by `key` to fire at
+    /// `at`. Re-arming supersedes any pending firing for the same key.
+    SetTimer { key: u64, at: SimTime },
+    /// Disarm the timer identified by `key`.
+    CancelTimer { key: u64 },
+}
+
+/// The endpoint's view of the simulator during a callback.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    cmds: &'a mut Vec<Cmd>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context (used by the simulator and by unit tests).
+    pub fn new(now: SimTime, node: NodeId, cmds: &'a mut Vec<Cmd>) -> Self {
+        Ctx { now, node, cmds }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this endpoint runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queues a packet for transmission from this host.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.src = self.node;
+        self.cmds.push(Cmd::Send(pkt));
+    }
+
+    /// Arms one-shot timer `key` at absolute time `at`.
+    pub fn set_timer(&mut self, key: u64, at: SimTime) {
+        self.cmds.push(Cmd::SetTimer { key, at });
+    }
+
+    /// Arms one-shot timer `key` to fire `delay` from now.
+    pub fn set_timer_after(&mut self, key: u64, delay: SimTime) {
+        let at = self.now + delay;
+        self.set_timer(key, at);
+    }
+
+    /// Disarms timer `key` (no-op if not armed).
+    pub fn cancel_timer(&mut self, key: u64) {
+        self.cmds.push(Cmd::CancelTimer { key });
+    }
+}
+
+/// Software running on a host.
+pub trait Endpoint {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// Called for every packet delivered to this host.
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _key: u64) {}
+}
+
+/// A passive observer of packets delivered to a host, invoked before the
+/// endpoint sees the packet. This is the hook the Millisampler substitute
+/// attaches to — like an eBPF tc filter, it sees headers only and cannot
+/// influence delivery.
+pub trait IngressTap {
+    /// Observes one delivered packet.
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet);
+}
+
+/// Shared ownership wrapper so callers can keep a handle to an endpoint or
+/// tap that the simulator owns, and read its state after (or during) a run.
+///
+/// The simulator is single-threaded, so `Rc<RefCell>` is sound here; the
+/// usual discipline applies: don't hold a borrow across a `sim.run_*` call.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Rc<RefCell<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Shared(Rc::new(RefCell::new(value)))
+    }
+
+    /// A second handle to the same value.
+    pub fn handle(&self) -> Shared<T> {
+        Shared(Rc::clone(&self.0))
+    }
+
+    /// Immutable access.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
+    }
+
+    /// Mutable access.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+impl<T: Endpoint> Endpoint for Shared<T> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.0.borrow_mut().on_start(ctx);
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        self.0.borrow_mut().on_packet(ctx, pkt);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
+        self.0.borrow_mut().on_timer(ctx, key);
+    }
+}
+
+impl<T: IngressTap> IngressTap for Shared<T> {
+    fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        self.0.borrow_mut().on_packet(now, pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+
+    #[test]
+    fn ctx_records_commands() {
+        let mut cmds = Vec::new();
+        let mut ctx = Ctx::new(SimTime::from_us(5), NodeId(3), &mut cmds);
+        assert_eq!(ctx.now(), SimTime::from_us(5));
+        assert_eq!(ctx.node(), NodeId(3));
+        let pkt = Packet::ack(FlowId(0), NodeId(9), NodeId(1), 10, false, SimTime::ZERO);
+        ctx.send(pkt);
+        ctx.set_timer_after(7, SimTime::from_us(10));
+        ctx.cancel_timer(7);
+        assert_eq!(cmds.len(), 3);
+        match &cmds[0] {
+            Cmd::Send(p) => assert_eq!(p.src, NodeId(3)), // src rewritten
+            _ => panic!(),
+        }
+        match &cmds[1] {
+            Cmd::SetTimer { key, at } => {
+                assert_eq!(*key, 7);
+                assert_eq!(*at, SimTime::from_us(15));
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(cmds[2], Cmd::CancelTimer { key: 7 }));
+    }
+
+    #[test]
+    fn shared_handles_alias() {
+        struct Counter(u32);
+        impl Endpoint for Counter {
+            fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {
+                self.0 += 1;
+            }
+        }
+        let shared = Shared::new(Counter(0));
+        let mut as_endpoint = shared.handle();
+        let mut cmds = Vec::new();
+        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(0), &mut cmds);
+        let pkt = Packet::ack(FlowId(0), NodeId(0), NodeId(0), 0, false, SimTime::ZERO);
+        as_endpoint.on_packet(&mut ctx, pkt);
+        as_endpoint.on_packet(&mut ctx, pkt);
+        assert_eq!(shared.borrow().0, 2);
+    }
+}

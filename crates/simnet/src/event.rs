@@ -1,0 +1,179 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap of events ordered by `(time, sequence)`. The sequence
+//! number is assigned at scheduling time, so events at the same instant fire
+//! in scheduling order — this makes the whole simulation deterministic, a
+//! hard requirement for reproducing the paper's figures bit-for-bit from a
+//! seed.
+
+use crate::ids::{LinkId, NodeId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A link finished serializing a frame; it may start the next one.
+    TxComplete { link: LinkId },
+    /// A frame finished propagating and arrives at the link's far end.
+    Delivery { link: LinkId, pkt: Packet },
+    /// A node timer set through [`crate::endpoint::Ctx::set_timer`].
+    Timer { node: NodeId, key: u64, gen: u64 },
+}
+
+/// An event with its firing time and deterministic tie-break sequence.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator's future event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, key: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            key,
+            gen: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(3), timer(0, 0));
+        q.schedule(SimTime::from_us(1), timer(0, 1));
+        q.schedule(SimTime::from_us(2), timer(0, 2));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_ps())
+            .collect();
+        assert_eq!(
+            times,
+            vec![1_000_000, 2_000_000, 3_000_000]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(5);
+        for key in 0..10 {
+            q.schedule(t, timer(0, key));
+        }
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ms(2), timer(0, 0));
+        q.schedule(SimTime::from_ms(1), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(1)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(2)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, timer(0, 0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), timer(0, 0));
+        q.schedule(SimTime::from_us(5), timer(0, 1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, SimTime::from_us(5));
+        q.schedule(SimTime::from_us(7), timer(0, 2));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_us(7));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_us(10));
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed identifiers for network elements.
+//!
+//! Plain `u32` indices into the simulator's element vectors, wrapped in
+//! newtypes so a link id can never be passed where a node id is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into the owning vector.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node (host or switch) in the simulated network.
+    NodeId,
+    "n"
+);
+id_type!(
+    /// A unidirectional link. Full-duplex cables are two `LinkId`s.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// A transport flow (one TCP connection).
+    FlowId,
+    "f"
+);
+id_type!(
+    /// A shared-buffer pool on a switch.
+    BufferId,
+    "b"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", LinkId(0)), "l0");
+        assert_eq!(format!("{}", FlowId(12)), "f12");
+        assert_eq!(format!("{}", BufferId(1)), "b1");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(LinkId(u32::MAX).index(), u32::MAX as usize);
+    }
+
+    #[test]
+    fn ordering_by_value() {
+        assert!(FlowId(1) < FlowId(2));
+    }
+}

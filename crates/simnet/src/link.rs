@@ -1,0 +1,118 @@
+//! Point-to-point unidirectional links.
+//!
+//! A [`Link`] carries frames from the egress queue at its source node to its
+//! destination node. It serializes one frame at a time at the configured
+//! rate, then the frame propagates for the configured delay. Full-duplex
+//! cables are modeled as two independent `Link`s.
+
+use crate::ids::{BufferId, NodeId};
+use crate::packet::Packet;
+use crate::queue::{EcnQueue, QueueConfig};
+use crate::time::SimTime;
+use crate::units::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one unidirectional link and its egress queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Transmission rate.
+    pub rate: Rate,
+    /// Propagation delay.
+    pub propagation: SimTime,
+    /// Egress queue at the source of the link.
+    pub queue: QueueConfig,
+    /// Fault injection: probability that a frame is corrupted/lost on the
+    /// wire after serialization (0.0 disables).
+    pub loss_probability: f64,
+}
+
+impl LinkConfig {
+    /// A link with the given rate/propagation and queue, no fault injection.
+    pub fn new(rate: Rate, propagation: SimTime, queue: QueueConfig) -> Self {
+        LinkConfig {
+            rate,
+            propagation,
+            queue,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// Runtime state of a link.
+#[derive(Debug)]
+pub struct Link {
+    /// Source node (owns the egress queue).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Static configuration.
+    pub cfg: LinkConfig,
+    /// The egress queue feeding this link.
+    pub queue: EcnQueue,
+    /// Shared buffer this queue charges, if the source switch has one.
+    pub shared: Option<BufferId>,
+    /// Frame currently being serialized, if any.
+    pub serializing: Option<Packet>,
+    /// Frames lost to fault injection.
+    pub fault_drops: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(src: NodeId, dst: NodeId, cfg: LinkConfig, shared: Option<BufferId>) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.loss_probability),
+            "loss probability out of range"
+        );
+        let queue = EcnQueue::new(cfg.queue.clone());
+        Link {
+            src,
+            dst,
+            cfg,
+            queue,
+            shared,
+            serializing: None,
+            fault_drops: 0,
+        }
+    }
+
+    /// True while a frame is on the transmitter.
+    pub fn busy(&self) -> bool {
+        self.serializing.is_some()
+    }
+
+    /// Serialization time for a frame of `bytes`.
+    pub fn serialize_time(&self, bytes: u64) -> SimTime {
+        self.cfg.rate.serialize_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_link_is_idle() {
+        let cfg = LinkConfig::new(
+            Rate::gbps(10),
+            SimTime::from_us(1),
+            QueueConfig::host_nic(),
+        );
+        let l = Link::new(NodeId(0), NodeId(1), cfg, None);
+        assert!(!l.busy());
+        assert!(l.queue.is_empty());
+        assert_eq!(l.serialize_time(1500), SimTime::from_ns(1200));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_probability_rejected() {
+        let mut cfg = LinkConfig::new(
+            Rate::gbps(10),
+            SimTime::ZERO,
+            QueueConfig::host_nic(),
+        );
+        cfg.loss_probability = 1.5;
+        Link::new(NodeId(0), NodeId(1), cfg, None);
+    }
+}

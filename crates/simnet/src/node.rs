@@ -1,0 +1,84 @@
+//! Nodes: hosts and switches.
+
+use crate::ids::{BufferId, LinkId, NodeId};
+
+/// A node in the simulated network.
+#[derive(Debug)]
+pub enum Node {
+    /// An end host with a single NIC uplink. Hosts terminate packets
+    /// (delivering them to the installed [`crate::endpoint::Endpoint`]) and
+    /// originate packets through their uplink.
+    Host {
+        /// Human-readable name for diagnostics.
+        name: String,
+        /// The host's egress link (set when the host is cabled).
+        uplink: Option<LinkId>,
+    },
+    /// An output-queued switch. Arriving packets are forwarded to the egress
+    /// port toward their destination host; the switching fabric itself is
+    /// non-blocking (standard output-queued model, as in the paper's NS3
+    /// setup where only egress queues matter).
+    Switch {
+        /// Human-readable name for diagnostics.
+        name: String,
+        /// Egress links, one per cabled port.
+        ports: Vec<LinkId>,
+        /// Next-hop egress link per destination node id (None = no route).
+        fwd: Vec<Option<LinkId>>,
+        /// Shared memory pool charged by all this switch's egress queues.
+        buffer: Option<BufferId>,
+    },
+}
+
+impl Node {
+    /// The node's diagnostic name.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Host { name, .. } | Node::Switch { name, .. } => name,
+        }
+    }
+
+    /// True for hosts.
+    pub fn is_host(&self) -> bool {
+        matches!(self, Node::Host { .. })
+    }
+
+    /// The forwarding entry toward `dst`, for switches.
+    pub fn next_hop(&self, dst: NodeId) -> Option<LinkId> {
+        match self {
+            Node::Switch { fwd, .. } => fwd.get(dst.index()).copied().flatten(),
+            Node::Host { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_properties() {
+        let h = Node::Host {
+            name: "h0".into(),
+            uplink: Some(LinkId(3)),
+        };
+        assert!(h.is_host());
+        assert_eq!(h.name(), "h0");
+        assert_eq!(h.next_hop(NodeId(0)), None);
+    }
+
+    #[test]
+    fn switch_forwarding_lookup() {
+        let s = Node::Switch {
+            name: "tor".into(),
+            ports: vec![LinkId(0), LinkId(1)],
+            fwd: vec![Some(LinkId(0)), None, Some(LinkId(1))],
+            buffer: None,
+        };
+        assert!(!s.is_host());
+        assert_eq!(s.next_hop(NodeId(0)), Some(LinkId(0)));
+        assert_eq!(s.next_hop(NodeId(1)), None);
+        assert_eq!(s.next_hop(NodeId(2)), Some(LinkId(1)));
+        assert_eq!(s.next_hop(NodeId(99)), None); // out of table
+    }
+}

@@ -1,0 +1,225 @@
+//! Packets on the simulated wire.
+//!
+//! A [`Packet`] models one Ethernet frame. Sizes are wire sizes (payload plus
+//! [`HEADER_BYTES`] of Ethernet/IP/TCP headers), so queue occupancy in bytes
+//! matches what a real switch would count. Sequence and acknowledgment
+//! numbers are 32-bit wrapping values exactly as on a real TCP wire; the
+//! transport crate owns the unwrap logic.
+
+use crate::ids::{FlowId, NodeId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Ethernet + IPv4 + TCP header bytes carried by every segment.
+pub const HEADER_BYTES: u32 = 54;
+/// Minimum Ethernet frame size; pure ACKs are padded up to this.
+pub const MIN_FRAME_BYTES: u32 = 64;
+/// Default maximum segment size (payload bytes) for a 1500 B frame.
+pub const DEFAULT_MSS: u32 = 1500 - HEADER_BYTES;
+
+/// ECN codepoint in the IP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    NotEct,
+    /// ECN-capable transport (ECT(0)).
+    Ect0,
+    /// Congestion Experienced — set by a switch whose queue exceeded the
+    /// marking threshold.
+    Ce,
+}
+
+impl Ecn {
+    /// True if a switch may mark this packet instead of relying on loss.
+    pub fn is_capable(self) -> bool {
+        matches!(self, Ecn::Ect0 | Ecn::Ce)
+    }
+}
+
+/// The transport-visible contents of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A TCP data segment.
+    Data {
+        /// Wire sequence number of the first payload byte (wrapping u32).
+        seq: u32,
+        /// Payload bytes carried.
+        payload: u32,
+        /// True if this is a retransmission (diagnostic only; receivers must
+        /// not rely on it for protocol decisions).
+        retx: bool,
+        /// Send timestamp, echoed by the ACK for RTT sampling (models the
+        /// TCP timestamp option).
+        ts: SimTime,
+    },
+    /// A pure TCP acknowledgment.
+    Ack {
+        /// Cumulative acknowledgment number (wrapping u32).
+        ack: u32,
+        /// ECN-Echo: the receiver saw Congestion Experienced.
+        ece: bool,
+        /// Echo of the newest acknowledged segment's `ts` (zero if unknown).
+        ts_echo: SimTime,
+    },
+    /// An application control message: the coordinator's request to a worker,
+    /// carrying how many response bytes to send. Models the
+    /// partition/aggregate request leg; delivered directly to the
+    /// application, bypassing TCP.
+    Ctrl {
+        /// Response bytes the worker should send.
+        demand: u64,
+        /// Burst index, for bookkeeping at the worker.
+        burst: u64,
+    },
+}
+
+/// One frame in flight or queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the simulator at send time).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Total bytes on the wire (headers included).
+    pub wire_size: u32,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Transport contents.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Builds a data segment with the conventional wire size.
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seq: u32,
+        payload: u32,
+        retx: bool,
+        ts: SimTime,
+    ) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: (payload + HEADER_BYTES).max(MIN_FRAME_BYTES),
+            ecn: Ecn::Ect0,
+            kind: PacketKind::Data {
+                seq,
+                payload,
+                retx,
+                ts,
+            },
+        }
+    }
+
+    /// Builds a pure ACK (minimum frame size, not ECN-capable — like Linux,
+    /// which sends ACKs as non-ECT).
+    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, ack: u32, ece: bool, ts_echo: SimTime) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: MIN_FRAME_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::Ack { ack, ece, ts_echo },
+        }
+    }
+
+    /// Builds a control (request) message.
+    pub fn ctrl(flow: FlowId, src: NodeId, dst: NodeId, demand: u64, burst: u64) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: MIN_FRAME_BYTES * 2, // a small RPC request
+            ecn: Ecn::NotEct,
+            kind: PacketKind::Ctrl { demand, burst },
+        }
+    }
+
+    /// Payload bytes if this is a data segment, else 0.
+    pub fn payload_bytes(&self) -> u32 {
+        match self.kind {
+            PacketKind::Data { payload, .. } => payload,
+            _ => 0,
+        }
+    }
+
+    /// True for data segments.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data { .. })
+    }
+
+    /// True if marked Congestion Experienced.
+    pub fn is_ce(&self) -> bool {
+        self.ecn == Ecn::Ce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (FlowId, NodeId, NodeId) {
+        (FlowId(1), NodeId(0), NodeId(9))
+    }
+
+    #[test]
+    fn data_wire_size_includes_headers() {
+        let (f, s, d) = ids();
+        let p = Packet::data(f, s, d, 0, DEFAULT_MSS, false, SimTime::ZERO);
+        assert_eq!(p.wire_size, 1500);
+        assert_eq!(p.payload_bytes(), DEFAULT_MSS);
+        assert!(p.is_data());
+        assert_eq!(p.ecn, Ecn::Ect0);
+    }
+
+    #[test]
+    fn tiny_data_padded_to_min_frame() {
+        let (f, s, d) = ids();
+        let p = Packet::data(f, s, d, 0, 1, false, SimTime::ZERO);
+        assert_eq!(p.wire_size, MIN_FRAME_BYTES);
+    }
+
+    #[test]
+    fn ack_is_min_frame_and_not_ect() {
+        let (f, s, d) = ids();
+        let p = Packet::ack(f, s, d, 42, true, SimTime::from_us(3));
+        assert_eq!(p.wire_size, MIN_FRAME_BYTES);
+        assert!(!p.ecn.is_capable());
+        assert!(!p.is_data());
+        assert_eq!(p.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn ce_detection() {
+        let (f, s, d) = ids();
+        let mut p = Packet::data(f, s, d, 0, 100, false, SimTime::ZERO);
+        assert!(!p.is_ce());
+        p.ecn = Ecn::Ce;
+        assert!(p.is_ce());
+        assert!(p.ecn.is_capable());
+    }
+
+    #[test]
+    fn ctrl_carries_demand() {
+        let (f, s, d) = ids();
+        let p = Packet::ctrl(f, s, d, 187_500, 7);
+        match p.kind {
+            PacketKind::Ctrl { demand, burst } => {
+                assert_eq!(demand, 187_500);
+                assert_eq!(burst, 7);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

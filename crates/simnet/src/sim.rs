@@ -1,0 +1,666 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns every network element and the future event list and
+//! advances simulated time event by event. It is fully deterministic: given
+//! the same topology, endpoints, and seed, two runs produce identical packet
+//! traces (events at equal timestamps fire in scheduling order, and the only
+//! randomness is the seeded fault-injection RNG).
+
+use crate::endpoint::{Cmd, Ctx, Endpoint, IngressTap};
+use crate::event::{EventKind, EventQueue};
+use crate::trace::{PacketTracer, TraceEvent, TraceEventKind};
+use crate::ids::{LinkId, NodeId};
+use crate::link::Link;
+use crate::node::Node;
+use crate::packet::Packet;
+use crate::queue::EnqueueOutcome;
+use crate::time::SimTime;
+use crate::SharedBuffer;
+use serde::{Deserialize, Serialize};
+use stats::Rng;
+use std::collections::HashMap;
+
+/// Global counters maintained by the simulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Packets delivered to host endpoints.
+    pub delivered_pkts: u64,
+    /// Bytes delivered to host endpoints (wire bytes).
+    pub delivered_bytes: u64,
+    /// Packets dropped at queues (tail drops + shared-buffer refusals).
+    pub queue_drops: u64,
+    /// Packets lost to link fault injection.
+    pub fault_drops: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+}
+
+/// The simulation engine. Build one with
+/// [`NetworkBuilder`](crate::builder::NetworkBuilder), install endpoints,
+/// then call [`Simulator::run_until`] or [`Simulator::run`].
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    buffers: Vec<SharedBuffer>,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    taps: Vec<Option<Box<dyn IngressTap>>>,
+    tracer: Option<Box<dyn PacketTracer>>,
+    timer_gens: HashMap<(u32, u64), u64>,
+    next_pkt_id: u64,
+    cmd_buf: Vec<Cmd>,
+    rng: Rng,
+    counters: SimCounters,
+    started: bool,
+}
+
+impl Simulator {
+    /// Assembles a simulator (normally called by the builder).
+    pub(crate) fn assemble(
+        nodes: Vec<Node>,
+        links: Vec<Link>,
+        buffers: Vec<SharedBuffer>,
+        seed: u64,
+    ) -> Self {
+        let n = nodes.len();
+        Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes,
+            links,
+            buffers,
+            endpoints: (0..n).map(|_| None).collect(),
+            taps: (0..n).map(|_| None).collect(),
+            tracer: None,
+            timer_gens: HashMap::new(),
+            next_pkt_id: 0,
+            cmd_buf: Vec::with_capacity(64),
+            rng: Rng::new(seed),
+            counters: SimCounters::default(),
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Installs the software for a host. Panics on switches.
+    pub fn set_endpoint(&mut self, node: NodeId, ep: Box<dyn Endpoint>) {
+        assert!(
+            self.nodes[node.index()].is_host(),
+            "endpoints attach to hosts"
+        );
+        assert!(!self.started, "install endpoints before running");
+        self.endpoints[node.index()] = Some(ep);
+    }
+
+    /// Installs a passive ingress observer on a host.
+    pub fn set_tap(&mut self, node: NodeId, tap: Box<dyn IngressTap>) {
+        assert!(self.nodes[node.index()].is_host(), "taps attach to hosts");
+        self.taps[node.index()] = Some(tap);
+    }
+
+    /// Installs a packet tracer observing every link event (the simulator's
+    /// `tcpdump`; see [`crate::trace::TextTracer`]).
+    pub fn set_tracer(&mut self, tracer: Box<dyn PacketTracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    #[inline]
+    fn trace(&mut self, kind: TraceEventKind, link: LinkId, pkt: &Packet) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_event(&TraceEvent {
+                now: self.now,
+                kind,
+                link,
+                pkt,
+            });
+        }
+    }
+
+    /// Immutable access to a link (for queue statistics after a run).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Mutable access to a link (e.g. to enable queue depth monitoring
+    /// before a run).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The shared buffers, in creation order.
+    pub fn buffers(&self) -> &[SharedBuffer] {
+        &self.buffers
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            if self.endpoints[idx].is_some() {
+                self.dispatch_endpoint(NodeId(idx as u32), |ep, ctx| ep.on_start(ctx));
+            }
+        }
+    }
+
+    /// Runs until the event list is empty.
+    pub fn run(&mut self) {
+        self.start_if_needed();
+        while self.step_inner() {}
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed). Pending later events remain queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step_inner();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Processes a single event. Returns false when none remain.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        self.step_inner()
+    }
+
+    fn step_inner(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.counters.events_processed += 1;
+        match ev.kind {
+            EventKind::TxComplete { link } => self.on_tx_complete(link),
+            EventKind::Delivery { link, pkt } => self.on_delivery(link, pkt),
+            EventKind::Timer { node, key, gen } => self.on_timer(node, key, gen),
+        }
+        true
+    }
+
+    // ---- link machinery -------------------------------------------------
+
+    /// Offers `pkt` to the egress queue of `link`, starting transmission if
+    /// the transmitter is idle.
+    fn enqueue_to_link(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        // Shared-buffer admission, if this queue charges a pool.
+        if let Some(bid) = link.shared {
+            let ok = self.buffers[bid.index()].admit(link.queue.bytes(), pkt.wire_size as u64);
+            if !ok {
+                link.queue.note_shared_drop(&pkt);
+                self.counters.queue_drops += 1;
+                self.trace(
+                    TraceEventKind::Drop(crate::queue::DropReason::SharedBuffer),
+                    link_id,
+                    &pkt,
+                );
+                return;
+            }
+        }
+        match link.queue.enqueue(now, pkt) {
+            EnqueueOutcome::Queued { marked } => {
+                let shared = link.shared;
+                let busy = link.busy();
+                if let Some(bid) = shared {
+                    self.buffers[bid.index()].on_enqueue(pkt.wire_size as u64);
+                }
+                self.trace(TraceEventKind::Enqueue { marked }, link_id, &pkt);
+                if !busy {
+                    self.start_tx(link_id);
+                }
+            }
+            EnqueueOutcome::Dropped(reason) => {
+                self.counters.queue_drops += 1;
+                self.trace(TraceEventKind::Drop(reason), link_id, &pkt);
+            }
+        }
+    }
+
+    /// Pulls the next frame off the egress queue and begins serializing it.
+    fn start_tx(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id.index()];
+        debug_assert!(!link.busy());
+        let Some(pkt) = link.queue.dequeue(now) else {
+            return;
+        };
+        if let Some(bid) = link.shared {
+            self.buffers[bid.index()].on_dequeue(pkt.wire_size as u64);
+        }
+        let ser = link.serialize_time(pkt.wire_size as u64);
+        link.serializing = Some(pkt);
+        self.trace(TraceEventKind::TxStart, link_id, &pkt);
+        self.events
+            .schedule(now + ser, EventKind::TxComplete { link: link_id });
+    }
+
+    fn on_tx_complete(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.index()];
+        let pkt = link
+            .serializing
+            .take()
+            .expect("TxComplete with no frame on the wire");
+        let prop = link.cfg.propagation;
+        let lose = link.cfg.loss_probability > 0.0 && self.rng.chance(link.cfg.loss_probability);
+        if lose {
+            link.fault_drops += 1;
+            self.counters.fault_drops += 1;
+        } else {
+            self.events.schedule(
+                self.now + prop,
+                EventKind::Delivery {
+                    link: link_id,
+                    pkt,
+                },
+            );
+        }
+        // Keep the transmitter running.
+        if !self.links[link_id.index()].queue.is_empty() {
+            self.start_tx(link_id);
+        }
+    }
+
+    fn on_delivery(&mut self, link_id: LinkId, pkt: Packet) {
+        self.trace(TraceEventKind::Deliver, link_id, &pkt);
+        let dst = self.links[link_id.index()].dst;
+        match &self.nodes[dst.index()] {
+            Node::Switch { .. } => {
+                let next = self.nodes[dst.index()].next_hop(pkt.dst).unwrap_or_else(|| {
+                    panic!(
+                        "switch {} has no route to {} (packet {:?})",
+                        self.nodes[dst.index()].name(),
+                        pkt.dst,
+                        pkt.kind
+                    )
+                });
+                self.enqueue_to_link(next, pkt);
+            }
+            Node::Host { .. } => {
+                self.counters.delivered_pkts += 1;
+                self.counters.delivered_bytes += pkt.wire_size as u64;
+                if let Some(tap) = self.taps[dst.index()].as_mut() {
+                    tap.on_packet(self.now, &pkt);
+                }
+                if self.endpoints[dst.index()].is_some() {
+                    self.dispatch_endpoint(dst, |ep, ctx| ep.on_packet(ctx, pkt));
+                }
+            }
+        }
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    fn on_timer(&mut self, node: NodeId, key: u64, gen: u64) {
+        let current = self.timer_gens.get(&(node.0, key)).copied();
+        if current != Some(gen) {
+            return; // superseded or cancelled
+        }
+        if self.endpoints[node.index()].is_some() {
+            self.dispatch_endpoint(node, |ep, ctx| ep.on_timer(ctx, key));
+        }
+    }
+
+    // ---- endpoint dispatch ------------------------------------------------
+
+    fn dispatch_endpoint<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Endpoint, &mut Ctx),
+    {
+        let mut ep = self.endpoints[node.index()]
+            .take()
+            .expect("dispatch to missing endpoint");
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        {
+            let mut ctx = Ctx::new(self.now, node, &mut cmds);
+            f(ep.as_mut(), &mut ctx);
+        }
+        self.endpoints[node.index()] = Some(ep);
+        self.apply_cmds(node, &mut cmds);
+        cmds.clear();
+        self.cmd_buf = cmds;
+    }
+
+    fn apply_cmds(&mut self, node: NodeId, cmds: &mut Vec<Cmd>) {
+        // Commands may themselves be generated while applying (not today,
+        // but drain defensively by index).
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Cmd::Send(mut pkt) => {
+                    pkt.id = self.next_pkt_id;
+                    self.next_pkt_id += 1;
+                    let uplink = match &self.nodes[node.index()] {
+                        Node::Host { uplink, .. } => {
+                            uplink.expect("host sends but has no uplink")
+                        }
+                        Node::Switch { .. } => unreachable!("switches have no endpoints"),
+                    };
+                    self.enqueue_to_link(uplink, pkt);
+                }
+                Cmd::SetTimer { key, at } => {
+                    let gen = self
+                        .timer_gens
+                        .entry((node.0, key))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(0);
+                    let gen = *gen;
+                    let at = at.max(self.now);
+                    self.events.schedule(at, EventKind::Timer { node, key, gen });
+                }
+                Cmd::CancelTimer { key } => {
+                    self.timer_gens
+                        .entry((node.0, key))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::link::LinkConfig;
+    use crate::packet::{Packet, PacketKind};
+    use crate::queue::QueueConfig;
+    use crate::units::Rate;
+    use crate::FlowId;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Sends `count` back-to-back frames to `peer` at start, records
+    /// delivery times of frames it receives.
+    struct Blaster {
+        peer: NodeId,
+        count: u32,
+        log: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+
+    impl Endpoint for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for i in 0..self.count {
+                let pkt = Packet::data(
+                    FlowId(0),
+                    ctx.node(),
+                    self.peer,
+                    i * 1000,
+                    1446,
+                    false,
+                    ctx.now(),
+                );
+                ctx.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+            self.log.borrow_mut().push((ctx.now(), pkt.id));
+        }
+    }
+
+    struct Sink {
+        log: Rc<RefCell<Vec<(SimTime, u64)>>>,
+    }
+    impl Endpoint for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+            self.log.borrow_mut().push((ctx.now(), pkt.id));
+        }
+    }
+
+    fn two_hosts(rate: Rate, prop: SimTime) -> (Simulator, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host("a");
+        let sw = b.add_switch("sw");
+        let c = b.add_host("c");
+        let cfg = LinkConfig::new(rate, prop, QueueConfig::host_nic());
+        b.connect(a, sw, cfg.clone(), cfg.clone());
+        b.connect(c, sw, cfg.clone(), cfg);
+        (b.build(1), a, c)
+    }
+
+    #[test]
+    fn single_packet_latency_is_ser_plus_prop_per_hop() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 1,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.run();
+        let delivered = log.borrow();
+        assert_eq!(delivered.len(), 1);
+        // Two hops: 2 x (1500 B @ 10 Gbps = 1.2 us) + 2 x 1 us prop = 4.4 us.
+        assert_eq!(delivered[0].0, SimTime::from_ns(4400));
+        assert_eq!(sim.counters().delivered_pkts, 1);
+        assert_eq!(sim.counters().delivered_bytes, 1500);
+    }
+
+    #[test]
+    fn back_to_back_packets_are_paced_by_serialization() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 3,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.run();
+        let delivered = log.borrow();
+        assert_eq!(delivered.len(), 3);
+        // Consecutive deliveries exactly one serialization time apart.
+        assert_eq!(delivered[1].0 - delivered[0].0, SimTime::from_ns(1200));
+        assert_eq!(delivered[2].0 - delivered[1].0, SimTime::from_ns(1200));
+        // FIFO order by id.
+        assert!(delivered[0].1 < delivered[1].1 && delivered[1].1 < delivered[2].1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(100));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 1,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.run_until(SimTime::from_us(50));
+        assert_eq!(log.borrow().len(), 0); // still propagating
+        assert_eq!(sim.now(), SimTime::from_us(50));
+        sim.run_until(SimTime::from_ms(1));
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    /// A timer endpoint exercising set/cancel/re-arm semantics.
+    struct TimerBox {
+        fired: Rc<RefCell<Vec<(u64, SimTime)>>>,
+    }
+    impl Endpoint for TimerBox {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(1, SimTime::from_us(10));
+            ctx.set_timer(2, SimTime::from_us(20));
+            ctx.cancel_timer(2); // never fires
+            ctx.set_timer(3, SimTime::from_us(30));
+            ctx.set_timer(3, SimTime::from_us(40)); // re-armed: fires once at 40
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
+            self.fired.borrow_mut().push((key, ctx.now()));
+            if key == 1 {
+                ctx.set_timer_after(4, SimTime::from_us(5));
+            }
+        }
+    }
+
+    #[test]
+    fn timer_semantics() {
+        let (mut sim, a, _c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(a, Box::new(TimerBox { fired: fired.clone() }));
+        sim.run();
+        let fired = fired.borrow();
+        assert_eq!(
+            *fired,
+            vec![
+                (1, SimTime::from_us(10)),
+                (4, SimTime::from_us(15)),
+                (3, SimTime::from_us(40)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_injection_drops_packets() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host("a");
+        let c = b.add_host("c");
+        let mut lossy = LinkConfig::new(
+            Rate::gbps(10),
+            SimTime::from_us(1),
+            QueueConfig::host_nic(),
+        );
+        lossy.loss_probability = 1.0;
+        let clean = LinkConfig::new(
+            Rate::gbps(10),
+            SimTime::from_us(1),
+            QueueConfig::host_nic(),
+        );
+        b.connect(a, c, lossy, clean);
+        let mut sim = b.build(3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 5,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.run();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(sim.counters().fault_drops, 5);
+    }
+
+    #[test]
+    fn tap_sees_packets_before_endpoint() {
+        struct CountTap(Rc<RefCell<u64>>);
+        impl IngressTap for CountTap {
+            fn on_packet(&mut self, _now: SimTime, _pkt: &Packet) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let n = Rc::new(RefCell::new(0));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 4,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.set_tap(c, Box::new(CountTap(n.clone())));
+        sim.run();
+        assert_eq!(*n.borrow(), 4);
+        assert_eq!(log.borrow().len(), 4);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            sim.set_endpoint(
+                a,
+                Box::new(Blaster {
+                    peer: c,
+                    count: 10,
+                    log: Rc::new(RefCell::new(Vec::new())),
+                }),
+            );
+            sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+            sim.run();
+            let v = log.borrow().clone();
+            (v, sim.counters().events_processed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ctrl_packets_route_like_any_other() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        struct CtrlSender {
+            peer: NodeId,
+        }
+        impl Endpoint for CtrlSender {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.send(Packet::ctrl(FlowId(7), ctx.node(), self.peer, 1234, 9));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+        }
+        struct CtrlSink {
+            got: Rc<RefCell<Option<(u64, u64)>>>,
+        }
+        impl Endpoint for CtrlSink {
+            fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+                if let PacketKind::Ctrl { demand, burst } = pkt.kind {
+                    *self.got.borrow_mut() = Some((demand, burst));
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(None));
+        sim.set_endpoint(a, Box::new(CtrlSender { peer: c }));
+        sim.set_endpoint(c, Box::new(CtrlSink { got: got.clone() }));
+        sim.run();
+        assert_eq!(*got.borrow(), Some((1234, 9)));
+    }
+}

@@ -1,0 +1,252 @@
+//! Canonical topologies from the paper.
+//!
+//! Section 4 of the paper evaluates incast on a dumbbell: N senders, each
+//! with a 10 Gbps link to their ToR, a 100 Gbps trunk between ToRs, and a
+//! 10 Gbps downlink to the single receiver — a 10:1 oversubscription at the
+//! receiving ToR. [`IncastFabric`] generalizes this to R receivers on the
+//! receiving ToR (used for the rack-contention experiments) and computes
+//! per-link propagation delays so the base RTT matches a target (30 µs in
+//! the paper).
+
+use crate::buffer::BufferPolicy;
+use crate::builder::NetworkBuilder;
+use crate::ids::{LinkId, NodeId};
+use crate::link::LinkConfig;
+use crate::queue::QueueConfig;
+use crate::sim::Simulator;
+use crate::time::SimTime;
+use crate::units::Rate;
+use crate::packet::MIN_FRAME_BYTES;
+
+/// Configuration for [`build_fabric`].
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of sending hosts (behind the sending ToR).
+    pub num_senders: usize,
+    /// Number of receiving hosts (on the receiving ToR).
+    pub num_receivers: usize,
+    /// Host NIC rate (paper: 10 Gbps).
+    pub host_rate: Rate,
+    /// ToR-to-ToR trunk rate (paper: 100 Gbps).
+    pub trunk_rate: Rate,
+    /// Target base round-trip time including serialization of one MTU data
+    /// packet and its ACK (paper: 30 µs).
+    pub target_rtt: SimTime,
+    /// Wire MTU used for the RTT budget calculation.
+    pub mtu_wire: u32,
+    /// Egress queue config for ToR ports (paper: 2 MB / 1333 pkts, K = 65).
+    pub tor_queue: QueueConfig,
+    /// Egress queue config for host NICs (deep, unmarked).
+    pub host_queue: QueueConfig,
+    /// Shared buffer on the *receiving* ToR: `(total_bytes, policy)`.
+    /// `None` gives the paper's per-port static queues.
+    pub receiver_tor_buffer: Option<(u64, BufferPolicy)>,
+    /// Seed for the simulator's fault-injection RNG.
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    /// The paper's Section 4 setup with one receiver.
+    fn default() -> Self {
+        FabricConfig {
+            num_senders: 100,
+            num_receivers: 1,
+            host_rate: Rate::gbps(10),
+            trunk_rate: Rate::gbps(100),
+            target_rtt: SimTime::from_us(30),
+            mtu_wire: 1500,
+            tor_queue: QueueConfig::paper_tor(),
+            host_queue: QueueConfig::host_nic(),
+            receiver_tor_buffer: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A built incast fabric.
+pub struct IncastFabric {
+    /// The runnable simulator.
+    pub sim: Simulator,
+    /// Sending hosts, in index order.
+    pub senders: Vec<NodeId>,
+    /// Receiving hosts, in index order.
+    pub receivers: Vec<NodeId>,
+    /// Sending-side ToR.
+    pub tor_s: NodeId,
+    /// Receiving-side ToR.
+    pub tor_r: NodeId,
+    /// Receiver downlinks `tor_r -> receivers[i]`: the bottleneck queues.
+    pub downlinks: Vec<LinkId>,
+    /// The `tor_s -> tor_r` trunk.
+    pub trunk: LinkId,
+    /// One-way propagation delay assigned to every link.
+    pub per_link_propagation: SimTime,
+}
+
+/// Computes the per-link propagation delay such that the base RTT (one MTU
+/// data packet sender->receiver plus one minimum-size ACK back, across
+/// host-ToR-ToR-host) equals `target`, given serialization costs.
+fn per_link_propagation(cfg: &FabricConfig) -> SimTime {
+    let data_ser = cfg.host_rate.serialize_time(cfg.mtu_wire as u64)
+        + cfg.trunk_rate.serialize_time(cfg.mtu_wire as u64)
+        + cfg.host_rate.serialize_time(cfg.mtu_wire as u64);
+    let ack = MIN_FRAME_BYTES as u64;
+    let ack_ser = cfg.host_rate.serialize_time(ack)
+        + cfg.trunk_rate.serialize_time(ack)
+        + cfg.host_rate.serialize_time(ack);
+    let fixed = data_ser + ack_ser;
+    let remaining = cfg.target_rtt.saturating_sub(fixed);
+    SimTime::from_ps(remaining.as_ps() / 6)
+}
+
+/// Builds the paper's incast fabric.
+pub fn build_fabric(cfg: &FabricConfig) -> IncastFabric {
+    assert!(cfg.num_senders > 0, "need at least one sender");
+    assert!(cfg.num_receivers > 0, "need at least one receiver");
+    let prop = per_link_propagation(cfg);
+    let mut b = NetworkBuilder::new();
+
+    let tor_s = b.add_switch("tor-s");
+    let tor_r = match cfg.receiver_tor_buffer {
+        Some((total, policy)) => b.add_switch_with_buffer("tor-r", total, policy),
+        None => b.add_switch("tor-r"),
+    };
+
+    let host_link = |rate: Rate, q: &QueueConfig| LinkConfig::new(rate, prop, q.clone());
+
+    let mut senders = Vec::with_capacity(cfg.num_senders);
+    for i in 0..cfg.num_senders {
+        let h = b.add_host(&format!("sender-{i}"));
+        // Host egress uses the deep NIC queue; the ToR's reverse port uses
+        // the ToR queue config.
+        b.connect(
+            h,
+            tor_s,
+            host_link(cfg.host_rate, &cfg.host_queue),
+            host_link(cfg.host_rate, &cfg.tor_queue),
+        );
+        senders.push(h);
+    }
+
+    let (trunk, _back) = b.connect(
+        tor_s,
+        tor_r,
+        LinkConfig::new(cfg.trunk_rate, prop, cfg.tor_queue.clone()),
+        LinkConfig::new(cfg.trunk_rate, prop, cfg.tor_queue.clone()),
+    );
+
+    let mut receivers = Vec::with_capacity(cfg.num_receivers);
+    let mut downlinks = Vec::with_capacity(cfg.num_receivers);
+    for i in 0..cfg.num_receivers {
+        let h = b.add_host(&format!("receiver-{i}"));
+        let (_up, down) = b.connect(
+            h,
+            tor_r,
+            host_link(cfg.host_rate, &cfg.host_queue),
+            host_link(cfg.host_rate, &cfg.tor_queue),
+        );
+        receivers.push(h);
+        downlinks.push(down);
+    }
+
+    IncastFabric {
+        sim: b.build(cfg.seed),
+        senders,
+        receivers,
+        tor_s,
+        tor_r,
+        downlinks,
+        trunk,
+        per_link_propagation: prop,
+    }
+}
+
+/// The single-receiver dumbbell of the paper's Section 4.
+pub fn build_dumbbell(num_senders: usize, seed: u64) -> IncastFabric {
+    build_fabric(&FabricConfig {
+        num_senders,
+        seed,
+        ..FabricConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let cfg = FabricConfig::default();
+        assert_eq!(cfg.host_rate, Rate::gbps(10));
+        assert_eq!(cfg.trunk_rate, Rate::gbps(100));
+        assert_eq!(cfg.target_rtt, SimTime::from_us(30));
+        assert_eq!(cfg.tor_queue.ecn_threshold_pkts, Some(65));
+    }
+
+    #[test]
+    fn propagation_budget_fills_target_rtt() {
+        let cfg = FabricConfig::default();
+        let prop = per_link_propagation(&cfg);
+        // Data serialization: 1.2 + 0.12 + 1.2 us; ACK: 51.2 + 5.12 + 51.2 ns.
+        let fixed_ps = (1_200_000 + 120_000 + 1_200_000) + (51_200 + 5_120 + 51_200);
+        let expected = (30_000_000u64 - fixed_ps) / 6;
+        assert_eq!(prop.as_ps(), expected);
+        // Round trip = 6 props + fixed ~= 30 us (within integer division).
+        let rtt = prop.as_ps() * 6 + fixed_ps;
+        assert!((rtt as i64 - 30_000_000).unsigned_abs() < 6);
+    }
+
+    #[test]
+    fn propagation_clamps_when_target_too_small() {
+        let cfg = FabricConfig {
+            target_rtt: SimTime::from_ns(100),
+            ..FabricConfig::default()
+        };
+        assert_eq!(per_link_propagation(&cfg), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fabric_shape() {
+        let f = build_fabric(&FabricConfig {
+            num_senders: 3,
+            num_receivers: 2,
+            ..FabricConfig::default()
+        });
+        assert_eq!(f.senders.len(), 3);
+        assert_eq!(f.receivers.len(), 2);
+        assert_eq!(f.downlinks.len(), 2);
+        // 3 sender cables + 1 trunk + 2 receiver cables = 6 duplex = 12 links.
+        assert_eq!(f.sim.num_links(), 12);
+        // Downlinks start at tor_r and end at receivers.
+        for (i, &dl) in f.downlinks.iter().enumerate() {
+            assert_eq!(f.sim.link(dl).src, f.tor_r);
+            assert_eq!(f.sim.link(dl).dst, f.receivers[i]);
+        }
+        // The bottleneck queue uses the paper's ToR parameters.
+        assert_eq!(
+            f.sim.link(f.downlinks[0]).queue.config().ecn_threshold_pkts,
+            Some(65)
+        );
+    }
+
+    #[test]
+    fn shared_buffer_applies_to_receiver_tor_only() {
+        let f = build_fabric(&FabricConfig {
+            num_senders: 2,
+            num_receivers: 2,
+            receiver_tor_buffer: Some((1_000_000, BufferPolicy::DynamicThreshold { alpha: 1.0 })),
+            ..FabricConfig::default()
+        });
+        assert!(f.sim.link(f.downlinks[0]).shared.is_some());
+        assert!(f.sim.link(f.downlinks[1]).shared.is_some());
+        assert!(f.sim.link(f.trunk).shared.is_none(), "tor_s is unbuffered");
+        assert_eq!(f.sim.buffers().len(), 1);
+    }
+
+    #[test]
+    fn dumbbell_is_single_receiver() {
+        let f = build_dumbbell(5, 7);
+        assert_eq!(f.senders.len(), 5);
+        assert_eq!(f.receivers.len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Packet tracing — the simulator's `tcpdump`.
+//!
+//! A [`PacketTracer`] observes every per-link packet event (enqueue, drop,
+//! transmit start, delivery). [`TextTracer`] renders them as one line per
+//! event, optionally filtered to a flow, with a bounded buffer so a
+//! long-running simulation cannot exhaust memory. Attach with
+//! [`crate::Simulator::set_tracer`]; wrap in [`crate::Shared`] to keep a
+//! handle for reading the log after the run.
+
+use crate::ids::{FlowId, LinkId};
+use crate::packet::{Packet, PacketKind};
+use crate::queue::DropReason;
+use crate::time::SimTime;
+
+/// What happened to a packet at a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Accepted into the link's egress queue (`marked` = CE was set here).
+    Enqueue {
+        /// True if this enqueue CE-marked the packet.
+        marked: bool,
+    },
+    /// Rejected at the egress queue.
+    Drop(DropReason),
+    /// Serialization onto the wire began.
+    TxStart,
+    /// Arrived at the link's far end.
+    Deliver,
+}
+
+/// One traced packet event.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent<'a> {
+    /// When it happened.
+    pub now: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// The link involved.
+    pub link: LinkId,
+    /// The packet involved.
+    pub pkt: &'a Packet,
+}
+
+/// A passive observer of per-link packet events.
+pub trait PacketTracer {
+    /// Observes one event.
+    fn on_event(&mut self, ev: &TraceEvent);
+}
+
+impl<T: PacketTracer> PacketTracer for crate::endpoint::Shared<T> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.borrow_mut().on_event(ev);
+    }
+}
+
+/// A line-per-event text tracer with an optional flow filter and a bounded
+/// buffer (oldest lines are dropped once the cap is hit, and a counter keeps
+/// the total).
+#[derive(Debug)]
+pub struct TextTracer {
+    filter: Option<FlowId>,
+    cap: usize,
+    lines: std::collections::VecDeque<String>,
+    /// Total events matched (including ones evicted from the buffer).
+    pub events_seen: u64,
+}
+
+impl TextTracer {
+    /// Traces every flow, keeping at most `cap` lines.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "zero-capacity tracer");
+        TextTracer {
+            filter: None,
+            cap,
+            lines: std::collections::VecDeque::new(),
+            events_seen: 0,
+        }
+    }
+
+    /// Traces only `flow`.
+    pub fn for_flow(flow: FlowId, cap: usize) -> Self {
+        TextTracer {
+            filter: Some(flow),
+            ..Self::new(cap)
+        }
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Renders the whole retained log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn describe(pkt: &Packet) -> String {
+        match pkt.kind {
+            PacketKind::Data {
+                seq,
+                payload,
+                retx,
+                ..
+            } => format!(
+                "DATA seq={seq} len={payload}{}{}",
+                if retx { " retx" } else { "" },
+                if pkt.is_ce() { " CE" } else { "" }
+            ),
+            PacketKind::Ack { ack, ece, .. } => {
+                format!("ACK ack={ack}{}", if ece { " ECE" } else { "" })
+            }
+            PacketKind::Ctrl { demand, burst } => {
+                format!("CTRL demand={demand} burst={burst}")
+            }
+        }
+    }
+}
+
+impl PacketTracer for TextTracer {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        if let Some(f) = self.filter {
+            if ev.pkt.flow != f {
+                return;
+            }
+        }
+        self.events_seen += 1;
+        let what = match ev.kind {
+            TraceEventKind::Enqueue { marked: true } => "enq+mark",
+            TraceEventKind::Enqueue { marked: false } => "enq",
+            TraceEventKind::Drop(DropReason::QueueFull) => "DROP(full)",
+            TraceEventKind::Drop(DropReason::SharedBuffer) => "DROP(shared)",
+            TraceEventKind::TxStart => "tx",
+            TraceEventKind::Deliver => "rx",
+        };
+        let line = format!(
+            "{:>12} {} {:<11} {} {}->{} {}",
+            ev.now,
+            ev.link,
+            what,
+            ev.pkt.flow,
+            ev.pkt.src,
+            ev.pkt.dst,
+            Self::describe(ev.pkt),
+        );
+        if self.lines.len() == self.cap {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn ev(kind: TraceEventKind, pkt: &Packet) -> TraceEvent<'_> {
+        TraceEvent {
+            now: SimTime::from_us(3),
+            kind,
+            link: LinkId(1),
+            pkt,
+        }
+    }
+
+    fn data(flow: u32) -> Packet {
+        Packet::data(
+            FlowId(flow),
+            NodeId(0),
+            NodeId(2),
+            100,
+            1446,
+            false,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn records_and_renders_events() {
+        let mut t = TextTracer::new(16);
+        let p = data(5);
+        t.on_event(&ev(TraceEventKind::Enqueue { marked: true }, &p));
+        t.on_event(&ev(TraceEventKind::Deliver, &p));
+        assert_eq!(t.events_seen, 2);
+        let log = t.render();
+        assert!(log.contains("enq+mark"), "{log}");
+        assert!(log.contains("rx"), "{log}");
+        assert!(log.contains("DATA seq=100 len=1446"), "{log}");
+        assert!(log.contains("f5 n0->n2"), "{log}");
+    }
+
+    #[test]
+    fn flow_filter_applies() {
+        let mut t = TextTracer::for_flow(FlowId(7), 16);
+        t.on_event(&ev(TraceEventKind::TxStart, &data(5)));
+        t.on_event(&ev(TraceEventKind::TxStart, &data(7)));
+        assert_eq!(t.events_seen, 1);
+        assert_eq!(t.lines().count(), 1);
+    }
+
+    #[test]
+    fn buffer_is_bounded_but_counts_everything() {
+        let mut t = TextTracer::new(3);
+        let p = data(0);
+        for _ in 0..10 {
+            t.on_event(&ev(TraceEventKind::TxStart, &p));
+        }
+        assert_eq!(t.lines().count(), 3);
+        assert_eq!(t.events_seen, 10);
+    }
+
+    #[test]
+    fn drop_reasons_rendered() {
+        let mut t = TextTracer::new(4);
+        let p = data(0);
+        t.on_event(&ev(TraceEventKind::Drop(DropReason::QueueFull), &p));
+        t.on_event(&ev(TraceEventKind::Drop(DropReason::SharedBuffer), &p));
+        let log = t.render();
+        assert!(log.contains("DROP(full)"));
+        assert!(log.contains("DROP(shared)"));
+    }
+
+    #[test]
+    fn ack_and_ctrl_descriptions() {
+        let mut t = TextTracer::new(4);
+        let ack = Packet::ack(FlowId(1), NodeId(2), NodeId(0), 777, true, SimTime::ZERO);
+        let ctrl = Packet::ctrl(FlowId(1), NodeId(0), NodeId(2), 9000, 3);
+        t.on_event(&ev(TraceEventKind::Deliver, &ack));
+        t.on_event(&ev(TraceEventKind::Deliver, &ctrl));
+        let log = t.render();
+        assert!(log.contains("ACK ack=777 ECE"));
+        assert!(log.contains("CTRL demand=9000 burst=3"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cap_rejected() {
+        TextTracer::new(0);
+    }
+}

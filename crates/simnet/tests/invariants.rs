@@ -1,0 +1,94 @@
+//! Simulator-level invariants under randomized inputs.
+
+use proptest::prelude::*;
+use simnet::{
+    EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime,
+};
+
+fn pkt(payload: u32) -> Packet {
+    Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, payload, false, SimTime::ZERO)
+}
+
+proptest! {
+    /// Conservation: everything offered is either dequeued, dropped, or
+    /// still queued; byte counters agree with packet counters.
+    #[test]
+    fn queue_conserves_packets_and_bytes(
+        sizes in proptest::collection::vec(1u32..1460, 1..300),
+        cap_pkts in 1u32..64,
+        deq_every in 1usize..8,
+    ) {
+        let cfg = QueueConfig {
+            capacity_bytes: u64::MAX / 2,
+            capacity_pkts: Some(cap_pkts),
+            ecn_threshold_pkts: Some(cap_pkts / 2 + 1),
+            ecn_threshold_bytes: None,
+        };
+        let mut q = EcnQueue::new(cfg);
+        let mut dequeued = 0u64;
+        let mut dequeued_bytes = 0u64;
+        for (i, &payload) in sizes.iter().enumerate() {
+            let _ = q.enqueue(SimTime::from_us(i as u64), pkt(payload));
+            if i % deq_every == 0 {
+                if let Some(p) = q.dequeue(SimTime::from_us(i as u64)) {
+                    dequeued += 1;
+                    dequeued_bytes += p.wire_size as u64;
+                }
+            }
+        }
+        let stats = q.stats().clone();
+        // Packet conservation.
+        prop_assert_eq!(
+            stats.enqueued_pkts + stats.dropped_pkts,
+            sizes.len() as u64
+        );
+        prop_assert_eq!(
+            stats.enqueued_pkts,
+            dequeued + q.pkts() as u64
+        );
+        // Byte conservation.
+        prop_assert_eq!(stats.dequeued_bytes, dequeued_bytes);
+        prop_assert_eq!(
+            stats.enqueued_bytes,
+            stats.dequeued_bytes + q.bytes()
+        );
+        // Capacity never exceeded.
+        prop_assert!(stats.watermark_pkts <= cap_pkts);
+        // Marks only on enqueued packets.
+        prop_assert!(stats.marked_pkts <= stats.enqueued_pkts);
+    }
+
+    /// Draining the queue after arbitrary churn always yields FIFO order
+    /// of the accepted packets.
+    #[test]
+    fn fifo_order_survives_churn(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let cfg = QueueConfig {
+            capacity_bytes: 1 << 20,
+            capacity_pkts: Some(16),
+            ecn_threshold_pkts: None,
+            ecn_threshold_bytes: None,
+        };
+        let mut q = EcnQueue::new(cfg);
+        let mut next_id = 0u64;
+        let mut expected = std::collections::VecDeque::new();
+        for (i, &push) in ops.iter().enumerate() {
+            if push {
+                let mut p = pkt(100);
+                p.id = next_id;
+                if matches!(
+                    q.enqueue(SimTime::from_us(i as u64), p),
+                    EnqueueOutcome::Queued { .. }
+                ) {
+                    expected.push_back(next_id);
+                }
+                next_id += 1;
+            } else if let Some(p) = q.dequeue(SimTime::from_us(i as u64)) {
+                prop_assert_eq!(Some(p.id), expected.pop_front());
+            }
+        }
+        while let Some(p) = q.dequeue(SimTime::ZERO) {
+            prop_assert_eq!(Some(p.id), expected.pop_front());
+        }
+        prop_assert!(expected.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every CDF figure in the paper (Figs. 2 and 4) is "one sample per burst";
+//! [`Cdf`] collects those samples and answers percentile and
+//! fraction-at-or-below queries, and can render itself as `(x, F(x))` pairs
+//! for plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// Samples are stored and sorted lazily on first query; `NaN` samples are
+/// rejected at insertion time so ordering is total.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a CDF from an iterator of samples. Panics on `NaN`.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut cdf = Self::new();
+        for x in iter {
+            cdf.add(x);
+        }
+        cdf
+    }
+
+    /// Adds one sample. Panics on `NaN`.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Merges another CDF's samples into this one.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile `p` in `[0, 100]` by nearest-rank. Panics if empty or `p`
+    /// is out of range.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "percentile of empty CDF");
+        assert!((0.0..=100.0).contains(&p), "percentile out of [0,100]");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.max(1).min(n) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean. Panics if empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "mean of empty CDF");
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.last().expect("max of empty CDF")
+    }
+
+    /// `F(x)`: the fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Renders the CDF as up to `points` evenly spaced (by rank) `(x, F(x))`
+    /// pairs, suitable for plotting a figure series.
+    pub fn curve(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let points = points.min(n);
+        (1..=points)
+            .map(|i| {
+                let rank = ((i as f64 / points as f64) * n as f64).ceil() as usize;
+                let rank = rank.clamp(1, n);
+                (self.samples[rank - 1], rank as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// Read-only view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_nearest_rank_small() {
+        let mut c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.percentile(0.0), 1.0);
+        assert_eq!(c.percentile(25.0), 1.0);
+        assert_eq!(c.percentile(50.0), 2.0);
+        assert_eq!(c.percentile(75.0), 3.0);
+        assert_eq!(c.percentile(100.0), 4.0);
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let mut c = Cdf::from_samples([5.0, 1.0, 3.0]);
+        assert_eq!(c.median(), 3.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        let c = Cdf::from_samples([2.0, 4.0, 6.0]);
+        assert!((c.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut c = Cdf::from_samples([3.0, -1.0, 7.0]);
+        assert_eq!(c.min(), -1.0);
+        assert_eq!(c.max(), 7.0);
+    }
+
+    #[test]
+    fn fraction_at_or_below_boundaries() {
+        let mut c = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(c.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Cdf::from_samples([1.0, 2.0]);
+        let b = Cdf::from_samples([3.0, 4.0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.percentile(100.0), 4.0);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let mut c = Cdf::from_samples((0..100).map(|i| (i * 7 % 100) as f64));
+        let pts = c.curve(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_empty_and_zero_points() {
+        let mut c = Cdf::new();
+        assert!(c.curve(10).is_empty());
+        let mut c = Cdf::from_samples([1.0]);
+        assert!(c.curve(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        Cdf::new().add(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_percentile_panics() {
+        Cdf::new().percentile(50.0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_are_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut c = Cdf::from_samples(xs.drain(..));
+            let mut prev = c.percentile(0.0);
+            for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                let v = c.percentile(p);
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn percentile_is_a_sample(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+            let mut c = Cdf::from_samples(xs.iter().copied());
+            let v = c.percentile(p);
+            prop_assert!(xs.contains(&v));
+        }
+
+        #[test]
+        fn fraction_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 0..100), q in -1e7f64..1e7) {
+            let mut c = Cdf::from_samples(xs.iter().copied());
+            let f = c.fraction_at_or_below(q);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Samplable probability distributions.
+//!
+//! The workload models in `crates/workload` describe each production service
+//! by a handful of distributions (burst inter-arrival, duration, flow count,
+//! per-flow demand). [`Dist`] is a small closed set of analytic distributions
+//! plus mixtures, which is all the paper's reported shapes require: the
+//! flow-count "cliffs" in Fig. 2c are mixtures, the steady operating points in
+//! Fig. 3a are normals, and heavy retransmission tails come from Pareto
+//! components.
+
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A samplable, serializable probability distribution over `f64`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum Dist {
+    /// Every sample equals the given constant.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given mean (`1/lambda`).
+    Exponential { mean: f64 },
+    /// Normal with the given mean and standard deviation.
+    Normal { mean: f64, std_dev: f64 },
+    /// Log-normal parameterized by the underlying normal's `mu`/`sigma`.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Pareto (Type I) with scale `x_min > 0` and shape `alpha > 0`.
+    Pareto { x_min: f64, alpha: f64 },
+    /// Weighted mixture of component distributions.
+    ///
+    /// Weights need not sum to one; they are normalized at sampling time.
+    Mixture(Vec<(f64, Dist)>),
+}
+
+impl Dist {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match self {
+            Dist::Constant(c) => *c,
+            Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
+            Dist::Exponential { mean } => {
+                // Inverse-CDF; guard against ln(0).
+                let u = 1.0 - rng.f64();
+                -mean * u.ln()
+            }
+            Dist::Normal { mean, std_dev } => mean + std_dev * sample_standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
+            Dist::Pareto { x_min, alpha } => {
+                let u = 1.0 - rng.f64();
+                x_min / u.powf(1.0 / alpha)
+            }
+            Dist::Mixture(parts) => {
+                assert!(!parts.is_empty(), "empty mixture");
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                let mut pick = rng.f64() * total;
+                for (w, d) in parts {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        return d.sample(rng);
+                    }
+                }
+                parts.last().unwrap().1.sample(rng)
+            }
+        }
+    }
+
+    /// Draws one sample, clamped to `[lo, hi]`.
+    ///
+    /// Used where a physical quantity bounds an analytic distribution (e.g. a
+    /// flow count can be neither negative nor larger than the worker pool).
+    pub fn sample_clamped(&self, rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+
+    /// Draws a sample rounded to the nearest non-negative integer.
+    pub fn sample_count(&self, rng: &mut Rng) -> u64 {
+        self.sample(rng).round().max(0.0) as u64
+    }
+
+    /// Analytic mean, where it exists in closed form.
+    ///
+    /// Returns `None` for a Pareto with `alpha <= 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(c) => Some(*c),
+            Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
+            Dist::Exponential { mean } => Some(*mean),
+            Dist::Normal { mean, .. } => Some(*mean),
+            Dist::LogNormal { mu, sigma } => Some((mu + 0.5 * sigma * sigma).exp()),
+            Dist::Pareto { x_min, alpha } => {
+                if *alpha > 1.0 {
+                    Some(alpha * x_min / (alpha - 1.0))
+                } else {
+                    None
+                }
+            }
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                let mut acc = 0.0;
+                for (w, d) in parts {
+                    acc += w / total * d.mean()?;
+                }
+                Some(acc)
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (one variate per call; simple and branch-free
+/// enough for workload generation, which is not on the simulator hot path).
+fn sample_standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_always_constant() {
+        let d = Dist::Constant(3.25);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.25);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 6.0 };
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        assert!((mean_of(&d, 50_000, 3) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let d = Dist::Exponential { mean: 5.0 };
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+        assert!((mean_of(&d, 100_000, 5) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Dist::Normal { mean: 10.0, std_dev: 2.0 };
+        let m = mean_of(&d, 100_000, 6);
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        let mut rng = Rng::new(7);
+        let var: f64 = (0..100_000)
+            .map(|_| {
+                let x = d.sample(&mut rng) - 10.0;
+                x * x
+            })
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_matches_mean() {
+        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let mut rng = Rng::new(8);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+        let expected = d.mean().unwrap();
+        assert!((mean_of(&d, 200_000, 9) - expected).abs() < 0.02);
+    }
+
+    #[test]
+    fn pareto_respects_x_min() {
+        let d = Dist::Pareto { x_min: 1.5, alpha: 2.5 };
+        let mut rng = Rng::new(10);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.5);
+        }
+        let expected = d.mean().unwrap();
+        assert!((mean_of(&d, 200_000, 11) - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn pareto_heavy_tail_has_no_mean() {
+        let d = Dist::Pareto { x_min: 1.0, alpha: 0.9 };
+        assert!(d.mean().is_none());
+    }
+
+    #[test]
+    fn mixture_draws_from_both_modes() {
+        let d = Dist::Mixture(vec![
+            (1.0, Dist::Constant(0.0)),
+            (1.0, Dist::Constant(100.0)),
+        ]);
+        let mut rng = Rng::new(12);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            if d.sample(&mut rng) < 50.0 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        // Equal weights: roughly half each.
+        assert!(lo > 400 && hi > 400, "lo {lo} hi {hi}");
+        assert!((d.mean().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let d = Dist::Mixture(vec![
+            (9.0, Dist::Constant(1.0)),
+            (1.0, Dist::Constant(2.0)),
+        ]);
+        let m = mean_of(&d, 100_000, 13);
+        assert!((m - 1.1).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn sample_clamped_respects_bounds() {
+        let d = Dist::Normal { mean: 0.0, std_dev: 100.0 };
+        let mut rng = Rng::new(14);
+        for _ in 0..1000 {
+            let x = d.sample_clamped(&mut rng, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_count_never_negative() {
+        let d = Dist::Normal { mean: 0.0, std_dev: 5.0 };
+        let mut rng = Rng::new(15);
+        for _ in 0..1000 {
+            let _ = d.sample_count(&mut rng); // u64 by construction; just exercise it
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dist::Mixture(vec![
+            (0.3, Dist::Exponential { mean: 2.0 }),
+            (0.7, Dist::Pareto { x_min: 1.0, alpha: 3.0 }),
+        ]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dist = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

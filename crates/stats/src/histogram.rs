@@ -1,0 +1,170 @@
+//! Linear-bucket histograms.
+//!
+//! Used for coarse distributional views where a full [`crate::Cdf`] (which
+//! retains every sample) would be wasteful — e.g. per-flow in-flight bytes
+//! sampled every RTT across thousands of flows.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform-width buckets over `[lo, hi)` plus overflow and
+/// underflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` uniform buckets spanning `[lo, hi)`.
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "lo must be < hi");
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bucket `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(bucket_low_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+
+    /// Approximate percentile from bucket midpoints (nearest-rank over the
+    /// in-range mass; under/overflow clamp to the range edges).
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        let total = self.total();
+        assert!(total > 0, "percentile of empty histogram");
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_routes_to_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.5);
+        h.add(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0); // hi edge is exclusive -> overflow
+        h.add(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn iter_edges() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let edges: Vec<f64> = h.iter().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn percentile_midpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..90 {
+            h.add(1.5); // bucket 1, midpoint 1.5
+        }
+        for _ in 0..10 {
+            h.add(8.5); // bucket 8, midpoint 8.5
+        }
+        assert!((h.percentile(50.0) - 1.5).abs() < 1e-12);
+        assert!((h.percentile(99.0) - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_all_underflow_clamps_lo() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_percentile_panics() {
+        Histogram::new(0.0, 1.0, 2).percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_bounds_panic() {
+        Histogram::new(1.0, 1.0, 2);
+    }
+}

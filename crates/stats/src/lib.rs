@@ -1,0 +1,30 @@
+//! Statistical building blocks for the incast-bursts reproduction.
+//!
+//! Everything in this crate is deterministic: the random number generator is a
+//! seeded [xoshiro256\*\*](https://prng.di.unimi.it/) implemented locally so that
+//! experiment outputs are bit-reproducible regardless of external crate versions.
+//!
+//! The crate provides:
+//!
+//! - [`Rng`]: the seeded generator used by every stochastic component,
+//! - [`dist`]: samplable probability distributions (uniform, exponential,
+//!   normal, log-normal, Pareto, and weighted mixtures),
+//! - [`Cdf`]: empirical cumulative distribution functions with percentile
+//!   queries, used to regenerate the paper's CDF figures,
+//! - [`TimeSeries`]: fixed-interval time-series buckets,
+//! - [`Histogram`]: simple linear-bucket histograms,
+//! - [`summary`]: scalar summary statistics (mean, variance, percentiles).
+
+pub mod cdf;
+pub mod dist;
+pub mod histogram;
+pub mod rng;
+pub mod summary;
+pub mod timeseries;
+
+pub use cdf::Cdf;
+pub use dist::Dist;
+pub use histogram::Histogram;
+pub use rng::Rng;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

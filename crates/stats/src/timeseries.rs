@@ -1,0 +1,195 @@
+//! Fixed-interval time-series buckets.
+//!
+//! The paper's Fig. 1 panels and Fig. 5–7 queue traces are all quantities
+//! sampled or accumulated on a fixed grid (1 ms for host measurements,
+//! finer for queue traces). [`TimeSeries`] is that grid: values are added at
+//! a time offset and land in `floor(t / interval)` buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// A time series of `f64` values accumulated into fixed-width buckets.
+///
+/// Times are `u64` in any consistent unit (the simulator uses picoseconds,
+/// the sampler uses nanoseconds); the unit is the caller's contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    interval: u64,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width. Panics if zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "zero bucket interval");
+        Self {
+            interval,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Index of the bucket containing time `t`.
+    pub fn bucket_of(&self, t: u64) -> usize {
+        (t / self.interval) as usize
+    }
+
+    fn grow_to(&mut self, idx: usize) {
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+    }
+
+    /// Adds `value` into the bucket containing `t`.
+    pub fn accumulate(&mut self, t: u64, value: f64) {
+        let idx = self.bucket_of(t);
+        self.grow_to(idx);
+        self.buckets[idx] += value;
+    }
+
+    /// Records the max of the current bucket value and `value` at `t`
+    /// (for watermark-style series).
+    pub fn record_max(&mut self, t: u64, value: f64) {
+        let idx = self.bucket_of(t);
+        self.grow_to(idx);
+        self.buckets[idx] = self.buckets[idx].max(value);
+    }
+
+    /// Number of buckets (highest touched bucket + 1).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if no bucket was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Value of bucket `idx` (0.0 beyond the touched range).
+    pub fn get(&self, idx: usize) -> f64 {
+        self.buckets.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// All bucket values.
+    pub fn values(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Iterator of `(bucket_start_time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i as u64 * self.interval, v))
+    }
+
+    /// Pads the series with zero buckets out to `end_time` (exclusive), so a
+    /// quiet tail still appears in plots and averages.
+    pub fn pad_until(&mut self, end_time: u64) {
+        if end_time == 0 {
+            return;
+        }
+        let idx = self.bucket_of(end_time - 1);
+        self.grow_to(idx);
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean bucket value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.total() / self.buckets.len() as f64
+        }
+    }
+
+    /// Maximum bucket value (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.buckets.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_lands_in_right_bucket() {
+        let mut ts = TimeSeries::new(10);
+        ts.accumulate(0, 1.0);
+        ts.accumulate(9, 1.0);
+        ts.accumulate(10, 5.0);
+        ts.accumulate(25, 2.0);
+        assert_eq!(ts.get(0), 2.0);
+        assert_eq!(ts.get(1), 5.0);
+        assert_eq!(ts.get(2), 2.0);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn record_max_keeps_largest() {
+        let mut ts = TimeSeries::new(10);
+        ts.record_max(3, 5.0);
+        ts.record_max(7, 2.0);
+        ts.record_max(8, 9.0);
+        assert_eq!(ts.get(0), 9.0);
+    }
+
+    #[test]
+    fn get_beyond_range_is_zero() {
+        let ts = TimeSeries::new(10);
+        assert_eq!(ts.get(100), 0.0);
+    }
+
+    #[test]
+    fn pad_until_extends_with_zeros() {
+        let mut ts = TimeSeries::new(10);
+        ts.accumulate(5, 1.0);
+        ts.pad_until(45);
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.get(4), 0.0);
+        // Padding to an exact bucket boundary must not add an extra bucket.
+        let mut ts2 = TimeSeries::new(10);
+        ts2.pad_until(30);
+        assert_eq!(ts2.len(), 3);
+    }
+
+    #[test]
+    fn pad_until_zero_is_noop() {
+        let mut ts = TimeSeries::new(10);
+        ts.pad_until(0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_bucket_start_times() {
+        let mut ts = TimeSeries::new(100);
+        ts.accumulate(150, 3.0);
+        let pts: Vec<_> = ts.iter().collect();
+        assert_eq!(pts, vec![(0, 0.0), (100, 3.0)]);
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let mut ts = TimeSeries::new(1);
+        for t in 0..4 {
+            ts.accumulate(t, (t + 1) as f64);
+        }
+        assert_eq!(ts.total(), 10.0);
+        assert_eq!(ts.mean(), 2.5);
+        assert_eq!(ts.max(), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_panics() {
+        TimeSeries::new(0);
+    }
+}

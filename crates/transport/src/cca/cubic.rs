@@ -1,0 +1,222 @@
+//! CUBIC congestion control (RFC 9438), simplified to the simulator's needs.
+//!
+//! Window growth follows `W(t) = C*(t - K)^3 + W_max` after a congestion
+//! event, with the standard constants `C = 0.4`, `beta = 0.7`, plus the
+//! Reno-friendly region. ECN-Echo is treated like loss (one reduction per
+//! window), as with a non-DCTCP stack on an ECN-enabled fabric. Included as
+//! a baseline: it shows how a general-purpose CCA fares under incast next to
+//! DCTCP.
+
+use super::{Cca, CcaCtx};
+use simnet::SimTime;
+
+const C: f64 = 0.4; // cubic scaling constant (MSS/sec^3 units)
+const BETA: f64 = 0.7; // multiplicative decrease factor
+
+/// CUBIC congestion control.
+#[derive(Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    w_max: f64,
+    /// Time of the last congestion event.
+    epoch_start: Option<SimTime>,
+    k: f64, // seconds to return to w_max
+    /// Reno-friendly estimate.
+    w_est: f64,
+    ecn_window_end: u64,
+}
+
+impl Cubic {
+    /// Creates CUBIC with the given initial window (bytes).
+    pub fn new(init_cwnd: u64) -> Self {
+        Cubic {
+            cwnd: init_cwnd as f64,
+            ssthresh: f64::INFINITY,
+            w_max: init_cwnd as f64,
+            epoch_start: None,
+            k: 0.0,
+            w_est: init_cwnd as f64,
+            ecn_window_end: 0,
+        }
+    }
+
+    fn clamp(&mut self, min_cwnd: u64) {
+        if self.cwnd < min_cwnd as f64 {
+            self.cwnd = min_cwnd as f64;
+        }
+    }
+
+    fn congestion_event(&mut self, ctx: &CcaCtx) {
+        self.w_max = self.cwnd;
+        self.cwnd *= BETA;
+        self.clamp(ctx.min_cwnd);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None; // re-derived on next growth ack
+        self.w_est = self.cwnd;
+    }
+
+    fn cubic_update(&mut self, ctx: &CcaCtx, newly_acked: u64) {
+        let mss = ctx.mss as f64;
+        let epoch = *self.epoch_start.get_or_insert_with(|| {
+            // K = cubic_root(W_max * (1 - beta) / C), windows in MSS units.
+            let wmax_mss = self.w_max / mss;
+            self.k = (wmax_mss * (1.0 - BETA) / C).cbrt();
+            self.w_est = self.cwnd;
+            ctx.now
+        });
+        let t = (ctx.now - epoch).as_secs_f64();
+        let target_mss = C * (t - self.k).powi(3) + self.w_max / mss;
+        let target = target_mss * mss;
+
+        // Reno-friendly region: grow at least like Reno would.
+        self.w_est += 0.5 * mss * newly_acked as f64 / self.cwnd.max(mss);
+        let target = target.max(self.w_est);
+
+        if target > self.cwnd {
+            // Approach the target gradually (per RFC: (target-cwnd)/cwnd per ACK).
+            self.cwnd += (target - self.cwnd) * (newly_acked as f64 / self.cwnd.max(mss));
+            if self.cwnd > target {
+                self.cwnd = target;
+            }
+        } else {
+            // Tiny growth to stay responsive near the plateau.
+            self.cwnd += mss * 0.01 * (newly_acked as f64 / self.cwnd.max(mss));
+        }
+    }
+}
+
+impl Cca for Cubic {
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn ssthresh(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &CcaCtx, newly_acked: u64, ece: bool, _rtt: Option<SimTime>) {
+        if ece {
+            if ctx.snd_una >= self.ecn_window_end {
+                self.congestion_event(ctx);
+                self.ecn_window_end = ctx.snd_nxt;
+            }
+            // No growth for the rest of the CWR window.
+            return;
+        }
+        if ctx.in_recovery || newly_acked == 0 || ctx.snd_una < self.ecn_window_end {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += newly_acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            self.cubic_update(ctx, newly_acked);
+        }
+        self.clamp(ctx.min_cwnd);
+    }
+
+    fn on_enter_recovery(&mut self, ctx: &CcaCtx) {
+        self.congestion_event(ctx);
+    }
+
+    fn on_timeout(&mut self, ctx: &CcaCtx) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(ctx.min_cwnd as f64);
+        self.cwnd = ctx.min_cwnd as f64;
+        self.epoch_start = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cca::{test_ctx, CcaCtx};
+
+    const MSS: u64 = 1446;
+
+    fn ctx_at(us: u64) -> CcaCtx {
+        let mut c = test_ctx(us);
+        c.snd_nxt = 10_000 * MSS;
+        c
+    }
+
+    #[test]
+    fn slow_start_until_first_event() {
+        let mut c = Cubic::new(2 * MSS);
+        c.on_ack(&ctx_at(0), 2 * MSS, false, None);
+        assert_eq!(c.cwnd(), 4 * MSS);
+    }
+
+    /// Floating-point equality helper: within one byte.
+    fn close(a: u64, b: u64) -> bool {
+        a.abs_diff(b) <= 1
+    }
+
+    #[test]
+    fn reduction_uses_beta() {
+        let mut c = Cubic::new(100 * MSS);
+        c.on_enter_recovery(&ctx_at(0));
+        assert!(close(c.cwnd(), 70 * MSS), "cwnd {}", c.cwnd());
+    }
+
+    #[test]
+    fn concave_growth_recovers_toward_w_max() {
+        let mut c = Cubic::new(100 * MSS);
+        let mut ctx = ctx_at(0);
+        ctx.snd_una = MSS;
+        c.on_enter_recovery(&ctx); // w_max = 100, cwnd = 70
+        // Feed ACKs over simulated seconds; cwnd should climb back near w_max.
+        for ms in 1..2000u64 {
+            let mut ctx = ctx_at(ms * 1000);
+            ctx.snd_una = ms * MSS;
+            c.on_ack(&ctx, MSS, false, None);
+        }
+        let cwnd = c.cwnd() as f64 / MSS as f64;
+        assert!(cwnd > 90.0, "cwnd only reached {cwnd} MSS");
+    }
+
+    #[test]
+    fn ecn_once_per_window() {
+        let mut c = Cubic::new(100 * MSS);
+        let mut ctx = ctx_at(0);
+        ctx.snd_una = MSS;
+        ctx.snd_nxt = 200 * MSS;
+        c.on_ack(&ctx, MSS, true, None);
+        let after = c.cwnd();
+        assert!(close(after, 70 * MSS), "cwnd {after}");
+        ctx.snd_una = 2 * MSS;
+        c.on_ack(&ctx, MSS, true, None);
+        assert_eq!(c.cwnd(), after, "second ECE in window ignored");
+    }
+
+    #[test]
+    fn timeout_collapses_to_floor() {
+        let mut c = Cubic::new(50 * MSS);
+        c.on_timeout(&ctx_at(0));
+        assert_eq!(c.cwnd(), MSS);
+        assert!(close(c.ssthresh(), 35 * MSS), "ssthresh {}", c.ssthresh());
+    }
+
+    #[test]
+    fn floor_enforced_under_repeated_ecn() {
+        let mut c = Cubic::new(2 * MSS);
+        for i in 0..20u64 {
+            let mut ctx = ctx_at(i * 100);
+            ctx.snd_una = i * 300 * MSS;
+            ctx.snd_nxt = ctx.snd_una + MSS;
+            c.on_ack(&ctx, MSS, true, None);
+        }
+        assert_eq!(c.cwnd(), MSS);
+    }
+}

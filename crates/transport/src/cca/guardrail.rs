@@ -1,0 +1,114 @@
+//! Congestion-window guardrail (a Section-5.1 mitigation prototype).
+//!
+//! The paper's discussion proposes "simple guardrails that prevent TCP from
+//! ramping up excessively during incast, maintaining responsiveness but
+//! limiting TCP's ability to use available bandwidth. Such guardrails would
+//! also limit queue growth during slow start."
+//!
+//! [`GuardrailDctcp`] is stock DCTCP with a hard ceiling on the congestion
+//! window. For an incast worker whose fair share of the bottleneck is small,
+//! a ceiling of a few segments removes both the straggler ramp-up between
+//! bursts and the slow-start overshoot at flow start, at the cost of capped
+//! single-flow throughput — exactly the trade-off the paper describes.
+
+use super::dctcp::Dctcp;
+use super::{Cca, CcaCtx};
+use simnet::SimTime;
+
+/// DCTCP with a hard congestion-window ceiling.
+#[derive(Debug)]
+pub struct GuardrailDctcp {
+    inner: Dctcp,
+    max_cwnd: u64,
+}
+
+impl GuardrailDctcp {
+    /// Creates the algorithm with a ceiling of `max_cwnd` bytes.
+    pub fn new(init_cwnd: u64, g: f64, max_cwnd: u64) -> Self {
+        assert!(max_cwnd > 0, "zero guardrail ceiling");
+        GuardrailDctcp {
+            inner: Dctcp::new(init_cwnd, g),
+            max_cwnd,
+        }
+    }
+
+    /// The configured ceiling in bytes.
+    pub fn ceiling(&self) -> u64 {
+        self.max_cwnd
+    }
+}
+
+impl Cca for GuardrailDctcp {
+    fn cwnd(&self) -> u64 {
+        self.inner.cwnd().min(self.max_cwnd)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.inner.ssthresh()
+    }
+
+    fn on_ack(&mut self, ctx: &CcaCtx, newly_acked: u64, ece: bool, rtt: Option<SimTime>) {
+        self.inner.on_ack(ctx, newly_acked, ece, rtt);
+    }
+
+    fn on_enter_recovery(&mut self, ctx: &CcaCtx) {
+        self.inner.on_enter_recovery(ctx);
+    }
+
+    fn on_timeout(&mut self, ctx: &CcaCtx) {
+        self.inner.on_timeout(ctx);
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp-guardrail"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cca::test_ctx;
+
+    const MSS: u64 = 1446;
+
+    #[test]
+    fn ceiling_caps_slow_start() {
+        let mut g = GuardrailDctcp::new(2 * MSS, 1.0 / 16.0, 8 * MSS);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 10_000 * MSS;
+        for i in 0..20u64 {
+            ctx.snd_una = i * 100 * MSS;
+            g.on_ack(&ctx, 100 * MSS, false, None);
+        }
+        assert_eq!(g.cwnd(), 8 * MSS, "window must never exceed the rail");
+        assert_eq!(g.ceiling(), 8 * MSS);
+    }
+
+    #[test]
+    fn below_ceiling_behaves_like_dctcp() {
+        let mut g = GuardrailDctcp::new(2 * MSS, 1.0 / 16.0, 100 * MSS);
+        let mut d = Dctcp::new(2 * MSS, 1.0 / 16.0);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 1000 * MSS;
+        for i in 0..5u64 {
+            ctx.snd_una = i * 4 * MSS;
+            g.on_ack(&ctx, 4 * MSS, i == 2, None);
+            d.on_ack(&ctx, 4 * MSS, i == 2, None);
+        }
+        assert_eq!(g.cwnd(), d.cwnd());
+    }
+
+    #[test]
+    fn reductions_pass_through() {
+        let mut g = GuardrailDctcp::new(50 * MSS, 1.0 / 16.0, 8 * MSS);
+        let ctx = test_ctx(0);
+        g.on_timeout(&ctx);
+        assert_eq!(g.cwnd(), MSS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ceiling_rejected() {
+        GuardrailDctcp::new(MSS, 0.0625, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cross-burst window memory (a Section-5.1 mitigation prototype).
+//!
+//! The paper observes (§4.3) that flows which straggle past the end of a
+//! burst ramp their window up on the momentarily idle link, "unlearning" the
+//! correct in-burst window, and then dump that inflated window into the next
+//! burst's first RTT. The discussion (§5.1) suggests TCP could "explicitly
+//! remember such observations during incast workloads".
+//!
+//! [`MemoryDctcp`] implements that idea: it tracks an EWMA of the window
+//! DCTCP actually operated at while data was flowing, and when the
+//! application starts a new burst after idle, it resumes from that
+//! remembered window instead of whatever the post-burst ramp-up left behind.
+//! Everything else is stock DCTCP.
+
+use super::dctcp::Dctcp;
+use super::{Cca, CcaCtx};
+use simnet::SimTime;
+
+/// DCTCP plus a remembered operating window restored at burst start.
+#[derive(Debug)]
+pub struct MemoryDctcp {
+    inner: Dctcp,
+    /// EWMA of observed in-burst cwnd (bytes); None until first sample.
+    remembered: Option<f64>,
+    gain: f64,
+    /// Override window applied at burst start; consumed by `cwnd()` until
+    /// the inner algorithm naturally falls below it.
+    cap: Option<u64>,
+}
+
+impl MemoryDctcp {
+    /// Creates the algorithm. `memory_gain` is the EWMA gain for the
+    /// remembered window (0 < gain <= 1; larger adapts faster).
+    pub fn new(init_cwnd: u64, g: f64, memory_gain: f64) -> Self {
+        assert!(
+            memory_gain > 0.0 && memory_gain <= 1.0,
+            "memory_gain out of (0,1]"
+        );
+        MemoryDctcp {
+            inner: Dctcp::new(init_cwnd, g),
+            remembered: None,
+            gain: memory_gain,
+            cap: None,
+        }
+    }
+
+    /// The remembered in-burst window, if any bursts have completed.
+    pub fn remembered(&self) -> Option<u64> {
+        self.remembered.map(|w| w as u64)
+    }
+}
+
+impl Cca for MemoryDctcp {
+    fn cwnd(&self) -> u64 {
+        let inner = self.inner.cwnd();
+        match self.cap {
+            Some(cap) => inner.min(cap),
+            None => inner,
+        }
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.inner.ssthresh()
+    }
+
+    fn on_ack(&mut self, ctx: &CcaCtx, newly_acked: u64, ece: bool, rtt: Option<SimTime>) {
+        self.inner.on_ack(ctx, newly_acked, ece, rtt);
+        // Drop the cap once the inner window is inside it: from then on the
+        // inner algorithm is authoritative again.
+        if let Some(cap) = self.cap {
+            if self.inner.cwnd() <= cap {
+                self.cap = None;
+            }
+        }
+        // Learn the operating window while data is flowing (only count acks
+        // that move data; pure dupacks say nothing about the good window).
+        if newly_acked > 0 {
+            let observed = self.cwnd() as f64;
+            self.remembered = Some(match self.remembered {
+                None => observed,
+                Some(prev) => (1.0 - self.gain) * prev + self.gain * observed,
+            });
+        }
+    }
+
+    fn on_enter_recovery(&mut self, ctx: &CcaCtx) {
+        self.inner.on_enter_recovery(ctx);
+    }
+
+    fn on_timeout(&mut self, ctx: &CcaCtx) {
+        self.cap = None;
+        self.inner.on_timeout(ctx);
+    }
+
+    fn on_burst_start(&mut self, ctx: &CcaCtx) {
+        if let Some(rem) = self.remembered {
+            let target = (rem as u64).max(ctx.min_cwnd);
+            if self.inner.cwnd() > target {
+                // Resume at the remembered window rather than the
+                // straggler-inflated one.
+                self.cap = Some(target);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp-memory"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cca::test_ctx;
+
+    const MSS: u64 = 1446;
+
+    #[test]
+    fn learns_operating_window() {
+        let mut m = MemoryDctcp::new(4 * MSS, 1.0 / 16.0, 1.0);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 1000 * MSS;
+        m.on_ack(&ctx, 0, false, None);
+        assert_eq!(m.remembered(), None, "dupacks teach nothing");
+        m.on_ack(&ctx, MSS, false, None);
+        assert!(m.remembered().is_some());
+    }
+
+    #[test]
+    fn burst_start_caps_inflated_window() {
+        let mut m = MemoryDctcp::new(4 * MSS, 1.0 / 16.0, 0.25);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 1000 * MSS;
+        // Straggler phase: slow start inflates the inner window.
+        for i in 0..10u64 {
+            ctx.snd_una = (i + 1) * 50 * MSS;
+            m.on_ack(&ctx, 50 * MSS, false, None);
+        }
+        let inflated = m.inner.cwnd();
+        assert!(inflated > 100 * MSS);
+        // Suppose the burst-time operating window was small.
+        m.remembered = Some(5.0 * MSS as f64);
+        // New burst: resume near the remembered window, not the inflated one.
+        m.on_burst_start(&ctx);
+        assert_eq!(m.cwnd(), 5 * MSS);
+        assert!(m.cwnd() < inflated);
+    }
+
+    #[test]
+    fn slow_memory_gain_resists_brief_ramp() {
+        // A long burst at ~4 MSS followed by a brief 3-ack ramp to a large
+        // window: the EWMA must stay well below the ramp peak.
+        let mut m = MemoryDctcp::new(4 * MSS, 1.0 / 16.0, 0.05);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = u64::MAX / 2;
+        m.inner = Dctcp::new(4 * MSS, 1.0 / 16.0);
+        for i in 0..200u64 {
+            ctx.snd_una = i * MSS;
+            // Marks keep the inner window pinned small during the burst.
+            m.on_ack(&ctx, MSS, true, None);
+        }
+        let in_burst = m.remembered().unwrap();
+        for i in 0..3u64 {
+            ctx.snd_una = (200 + i * 50) * MSS;
+            m.on_ack(&ctx, 50 * MSS, false, None);
+        }
+        let after_ramp = m.remembered().unwrap();
+        assert!(
+            after_ramp < in_burst + 60 * MSS,
+            "memory moved too fast: {in_burst} -> {after_ramp}"
+        );
+    }
+
+    #[test]
+    fn cap_lifts_once_inner_converges_below() {
+        let mut m = MemoryDctcp::new(100 * MSS, 1.0 / 16.0, 1.0);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 1000 * MSS;
+        m.on_ack(&ctx, MSS, false, None); // remember ~100 MSS... but
+        m.remembered = Some(4.0 * MSS as f64); // force a small memory
+        m.on_burst_start(&ctx);
+        assert_eq!(m.cwnd(), 4 * MSS);
+        // Marks crush the inner window below the cap -> cap removed.
+        m.inner = Dctcp::new(2 * MSS, 1.0 / 16.0);
+        m.on_ack(&ctx, MSS, false, None);
+        assert!(m.cap.is_none());
+    }
+
+    #[test]
+    fn no_memory_no_cap() {
+        let mut m = MemoryDctcp::new(50 * MSS, 1.0 / 16.0, 0.5);
+        let ctx = test_ctx(0);
+        m.on_burst_start(&ctx);
+        assert_eq!(m.cwnd(), 50 * MSS);
+    }
+
+    #[test]
+    fn timeout_clears_cap() {
+        let mut m = MemoryDctcp::new(50 * MSS, 1.0 / 16.0, 0.5);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 100 * MSS;
+        m.on_ack(&ctx, MSS, false, None);
+        m.remembered = Some(2.0 * MSS as f64);
+        m.on_burst_start(&ctx);
+        assert!(m.cap.is_some());
+        m.on_timeout(&ctx);
+        assert!(m.cap.is_none());
+        assert_eq!(m.cwnd(), MSS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gain_rejected() {
+        MemoryDctcp::new(MSS, 0.0625, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! TCP Reno/NewReno congestion control (RFC 5681) with conventional ECN
+//! response (RFC 3168: treat ECN-Echo like loss, once per window).
+//!
+//! Included as the classic baseline the paper's cited incast literature
+//! (e.g. the FAST '08 throughput-collapse study) was built on.
+
+use super::{Cca, CcaCtx};
+use simnet::SimTime;
+
+/// Reno congestion control.
+#[derive(Debug)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+    /// End of the current "reaction window" for ECN (one cut per window).
+    ecn_window_end: u64,
+}
+
+impl Reno {
+    /// Creates Reno with the given initial window (bytes).
+    pub fn new(init_cwnd: u64) -> Self {
+        Reno {
+            cwnd: init_cwnd as f64,
+            ssthresh: f64::INFINITY,
+            ecn_window_end: 0,
+        }
+    }
+
+    fn clamp(&mut self, min_cwnd: u64) {
+        if self.cwnd < min_cwnd as f64 {
+            self.cwnd = min_cwnd as f64;
+        }
+    }
+}
+
+impl Cca for Reno {
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn ssthresh(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &CcaCtx, newly_acked: u64, ece: bool, _rtt: Option<SimTime>) {
+        if ece {
+            if ctx.snd_una >= self.ecn_window_end {
+                // RFC 3168: one halving per window on ECN.
+                self.cwnd /= 2.0;
+                self.clamp(ctx.min_cwnd);
+                self.ssthresh = self.cwnd;
+                self.ecn_window_end = ctx.snd_nxt;
+            }
+            // No growth for the rest of the CWR window.
+            return;
+        }
+        if ctx.in_recovery || ctx.snd_una < self.ecn_window_end {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += newly_acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Increment capped at acked bytes (sane for sub-MSS windows).
+            let inc = (ctx.mss as f64) * (newly_acked as f64) / self.cwnd;
+            self.cwnd += inc.min(newly_acked as f64);
+        }
+    }
+
+    fn on_enter_recovery(&mut self, ctx: &CcaCtx) {
+        self.cwnd /= 2.0;
+        self.clamp(ctx.min_cwnd);
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_timeout(&mut self, ctx: &CcaCtx) {
+        self.ssthresh = (self.cwnd / 2.0).max(ctx.min_cwnd as f64);
+        self.cwnd = ctx.min_cwnd as f64;
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cca::test_ctx;
+
+    const MSS: u64 = 1446;
+
+    #[test]
+    fn slow_start_exponential() {
+        let mut r = Reno::new(2 * MSS);
+        let mut ctx = test_ctx(0);
+        ctx.snd_nxt = 100 * MSS;
+        r.on_ack(&ctx, 2 * MSS, false, None);
+        assert_eq!(r.cwnd(), 4 * MSS);
+        r.on_ack(&ctx, 4 * MSS, false, None);
+        assert_eq!(r.cwnd(), 8 * MSS);
+    }
+
+    #[test]
+    fn slow_start_capped_at_ssthresh() {
+        let mut r = Reno::new(2 * MSS);
+        r.ssthresh = 5.0 * MSS as f64;
+        let ctx = test_ctx(0);
+        r.on_ack(&ctx, 100 * MSS, false, None);
+        assert_eq!(r.cwnd(), 5 * MSS);
+    }
+
+    #[test]
+    fn ecn_halves_once_per_window() {
+        let mut r = Reno::new(40 * MSS);
+        let mut ctx = test_ctx(0);
+        ctx.snd_una = 10 * MSS;
+        ctx.snd_nxt = 50 * MSS;
+        r.on_ack(&ctx, MSS, true, None);
+        assert_eq!(r.cwnd(), 20 * MSS);
+        // Same window: ignored.
+        ctx.snd_una = 12 * MSS;
+        r.on_ack(&ctx, MSS, true, None);
+        assert_eq!(r.cwnd(), 20 * MSS);
+        // Next window: cuts again.
+        ctx.snd_una = 50 * MSS;
+        ctx.snd_nxt = 80 * MSS;
+        r.on_ack(&ctx, MSS, true, None);
+        assert_eq!(r.cwnd(), 10 * MSS);
+    }
+
+    #[test]
+    fn recovery_and_timeout() {
+        let mut r = Reno::new(16 * MSS);
+        let ctx = test_ctx(0);
+        r.on_enter_recovery(&ctx);
+        assert_eq!(r.cwnd(), 8 * MSS);
+        r.on_timeout(&ctx);
+        assert_eq!(r.cwnd(), MSS);
+        assert_eq!(r.ssthresh(), 4 * MSS);
+    }
+
+    #[test]
+    fn floor_enforced() {
+        let mut r = Reno::new(MSS);
+        let mut ctx = test_ctx(0);
+        for i in 0..10u64 {
+            ctx.snd_una = i * 100 * MSS;
+            ctx.snd_nxt = ctx.snd_una + MSS;
+            r.on_ack(&ctx, MSS, true, None);
+        }
+        assert_eq!(r.cwnd(), MSS);
+    }
+}

@@ -1,0 +1,190 @@
+//! Transport configuration.
+
+use crate::cca::CcaKind;
+use serde::{Deserialize, Serialize};
+use simnet::{SimTime, DEFAULT_MSS};
+
+/// Delayed acknowledgment behavior.
+///
+/// The paper disables delayed ACKs in its simulations "because it
+/// exacerbates burstiness and masks the impact of DCTCP's congestion
+/// control" (§4); we default to disabled and ablate the choice (bench
+/// `ablation_delack`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DelayedAckConfig {
+    /// ACK at latest after this many full-size segments (2 is standard).
+    pub max_segments: u32,
+    /// ACK at latest after this delay.
+    pub timeout: SimTime,
+}
+
+impl Default for DelayedAckConfig {
+    fn default() -> Self {
+        DelayedAckConfig {
+            max_segments: 2,
+            timeout: SimTime::from_ms(1),
+        }
+    }
+}
+
+/// Static configuration shared by every connection on a host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in payload bytes (1446 → 1500 B frames).
+    pub mss: u32,
+    /// Initial congestion window in segments (RFC 6928's 10).
+    pub init_cwnd_segs: u32,
+    /// Congestion window floor in segments. The paper's analysis hinges on
+    /// this floor being 1 MSS (§4.1.2: the "degenerate point").
+    pub min_cwnd_segs: u32,
+    /// Congestion control algorithm.
+    pub cca: CcaKind,
+    /// RTO before any RTT sample (RFC 6298: 1 s).
+    pub initial_rto: SimTime,
+    /// RTO floor. 200 ms (the Linux default) reproduces the paper's Mode 3
+    /// burst completion times.
+    pub min_rto: SimTime,
+    /// RTO ceiling.
+    pub max_rto: SimTime,
+    /// Delayed ACKs; `None` acknowledges every data segment immediately.
+    pub delayed_ack: Option<DelayedAckConfig>,
+    /// If set, each sender records its in-flight bytes into fixed-interval
+    /// buckets (drives the paper's Fig. 7).
+    pub flight_sample_interval: Option<SimTime>,
+    /// Swift-style pacing mode (the paper's §5.2 discussion): when the
+    /// congestion window falls below 1 MSS, the sender transmits one
+    /// packet every `RTT x MSS / cwnd` instead of clamping at the 1-MSS
+    /// floor. Enables O(10k)-flow incasts at the cost of infrequent
+    /// per-flow transmissions. `None` is classic window mode.
+    pub pacing: Option<PacingConfig>,
+    /// RFC 2861-style congestion window validation: when a new burst of
+    /// demand arrives after the connection has been idle longer than this,
+    /// the window restarts from the initial window. Linux enables this by
+    /// default (`tcp_slow_start_after_idle`, idle > RTO); the paper's §4.3
+    /// straggler pathology exists precisely because millisecond inter-burst
+    /// gaps are far below any such threshold. `None` disables (the paper's
+    /// simulation behavior).
+    pub idle_restart_after: Option<SimTime>,
+}
+
+impl Default for TcpConfig {
+    /// The paper's Section 4 endpoint configuration: DCTCP with g = 1/16,
+    /// CWND floor of 1 MSS, delayed ACKs off, 200 ms minimum RTO.
+    fn default() -> Self {
+        TcpConfig {
+            mss: DEFAULT_MSS,
+            init_cwnd_segs: 10,
+            min_cwnd_segs: 1,
+            cca: CcaKind::default(),
+            initial_rto: SimTime::from_secs(1),
+            min_rto: SimTime::from_ms(200),
+            max_rto: SimTime::from_secs(60),
+            delayed_ack: None,
+            flight_sample_interval: None,
+            pacing: None,
+            idle_restart_after: None,
+        }
+    }
+}
+
+/// Swift-style pacing parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PacingConfig {
+    /// The window floor as a fraction of MSS (Swift's minimum congestion
+    /// window is effectively `1/num_rtts_between_packets`).
+    pub min_cwnd_fraction: f64,
+}
+
+impl Default for PacingConfig {
+    fn default() -> Self {
+        // One packet every up to 16 RTTs.
+        PacingConfig {
+            min_cwnd_fraction: 1.0 / 16.0,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// MSS in bytes as u64.
+    pub fn mss_bytes(&self) -> u64 {
+        self.mss as u64
+    }
+
+    /// Congestion window floor in bytes.
+    pub fn min_cwnd_bytes(&self) -> u64 {
+        self.min_cwnd_segs as u64 * self.mss_bytes()
+    }
+
+    /// Initial congestion window in bytes.
+    pub fn init_cwnd_bytes(&self) -> u64 {
+        self.init_cwnd_segs as u64 * self.mss_bytes()
+    }
+
+    /// Validates invariants (positive MSS, floor <= initial window, sane
+    /// RTO ordering). Call after hand-constructing a config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.min_cwnd_segs == 0 {
+            return Err("min_cwnd_segs must be at least 1".into());
+        }
+        if self.init_cwnd_segs < self.min_cwnd_segs {
+            return Err("init_cwnd below min_cwnd".into());
+        }
+        if self.min_rto > self.max_rto {
+            return Err("min_rto exceeds max_rto".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1446);
+        assert_eq!(c.min_cwnd_segs, 1);
+        assert_eq!(c.min_rto, SimTime::from_ms(200));
+        assert!(c.delayed_ack.is_none());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn byte_helpers() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss_bytes(), 1446);
+        assert_eq!(c.min_cwnd_bytes(), 1446);
+        assert_eq!(c.init_cwnd_bytes(), 14460);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = TcpConfig::default();
+        c.mss = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::default();
+        c.min_cwnd_segs = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::default();
+        c.init_cwnd_segs = 1;
+        c.min_cwnd_segs = 4;
+        assert!(c.validate().is_err());
+
+        let mut c = TcpConfig::default();
+        c.min_rto = SimTime::from_secs(100);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn delayed_ack_defaults() {
+        let d = DelayedAckConfig::default();
+        assert_eq!(d.max_segments, 2);
+        assert_eq!(d.timeout, SimTime::from_ms(1));
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-host TCP demultiplexer and the application interface.
+//!
+//! [`TcpHost`] is the [`simnet::Endpoint`] a host runs: it owns every
+//! sending and receiving connection terminating at the host and dispatches
+//! packets and timers to them. Application logic (the workload crate's
+//! coordinators and workers) plugs in as a [`TcpApp`] and acts through a
+//! [`TcpApi`] — opening connections, adding demand, sending request
+//! messages, and arming its own timers.
+
+use crate::config::TcpConfig;
+use crate::keys::{self, TimerKind};
+use crate::receiver::Receiver;
+use crate::sender::{AckOutcome, Sender};
+use simnet::{Ctx, Endpoint, FlowId, NodeId, Packet, PacketKind, SimTime};
+use std::collections::HashMap;
+
+/// Connection tables and configuration for one host.
+#[derive(Debug)]
+pub struct HostCore {
+    cfg: TcpConfig,
+    senders: HashMap<FlowId, Sender>,
+    receivers: HashMap<FlowId, Receiver>,
+    /// Packets for unknown flows (should stay zero in healthy runs).
+    pub stray_packets: u64,
+}
+
+impl HostCore {
+    fn new(cfg: TcpConfig) -> Self {
+        cfg.validate().expect("invalid TcpConfig");
+        HostCore {
+            cfg,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            stray_packets: 0,
+        }
+    }
+
+    /// The host's transport configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// A sending connection, if open.
+    pub fn sender(&self, flow: FlowId) -> Option<&Sender> {
+        self.senders.get(&flow)
+    }
+
+    /// A receiving connection, if open.
+    pub fn receiver(&self, flow: FlowId) -> Option<&Receiver> {
+        self.receivers.get(&flow)
+    }
+
+    /// Iterates all sending connections.
+    pub fn senders(&self) -> impl Iterator<Item = (&FlowId, &Sender)> {
+        self.senders.iter()
+    }
+
+    /// Iterates all receiving connections.
+    pub fn receivers(&self) -> impl Iterator<Item = (&FlowId, &Receiver)> {
+        self.receivers.iter()
+    }
+}
+
+/// Application logic running over a [`TcpHost`].
+///
+/// All callbacks receive a [`TcpApi`] giving access to simulated time, the
+/// connection tables, and actions.
+pub trait TcpApp {
+    /// Simulation start.
+    fn on_start(&mut self, _api: &mut TcpApi) {}
+    /// A control (request) message arrived, e.g. a coordinator's demand.
+    fn on_ctrl(&mut self, _api: &mut TcpApi, _from: NodeId, _flow: FlowId, _demand: u64, _burst: u64) {
+    }
+    /// In-order data arrived on a receiving connection.
+    fn on_receive(&mut self, _api: &mut TcpApi, _flow: FlowId, _newly: u64, _total: u64) {}
+    /// Every byte of a sending connection's demand has been acknowledged.
+    fn on_all_acked(&mut self, _api: &mut TcpApi, _flow: FlowId) {}
+    /// An application timer (set via [`TcpApi::set_app_timer`]) fired.
+    fn on_app_timer(&mut self, _api: &mut TcpApi, _id: u64) {}
+}
+
+/// The application's handle to the host and simulator during a callback.
+pub struct TcpApi<'a, 'c> {
+    ctx: &'a mut Ctx<'c>,
+    core: &'a mut HostCore,
+}
+
+impl<'a, 'c> TcpApi<'a, 'c> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// This host's node id.
+    pub fn node(&self) -> NodeId {
+        self.ctx.node()
+    }
+
+    /// Read access to the connection tables.
+    pub fn core(&self) -> &HostCore {
+        self.core
+    }
+
+    /// Opens (or reuses) a sending connection of `flow` toward `peer`.
+    pub fn open_sender(&mut self, flow: FlowId, peer: NodeId) {
+        let cfg = &self.core.cfg;
+        self.core
+            .senders
+            .entry(flow)
+            .or_insert_with(|| Sender::new(flow, peer, cfg));
+    }
+
+    /// Appends `bytes` of demand on an open sending connection.
+    ///
+    /// Panics if the flow was never opened.
+    pub fn add_demand(&mut self, flow: FlowId, bytes: u64) {
+        let tx = self
+            .core
+            .senders
+            .get_mut(&flow)
+            .unwrap_or_else(|| panic!("add_demand on unopened flow {flow}"));
+        tx.add_demand(self.ctx, bytes);
+    }
+
+    /// Sends an application control message (a request) to `peer`.
+    pub fn send_ctrl(&mut self, peer: NodeId, flow: FlowId, demand: u64, burst: u64) {
+        let pkt = Packet::ctrl(flow, self.ctx.node(), peer, demand, burst);
+        self.ctx.send(pkt);
+    }
+
+    /// Arms application timer `id` at absolute time `at`.
+    pub fn set_app_timer(&mut self, id: u64, at: SimTime) {
+        self.ctx.set_timer(keys::app_key(id), at);
+    }
+
+    /// Arms application timer `id` to fire `delay` from now.
+    pub fn set_app_timer_after(&mut self, id: u64, delay: SimTime) {
+        self.ctx.set_timer_after(keys::app_key(id), delay);
+    }
+
+    /// Disarms application timer `id`.
+    pub fn cancel_app_timer(&mut self, id: u64) {
+        self.ctx.cancel_timer(keys::app_key(id));
+    }
+}
+
+/// A `Shared<T>` application delegates to the wrapped app, so callers can
+/// keep a handle and read application state after the simulation run.
+impl<T: TcpApp> TcpApp for simnet::Shared<T> {
+    fn on_start(&mut self, api: &mut TcpApi) {
+        self.borrow_mut().on_start(api);
+    }
+    fn on_ctrl(&mut self, api: &mut TcpApi, from: NodeId, flow: FlowId, demand: u64, burst: u64) {
+        self.borrow_mut().on_ctrl(api, from, flow, demand, burst);
+    }
+    fn on_receive(&mut self, api: &mut TcpApi, flow: FlowId, newly: u64, total: u64) {
+        self.borrow_mut().on_receive(api, flow, newly, total);
+    }
+    fn on_all_acked(&mut self, api: &mut TcpApi, flow: FlowId) {
+        self.borrow_mut().on_all_acked(api, flow);
+    }
+    fn on_app_timer(&mut self, api: &mut TcpApi, id: u64) {
+        self.borrow_mut().on_app_timer(api, id);
+    }
+}
+
+/// The per-host TCP endpoint.
+pub struct TcpHost {
+    core: HostCore,
+    app: Option<Box<dyn TcpApp>>,
+}
+
+impl TcpHost {
+    /// Creates a host running `app` with the given transport configuration.
+    pub fn new(cfg: TcpConfig, app: Box<dyn TcpApp>) -> Self {
+        TcpHost {
+            core: HostCore::new(cfg),
+            app: Some(app),
+        }
+    }
+
+    /// Connection tables (for post-run statistics).
+    pub fn core(&self) -> &HostCore {
+        &self.core
+    }
+
+    fn with_app<F>(&mut self, ctx: &mut Ctx, f: F)
+    where
+        F: FnOnce(&mut dyn TcpApp, &mut TcpApi),
+    {
+        let mut app = self.app.take().expect("app re-entered");
+        {
+            let mut api = TcpApi {
+                ctx,
+                core: &mut self.core,
+            };
+            f(app.as_mut(), &mut api);
+        }
+        self.app = Some(app);
+    }
+}
+
+impl Endpoint for TcpHost {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.with_app(ctx, |app, api| app.on_start(api));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data {
+                seq, payload, ts, ..
+            } => {
+                let cfg = &self.core.cfg;
+                let rx = self
+                    .core
+                    .receivers
+                    .entry(pkt.flow)
+                    .or_insert_with(|| Receiver::new(pkt.flow, pkt.src, cfg));
+                let newly = rx.on_data(ctx, seq, payload, pkt.is_ce(), ts);
+                let total = rx.delivered();
+                if newly > 0 {
+                    self.with_app(ctx, |app, api| app.on_receive(api, pkt.flow, newly, total));
+                }
+            }
+            PacketKind::Ack { ack, ece, ts_echo } => {
+                match self.core.senders.get_mut(&pkt.flow) {
+                    Some(tx) => {
+                        if tx.on_ack(ctx, ack, ece, ts_echo) == AckOutcome::AllAcked {
+                            self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
+                        }
+                    }
+                    None => self.core.stray_packets += 1,
+                }
+            }
+            PacketKind::Ctrl { demand, burst } => {
+                self.with_app(ctx, |app, api| {
+                    app.on_ctrl(api, pkt.src, pkt.flow, demand, burst)
+                });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
+        match keys::decode(key) {
+            TimerKind::Rto(flow) => {
+                if let Some(tx) = self.core.senders.get_mut(&flow) {
+                    tx.on_rto(ctx);
+                }
+            }
+            TimerKind::Delack(flow) => {
+                if let Some(rx) = self.core.receivers.get_mut(&flow) {
+                    rx.on_delack_timer(ctx);
+                }
+            }
+            TimerKind::Pace(flow) => {
+                if let Some(tx) = self.core.senders.get_mut(&flow) {
+                    tx.on_pace(ctx);
+                }
+            }
+            TimerKind::App(id) => {
+                self.with_app(ctx, |app, api| app.on_app_timer(api, id));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpHost")
+            .field("senders", &self.core.senders.len())
+            .field("receivers", &self.core.receivers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{build_dumbbell, Shared};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Worker: on ctrl, opens a sender back to the coordinator and sends.
+    struct Worker;
+    impl TcpApp for Worker {
+        fn on_ctrl(&mut self, api: &mut TcpApi, from: NodeId, flow: FlowId, demand: u64, _b: u64) {
+            api.open_sender(flow, from);
+            api.add_demand(flow, demand);
+        }
+    }
+
+    /// Coordinator: requests `demand` bytes from each worker at start,
+    /// records per-flow delivery and completion time.
+    struct Coordinator {
+        workers: Vec<NodeId>,
+        demand: u64,
+        received: Rc<RefCell<HashMap<FlowId, u64>>>,
+        done_at: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl TcpApp for Coordinator {
+        fn on_start(&mut self, api: &mut TcpApi) {
+            for (i, &w) in self.workers.iter().enumerate() {
+                api.send_ctrl(w, FlowId(i as u32), self.demand, 0);
+            }
+        }
+        fn on_receive(&mut self, api: &mut TcpApi, flow: FlowId, _newly: u64, total: u64) {
+            self.received.borrow_mut().insert(flow, total);
+            let all = self
+                .received
+                .borrow()
+                .values()
+                .filter(|&&t| t >= self.demand)
+                .count();
+            if all == self.workers.len() {
+                *self.done_at.borrow_mut() = Some(api.now());
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_incast_completes() {
+        let mut fabric = build_dumbbell(4, 1);
+        let rx = fabric.receivers[0];
+        let received = Rc::new(RefCell::new(HashMap::new()));
+        let done = Rc::new(RefCell::new(None));
+
+        for &s in &fabric.senders {
+            fabric.sim.set_endpoint(
+                s,
+                Box::new(TcpHost::new(TcpConfig::default(), Box::new(Worker))),
+            );
+        }
+        let coord = TcpHost::new(
+            TcpConfig::default(),
+            Box::new(Coordinator {
+                workers: fabric.senders.clone(),
+                demand: 50_000,
+                received: received.clone(),
+                done_at: done.clone(),
+            }),
+        );
+        let coord = Shared::new(coord);
+        let handle = coord.handle();
+        fabric.sim.set_endpoint(rx, Box::new(coord));
+        fabric.sim.run();
+
+        assert!(done.borrow().is_some(), "incast never completed");
+        for (_, &total) in received.borrow().iter() {
+            assert_eq!(total, 50_000);
+        }
+        // All four receiving connections exist on the coordinator and
+        // delivered everything.
+        let host = handle.borrow();
+        assert_eq!(host.core().receivers().count(), 4);
+        for (_, rx) in host.core().receivers() {
+            assert_eq!(rx.delivered(), 50_000);
+        }
+        assert_eq!(host.core().stray_packets, 0);
+    }
+
+    #[test]
+    fn sender_side_stats_visible_after_run() {
+        let mut fabric = build_dumbbell(1, 2);
+        let rx = fabric.receivers[0];
+        let received = Rc::new(RefCell::new(HashMap::new()));
+        let done = Rc::new(RefCell::new(None));
+
+        let worker = Shared::new(TcpHost::new(TcpConfig::default(), Box::new(Worker)));
+        let wh = worker.handle();
+        fabric.sim.set_endpoint(fabric.senders[0], Box::new(worker));
+        fabric.sim.set_endpoint(
+            rx,
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(Coordinator {
+                    workers: fabric.senders.clone(),
+                    demand: 20_000,
+                    received: received.clone(),
+                    done_at: done.clone(),
+                }),
+            )),
+        );
+        fabric.sim.run();
+
+        let host = wh.borrow();
+        let (_, tx) = host.core().senders().next().expect("sender exists");
+        assert_eq!(tx.stats().bytes_acked, 20_000);
+        assert_eq!(tx.stats().demand_bytes, 20_000);
+        assert!(tx.is_idle());
+        assert!(tx.srtt().is_some(), "rtt was sampled");
+        // Uncongested single flow: no retransmissions.
+        assert_eq!(tx.stats().bytes_retx, 0);
+        assert_eq!(tx.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn app_timers_dispatch() {
+        struct TimerApp {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl TcpApp for TimerApp {
+            fn on_start(&mut self, api: &mut TcpApi) {
+                api.set_app_timer_after(3, SimTime::from_us(5));
+                api.set_app_timer_after(9, SimTime::from_us(1));
+                api.set_app_timer_after(4, SimTime::from_us(10));
+                api.cancel_app_timer(4);
+            }
+            fn on_app_timer(&mut self, _api: &mut TcpApi, id: u64) {
+                self.fired.borrow_mut().push(id);
+            }
+        }
+        let mut fabric = build_dumbbell(1, 3);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        fabric.sim.set_endpoint(
+            fabric.senders[0],
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(TimerApp { fired: fired.clone() }),
+            )),
+        );
+        fabric.sim.run();
+        assert_eq!(*fired.borrow(), vec![9, 3]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Timer-key encoding.
+//!
+//! Each host multiplexes many connections over the simulator's per-node
+//! `(key -> timer)` space. Keys encode the flow and the timer kind; the
+//! application gets its own disjoint key range.
+
+use simnet::FlowId;
+
+/// Timer kinds multiplexed per flow.
+const KIND_RTO: u64 = 0;
+const KIND_DELACK: u64 = 1;
+const KIND_PACE: u64 = 2;
+const KIND_BITS: u64 = 2;
+
+/// Application timers live above this base.
+pub const APP_KEY_BASE: u64 = 1 << 48;
+
+/// Retransmission-timer key for a flow.
+pub fn rto_key(flow: FlowId) -> u64 {
+    ((flow.0 as u64) << KIND_BITS) | KIND_RTO
+}
+
+/// Delayed-ACK timer key for a flow.
+pub fn delack_key(flow: FlowId) -> u64 {
+    ((flow.0 as u64) << KIND_BITS) | KIND_DELACK
+}
+
+/// Pacing timer key for a flow (Swift-style sub-MSS window mode).
+pub fn pace_key(flow: FlowId) -> u64 {
+    ((flow.0 as u64) << KIND_BITS) | KIND_PACE
+}
+
+/// Key for application timer `id`.
+pub fn app_key(id: u64) -> u64 {
+    assert!(id < APP_KEY_BASE, "app timer id too large");
+    APP_KEY_BASE + id
+}
+
+/// What a fired timer key means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// A flow's retransmission timer.
+    Rto(FlowId),
+    /// A flow's delayed-ACK timer.
+    Delack(FlowId),
+    /// A flow's pacing timer.
+    Pace(FlowId),
+    /// An application timer with its id.
+    App(u64),
+}
+
+/// Decodes a fired key.
+pub fn decode(key: u64) -> TimerKind {
+    if key >= APP_KEY_BASE {
+        return TimerKind::App(key - APP_KEY_BASE);
+    }
+    let flow = FlowId((key >> KIND_BITS) as u32);
+    match key & ((1 << KIND_BITS) - 1) {
+        KIND_RTO => TimerKind::Rto(flow),
+        KIND_DELACK => TimerKind::Delack(flow),
+        KIND_PACE => TimerKind::Pace(flow),
+        other => panic!("unknown timer kind {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(decode(rto_key(FlowId(7))), TimerKind::Rto(FlowId(7)));
+        assert_eq!(decode(delack_key(FlowId(7))), TimerKind::Delack(FlowId(7)));
+        assert_eq!(decode(pace_key(FlowId(7))), TimerKind::Pace(FlowId(7)));
+        assert_eq!(decode(app_key(99)), TimerKind::App(99));
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let keys = [
+            rto_key(FlowId(0)),
+            delack_key(FlowId(0)),
+            pace_key(FlowId(0)),
+            rto_key(FlowId(1)),
+            delack_key(FlowId(1)),
+            pace_key(FlowId(1)),
+            app_key(0),
+            app_key(1),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_flow_id_does_not_collide_with_app_range() {
+        assert!(rto_key(FlowId(u32::MAX)) < APP_KEY_BASE);
+        assert!(delack_key(FlowId(u32::MAX)) < APP_KEY_BASE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_app_id_rejected() {
+        app_key(APP_KEY_BASE);
+    }
+}

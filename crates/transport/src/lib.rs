@@ -1,0 +1,38 @@
+//! # transport — TCP endpoints for the incast simulator
+//!
+//! A window-based TCP implementation faithful to the mechanisms the paper's
+//! analysis rests on:
+//!
+//! - **Reliability**: cumulative ACKs, out-of-order reassembly, fast
+//!   retransmit on triple duplicate ACKs with NewReno partial-ACK recovery,
+//!   and RFC 6298 retransmission timeouts with exponential backoff.
+//! - **Congestion control** ([`cca`]): DCTCP (the paper's deployed CCA, with
+//!   the `g`-gain alpha estimator and once-per-window CWR reductions), Reno
+//!   and CUBIC baselines, and two Section-5 mitigation prototypes
+//!   (cross-burst window memory, window guardrail).
+//! - **ECN**: per-packet ECN-Echo when delayed ACKs are off (the paper's
+//!   simulation setting), or the DCTCP paper's two-state delayed-ACK machine.
+//! - **Persistent connections**: applications add demand per burst to
+//!   long-lived flows, so congestion state carries across bursts — the
+//!   precondition for the paper's §4.3 straggler divergence.
+//!
+//! Hosts run a [`TcpHost`] endpoint which demultiplexes flows and exposes a
+//! callback API ([`TcpApp`]/[`TcpApi`]) to application logic.
+
+pub mod cca;
+pub mod config;
+pub mod host;
+pub mod keys;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+pub mod seq;
+pub mod stats;
+
+pub use cca::{Cca, CcaCtx, CcaKind};
+pub use config::{DelayedAckConfig, TcpConfig};
+pub use host::{HostCore, TcpApi, TcpApp, TcpHost};
+pub use receiver::Receiver;
+pub use rtt::RttEstimator;
+pub use sender::{AckOutcome, Sender};
+pub use stats::{FlightRecorder, ReceiverStats, SenderStats};

@@ -1,0 +1,419 @@
+//! The receiving half of a connection.
+//!
+//! Reassembles the byte stream (cumulative ACKs plus an out-of-order range
+//! set), generates acknowledgments — immediately per segment when delayed
+//! ACKs are off (the paper's simulation setting), or per the DCTCP paper's
+//! two-state delayed-ACK machine when on — and echoes ECN marks back to the
+//! sender as ECN-Echo.
+
+use crate::config::{DelayedAckConfig, TcpConfig};
+use crate::keys;
+use crate::seq;
+use crate::stats::ReceiverStats;
+use simnet::{Ctx, FlowId, NodeId, Packet, SimTime};
+use std::collections::BTreeMap;
+
+/// Receiver-side connection state.
+#[derive(Debug)]
+pub struct Receiver {
+    flow: FlowId,
+    /// The sending host (where ACKs go).
+    peer: NodeId,
+    /// Next in-order byte expected (absolute).
+    rcv_nxt: u64,
+    /// Out-of-order ranges, disjoint and above `rcv_nxt`: start -> end.
+    ooo: BTreeMap<u64, u64>,
+    delack: Option<DelayedAckConfig>,
+    /// DCTCP delayed-ACK state: the CE value of the accumulation run.
+    ce_state: bool,
+    /// Full segments received since the last ACK was sent.
+    pending_segs: u32,
+    /// Timestamp of the newest data segment (echoed for RTT).
+    last_ts: SimTime,
+    stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// Creates the receiving half of `flow`, acknowledging to `peer`.
+    pub fn new(flow: FlowId, peer: NodeId, cfg: &TcpConfig) -> Self {
+        Receiver {
+            flow,
+            peer,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            delack: cfg.delayed_ack,
+            ce_state: false,
+            pending_segs: 0,
+            last_ts: SimTime::ZERO,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Bytes delivered in order so far.
+    pub fn delivered(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+
+    /// Outstanding out-of-order ranges (diagnostic).
+    pub fn ooo_ranges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ooo.iter().map(|(&s, &e)| (s, e))
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx, ece: bool) {
+        let at = self.rcv_nxt;
+        self.send_ack_at(ctx, at, ece);
+    }
+
+    /// Sends an ACK for an explicit acknowledgment number (used by the
+    /// DCTCP state machine, which acknowledges the bytes received *before*
+    /// a CE state change with the old state's ECE).
+    fn send_ack_at(&mut self, ctx: &mut Ctx, ack_abs: u64, ece: bool) {
+        let ack = Packet::ack(
+            self.flow,
+            ctx.node(),
+            self.peer,
+            seq::wrap(ack_abs),
+            ece,
+            self.last_ts,
+        );
+        ctx.send(ack);
+        self.stats.acks_sent += 1;
+        self.pending_segs = 0;
+        ctx.cancel_timer(keys::delack_key(self.flow));
+    }
+
+    /// Handles an arriving data segment. Returns the number of bytes newly
+    /// delivered in order (0 for duplicates and out-of-order arrivals).
+    pub fn on_data(
+        &mut self,
+        ctx: &mut Ctx,
+        seq_wire: u32,
+        payload: u32,
+        ce: bool,
+        ts: SimTime,
+    ) -> u64 {
+        debug_assert!(payload > 0, "empty data segment");
+        self.stats.segs_received += 1;
+        if ce {
+            self.stats.ce_segs += 1;
+        }
+        self.last_ts = ts;
+
+        let s = seq::unwrap(seq_wire, self.rcv_nxt);
+        let e = s + payload as u64;
+
+        // Duplicate accounting: bytes overlapping anything already received.
+        self.stats.dup_bytes += self.overlap_bytes(s, e);
+
+        let before = self.rcv_nxt;
+        let in_order = s <= self.rcv_nxt && e > self.rcv_nxt;
+        let pure_dup = e <= self.rcv_nxt;
+
+        if pure_dup {
+            // Old data: ACK immediately (this is what produces duplicate
+            // ACKs for the sender after a retransmission raced delivery).
+            let ece = self.current_ece(ce);
+            self.send_ack(ctx, ece);
+            return 0;
+        }
+
+        if in_order {
+            self.rcv_nxt = e;
+            self.absorb_contiguous();
+        } else {
+            // A gap: store and ACK immediately (RFC 5681 §4.2 requires an
+            // immediate dup ACK so fast retransmit can trigger).
+            self.stats.ooo_segs += 1;
+            self.insert_ooo(s, e);
+            let ece = self.current_ece(ce);
+            self.send_ack(ctx, ece);
+            return 0;
+        }
+
+        let newly = self.rcv_nxt - before;
+        self.stats.bytes_delivered += newly;
+
+        match self.delack {
+            None => {
+                // Immediate per-packet ACK with this packet's CE (the
+                // per-packet ECE mode DCTCP uses when delayed ACKs are off).
+                self.send_ack(ctx, ce);
+            }
+            Some(dcfg) => self.delayed_ack_on_data(ctx, ce, dcfg, before),
+        }
+        newly
+    }
+
+    /// DCTCP's delayed-ACK state machine (DCTCP paper, Fig. 8): on a CE
+    /// state change, immediately ACK the run accumulated *before* this
+    /// segment with the *old* state's ECE; otherwise accumulate up to
+    /// `max_segments` or the timer.
+    fn delayed_ack_on_data(
+        &mut self,
+        ctx: &mut Ctx,
+        ce: bool,
+        dcfg: DelayedAckConfig,
+        prior_rcv_nxt: u64,
+    ) {
+        if ce != self.ce_state {
+            if self.pending_segs > 0 {
+                let prior = self.ce_state;
+                self.send_ack_at(ctx, prior_rcv_nxt, prior);
+            }
+            self.ce_state = ce;
+        }
+        self.pending_segs += 1;
+        if self.pending_segs >= dcfg.max_segments {
+            let ece = self.ce_state;
+            self.send_ack(ctx, ece);
+        } else {
+            ctx.set_timer_after(keys::delack_key(self.flow), dcfg.timeout);
+        }
+    }
+
+    /// The ECE to put on an immediate (dup/ooo) ACK: per-packet CE when
+    /// delayed ACKs are off, else the running CE state.
+    fn current_ece(&mut self, ce: bool) -> bool {
+        match self.delack {
+            None => ce,
+            Some(_) => {
+                self.ce_state = ce;
+                ce
+            }
+        }
+    }
+
+    /// The delayed-ACK timer fired.
+    pub fn on_delack_timer(&mut self, ctx: &mut Ctx) {
+        if self.pending_segs > 0 {
+            let ece = self.ce_state;
+            self.send_ack(ctx, ece);
+        }
+    }
+
+    fn overlap_bytes(&self, s: u64, e: u64) -> u64 {
+        let mut dup = e.min(self.rcv_nxt).saturating_sub(s);
+        // Overlap with stored out-of-order ranges.
+        for (&rs, &re) in self.ooo.range(..e) {
+            if re > s {
+                dup += re.min(e).saturating_sub(rs.max(s));
+            }
+        }
+        dup
+    }
+
+    fn insert_ooo(&mut self, s: u64, e: u64) {
+        let mut new_s = s;
+        let mut new_e = e;
+        // Merge every range that overlaps or touches [s, e).
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=new_e)
+            .filter(|(_, &re)| re >= new_s)
+            .map(|(&rs, _)| rs)
+            .collect();
+        for rs in overlapping {
+            let re = self.ooo.remove(&rs).expect("key just seen");
+            new_s = new_s.min(rs);
+            new_e = new_e.max(re);
+        }
+        self.ooo.insert(new_s, new_e);
+    }
+
+    fn absorb_contiguous(&mut self) {
+        while let Some((&rs, &re)) = self.ooo.first_key_value() {
+            if rs <= self.rcv_nxt {
+                self.ooo.remove(&rs);
+                self.rcv_nxt = self.rcv_nxt.max(re);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Cmd, PacketKind};
+
+    const MSS: u32 = 1446;
+
+    struct Harness {
+        rx: Receiver,
+        cmds: Vec<Cmd>,
+    }
+
+    impl Harness {
+        fn new(delack: Option<DelayedAckConfig>) -> Self {
+            let cfg = TcpConfig {
+                delayed_ack: delack,
+                ..TcpConfig::default()
+            };
+            Harness {
+                rx: Receiver::new(FlowId(1), NodeId(0), &cfg),
+                cmds: Vec::new(),
+            }
+        }
+
+        fn data(&mut self, seq: u64, len: u32, ce: bool) -> u64 {
+            let mut ctx = Ctx::new(SimTime::from_us(seq), NodeId(5), &mut self.cmds);
+            self.rx
+                .on_data(&mut ctx, seq::wrap(seq), len, ce, SimTime::from_us(1))
+        }
+
+        /// Drains and returns (ack_number, ece) for every ACK sent.
+        fn acks(&mut self) -> Vec<(u32, bool)> {
+            let out = self
+                .cmds
+                .iter()
+                .filter_map(|c| match c {
+                    Cmd::Send(p) => match p.kind {
+                        PacketKind::Ack { ack, ece, .. } => Some((ack, ece)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            self.cmds.clear();
+            out
+        }
+    }
+
+    #[test]
+    fn in_order_delivery_acks_each_segment() {
+        let mut h = Harness::new(None);
+        assert_eq!(h.data(0, MSS, false), MSS as u64);
+        assert_eq!(h.data(MSS as u64, MSS, false), MSS as u64);
+        let acks = h.acks();
+        assert_eq!(acks, vec![(MSS, false), (2 * MSS, false)]);
+        assert_eq!(h.rx.delivered(), 2 * MSS as u64);
+        assert_eq!(h.rx.stats().bytes_delivered, 2 * MSS as u64);
+    }
+
+    #[test]
+    fn ce_reflected_per_packet() {
+        let mut h = Harness::new(None);
+        h.data(0, MSS, true);
+        h.data(MSS as u64, MSS, false);
+        assert_eq!(h.acks(), vec![(MSS, true), (2 * MSS, false)]);
+        assert_eq!(h.rx.stats().ce_segs, 1);
+    }
+
+    #[test]
+    fn out_of_order_generates_dup_acks_then_catches_up() {
+        let mut h = Harness::new(None);
+        h.data(0, MSS, false);
+        h.acks();
+        // Segment 2 and 3 arrive before segment 1's retransmission.
+        assert_eq!(h.data(2 * MSS as u64, MSS, false), 0);
+        assert_eq!(h.data(3 * MSS as u64, MSS, false), 0);
+        let acks = h.acks();
+        assert_eq!(acks, vec![(MSS, false), (MSS, false)], "dup acks at hole");
+        assert_eq!(h.rx.stats().ooo_segs, 2);
+        // The hole fills: one ACK jumping past everything buffered.
+        assert_eq!(h.data(MSS as u64, MSS, false), 3 * MSS as u64);
+        assert_eq!(h.acks(), vec![(4 * MSS, false)]);
+        assert_eq!(h.rx.ooo_ranges().count(), 0);
+    }
+
+    #[test]
+    fn pure_duplicate_counts_and_acks() {
+        let mut h = Harness::new(None);
+        h.data(0, MSS, false);
+        h.acks();
+        assert_eq!(h.data(0, MSS, false), 0); // spurious retransmission
+        assert_eq!(h.rx.stats().dup_bytes, MSS as u64);
+        assert_eq!(h.acks(), vec![(MSS, false)]);
+    }
+
+    #[test]
+    fn partial_overlap_counts_only_dup_portion() {
+        let mut h = Harness::new(None);
+        h.data(0, MSS, false);
+        h.acks();
+        // Resend [0, MSS) plus fresh [MSS, 2 MSS) as one segment.
+        assert_eq!(h.data(0, 2 * MSS, false), MSS as u64);
+        assert_eq!(h.rx.stats().dup_bytes, MSS as u64);
+    }
+
+    #[test]
+    fn overlap_with_ooo_range_detected() {
+        let mut h = Harness::new(None);
+        h.data(2 * MSS as u64, MSS, false); // gap
+        h.acks();
+        h.data(2 * MSS as u64, MSS, false); // same ooo segment again
+        assert_eq!(h.rx.stats().dup_bytes, MSS as u64);
+        assert_eq!(h.rx.ooo_ranges().count(), 1);
+    }
+
+    #[test]
+    fn ooo_ranges_merge() {
+        let mut h = Harness::new(None);
+        h.data(4 * MSS as u64, MSS, false);
+        h.data(2 * MSS as u64, MSS, false);
+        h.data(3 * MSS as u64, MSS, false); // bridges the two
+        assert_eq!(h.rx.ooo_ranges().count(), 1);
+        let (s, e) = h.rx.ooo_ranges().next().unwrap();
+        assert_eq!((s, e), (2 * MSS as u64, 5 * MSS as u64));
+    }
+
+    #[test]
+    fn delayed_ack_accumulates_two_segments() {
+        let mut h = Harness::new(Some(DelayedAckConfig::default()));
+        h.data(0, MSS, false);
+        assert_eq!(h.acks(), vec![], "first segment held");
+        h.data(MSS as u64, MSS, false);
+        assert_eq!(h.acks(), vec![(2 * MSS, false)], "acked at 2 segments");
+    }
+
+    #[test]
+    fn delayed_ack_timer_flushes() {
+        let mut h = Harness::new(Some(DelayedAckConfig::default()));
+        h.data(0, MSS, false);
+        assert_eq!(h.acks(), vec![]);
+        let mut ctx = Ctx::new(SimTime::from_ms(2), NodeId(5), &mut h.cmds);
+        h.rx.on_delack_timer(&mut ctx);
+        assert_eq!(h.acks(), vec![(MSS, false)]);
+        // Timer with nothing pending is a no-op.
+        let mut ctx = Ctx::new(SimTime::from_ms(3), NodeId(5), &mut h.cmds);
+        h.rx.on_delack_timer(&mut ctx);
+        assert_eq!(h.acks(), vec![]);
+    }
+
+    #[test]
+    fn dctcp_state_change_forces_immediate_ack() {
+        let mut h = Harness::new(Some(DelayedAckConfig {
+            max_segments: 100, // effectively only state changes + timer ack
+            timeout: SimTime::from_ms(1),
+        }));
+        h.data(0, MSS, false);
+        h.data(MSS as u64, MSS, false);
+        assert_eq!(h.acks(), vec![]);
+        // CE flips: the accumulated run is acked with the OLD state (false).
+        h.data(2 * MSS as u64, MSS, true);
+        assert_eq!(h.acks(), vec![(2 * MSS, false)]);
+        // CE flips back: the CE run is acked with ece = true.
+        h.data(3 * MSS as u64, MSS, false);
+        assert_eq!(h.acks(), vec![(3 * MSS, true)]);
+    }
+
+    #[test]
+    fn wire_wrap_handled_via_unwrap() {
+        let mut h = Harness::new(None);
+        // Pretend the stream is near the 32-bit boundary.
+        h.rx.rcv_nxt = (1u64 << 32) - MSS as u64;
+        let seq_wire = seq::wrap(h.rx.rcv_nxt);
+        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(5), &mut h.cmds);
+        let newly = h
+            .rx
+            .on_data(&mut ctx, seq_wire, MSS, false, SimTime::ZERO);
+        assert_eq!(newly, MSS as u64);
+        assert_eq!(h.rx.delivered(), 1 << 32);
+    }
+}

@@ -1,0 +1,187 @@
+//! Round-trip time estimation and retransmission timeout (RFC 6298).
+//!
+//! SRTT/RTTVAR with the standard gains (1/8, 1/4), `RTO = SRTT + 4·RTTVAR`
+//! clamped to `[min_rto, max_rto]`, and exponential backoff on consecutive
+//! timeouts. The paper's Mode 3 result (≈200 ms burst completion at 1000
+//! flows) is a direct consequence of the 200 ms minimum RTO, so `min_rto` is
+//! front and center here.
+
+use simnet::SimTime;
+
+/// RTT estimator and RTO calculator.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimTime>,
+    rttvar: SimTime,
+    min_rto: SimTime,
+    max_rto: SimTime,
+    initial_rto: SimTime,
+    backoff_shift: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator. `initial_rto` applies before any sample (RFC
+    /// 6298 says 1 s); `min_rto` is the Linux-style floor (200 ms default in
+    /// this reproduction, matching the paper's Mode 3 behavior).
+    pub fn new(initial_rto: SimTime, min_rto: SimTime, max_rto: SimTime) -> Self {
+        assert!(min_rto <= max_rto, "min_rto > max_rto");
+        RttEstimator {
+            srtt: None,
+            rttvar: SimTime::ZERO,
+            min_rto,
+            max_rto,
+            initial_rto,
+            backoff_shift: 0,
+        }
+    }
+
+    /// Feeds one RTT sample (from a timestamp echo).
+    pub fn on_sample(&mut self, rtt: SimTime) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimTime::from_ps(rtt.as_ps() / 2);
+            }
+            Some(srtt) => {
+                let err = srtt.as_ps().abs_diff(rtt.as_ps());
+                // rttvar = 3/4 rttvar + 1/4 |err|
+                self.rttvar = SimTime::from_ps((3 * self.rttvar.as_ps() + err) / 4);
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(SimTime::from_ps((7 * srtt.as_ps() + rtt.as_ps()) / 8));
+            }
+        }
+        // A valid sample ends backoff (Karn's algorithm phase 2).
+        self.backoff_shift = 0;
+    }
+
+    /// Doubles the RTO (called when the retransmission timer expires).
+    pub fn on_timeout(&mut self) {
+        self.backoff_shift = (self.backoff_shift + 1).min(16);
+    }
+
+    /// Current retransmission timeout, including backoff.
+    pub fn rto(&self) -> SimTime {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => {
+                let raw = srtt + SimTime::from_ps(4 * self.rttvar.as_ps());
+                SimTime::from_ps(raw.as_ps().max(self.min_rto.as_ps()))
+            }
+        };
+        let backed = base.as_ps().saturating_mul(1u64 << self.backoff_shift);
+        SimTime::from_ps(backed.min(self.max_rto.as_ps()))
+    }
+
+    /// The smoothed RTT, if any sample has arrived.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.srtt
+    }
+
+    /// Current backoff exponent (0 = no backoff).
+    pub fn backoff_shift(&self) -> u32 {
+        self.backoff_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimTime::from_secs(1),
+            SimTime::from_ms(200),
+            SimTime::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        let e = est();
+        assert_eq!(e.rto(), SimTime::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt() {
+        let mut e = est();
+        e.on_sample(SimTime::from_us(30));
+        assert_eq!(e.srtt(), Some(SimTime::from_us(30)));
+        // srtt + 4*rttvar = 30 + 4*15 = 90 us, clamped up to min_rto.
+        assert_eq!(e.rto(), SimTime::from_ms(200));
+    }
+
+    #[test]
+    fn smoothing_converges_to_constant_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimTime::from_us(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_us_f64() - 50.0).abs() < 1.0, "srtt {srtt}");
+    }
+
+    #[test]
+    fn min_rto_floor_applies() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.on_sample(SimTime::from_us(30)); // datacenter RTT
+        }
+        assert_eq!(e.rto(), SimTime::from_ms(200));
+    }
+
+    #[test]
+    fn large_rtt_exceeds_floor() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.on_sample(SimTime::from_ms(300));
+        }
+        assert!(e.rto() > SimTime::from_ms(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_clears_on_sample() {
+        let mut e = est();
+        e.on_sample(SimTime::from_us(30));
+        assert_eq!(e.rto(), SimTime::from_ms(200));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimTime::from_ms(400));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimTime::from_ms(800));
+        assert_eq!(e.backoff_shift(), 2);
+        e.on_sample(SimTime::from_us(30));
+        assert_eq!(e.rto(), SimTime::from_ms(200));
+    }
+
+    #[test]
+    fn backoff_capped_by_max_rto() {
+        let mut e = est();
+        e.on_sample(SimTime::from_us(30));
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut e = est();
+        for i in 0..100 {
+            let us = if i % 2 == 0 { 100 } else { 1100 };
+            e.on_sample(SimTime::from_us(us));
+        }
+        // High jitter should push RTO well above srtt.
+        let srtt = e.srtt().unwrap();
+        assert!(e.rto().as_ps() > srtt.as_ps() + SimTime::from_us(500).as_ps());
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_rejected() {
+        RttEstimator::new(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+        );
+    }
+}

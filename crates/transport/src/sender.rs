@@ -1,0 +1,657 @@
+//! The sending half of a connection.
+//!
+//! Window-based transmission with NewReno-style loss recovery:
+//!
+//! - transmit while `in_flight < cwnd` (plus transient fast-recovery
+//!   inflation per RFC 5681),
+//! - triple duplicate ACK → fast retransmit and recovery; partial ACKs
+//!   retransmit the next hole (NewReno, RFC 6582),
+//! - retransmission timeout per RFC 6298 with exponential backoff → window
+//!   collapse to the floor and slow-start restart,
+//! - congestion window owned by a pluggable [`Cca`].
+//!
+//! Connections are persistent: the application adds demand per burst and the
+//! congestion state carries over — exactly the behavior behind the paper's
+//! §4.3 cross-burst divergence findings.
+
+use crate::cca::{Cca, CcaCtx};
+use crate::config::TcpConfig;
+use crate::keys;
+use crate::rtt::RttEstimator;
+use crate::seq;
+use crate::stats::{FlightRecorder, SenderStats};
+use simnet::{Ctx, FlowId, NodeId, Packet, SimTime};
+
+/// Result of processing an ACK, for the host/application layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// Nothing application-visible changed.
+    Progress,
+    /// Every byte of demand handed down so far is now acknowledged.
+    AllAcked,
+}
+
+/// Sender-side connection state.
+pub struct Sender {
+    flow: FlowId,
+    /// The receiving host (data destination).
+    peer: NodeId,
+    mss: u64,
+    min_cwnd: u64,
+    cca: Box<dyn Cca>,
+    rtt: RttEstimator,
+    /// Application demand: absolute end of the byte stream to deliver.
+    demand_end: u64,
+    /// Oldest unacknowledged byte.
+    snd_una: u64,
+    /// Next byte to transmit.
+    snd_nxt: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    /// `snd_nxt` at recovery entry; recovery ends when `snd_una` passes it.
+    recover: u64,
+    /// Fast-recovery window inflation in bytes (RFC 5681 §3.2 style).
+    recovery_extra: u64,
+    rto_armed: bool,
+    stats: SenderStats,
+    flight: Option<FlightRecorder>,
+    /// RFC 2861 window validation: restart threshold and the parameters
+    /// needed to rebuild the window (`(threshold, init_cwnd, cca_kind)`).
+    idle_restart: Option<(SimTime, u64, crate::cca::CcaKind)>,
+    /// Last time this connection sent or received anything.
+    last_activity: SimTime,
+    /// Swift-style pacing: enabled when the config allows sub-MSS windows.
+    pacing: bool,
+    /// Earliest time the next paced packet may leave.
+    next_pace_at: SimTime,
+    /// Flow-specific phase used to re-seed a stale pacing clock: without
+    /// it, every flow of a synchronized burst would fire its "paced" first
+    /// packet at the same instant, defeating the point of pacing.
+    pace_phase: u64,
+}
+
+impl Sender {
+    /// Creates the sending half of `flow` toward `peer`.
+    pub fn new(flow: FlowId, peer: NodeId, cfg: &TcpConfig) -> Self {
+        // In pacing mode the window floor drops below 1 MSS; the CCA can
+        // then signal "one packet every MSS/cwnd RTTs".
+        let min_cwnd = match cfg.pacing {
+            Some(p) => {
+                assert!(
+                    p.min_cwnd_fraction > 0.0 && p.min_cwnd_fraction <= 1.0,
+                    "invalid pacing fraction"
+                );
+                ((cfg.mss_bytes() as f64 * p.min_cwnd_fraction) as u64).max(1)
+            }
+            None => cfg.min_cwnd_bytes(),
+        };
+        Sender {
+            flow,
+            peer,
+            mss: cfg.mss_bytes(),
+            min_cwnd,
+            cca: cfg.cca.build(cfg.init_cwnd_bytes(), cfg.mss_bytes()),
+            rtt: RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto),
+            demand_end: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            recovery_extra: 0,
+            rto_armed: false,
+            stats: SenderStats::default(),
+            flight: cfg
+                .flight_sample_interval
+                .map(|iv| FlightRecorder::new(iv.as_ps())),
+            idle_restart: cfg
+                .idle_restart_after
+                .map(|t| (t, cfg.init_cwnd_bytes(), cfg.cca)),
+            last_activity: SimTime::ZERO,
+            pacing: cfg.pacing.is_some(),
+            next_pace_at: SimTime::ZERO,
+            pace_phase: (flow.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Bytes in flight (sent, not yet cumulatively acknowledged).
+    pub fn in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Current congestion window in bytes (floor applied).
+    pub fn cwnd(&self) -> u64 {
+        self.cca.cwnd().max(self.min_cwnd)
+    }
+
+    /// True when all demand so far has been sent and acknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.snd_una == self.demand_end
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &SenderStats {
+        &self.stats
+    }
+
+    /// The congestion control algorithm (diagnostic).
+    pub fn cca(&self) -> &dyn Cca {
+        self.cca.as_ref()
+    }
+
+    /// The in-flight recorder, if enabled.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Smoothed RTT estimate, if any.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.rtt.srtt()
+    }
+
+    fn cca_ctx(&self, now: SimTime) -> CcaCtx {
+        CcaCtx {
+            now,
+            mss: self.mss,
+            min_cwnd: self.min_cwnd,
+            snd_nxt: self.snd_nxt,
+            snd_una: self.snd_una,
+            in_recovery: self.in_recovery,
+        }
+    }
+
+    fn record_flight(&mut self, now: SimTime) {
+        let inflight = self.snd_nxt - self.snd_una;
+        if let Some(rec) = &mut self.flight {
+            rec.record(now.as_ps(), inflight);
+        }
+    }
+
+    /// The application appends `bytes` of demand (one burst's response).
+    pub fn add_demand(&mut self, ctx: &mut Ctx, bytes: u64) {
+        assert!(bytes > 0, "zero demand");
+        if self.is_idle() {
+            // RFC 2861: a long-idle connection restarts from the initial
+            // window rather than dumping a stale one.
+            if let Some((threshold, init_cwnd, kind)) = self.idle_restart {
+                if ctx.now().saturating_sub(self.last_activity) > threshold {
+                    self.cca = kind.build(init_cwnd, self.mss);
+                }
+            }
+            // A fresh burst is starting after idle: let mitigation CCAs
+            // restore their remembered window.
+            let cctx = self.cca_ctx(ctx.now());
+            self.cca.on_burst_start(&cctx);
+            // Pacing mode: the pacer's clock free-runs at the floor rate;
+            // a flow whose tick passed while idle waits for its next
+            // phase-aligned tick before transmitting. This is what spreads
+            // a synchronized burst start across the pool.
+            if self.pacing && ctx.now() > self.next_pace_at {
+                let rtt = self.rtt.srtt().unwrap_or(SimTime::from_ms(1));
+                let floor_gap = rtt.mul_f64(self.mss as f64 / self.min_cwnd.max(1) as f64);
+                let offset = SimTime::from_ps(self.pace_phase % floor_gap.as_ps().max(1));
+                self.next_pace_at = ctx.now() + offset;
+            }
+        }
+        self.demand_end += bytes;
+        self.stats.demand_bytes += bytes;
+        self.last_activity = ctx.now();
+        self.try_send(ctx);
+    }
+
+    /// Transmits new segments while the window allows.
+    fn try_send(&mut self, ctx: &mut Ctx) {
+        // Pacing gate: nothing (new) leaves before the pacer's next tick.
+        if self.pacing && ctx.now() < self.next_pace_at && self.snd_nxt < self.demand_end {
+            let at = self.next_pace_at;
+            ctx.set_timer(keys::pace_key(self.flow), at);
+            return;
+        }
+        let wnd = self.cwnd() + self.recovery_extra;
+        while self.snd_nxt < self.demand_end {
+            // Whole segments only (the final segment of demand may be short);
+            // a segment that does not fully fit in the window waits.
+            let len = self.mss.min(self.demand_end - self.snd_nxt);
+            if self.snd_nxt - self.snd_una + len > wnd {
+                // Sub-MSS window: pacing mode sends one packet per
+                // MSS/cwnd RTTs instead of stalling at the floor.
+                if self.pacing && wnd < self.mss && self.in_flight() == 0 {
+                    self.pace_one(ctx, wnd, len as u32);
+                }
+                break;
+            }
+            self.emit_segment(ctx, self.snd_nxt, len as u32, false);
+            self.snd_nxt += len;
+        }
+        if self.in_flight() > 0 && !self.rto_armed {
+            self.arm_rto(ctx);
+        }
+        self.record_flight(ctx.now());
+    }
+
+    /// Pacing-mode transmission: emit one segment if the pacing clock
+    /// allows, else arm the pacing timer (Swift's "one packet every
+    /// several RTTs", paper §5.2).
+    fn pace_one(&mut self, ctx: &mut Ctx, wnd: u64, len: u32) {
+        // Inter-packet gap: RTT x MSS / cwnd (so average rate stays cwnd
+        // per RTT even below one packet per RTT).
+        let rtt = self.rtt.srtt().unwrap_or(SimTime::from_ms(1));
+        let gap = rtt.mul_f64(self.mss as f64 / wnd.max(1) as f64);
+        let now = ctx.now();
+        if now >= self.next_pace_at {
+            self.emit_segment(ctx, self.snd_nxt, len, false);
+            self.snd_nxt += len as u64;
+            self.next_pace_at = now + gap;
+            if !self.rto_armed {
+                self.arm_rto(ctx);
+            }
+        } else {
+            let at = self.next_pace_at;
+            ctx.set_timer(keys::pace_key(self.flow), at);
+        }
+    }
+
+    /// The pacing timer fired: try to release the next paced packet.
+    pub fn on_pace(&mut self, ctx: &mut Ctx) {
+        self.try_send(ctx);
+    }
+
+    fn emit_segment(&mut self, ctx: &mut Ctx, at: u64, len: u32, retx: bool) {
+        let pkt = Packet::data(
+            self.flow,
+            ctx.node(),
+            self.peer,
+            seq::wrap(at),
+            len,
+            retx,
+            ctx.now(),
+        );
+        ctx.send(pkt);
+        self.stats.segs_sent += 1;
+        self.stats.bytes_sent += len as u64;
+        if retx {
+            self.stats.bytes_retx += len as u64;
+        }
+    }
+
+    fn retransmit_head(&mut self, ctx: &mut Ctx) {
+        debug_assert!(self.snd_una < self.demand_end, "retransmit with no data");
+        let len = self.mss.min(self.demand_end - self.snd_una) as u32;
+        // Never resend beyond what was originally transmitted.
+        let len = len.min((self.snd_nxt - self.snd_una) as u32);
+        if len == 0 {
+            return;
+        }
+        self.emit_segment(ctx, self.snd_una, len, true);
+        self.arm_rto(ctx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer_after(keys::rto_key(self.flow), self.rtt.rto());
+        self.rto_armed = true;
+    }
+
+    fn cancel_rto(&mut self, ctx: &mut Ctx) {
+        ctx.cancel_timer(keys::rto_key(self.flow));
+        self.rto_armed = false;
+    }
+
+    /// Handles an arriving acknowledgment.
+    pub fn on_ack(
+        &mut self,
+        ctx: &mut Ctx,
+        ack_wire: u32,
+        ece: bool,
+        ts_echo: SimTime,
+    ) -> AckOutcome {
+        self.stats.acks += 1;
+        if ece {
+            self.stats.ece_acks += 1;
+        }
+        let ack = seq::unwrap(ack_wire, self.snd_una);
+        self.last_activity = ctx.now();
+
+        if ack > self.snd_una && ack <= self.snd_nxt {
+            let newly = ack - self.snd_una;
+            self.snd_una = ack;
+            self.stats.bytes_acked += newly;
+            self.dup_acks = 0;
+
+            // RTT sample from the timestamp echo.
+            let sample = if ts_echo > SimTime::ZERO && ctx.now() > ts_echo {
+                let s = ctx.now() - ts_echo;
+                self.rtt.on_sample(s);
+                Some(s)
+            } else {
+                None
+            };
+
+            let cctx = self.cca_ctx(ctx.now());
+            self.cca.on_ack(&cctx, newly, ece, sample);
+
+            if self.in_recovery {
+                if self.snd_una >= self.recover {
+                    // Full ACK: recovery complete.
+                    self.in_recovery = false;
+                    self.recovery_extra = 0;
+                } else {
+                    // Partial ACK: the next hole is lost too (NewReno).
+                    self.recovery_extra = self.recovery_extra.saturating_sub(newly);
+                    self.retransmit_head(ctx);
+                }
+            }
+
+            // Restart (or clear) the retransmission timer.
+            if self.in_flight() > 0 {
+                self.arm_rto(ctx);
+            } else {
+                self.cancel_rto(ctx);
+            }
+
+            self.try_send(ctx);
+            self.record_flight(ctx.now());
+            if self.is_idle() && self.demand_end > 0 {
+                return AckOutcome::AllAcked;
+            }
+            return AckOutcome::Progress;
+        }
+
+        if ack == self.snd_una && self.in_flight() > 0 {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            let cctx = self.cca_ctx(ctx.now());
+            // Zero-byte "ack": lets DCTCP latch CWR from ECE on dupacks.
+            self.cca.on_ack(&cctx, 0, ece, None);
+
+            if !self.in_recovery && self.dup_acks == 3 {
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.recovery_extra = 0;
+                self.stats.fast_retransmits += 1;
+                let cctx = self.cca_ctx(ctx.now());
+                self.cca.on_enter_recovery(&cctx);
+                self.retransmit_head(ctx);
+            } else if self.in_recovery {
+                // Each further dup ACK signals a departure: inflate.
+                self.recovery_extra += self.mss;
+                self.try_send(ctx);
+            }
+        }
+        AckOutcome::Progress
+    }
+
+    /// The retransmission timer fired.
+    pub fn on_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_armed = false;
+        if self.in_flight() == 0 {
+            return; // stale
+        }
+        self.stats.timeouts += 1;
+        self.rtt.on_timeout();
+        self.in_recovery = false;
+        self.recovery_extra = 0;
+        self.dup_acks = 0;
+        let cctx = self.cca_ctx(ctx.now());
+        self.cca.on_timeout(&cctx);
+        self.retransmit_head(ctx);
+        self.record_flight(ctx.now());
+    }
+}
+
+impl std::fmt::Debug for Sender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("flow", &self.flow)
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("demand_end", &self.demand_end)
+            .field("cwnd", &self.cwnd())
+            .field("in_recovery", &self.in_recovery)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Cmd, PacketKind};
+
+    const MSS: u64 = 1446;
+
+    struct Harness {
+        tx: Sender,
+        cmds: Vec<Cmd>,
+        now: SimTime,
+    }
+
+    impl Harness {
+        fn new(cfg: &TcpConfig) -> Self {
+            Harness {
+                tx: Sender::new(FlowId(1), NodeId(9), cfg),
+                cmds: Vec::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn default() -> Self {
+            Self::new(&TcpConfig::default())
+        }
+
+        fn demand(&mut self, bytes: u64) {
+            let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
+            self.tx.add_demand(&mut ctx, bytes);
+        }
+
+        fn ack(&mut self, abs: u64, ece: bool) -> AckOutcome {
+            let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
+            self.tx
+                .on_ack(&mut ctx, seq::wrap(abs), ece, SimTime::ZERO)
+        }
+
+        fn rto(&mut self) {
+            let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
+            self.tx.on_rto(&mut ctx);
+        }
+
+        /// Drains emitted data segments as (seq, len, retx).
+        fn sent(&mut self) -> Vec<(u32, u32, bool)> {
+            let out = self
+                .cmds
+                .iter()
+                .filter_map(|c| match c {
+                    Cmd::Send(p) => match p.kind {
+                        PacketKind::Data {
+                            seq,
+                            payload,
+                            retx,
+                            ..
+                        } => Some((seq, payload, retx)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            self.cmds.clear();
+            out
+        }
+    }
+
+    #[test]
+    fn initial_window_limits_first_burst() {
+        let mut h = Harness::default();
+        h.demand(100 * MSS);
+        let sent = h.sent();
+        assert_eq!(sent.len(), 10, "init cwnd of 10 segments");
+        assert_eq!(sent[0], (0, MSS as u32, false));
+        assert_eq!(sent[9].0, (9 * MSS) as u32);
+        assert_eq!(h.tx.in_flight(), 10 * MSS);
+    }
+
+    #[test]
+    fn acks_release_more_data_and_grow_window() {
+        let mut h = Harness::default();
+        h.demand(100 * MSS);
+        h.sent();
+        h.ack(2 * MSS, false);
+        let sent = h.sent();
+        // Slow start: 2 MSS acked -> cwnd 12 MSS, una=2, nxt was 10: can send 4.
+        assert_eq!(sent.len(), 4);
+        assert_eq!(h.tx.in_flight(), 12 * MSS);
+    }
+
+    #[test]
+    fn demand_smaller_than_window_sends_everything() {
+        let mut h = Harness::default();
+        h.demand(3 * MSS + 100);
+        let sent = h.sent();
+        assert_eq!(sent.len(), 4);
+        assert_eq!(sent[3].1, 100, "short tail segment");
+        assert_eq!(h.ack(3 * MSS + 100, false), AckOutcome::AllAcked);
+        assert!(h.tx.is_idle());
+    }
+
+    #[test]
+    fn triple_dupack_triggers_single_fast_retransmit() {
+        let mut h = Harness::default();
+        h.demand(20 * MSS);
+        h.sent();
+        h.ack(MSS, false); // advance a bit
+        h.sent();
+        for _ in 0..2 {
+            assert_eq!(h.ack(MSS, false), AckOutcome::Progress);
+            assert!(h.sent().is_empty(), "below dupthresh: no retransmit");
+        }
+        h.ack(MSS, false); // third duplicate
+        let sent = h.sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0], (MSS as u32, MSS as u32, true));
+        assert_eq!(h.tx.stats().fast_retransmits, 1);
+        // Further dupacks inflate and may release new data, never retransmit.
+        for _ in 0..5 {
+            h.ack(MSS, false);
+            for (_, _, retx) in h.sent() {
+                assert!(!retx);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_ack_retransmits_next_hole() {
+        let mut h = Harness::default();
+        h.demand(20 * MSS);
+        h.sent();
+        for _ in 0..3 {
+            h.ack(0, false);
+        }
+        let first_retx = h.sent();
+        assert_eq!(first_retx[0].0, 0);
+        // Partial ack: hole at 2 MSS (recovery point is 10 MSS).
+        h.ack(2 * MSS, false);
+        let sent = h.sent();
+        assert!(
+            sent.iter().any(|&(s, _, retx)| retx && s == (2 * MSS) as u32),
+            "partial ack must retransmit the next hole: {sent:?}"
+        );
+        // Full ack at the recovery point exits recovery.
+        h.ack(10 * MSS, false);
+        assert!(!h.tx.in_recovery);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_retransmits_head() {
+        let mut h = Harness::default();
+        h.demand(20 * MSS);
+        h.sent();
+        h.rto();
+        let sent = h.sent();
+        assert_eq!(sent, vec![(0, MSS as u32, true)]);
+        assert_eq!(h.tx.cwnd(), MSS, "window collapsed to floor");
+        assert_eq!(h.tx.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn stale_rto_with_nothing_in_flight_is_noop() {
+        let mut h = Harness::default();
+        h.demand(MSS);
+        h.sent();
+        h.ack(MSS, false);
+        h.rto();
+        assert!(h.sent().is_empty());
+        assert_eq!(h.tx.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn window_floor_of_one_mss_always_sends() {
+        let cfg = TcpConfig::default();
+        let mut h = Harness::new(&cfg);
+        h.demand(10 * MSS);
+        h.sent();
+        // Crush the window with fully-marked acks; floor must keep 1 MSS.
+        for i in 1..=9u64 {
+            h.ack(i * MSS, true);
+            h.sent();
+        }
+        assert!(h.tx.cwnd() >= MSS);
+        assert_eq!(h.ack(10 * MSS, true), AckOutcome::AllAcked);
+    }
+
+    #[test]
+    fn persistent_connection_reuses_cwnd_across_bursts() {
+        let mut h = Harness::default();
+        h.demand(10 * MSS);
+        h.sent();
+        h.ack(10 * MSS, false);
+        let cwnd_after_burst1 = h.tx.cwnd();
+        assert!(cwnd_after_burst1 > 10 * MSS, "slow start grew the window");
+        // Second burst starts with the grown window (the paper's §4.3 issue).
+        h.demand(30 * MSS);
+        let sent = h.sent();
+        assert_eq!(sent.len() as u64, cwnd_after_burst1 / MSS);
+    }
+
+    #[test]
+    fn ece_acks_are_counted_and_reduce() {
+        let mut h = Harness::default();
+        h.demand(50 * MSS);
+        h.sent();
+        let before = h.tx.cwnd();
+        h.ack(5 * MSS, true);
+        assert_eq!(h.tx.stats().ece_acks, 1);
+        // alpha starts at 0 so the first window's cut is 0; but CWR stops
+        // growth, so cwnd must not exceed its pre-ack value plus the ack.
+        assert!(h.tx.cwnd() <= before + 5 * MSS);
+    }
+
+    #[test]
+    fn retransmit_never_exceeds_sent_data() {
+        let mut h = Harness::default();
+        h.demand(MSS / 2); // single small segment
+        let sent = h.sent();
+        assert_eq!(sent[0].1 as u64, MSS / 2);
+        h.rto();
+        let sent = h.sent();
+        assert_eq!(sent[0].1 as u64, MSS / 2, "resend only what was sent");
+    }
+
+    #[test]
+    fn flight_recorder_tracks_inflight() {
+        let mut cfg = TcpConfig::default();
+        cfg.flight_sample_interval = Some(SimTime::from_us(50));
+        let mut h = Harness::new(&cfg);
+        h.demand(5 * MSS);
+        assert_eq!(
+            h.tx.flight_recorder().unwrap().series().get(0),
+            (5 * MSS) as f64
+        );
+    }
+
+    #[test]
+    fn ack_beyond_snd_nxt_ignored() {
+        let mut h = Harness::default();
+        h.demand(5 * MSS);
+        h.sent();
+        // Corrupt ack way beyond anything sent: ignored.
+        h.ack(500 * MSS, false);
+        assert_eq!(h.tx.in_flight(), 5 * MSS);
+    }
+}

@@ -1,0 +1,114 @@
+//! TCP sequence-number arithmetic.
+//!
+//! Wire sequence numbers are 32-bit and wrap; the transport keeps 64-bit
+//! absolute byte offsets internally and converts at the wire boundary. The
+//! unwrap operation picks the 64-bit value with the given low 32 bits that
+//! is closest to a reference offset — the standard technique (cf. RFC 1982
+//! serial-number arithmetic and Linux's `u64_unwrap` idiom), valid while the
+//! true value is within 2^31 bytes of the reference, which a datacenter
+//! flow's in-flight window always satisfies.
+
+/// Converts an absolute byte offset to its 32-bit wire representation.
+#[inline]
+pub fn wrap(abs: u64) -> u32 {
+    abs as u32
+}
+
+/// Reconstructs an absolute offset from a wire value, choosing the candidate
+/// nearest to `reference`.
+pub fn unwrap(wire: u32, reference: u64) -> u64 {
+    const SPAN: u64 = 1 << 32;
+    let base = reference & !(SPAN - 1);
+    let candidate = base | wire as u64;
+    // Consider the adjacent epochs and pick the closest to the reference.
+    let mut best = candidate;
+    let mut best_dist = candidate.abs_diff(reference);
+    if let Some(lower) = candidate.checked_sub(SPAN) {
+        let d = lower.abs_diff(reference);
+        if d < best_dist {
+            best = lower;
+            best_dist = d;
+        }
+    }
+    if let Some(upper) = candidate.checked_add(SPAN) {
+        let d = upper.abs_diff(reference);
+        if d < best_dist {
+            best = upper;
+        }
+    }
+    best
+}
+
+/// True if wire sequence `a` is strictly after `b` in wrapping order
+/// (within half the space).
+#[inline]
+pub fn after(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) as i32 > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_truncates() {
+        assert_eq!(wrap(0), 0);
+        assert_eq!(wrap(1 << 32), 0);
+        assert_eq!(wrap((1 << 32) + 5), 5);
+        assert_eq!(wrap(u64::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn unwrap_identity_in_first_epoch() {
+        assert_eq!(unwrap(100, 0), 100);
+        assert_eq!(unwrap(100, 200), 100);
+    }
+
+    #[test]
+    fn unwrap_across_boundary_forward() {
+        // Reference just below a wrap; wire value just above it.
+        let reference = (1u64 << 32) - 10;
+        assert_eq!(unwrap(5, reference), (1 << 32) + 5);
+    }
+
+    #[test]
+    fn unwrap_across_boundary_backward() {
+        // Reference just above a wrap; wire value from just below it.
+        let reference = (1u64 << 32) + 10;
+        let wire = u32::MAX - 4;
+        assert_eq!(unwrap(wire, reference), (1u64 << 32) - 5);
+    }
+
+    #[test]
+    fn unwrap_deep_epochs() {
+        let reference = 7 * (1u64 << 32) + 1000;
+        assert_eq!(unwrap(900, reference), 7 * (1 << 32) + 900);
+        assert_eq!(unwrap(wrap(reference + 5000), reference), reference + 5000);
+    }
+
+    #[test]
+    fn after_wrapping_order() {
+        assert!(after(1, 0));
+        assert!(!after(0, 1));
+        assert!(!after(5, 5));
+        assert!(after(5, u32::MAX)); // 5 is after MAX across the wrap
+        assert!(!after(u32::MAX, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn unwrap_inverts_wrap_near_reference(reference in 0u64..(1 << 48), delta in -(1i64 << 30)..(1 << 30)) {
+            let abs = reference.saturating_add_signed(delta);
+            prop_assert_eq!(unwrap(wrap(abs), reference), abs);
+        }
+
+        #[test]
+        fn unwrap_low_bits_match(wire: u32, reference in 0u64..(1 << 48)) {
+            let abs = unwrap(wire, reference);
+            prop_assert_eq!(abs as u32, wire);
+            // And the result is within half an epoch of the reference.
+            prop_assert!(abs.abs_diff(reference) <= 1 << 31);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-flow transport statistics.
+
+use serde::{Deserialize, Serialize};
+use stats::TimeSeries;
+
+/// Counters kept by a sending connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// Payload bytes handed down by the application so far.
+    pub demand_bytes: u64,
+    /// Payload bytes transmitted, including retransmissions.
+    pub bytes_sent: u64,
+    /// Payload bytes retransmitted.
+    pub bytes_retx: u64,
+    /// Payload bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// Data segments transmitted (including retransmissions).
+    pub segs_sent: u64,
+    /// Fast retransmissions triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// ACKs carrying ECN-Echo.
+    pub ece_acks: u64,
+    /// Total ACKs processed.
+    pub acks: u64,
+}
+
+/// Counters kept by a receiving connection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Payload bytes delivered in order to the application.
+    pub bytes_delivered: u64,
+    /// Data segments received.
+    pub segs_received: u64,
+    /// Segments that arrived CE-marked.
+    pub ce_segs: u64,
+    /// Payload bytes that duplicated already-received data (the receiver-
+    /// side view of retransmissions).
+    pub dup_bytes: u64,
+    /// Segments that arrived out of order (created or extended a gap).
+    pub ooo_segs: u64,
+    /// ACK packets sent.
+    pub acks_sent: u64,
+}
+
+/// Optional fixed-interval record of a sender's in-flight bytes (drives the
+/// paper's Fig. 7 per-flow skew analysis).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    series: TimeSeries,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with the given bucket width in picoseconds.
+    pub fn new(interval_ps: u64) -> Self {
+        FlightRecorder {
+            series: TimeSeries::new(interval_ps),
+        }
+    }
+
+    /// Records the in-flight level at `now_ps` (bucket keeps the max).
+    pub fn record(&mut self, now_ps: u64, inflight_bytes: u64) {
+        self.series.record_max(now_ps, inflight_bytes as f64);
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = SenderStats::default();
+        assert_eq!(s.bytes_sent, 0);
+        assert_eq!(s.timeouts, 0);
+        let r = ReceiverStats::default();
+        assert_eq!(r.bytes_delivered, 0);
+        assert_eq!(r.dup_bytes, 0);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_peaks() {
+        let mut f = FlightRecorder::new(1000);
+        f.record(0, 10);
+        f.record(500, 30);
+        f.record(999, 20);
+        f.record(1500, 5);
+        assert_eq!(f.series().get(0), 30.0);
+        assert_eq!(f.series().get(1), 5.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Stochastic trace schedules and their coordinator.
+//!
+//! For the Section-3 fleet study, each host-trace is one packet simulation
+//! driven by a pre-sampled [`TraceSchedule`]: Poisson burst arrivals, a
+//! flow count and per-flow demand per burst, and a random worker subset per
+//! burst. Pre-sampling (rather than sampling inside the app) keeps the
+//! workload deterministic and independently testable.
+
+use crate::service::SnapshotModel;
+use simnet::{FlowId, NodeId, SimTime};
+use stats::Rng;
+use transport::{TcpApi, TcpApp};
+
+/// One scheduled burst.
+#[derive(Debug, Clone)]
+pub struct ScheduledBurst {
+    /// Request issue time.
+    pub at: SimTime,
+    /// Worker indices queried.
+    pub workers: Vec<usize>,
+    /// Per-worker request offset from `at` (same length as `workers`):
+    /// models the spread of worker response times within the burst.
+    pub offsets: Vec<SimTime>,
+    /// Response bytes per worker.
+    pub per_flow_bytes: u64,
+}
+
+/// A full trace's workload.
+#[derive(Debug, Clone)]
+pub struct TraceSchedule {
+    /// Bursts in non-decreasing time order.
+    pub bursts: Vec<ScheduledBurst>,
+    /// Trace duration.
+    pub duration: SimTime,
+}
+
+/// Samples a schedule from a snapshot model.
+///
+/// Arrivals are Poisson with the model's rate; each burst samples a flow
+/// count (clamped to the pool), a per-flow demand, and a uniform worker
+/// subset without replacement.
+pub fn sample_schedule(
+    model: &SnapshotModel,
+    worker_pool: usize,
+    duration: SimTime,
+    rng: &mut Rng,
+) -> TraceSchedule {
+    assert!(worker_pool > 0);
+    let mean_gap_secs = 1.0 / model.bursts_per_sec;
+    let mut bursts = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival.
+        let u = 1.0 - rng.f64();
+        t += -mean_gap_secs * u.ln();
+        if t >= duration.as_secs_f64() {
+            break;
+        }
+        let (flows, per_flow, spread) = model.sample_burst(rng, worker_pool);
+        let workers = sample_subset(worker_pool, flows, rng);
+        let offsets = workers
+            .iter()
+            .map(|_| SimTime::from_ms_f64(rng.f64() * spread))
+            .collect();
+        bursts.push(ScheduledBurst {
+            at: SimTime::from_secs_f64(t),
+            workers,
+            offsets,
+            per_flow_bytes: per_flow,
+        });
+    }
+    TraceSchedule { bursts, duration }
+}
+
+/// Uniform subset of `k` distinct indices from `0..n` (partial
+/// Fisher-Yates).
+fn sample_subset(n: usize, k: usize, rng: &mut Rng) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.below((n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+impl TraceSchedule {
+    /// Total demand across all bursts, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bursts
+            .iter()
+            .map(|b| b.per_flow_bytes * b.workers.len() as u64)
+            .sum()
+    }
+
+    /// Implied mean offered load as a fraction of `line_rate_bps`.
+    pub fn offered_load(&self, line_rate_bps: u64) -> f64 {
+        let bits = self.total_bytes() as f64 * 8.0;
+        bits / (line_rate_bps as f64 * self.duration.as_secs_f64())
+    }
+}
+
+/// Coordinator app that replays a [`TraceSchedule`] against a worker fleet.
+#[derive(Debug)]
+pub struct ScheduleCoordinator {
+    schedule: TraceSchedule,
+    workers: Vec<NodeId>,
+    /// Worker `i` talks to this coordinator on flow `flow_base + i`; two
+    /// coordinators sharing a worker pool must use disjoint bases.
+    flow_base: u32,
+    /// Requests issued (diagnostic).
+    pub requests_sent: u64,
+}
+
+impl ScheduleCoordinator {
+    /// Creates the coordinator; `workers[i]` serves worker index `i` and
+    /// flow `i`.
+    pub fn new(schedule: TraceSchedule, workers: Vec<NodeId>) -> Self {
+        Self::with_flow_base(schedule, workers, 0)
+    }
+
+    /// Creates the coordinator with flows numbered from `flow_base`.
+    pub fn with_flow_base(schedule: TraceSchedule, workers: Vec<NodeId>, flow_base: u32) -> Self {
+        for b in &schedule.bursts {
+            for &w in &b.workers {
+                assert!(w < workers.len(), "worker index out of range");
+            }
+        }
+        ScheduleCoordinator {
+            schedule,
+            workers,
+            flow_base,
+            requests_sent: 0,
+        }
+    }
+}
+
+/// Timer keys: `(burst << SLOT_BITS) | slot` where `slot` indexes the
+/// burst's worker list. Supports pools up to 65k workers.
+const SLOT_BITS: u64 = 16;
+
+impl TcpApp for ScheduleCoordinator {
+    fn on_start(&mut self, api: &mut TcpApi) {
+        for (k, b) in self.schedule.bursts.iter().enumerate() {
+            for (slot, off) in b.offsets.iter().enumerate() {
+                api.set_app_timer((k as u64) << SLOT_BITS | slot as u64, b.at + *off);
+            }
+        }
+    }
+
+    fn on_app_timer(&mut self, api: &mut TcpApi, id: u64) {
+        let burst = (id >> SLOT_BITS) as usize;
+        let slot = (id & ((1 << SLOT_BITS) - 1)) as usize;
+        let b = &self.schedule.bursts[burst];
+        let w = b.workers[slot];
+        api.send_ctrl(
+            self.workers[w],
+            FlowId(self.flow_base + w as u32),
+            b.per_flow_bytes,
+            burst as u64,
+        );
+        self.requests_sent += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceId;
+    use stats::Dist;
+
+    fn model(rate: f64) -> SnapshotModel {
+        SnapshotModel {
+            classes: vec![(
+                1.0,
+                crate::service::BurstClass {
+                    flows: Dist::Constant(10.0),
+                    per_flow_bytes: Dist::Constant(10_000.0),
+                    spread_ms: Dist::Constant(0.5),
+                },
+            )],
+            bursts_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = Rng::new(3);
+        let s = sample_schedule(&model(100.0), 50, SimTime::from_secs(10), &mut rng);
+        // 10 s at 100/s -> ~1000 bursts, within 15 %.
+        assert!(
+            (850..1150).contains(&s.bursts.len()),
+            "{} bursts",
+            s.bursts.len()
+        );
+        // Sorted times within the duration.
+        for w in s.bursts.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(s.bursts.last().unwrap().at < SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn subsets_are_distinct_and_in_range() {
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            let sub = sample_subset(20, 7, &mut rng);
+            assert_eq!(sub.len(), 7);
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicates in {sub:?}");
+            assert!(sub.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn oversized_subset_clamps_to_pool() {
+        let mut rng = Rng::new(6);
+        let sub = sample_subset(5, 50, &mut rng);
+        assert_eq!(sub.len(), 5);
+    }
+
+    #[test]
+    fn offered_load_math() {
+        let mut rng = Rng::new(7);
+        let s = sample_schedule(&model(50.0), 50, SimTime::from_secs(4), &mut rng);
+        // ~50/s x 10 flows x 10 KB = ~5 MB/s = 40 Mbps; on 10 Gbps ~0.4 %.
+        let load = s.offered_load(10_000_000_000);
+        assert!((0.002..0.007).contains(&load), "load {load}");
+    }
+
+    #[test]
+    fn service_models_produce_nonempty_schedules() {
+        for svc in ServiceId::ALL {
+            let m = svc.model();
+            let mut rng = Rng::new(11);
+            let snap = m.snapshot(&mut rng);
+            let s = sample_schedule(&snap, m.worker_pool, SimTime::from_secs(2), &mut rng);
+            assert!(
+                !s.bursts.is_empty(),
+                "{} produced no bursts in 2 s",
+                svc.name()
+            );
+            // Offered load in the calibrated low-utilization regime.
+            let load = s.offered_load(m.line_rate.bps());
+            assert!(load < 0.6, "{}: load {load}", svc.name());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn coordinator_rejects_out_of_range_worker() {
+        let schedule = TraceSchedule {
+            bursts: vec![ScheduledBurst {
+                at: SimTime::ZERO,
+                workers: vec![3],
+                offsets: vec![SimTime::ZERO],
+                per_flow_bytes: 1,
+            }],
+            duration: SimTime::from_secs(1),
+        };
+        ScheduleCoordinator::new(schedule, vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The worker side of partition/aggregate.
+//!
+//! A worker waits for a coordinator's request (a control message carrying a
+//! demand in bytes), optionally applies a start-time jitter — the paper
+//! jitters flow starts by 0–100 µs "to model variations in processing
+//! time" (§4) — and then queues the response bytes on its persistent
+//! connection back to the coordinator.
+
+use simnet::{FlowId, NodeId, SimTime};
+use stats::Rng;
+use std::collections::HashMap;
+use transport::{TcpApi, TcpApp};
+
+/// Worker application: responds to every request with the demanded bytes.
+#[derive(Debug)]
+pub struct Worker {
+    /// Jitter range `[0, max)` applied before starting each response;
+    /// zero disables jitter.
+    jitter: SimTime,
+    rng: Rng,
+    /// Demand accumulated while a jitter timer is pending, per flow.
+    pending: HashMap<FlowId, (NodeId, u64)>,
+    /// Requests served (diagnostic).
+    pub requests: u64,
+}
+
+impl Worker {
+    /// Creates a worker with the paper's 0–100 µs jitter.
+    pub fn new(rng: Rng) -> Self {
+        Self::with_jitter(rng, SimTime::from_us(100))
+    }
+
+    /// Creates a worker with a custom jitter range (zero = respond
+    /// immediately).
+    pub fn with_jitter(rng: Rng, jitter: SimTime) -> Self {
+        Worker {
+            jitter,
+            rng,
+            pending: HashMap::new(),
+            requests: 0,
+        }
+    }
+
+    fn start_response(api: &mut TcpApi, flow: FlowId, peer: NodeId, bytes: u64) {
+        api.open_sender(flow, peer);
+        api.add_demand(flow, bytes);
+    }
+}
+
+impl TcpApp for Worker {
+    fn on_ctrl(&mut self, api: &mut TcpApi, from: NodeId, flow: FlowId, demand: u64, _burst: u64) {
+        self.requests += 1;
+        if self.jitter == SimTime::ZERO {
+            Self::start_response(api, flow, from, demand);
+            return;
+        }
+        let delay = SimTime::from_ps(self.rng.below(self.jitter.as_ps().max(1)));
+        let entry = self.pending.entry(flow).or_insert((from, 0));
+        entry.1 += demand;
+        // One jitter timer per flow; a second request before it fires just
+        // adds demand.
+        api.set_app_timer_after(flow.0 as u64, delay);
+    }
+
+    fn on_app_timer(&mut self, api: &mut TcpApi, id: u64) {
+        let flow = FlowId(id as u32);
+        if let Some((peer, bytes)) = self.pending.remove(&flow) {
+            if bytes > 0 {
+                Self::start_response(api, flow, peer, bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{build_dumbbell, Shared};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use transport::TcpConfig;
+
+    /// Coordinator that sends one request per worker at t=0 and records
+    /// delivery.
+    struct OneShotCoord {
+        workers: Vec<NodeId>,
+        demand: u64,
+        totals: Rc<RefCell<HashMap<FlowId, u64>>>,
+        first_byte_at: Rc<RefCell<HashMap<FlowId, SimTime>>>,
+    }
+    impl TcpApp for OneShotCoord {
+        fn on_start(&mut self, api: &mut TcpApi) {
+            for (i, &w) in self.workers.iter().enumerate() {
+                api.send_ctrl(w, FlowId(i as u32), self.demand, 0);
+            }
+        }
+        fn on_receive(&mut self, api: &mut TcpApi, flow: FlowId, _newly: u64, total: u64) {
+            self.first_byte_at
+                .borrow_mut()
+                .entry(flow)
+                .or_insert_with(|| api.now());
+            self.totals.borrow_mut().insert(flow, total);
+        }
+    }
+
+    fn run(jitter: SimTime, n: usize) -> (HashMap<FlowId, u64>, HashMap<FlowId, SimTime>) {
+        let mut fabric = build_dumbbell(n, 7);
+        let totals = Rc::new(RefCell::new(HashMap::new()));
+        let first = Rc::new(RefCell::new(HashMap::new()));
+        for (i, &s) in fabric.senders.iter().enumerate() {
+            let worker = Worker::with_jitter(Rng::new(100 + i as u64), jitter);
+            fabric.sim.set_endpoint(
+                s,
+                Box::new(TcpHostBox::new(worker)),
+            );
+        }
+        fabric.sim.set_endpoint(
+            fabric.receivers[0],
+            Box::new(TcpHostBox::new(OneShotCoord {
+                workers: fabric.senders.clone(),
+                demand: 30_000,
+                totals: totals.clone(),
+                first_byte_at: first.clone(),
+            })),
+        );
+        fabric.sim.run();
+        let t = totals.borrow().clone();
+        let f = first.borrow().clone();
+        (t, f)
+    }
+
+    /// Helper: wrap an app in a TcpHost with default config.
+    struct TcpHostBox;
+    impl TcpHostBox {
+        fn new(app: impl TcpApp + 'static) -> transport::TcpHost {
+            transport::TcpHost::new(TcpConfig::default(), Box::new(app))
+        }
+    }
+
+    #[test]
+    fn workers_respond_with_full_demand() {
+        let (totals, _) = run(SimTime::ZERO, 3);
+        assert_eq!(totals.len(), 3);
+        for &t in totals.values() {
+            assert_eq!(t, 30_000);
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_start_times() {
+        let (_, first) = run(SimTime::from_us(100), 8);
+        let mut times: Vec<u64> = first.values().map(|t| t.as_ps()).collect();
+        times.sort_unstable();
+        // With 8 workers jittered over 100 us, first-byte times can't all be
+        // equal (the no-jitter case collapses to serialization spacing only).
+        let spread = times.last().unwrap() - times.first().unwrap();
+        assert!(
+            spread > SimTime::from_us(10).as_ps(),
+            "spread only {spread} ps"
+        );
+    }
+
+    #[test]
+    fn accumulates_demand_while_jitter_pending() {
+        // Two requests for the same flow before the timer fires must both
+        // be served. We drive the app surface directly via a sim-free check
+        // of the pending map.
+        let mut w = Worker::with_jitter(Rng::new(1), SimTime::from_us(100));
+        assert_eq!(w.requests, 0);
+        // (Integration covered by service-trace tests; here just the map.)
+        w.pending.insert(FlowId(3), (NodeId(0), 500));
+        w.pending.entry(FlowId(3)).or_insert((NodeId(0), 0)).1 += 700;
+        assert_eq!(w.pending[&FlowId(3)].1, 1200);
+    }
+
+    #[test]
+    fn shared_wrapper_exposes_worker_state() {
+        let mut fabric = build_dumbbell(1, 9);
+        let host = Shared::new(TcpHostBox::new(Worker::with_jitter(
+            Rng::new(5),
+            SimTime::ZERO,
+        )));
+        let handle = host.handle();
+        fabric.sim.set_endpoint(fabric.senders[0], Box::new(host));
+        fabric.sim.set_endpoint(
+            fabric.receivers[0],
+            Box::new(TcpHostBox::new(OneShotCoord {
+                workers: fabric.senders.clone(),
+                demand: 10_000,
+                totals: Rc::new(RefCell::new(HashMap::new())),
+                first_byte_at: Rc::new(RefCell::new(HashMap::new())),
+            })),
+        );
+        fabric.sim.run();
+        let core = handle.borrow();
+        let (_, tx) = core.core().senders().next().unwrap();
+        assert_eq!(tx.stats().bytes_acked, 10_000);
+    }
+}

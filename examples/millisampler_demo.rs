@@ -1,0 +1,66 @@
+//! Using the Millisampler substitute directly: build a custom fabric, tap a
+//! receiver, and inspect the per-millisecond buckets and detected bursts.
+//!
+//! ```sh
+//! cargo run --release --example millisampler_demo
+//! ```
+
+use incast_bursts::millisampler::{detect_bursts, Millisampler};
+use incast_bursts::simnet::{build_dumbbell, Rate, Shared, SimTime};
+use incast_bursts::stats::Rng;
+use incast_bursts::transport::{TcpConfig, TcpHost};
+use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
+
+fn main() {
+    // 60 workers, 2 ms bursts, 6 bursts.
+    let mut fabric = build_dumbbell(60, 5);
+    for (i, &s) in fabric.senders.iter().enumerate() {
+        let worker = Worker::new(Rng::new(100 + i as u64));
+        fabric
+            .sim
+            .set_endpoint(s, Box::new(TcpHost::new(TcpConfig::default(), Box::new(worker))));
+    }
+    let coord = CyclicCoordinator::new(IncastConfig::paper(fabric.senders.clone(), 2.0, 6, 1));
+    fabric.sim.set_endpoint(
+        fabric.receivers[0],
+        Box::new(TcpHost::new(TcpConfig::default(), Box::new(coord))),
+    );
+
+    // The tap: headers-only, like an eBPF tc filter.
+    let tap = Shared::new(Millisampler::new(Rate::gbps(10)));
+    let handle = tap.handle();
+    fabric.sim.set_tap(fabric.receivers[0], Box::new(tap));
+
+    fabric.sim.run_until(SimTime::from_ms(60));
+    let trace = {
+        let sampler = std::mem::replace(
+            &mut *handle.borrow_mut(),
+            Millisampler::new(Rate::gbps(10)),
+        );
+        sampler.finish(SimTime::from_ms(60))
+    };
+
+    println!("per-ms buckets (only non-idle shown):");
+    println!("{:>6} {:>10} {:>8} {:>8} {:>7}", "ms", "bytes", "marked", "retx", "flows");
+    for (i, b) in trace.buckets.iter().enumerate() {
+        if b.bytes > 0 {
+            println!(
+                "{:>6} {:>10} {:>8} {:>8} {:>7}",
+                i, b.bytes, b.marked_bytes, b.retx_bytes, b.flows
+            );
+        }
+    }
+    let bursts = detect_bursts(&trace);
+    println!("\ndetected {} bursts (>50% of line rate):", bursts.len());
+    for b in &bursts {
+        println!(
+            "  t={:>3}ms dur={}ms flows={} marked={:.0}% incast={}",
+            b.start_ms(&trace),
+            b.duration_ms(&trace),
+            b.peak_flows,
+            b.marked_fraction() * 100.0,
+            b.is_incast()
+        );
+    }
+    println!("\nmean utilization: {:.1}%", trace.mean_utilization() * 100.0);
+}

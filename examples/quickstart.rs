@@ -1,0 +1,37 @@
+//! Quickstart: simulate a 30-flow incast burst through the paper's
+//! dumbbell and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use incast_bursts::core_api::modes::{run_incast, ModesConfig};
+
+fn main() {
+    // 30 workers each answer a coordinator query; the burst is sized to
+    // 2 ms of the 10 Gbps bottleneck; 4 bursts run back to back.
+    let cfg = ModesConfig {
+        num_flows: 30,
+        burst_duration_ms: 2.0,
+        num_bursts: 4,
+        warmup_bursts: 1,
+        seed: 42,
+        ..ModesConfig::default()
+    };
+    let r = run_incast(&cfg);
+
+    println!("incast of {} flows, {} bursts:", cfg.num_flows, cfg.num_bursts);
+    for (i, bct) in r.bcts_ms.iter().enumerate() {
+        println!("  burst {i}: completed in {bct:.2} ms");
+    }
+    println!("operating mode:      {}", r.mode().label());
+    println!("mean steady BCT:     {:.2} ms", r.mean_bct_ms);
+    println!("peak queue:          {} packets (capacity 1333)", r.queue_watermark_pkts);
+    println!(
+        "ECN marks:           {} of {} packets ({:.1}%)",
+        r.marked_pkts,
+        r.enqueued_pkts,
+        100.0 * r.marked_pkts as f64 / r.enqueued_pkts.max(1) as f64
+    );
+    println!("drops / timeouts:    {} / {}", r.drops, r.timeouts);
+}

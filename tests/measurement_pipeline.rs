@@ -1,0 +1,166 @@
+//! The measurement substrate against transport ground truth: what the
+//! header-only Millisampler tap infers must agree with what the TCP stacks
+//! actually did.
+
+use incast_bursts::millisampler::{detect_bursts, Millisampler};
+use incast_bursts::simnet::{build_dumbbell, Rate, Shared, SimTime};
+use incast_bursts::stats::Rng;
+use incast_bursts::transport::{TcpConfig, TcpHost};
+use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
+
+struct Rig {
+    trace: incast_bursts::millisampler::MsTrace,
+    /// (bytes_retx, bytes_acked, marked_segs_at_receiver) totals.
+    sender_retx: u64,
+    sender_acked: u64,
+    receiver_ce: u64,
+    receiver_delivered: u64,
+    /// Bytes the receiver saw covering already-received ranges.
+    receiver_dup: u64,
+    demand_total: u64,
+}
+
+fn run(flows: usize, burst_ms: f64, bursts: u32, seed: u64) -> Rig {
+    let mut fabric = build_dumbbell(flows, seed);
+    let mut workers = Vec::new();
+    for (i, &s) in fabric.senders.iter().enumerate() {
+        let host = Shared::new(TcpHost::new(
+            TcpConfig::default(),
+            Box::new(Worker::new(Rng::new(seed ^ (i as u64) << 8))),
+        ));
+        workers.push(host.handle());
+        fabric.sim.set_endpoint(s, Box::new(host));
+    }
+    let icfg = IncastConfig::paper(fabric.senders.clone(), burst_ms, bursts, seed);
+    let demand_total = icfg.per_flow_bytes * flows as u64 * bursts as u64;
+    let coord = Shared::new(TcpHost::new(
+        TcpConfig::default(),
+        Box::new(CyclicCoordinator::new(icfg)),
+    ));
+    let coord_handle = coord.handle();
+    let tap = Shared::new(Millisampler::new(Rate::gbps(10)));
+    let tap_handle = tap.handle();
+    fabric.sim.set_tap(fabric.receivers[0], Box::new(tap));
+    fabric.sim.set_endpoint(fabric.receivers[0], Box::new(coord));
+    fabric.sim.run_until(SimTime::from_secs(5));
+
+    let end = fabric.sim.now();
+    let trace = {
+        let s = std::mem::replace(&mut *tap_handle.borrow_mut(), Millisampler::new(Rate::gbps(10)));
+        s.finish(end)
+    };
+    let mut sender_retx = 0;
+    let mut sender_acked = 0;
+    for w in &workers {
+        let host = w.borrow();
+        for (_, tx) in host.core().senders() {
+            sender_retx += tx.stats().bytes_retx;
+            sender_acked += tx.stats().bytes_acked;
+        }
+    }
+    let (receiver_ce, receiver_delivered, receiver_dup) = {
+        let host = coord_handle.borrow();
+        let mut ce = 0;
+        let mut delivered = 0;
+        let mut dup = 0;
+        for (_, rx) in host.core().receivers() {
+            ce += rx.stats().ce_segs;
+            delivered += rx.delivered();
+            dup += rx.stats().dup_bytes;
+        }
+        (ce, delivered, dup)
+    };
+    Rig {
+        trace,
+        sender_retx,
+        sender_acked,
+        receiver_ce,
+        receiver_delivered,
+        receiver_dup,
+        demand_total,
+    }
+}
+
+#[test]
+fn all_demand_is_delivered_exactly_once() {
+    let rig = run(50, 2.0, 3, 77);
+    assert_eq!(rig.receiver_delivered, rig.demand_total);
+    assert_eq!(rig.sender_acked, rig.demand_total);
+}
+
+#[test]
+fn tap_retx_matches_receiver_dup_ground_truth() {
+    // A congested run with real losses. A header-only receiver-side tap
+    // can only see retransmissions that *re-cover* bytes it already saw:
+    // an RTO retransmission of a segment whose original was dropped (and
+    // with no later data delivered) looks like fresh data. The receiver's
+    // own duplicate-byte counter uses the same criterion, so the two must
+    // agree; both lower-bound the sender's retransmission count.
+    let rig = run(400, 2.0, 3, 99);
+    let tap_retx: u64 = rig.trace.buckets.iter().map(|b| b.retx_bytes).sum();
+    assert!(rig.sender_retx > 0, "expected losses in this configuration");
+    assert!(tap_retx > 0, "tap saw no retransmissions at all");
+    // The tap counts hole-fills (retransmissions whose originals were
+    // dropped) *plus* true duplicates; the receiver's dup counter sees
+    // only the latter; the sender counts every attempt including ones
+    // dropped en route. Hence: receiver_dup <= tap <= sender.
+    assert!(
+        tap_retx >= rig.receiver_dup,
+        "tap {} below receiver duplicates {}",
+        tap_retx,
+        rig.receiver_dup
+    );
+    assert!(
+        tap_retx <= rig.sender_retx,
+        "tap {} cannot exceed sender retransmissions {}",
+        tap_retx,
+        rig.sender_retx
+    );
+}
+
+#[test]
+fn tap_marks_match_receiver_ce_counts() {
+    let rig = run(200, 2.0, 3, 55);
+    assert!(rig.receiver_ce > 0, "expected CE marks");
+    let tap_marked_pkts: u64 = rig
+        .trace
+        .buckets
+        .iter()
+        .map(|b| b.marked_bytes / 1500)
+        .sum();
+    // The tap counts wire bytes of CE packets; receivers count CE data
+    // segments. Full-size segments dominate, so the two track each other.
+    let ratio = tap_marked_pkts as f64 / rig.receiver_ce as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "tap {} vs receiver {} (ratio {ratio:.3})",
+        tap_marked_pkts,
+        rig.receiver_ce
+    );
+}
+
+#[test]
+fn bursts_detected_match_configured_count() {
+    let rig = run(50, 2.0, 4, 11);
+    let bursts = detect_bursts(&rig.trace);
+    // 4 configured bursts at 2 ms each, separated by 2 ms gaps: the
+    // detector should find them individually (first may smear from slow
+    // start).
+    assert!(
+        (3..=5).contains(&bursts.len()),
+        "detected {} bursts",
+        bursts.len()
+    );
+    for b in &bursts {
+        assert!(b.peak_flows >= 45, "flows {}", b.peak_flows);
+    }
+}
+
+#[test]
+fn trace_total_bytes_cover_demand_plus_overhead() {
+    let rig = run(30, 1.0, 2, 5);
+    let total: u64 = rig.trace.buckets.iter().map(|b| b.bytes).sum();
+    // Wire bytes >= payload demand (headers add ~4%).
+    assert!(total >= rig.demand_total);
+    assert!(total < rig.demand_total * 2, "absurd overhead");
+}

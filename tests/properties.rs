@@ -1,0 +1,62 @@
+//! Property-based integration tests: random small configurations must
+//! uphold the transport's delivery invariants and the simulator's
+//! conservation laws.
+
+use incast_bursts::core_api::modes::{run_incast, ModesConfig};
+use incast_bursts::millisampler::unwrap_seq;
+use incast_bursts::transport::seq;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small incast completes, delivers all demand, and never reports
+    /// more acked than sent.
+    #[test]
+    fn random_incasts_complete(
+        flows in 2usize..40,
+        burst_ms in 1u32..4,
+        bursts in 2u32..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ModesConfig {
+            num_flows: flows,
+            burst_duration_ms: burst_ms as f64,
+            num_bursts: bursts,
+            warmup_bursts: 1,
+            seed,
+            ..ModesConfig::default()
+        };
+        let r = run_incast(&cfg);
+        prop_assert_eq!(r.bcts_ms.len(), bursts as usize);
+        for bct in &r.bcts_ms {
+            prop_assert!(*bct > 0.0);
+        }
+        // Queue never exceeds its configured capacity.
+        prop_assert!(r.queue_watermark_pkts <= 1333);
+        // Marks never exceed enqueued packets.
+        prop_assert!(r.marked_pkts <= r.enqueued_pkts);
+    }
+
+    /// The sampler's sequence unwrap is exactly the transport's.
+    #[test]
+    fn unwrap_implementations_agree(wire: u32, reference in 0u64..(1 << 48)) {
+        prop_assert_eq!(unwrap_seq(wire, reference), seq::unwrap(wire, reference));
+    }
+}
+
+#[test]
+fn zero_loss_zero_retx_invariant() {
+    // In a healthy run (no drops anywhere), there must be no
+    // retransmissions and no timeouts: retransmissions imply loss.
+    let r = run_incast(&ModesConfig {
+        num_flows: 20,
+        burst_duration_ms: 2.0,
+        num_bursts: 3,
+        seed: 3,
+        ..ModesConfig::default()
+    });
+    assert_eq!(r.drops, 0);
+    assert_eq!(r.retx_bytes, 0, "retransmissions without loss");
+    assert_eq!(r.timeouts, 0, "timeouts without loss");
+}
