@@ -5,9 +5,9 @@
 //! loss at lower flow counts." This ablation does model it.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use simnet::BufferPolicy;
 
 fn main() {
@@ -45,7 +45,12 @@ fn main() {
             let r = run_incast(&cfg);
             t.row([
                 flows.to_string(),
-                if shared { "shared DT 1.5MB a=1" } else { "static 2MB/port" }.to_string(),
+                if shared {
+                    "shared DT 1.5MB a=1"
+                } else {
+                    "static 2MB/port"
+                }
+                .to_string(),
                 r.mode().label().to_string(),
                 f(r.mean_bct_ms),
                 f(r.peak_steady_queue_pkts()),

@@ -4,9 +4,9 @@
 //! show what the same bursts do to loss-based stacks on an ECN fabric.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use transport::CcaKind;
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
         "steady retx KB",
         "mark share",
     ]);
-    for kind in [CcaKind::Dctcp { g: 1.0 / 16.0 }, CcaKind::Reno, CcaKind::Cubic] {
+    for kind in [
+        CcaKind::Dctcp { g: 1.0 / 16.0 },
+        CcaKind::Reno,
+        CcaKind::Cubic,
+    ] {
         let mut cfg = ModesConfig {
             num_flows: 100,
             burst_duration_ms: 15.0,

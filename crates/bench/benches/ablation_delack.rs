@@ -5,9 +5,9 @@
 //! control" (§4). This ablation quantifies that choice.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use transport::DelayedAckConfig;
 
 fn main() {
@@ -40,7 +40,12 @@ fn main() {
             let r = run_incast(&cfg);
             t.row([
                 flows.to_string(),
-                if delack.is_some() { "on (2 segs/1 ms)" } else { "off" }.to_string(),
+                if delack.is_some() {
+                    "on (2 segs/1 ms)"
+                } else {
+                    "off"
+                }
+                .to_string(),
                 r.mode().label().to_string(),
                 f(r.mean_bct_ms),
                 f(r.mean_steady_queue_pkts()),

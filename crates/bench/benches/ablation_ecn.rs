@@ -5,9 +5,9 @@
 //! underutilization when faced with host burstiness" (§2). Sweep K.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 
 fn main() {
     bench::banner(

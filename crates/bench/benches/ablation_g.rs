@@ -4,9 +4,9 @@
 //! does not address the root cause". Sweep g and watch the modes.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use transport::CcaKind;
 
 fn main() {

@@ -8,10 +8,10 @@
 //! threshold, the straggler dynamics of the paper appear.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::mitigation::start_spike;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use simnet::SimTime;
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
     ]);
     for (label, threshold) in [
         ("never (paper's sims)", None),
-        ("200 ms (Linux-like; gap is 2 ms, never fires)", Some(SimTime::from_ms(200))),
+        (
+            "200 ms (Linux-like; gap is 2 ms, never fires)",
+            Some(SimTime::from_ms(200)),
+        ),
         ("1 ms (fires every burst)", Some(SimTime::from_ms(1))),
     ] {
         let mut cfg = ModesConfig {

@@ -26,11 +26,7 @@ fn main() {
 
     // Plot a 300 ms excerpt so individual bursts are visible.
     let window = |series: &[(f64, f64)]| -> Vec<(f64, f64)> {
-        series
-            .iter()
-            .copied()
-            .filter(|&(t, _)| t < 300.0)
-            .collect()
+        series.iter().copied().filter(|&(t, _)| t < 300.0).collect()
     };
     println!(
         "{}",
@@ -70,7 +66,11 @@ fn main() {
     );
 
     // Headline numbers vs the paper's.
-    let peak_tp = p.throughput_gbps.iter().map(|&(_, g)| g).fold(0.0, f64::max);
+    let peak_tp = p
+        .throughput_gbps
+        .iter()
+        .map(|&(_, g)| g)
+        .fold(0.0, f64::max);
     let peak_flows = p.active_flows.iter().map(|&(_, v)| v).fold(0.0, f64::max);
     let peak_retx = p.retx_gbps.iter().map(|&(_, g)| g).fold(0.0, f64::max);
     // "if traffic is marked, essentially all of it is": among buckets with
@@ -93,8 +93,14 @@ fn main() {
         "  mean utilization:            10.6%   vs {}",
         pc(r.trace.mean_utilization())
     );
-    println!("  bursts reach line rate:      yes     vs peak {} Gbps", f(peak_tp));
-    println!("  flow count jumps to 200+:    yes     vs peak {} flows", f(peak_flows));
+    println!(
+        "  bursts reach line rate:      yes     vs peak {} Gbps",
+        f(peak_tp)
+    );
+    println!(
+        "  flow count jumps to 200+:    yes     vs peak {} flows",
+        f(peak_flows)
+    );
     println!(
         "  marked buckets fully marked: ~100%   vs median {}",
         pc(median_marked_share)

@@ -82,8 +82,7 @@ fn main() {
     ]);
     for (svc, acc) in &fleet {
         let mut c = acc.burst_flows.clone();
-        let incast_share =
-            1.0 - c.fraction_at_or_below(millisampler::INCAST_FLOW_THRESHOLD as f64);
+        let incast_share = 1.0 - c.fraction_at_or_below(millisampler::INCAST_FLOW_THRESHOLD as f64);
         t.row([
             svc.name().to_string(),
             f(c.percentile(10.0)),

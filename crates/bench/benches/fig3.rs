@@ -45,10 +45,8 @@ fn main() {
             )
         })
         .collect();
-    let plot_series: Vec<(&str, &[(f64, f64)])> = series
-        .iter()
-        .map(|(n, v)| (*n, v.as_slice()))
-        .collect();
+    let plot_series: Vec<(&str, &[(f64, f64)])> =
+        series.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     println!(
         "{}",
         ascii_plot(
@@ -71,7 +69,11 @@ fn main() {
         // Video is *expected* to flip between modes; everyone else should
         // hold a tight operating point (the paper's headline).
         let verdict = if *svc == ServiceId::Video {
-            if cv > 0.03 { "bimodal (expected)" } else { "flat" }
+            if cv > 0.03 {
+                "bimodal (expected)"
+            } else {
+                "flat"
+            }
         } else if cv < 0.25 {
             "stable"
         } else {
@@ -115,6 +117,9 @@ fn main() {
         let spread = means.iter().fold(0.0f64, |a, &m| a.max((m - avg).abs())) / avg;
         println!("Fig 3b — aggregator per host (paper: similar mean and p99 across hosts):");
         println!("{}", t.render());
-        println!("max relative deviation of host means: {}", bench::pc(spread));
+        println!(
+            "max relative deviation of host means: {}",
+            bench::pc(spread)
+        );
     }
 }

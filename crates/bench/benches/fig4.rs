@@ -50,13 +50,7 @@ fn main() {
     println!("{}\n", t.render());
 
     // 4b: marking rate per burst.
-    let mut t = Table::new([
-        "service",
-        "unmarked share",
-        "p75 mark rate",
-        "p90",
-        "p95",
-    ]);
+    let mut t = Table::new(["service", "unmarked share", "p75 mark rate", "p90", "p95"]);
     for (svc, acc) in &fleet {
         let mut c = acc.marked_fraction.clone();
         t.row([
@@ -72,13 +66,7 @@ fn main() {
     println!("{}\n", t.render());
 
     // 4c: retransmissions per burst as a fraction of line rate.
-    let mut t = Table::new([
-        "service",
-        "bursts w/ retx",
-        "p99 retx rate",
-        "p99.9",
-        "max",
-    ]);
+    let mut t = Table::new(["service", "bursts w/ retx", "p99 retx rate", "p99.9", "max"]);
     for (svc, acc) in &fleet {
         let mut c = acc.retx_fraction.clone();
         let with_retx = 1.0 - c.fraction_at_or_below(0.0);

@@ -3,9 +3,10 @@
 //! and mode classification.
 
 use bench::{banner, f};
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::{ascii_plot, Table};
-use incast_core::full_scale;
+use incast_core::runner::profile_footer;
 
 fn main() {
     banner(
@@ -29,6 +30,7 @@ fn main() {
         "marked share",
     ]);
 
+    let mut profiles = Vec::new();
     // 80 flows is this reproduction's Mode-1 exemplar: the degenerate
     // point sits where N x 1 MSS > K + BDP (~90 packets in flight, as the
     // paper itself computes), so N=100 already pins the queue here.
@@ -59,6 +61,7 @@ fn main() {
             r.steady_timeouts.to_string(),
             bench::pc(r.marked_pkts as f64 / r.enqueued_pkts.max(1) as f64),
         ]);
+        profiles.push(r.profile);
 
         // Plot the queue trace of the first post-warm-up burst window (plus
         // a little margin either side).
@@ -85,6 +88,7 @@ fn main() {
         }
     }
     println!("{}", t.render());
+    println!("{}", profile_footer(&profiles));
     println!();
     println!("paper: Mode 1 healthy at 100 flows; degenerate point once N x 1 MSS");
     println!("exceeds K + BDP (~90 pkts in flight); timeouts once the burst-start");

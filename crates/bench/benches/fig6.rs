@@ -3,9 +3,9 @@
 //! the oscillatory steady state of Figure 5.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::{ascii_plot, Table};
-use incast_core::full_scale;
 
 fn main() {
     bench::banner(
@@ -37,8 +37,8 @@ fn main() {
         };
         let r = run_incast(&cfg);
         let samples = r.steady_burst_samples();
-        let above = samples.iter().filter(|&&q| q >= 65.0).count() as f64
-            / samples.len().max(1) as f64;
+        let above =
+            samples.iter().filter(|&&q| q >= 65.0).count() as f64 / samples.len().max(1) as f64;
         let steady_bcts: Vec<f64> = r
             .bcts_ms
             .iter()

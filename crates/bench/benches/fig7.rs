@@ -8,10 +8,10 @@
 //! 100 flows at the production threshold K=89.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::run_incast;
 use incast_core::report::{ascii_plot, Table};
 use incast_core::straggler::{flight_skew, skew_summary, straggler_config};
-use incast_core::full_scale;
 
 fn main() {
     bench::banner(
@@ -78,14 +78,22 @@ fn main() {
                 .filter(|p| p.t_ms >= s_ms && p.t_ms <= e_ms + 2.0)
                 .collect();
             let to_kb = |v: f64| v / 1024.0;
-            let mean: Vec<(f64, f64)> =
-                window.iter().map(|p| (p.t_ms - s_ms, to_kb(p.mean))).collect();
-            let p50: Vec<(f64, f64)> =
-                window.iter().map(|p| (p.t_ms - s_ms, to_kb(p.p50))).collect();
-            let p95: Vec<(f64, f64)> =
-                window.iter().map(|p| (p.t_ms - s_ms, to_kb(p.p95))).collect();
-            let max: Vec<(f64, f64)> =
-                window.iter().map(|p| (p.t_ms - s_ms, to_kb(p.max))).collect();
+            let mean: Vec<(f64, f64)> = window
+                .iter()
+                .map(|p| (p.t_ms - s_ms, to_kb(p.mean)))
+                .collect();
+            let p50: Vec<(f64, f64)> = window
+                .iter()
+                .map(|p| (p.t_ms - s_ms, to_kb(p.p50)))
+                .collect();
+            let p95: Vec<(f64, f64)> = window
+                .iter()
+                .map(|p| (p.t_ms - s_ms, to_kb(p.p95)))
+                .collect();
+            let max: Vec<(f64, f64)> = window
+                .iter()
+                .map(|p| (p.t_ms - s_ms, to_kb(p.max)))
+                .collect();
             println!(
                 "{}",
                 ascii_plot(
@@ -94,7 +102,12 @@ fn main() {
                          (wall {:?})",
                         t0.elapsed()
                     ),
-                    &[("mean", &mean), ("p50", &p50), ("p95", &p95), ("p100", &max)],
+                    &[
+                        ("mean", &mean),
+                        ("p50", &p50),
+                        ("p95", &p95),
+                        ("p100", &max)
+                    ],
                     110,
                     16,
                 )

@@ -3,10 +3,10 @@
 //! scheduling (§5.2), on the same 100-flow cyclic incast.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::mitigation::{default_lineup, run_mitigation};
 use incast_core::modes::ModesConfig;
 use incast_core::report::Table;
-use incast_core::full_scale;
 
 fn main() {
     bench::banner(

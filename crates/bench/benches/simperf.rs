@@ -1,86 +1,121 @@
-//! Criterion micro-benchmarks of the simulator itself: event throughput,
-//! queue operations, RNG, and an end-to-end small incast.
+//! Micro-benchmarks of the simulator itself: event throughput, queue
+//! operations, RNG, an end-to-end small incast, and telemetry overhead.
+//!
+//! criterion is unreachable from the air-gapped build containers, so this
+//! is a small hand-rolled harness: a warmup pass, then a timed loop,
+//! reporting ns/op. Numbers are indicative, not statistically rigorous.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use incast_core::modes::{run_incast, ModesConfig};
-use simnet::{
-    EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime,
-};
+use incast_core::modes::{run_incast, run_incast_instrumented, ModesConfig};
+use simnet::{EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime};
 use stats::Rng;
+use std::time::Instant;
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("next_u64", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| std::hint::black_box(rng.next_u64()));
-    });
-    g.bench_function("f64", |b| {
-        let mut rng = Rng::new(2);
-        b.iter(|| std::hint::black_box(rng.f64()));
-    });
-    g.finish();
+/// Runs `op` `iters` times (after `iters / 10 + 1` warmup calls) and prints
+/// mean ns/op. Returns total elapsed seconds of the timed loop.
+fn bench<F: FnMut() -> u64>(label: &str, iters: u64, mut op: F) -> f64 {
+    let mut sink = 0u64;
+    for _ in 0..iters / 10 + 1 {
+        sink = sink.wrapping_add(op());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(op());
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    println!(
+        "{label:<28} {:>10.1} ns/op  ({iters} iters)",
+        secs * 1e9 / iters as f64
+    );
+    secs
 }
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queue");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("enqueue_dequeue", |b| {
-        let mut q = EcnQueue::new(QueueConfig::paper_tor());
-        let pkt = Packet::data(
-            FlowId(0),
-            NodeId(0),
-            NodeId(1),
-            0,
-            1446,
-            false,
-            SimTime::ZERO,
-        );
-        b.iter(|| {
-            match q.enqueue(SimTime::ZERO, pkt) {
-                EnqueueOutcome::Queued { .. } => {}
-                EnqueueOutcome::Dropped(_) => unreachable!("queue drained each iter"),
-            }
-            std::hint::black_box(q.dequeue(SimTime::ZERO));
-        });
-    });
-    g.finish();
+fn bench_rng() {
+    let mut rng = Rng::new(1);
+    bench("rng/next_u64", 10_000_000, || rng.next_u64());
+    let mut rng = Rng::new(2);
+    bench("rng/f64", 10_000_000, || rng.f64() as u64);
 }
 
-fn bench_incast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("incast_20f_1ms_2bursts", |b| {
-        b.iter(|| {
-            let cfg = ModesConfig {
-                num_flows: 20,
-                burst_duration_ms: 1.0,
-                num_bursts: 2,
-                warmup_bursts: 1,
-                ..ModesConfig::default()
-            };
-            std::hint::black_box(run_incast(&cfg).mean_bct_ms)
-        });
+fn bench_queue() {
+    let mut q = EcnQueue::new(QueueConfig::paper_tor());
+    let pkt = Packet::data(
+        FlowId(0),
+        NodeId(0),
+        NodeId(1),
+        0,
+        1446,
+        false,
+        SimTime::ZERO,
+    );
+    bench("queue/enqueue_dequeue", 5_000_000, || {
+        match q.enqueue(SimTime::ZERO, pkt) {
+            EnqueueOutcome::Queued { .. } => {}
+            EnqueueOutcome::Dropped(_) => unreachable!("queue drained each iter"),
+        }
+        q.dequeue(SimTime::ZERO).map(|p| p.id).unwrap_or(0)
     });
-    g.finish();
+}
 
-    // Report simulator event throughput once, as a headline number.
+fn bench_incast() {
+    bench("end_to_end/incast_20f_1ms", 10, || {
+        let cfg = ModesConfig {
+            num_flows: 20,
+            burst_duration_ms: 1.0,
+            num_bursts: 2,
+            warmup_bursts: 1,
+            ..ModesConfig::default()
+        };
+        run_incast(&cfg).mean_bct_ms as u64
+    });
+}
+
+/// The headline number plus the telemetry-overhead acceptance check: an
+/// attached-but-discarding sink must not change simulator event throughput
+/// materially (the ISSUE budget is <5%; allow noise above that here since
+/// this is a shared machine, but print the delta for inspection).
+fn headline_and_telemetry_overhead() {
     let cfg = ModesConfig {
         num_flows: 100,
         burst_duration_ms: 5.0,
         num_bursts: 4,
         ..ModesConfig::default()
     };
-    let t0 = std::time::Instant::now();
-    let r = run_incast(&cfg);
-    let wall = t0.elapsed();
-    let pkts = r.enqueued_pkts;
+
+    // Warm both paths once.
+    let _ = run_incast(&cfg);
+
+    let t0 = Instant::now();
+    let bare = run_incast(&cfg);
+    let wall_bare = t0.elapsed();
+
+    let sink = telemetry::SinkRef::new(telemetry::NullSink::new());
+    let t0 = Instant::now();
+    let (instr, manifest) = run_incast_instrumented(&cfg, Some(&sink));
+    let wall_sink = t0.elapsed();
+
+    let eps_bare = bare.profile.events() as f64 / wall_bare.as_secs_f64();
+    let eps_sink = instr.profile.events() as f64 / wall_sink.as_secs_f64();
+    let delta_pct = (eps_bare - eps_sink) / eps_bare * 100.0;
+
+    let pkts = bare.enqueued_pkts;
     println!(
-        "\nheadline: 100-flow / 5 ms x 4 bursts simulated in {wall:?} \
+        "\nheadline: 100-flow / 5 ms x 4 bursts simulated in {wall_bare:?} \
          ({pkts} bottleneck packets; ~{:.1} Mpkt/s through the bottleneck model)",
-        pkts as f64 / wall.as_secs_f64() / 1e6
+        pkts as f64 / wall_bare.as_secs_f64() / 1e6
     );
+    println!("loop profile (no sink):   {}", bare.profile.summary());
+    println!("loop profile (null sink): {}", instr.profile.summary());
+    println!(
+        "telemetry overhead: {eps_bare:.0} ev/s bare vs {eps_sink:.0} ev/s with null sink \
+         ({delta_pct:+.1}% throughput change; budget <5%)"
+    );
+    println!("manifest: {}", manifest.to_json());
 }
 
-criterion_group!(benches, bench_rng, bench_queue, bench_incast);
-criterion_main!(benches);
+fn main() {
+    bench_rng();
+    bench_queue();
+    bench_incast();
+    headline_and_telemetry_overhead();
+}

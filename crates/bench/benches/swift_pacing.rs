@@ -9,9 +9,9 @@
 //! bursts.
 
 use bench::f;
+use incast_core::full_scale;
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::report::Table;
-use incast_core::full_scale;
 use transport::config::PacingConfig;
 
 fn main() {
@@ -51,8 +51,12 @@ fn main() {
             t.row([
                 flows.to_string(),
                 format!("{burst_ms} ms"),
-                if paced { "swift-like paced" } else { "dctcp window" }
-                    .to_string(),
+                if paced {
+                    "swift-like paced"
+                } else {
+                    "dctcp window"
+                }
+                .to_string(),
                 f(r.mean_bct_ms),
                 f(r.mean_steady_queue_pkts()),
                 f(r.peak_steady_queue_pkts()),

@@ -5,8 +5,8 @@
 //! cargo run --release -p incast-core --bin debug_fleet
 //! ```
 
-use incast_core::production::{run_fleet, FleetConfig};
 use incast_core::default_threads;
+use incast_core::production::{run_fleet, FleetConfig};
 
 fn main() {
     let t0 = std::time::Instant::now();
@@ -14,7 +14,18 @@ fn main() {
     let fleet = run_fleet(&cfg);
     println!(
         "{:<11} {:>7} {:>6} {:>7} {:>5} {:>5} {:>5} {:>7} {:>7} {:>7} {:>8} {:>8}",
-        "service", "bursts", "freq", "util%", "p50fl", "p99fl", "inc%", "mark%", "p95mark", "retx%", "p99retx", "p50qpeak"
+        "service",
+        "bursts",
+        "freq",
+        "util%",
+        "p50fl",
+        "p99fl",
+        "inc%",
+        "mark%",
+        "p95mark",
+        "retx%",
+        "p99retx",
+        "p50qpeak"
     );
     for (svc, mut acc) in fleet {
         let n = acc.total_bursts();

@@ -1,39 +1,80 @@
-//! Developer tool: run one aggregator service trace and dump calibration
-//! statistics (utilization, burst counts, marking, retransmissions, drop
-//! locations). Pass `off` to disable rack contention.
+//! Developer tool and telemetry worked example: run a small dumbbell
+//! incast with a JSONL sink attached and dump the event stream, the run
+//! manifest, and the event-loop profile.
 //!
 //! ```sh
-//! cargo run --release -p incast-core --bin debug_trace [-- off]
+//! # Everything (packet trace, queue depth, flow windows, burst markers):
+//! cargo run --release -p incast-core --bin debug_trace
+//! # One flow's congestion-window trajectory only:
+//! cargo run --release -p incast-core --bin debug_trace -- flow 3
+//! # Human-readable tcpdump-style text instead of JSONL:
+//! cargo run --release -p incast-core --bin debug_trace -- text
 //! ```
+//!
+//! The JSONL stream is grep-friendly: `"ev":"flow_window"` lines carry
+//! cwnd/ssthresh/inflight per transition, `"ev":"queue_depth"` the
+//! bottleneck occupancy, `"ev":"burst_start"`/`"burst_end"` the workload
+//! boundaries. Two runs with the same seed produce byte-identical streams.
 
-use incast_core::production::{run_service_trace, TraceConfig};
-use simnet::SimTime;
-use workload::ServiceId;
+use incast_core::modes::{run_incast_instrumented, ModesConfig};
+use simnet::{SimTime, TextTracer};
+use std::io::Write;
+use telemetry::{EventClass, JsonlSink, SinkRef};
+
+/// Writes the trace to stdout, ignoring a closed pipe (`head`, `grep -m`).
+fn dump(text: &str) {
+    let _ = std::io::stdout().lock().write_all(text.as_bytes());
+}
+
+fn small_cfg() -> ModesConfig {
+    ModesConfig {
+        num_flows: 8,
+        burst_duration_ms: 0.5,
+        num_bursts: 2,
+        warmup_bursts: 1,
+        queue_sample: SimTime::from_us(50),
+        seed: 7,
+        ..ModesConfig::default()
+    }
+}
 
 fn main() {
-    let t0 = std::time::Instant::now();
-    let mut cfg = TraceConfig::new(ServiceId::Aggregator, 1);
-    cfg.duration = SimTime::from_secs(2);
-    cfg.contention = std::env::args().nth(1).as_deref() != Some("off");
-    let r = run_service_trace(&cfg);
-    let bursts = &r.bursts;
-    println!(
-        "wall {:?} | util {:.3} | bursts {} | incast frac {:.2} | max flows {} | marked bursts {} | retx bursts {}",
-        t0.elapsed(),
-        r.trace.mean_utilization(),
-        bursts.len(),
-        bursts.iter().filter(|b| b.is_incast()).count() as f64 / bursts.len().max(1) as f64,
-        bursts.iter().map(|b| b.peak_flows).max().unwrap_or(0),
-        bursts.iter().filter(|b| b.marked_bytes > 0).count(),
-        bursts.iter().filter(|b| b.retx_bytes > 0).count(),
-    );
-    println!(
-        "downlink drops {} marks {} | trunk drops {} marks {} | contender drops {} | retx bytes {}",
-        r.downlink_drops, r.downlink_marks, r.trunk_drops, r.trunk_marks, r.contender_drops,
-        bursts.iter().map(|b| b.retx_bytes).sum::<u64>()
-    );
-    let mut durs: Vec<usize> = bursts.iter().map(|b| b.len_buckets).collect();
-    durs.sort_unstable();
-    println!("duration buckets: min {:?} p50 {:?} p90 {:?} max {:?}",
-        durs.first(), durs.get(durs.len()/2), durs.get(durs.len()*9/10), durs.last());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = small_cfg();
+
+    if args.first().map(String::as_str) == Some("text") {
+        // TextTracer is a formatter over the same event stream: attach it
+        // as a sink and it renders tcpdump-style lines for packet events.
+        let tracer = std::rc::Rc::new(std::cell::RefCell::new(TextTracer::new(1 << 20)));
+        let sink = SinkRef::from_rc(tracer.clone());
+        let (r, manifest) = run_incast_instrumented(&cfg, Some(&sink));
+        dump(&tracer.borrow().render());
+        eprintln!("# mean BCT {:.3} ms", r.mean_bct_ms);
+        eprintln!("# {}", manifest.to_json());
+        return;
+    }
+
+    // JSONL mode, optionally filtered to one flow's events.
+    let sink = match args.first().map(String::as_str) {
+        Some("flow") => {
+            let flow: u32 = match args.get(1).and_then(|s| s.parse().ok()) {
+                Some(f) => f,
+                None => {
+                    eprintln!("usage: debug_trace [text | flow <id>]");
+                    std::process::exit(2);
+                }
+            };
+            JsonlSink::new()
+                .with_flow_filter(flow)
+                .with_classes(&[EventClass::Flow, EventClass::App])
+        }
+        _ => JsonlSink::new(),
+    };
+    let (jsonl, sref) = sink.shared();
+    let (r, manifest) = run_incast_instrumented(&cfg, Some(&sref));
+
+    dump(jsonl.borrow().render());
+    eprintln!("# events: {}", jsonl.borrow().events_written());
+    eprintln!("# profile: {}", r.profile.summary());
+    eprintln!("# manifest: {}", manifest.to_json());
 }

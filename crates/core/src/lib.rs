@@ -24,5 +24,7 @@ pub use runner::{default_threads, par_map};
 
 /// True when paper-scale parameters were requested via `INCAST_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("INCAST_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("INCAST_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

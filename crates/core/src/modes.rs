@@ -5,10 +5,9 @@
 //! Figure 7, every ablation, and the mitigation comparison: one
 //! configuration struct in, one [`IncastRunResult`] out.
 
-use simnet::{
-    build_fabric, BufferPolicy, FabricConfig, QueueConfig, Shared, SimTime,
-};
+use simnet::{build_fabric, BufferPolicy, FabricConfig, QueueConfig, Shared, SimTime};
 use stats::{Rng, TimeSeries};
+use telemetry::{LoopProfile, RunManifest, SinkRef};
 use transport::{TcpConfig, TcpHost};
 use workload::{BurstSchedule, CyclicCoordinator, Grouping, IncastConfig, Worker};
 
@@ -139,6 +138,8 @@ pub struct IncastRunResult {
     pub finished_at: SimTime,
     /// The ECN threshold in effect (packets), for classification.
     pub ecn_threshold_pkts: u32,
+    /// Event-loop wall-clock profile (events/sec, per-kind tallies).
+    pub profile: LoopProfile,
 }
 
 impl IncastRunResult {
@@ -191,9 +192,7 @@ impl IncastRunResult {
 
     /// Peak queue depth over steady-state burst windows.
     pub fn peak_steady_queue_pkts(&self) -> f64 {
-        self.steady_burst_samples()
-            .into_iter()
-            .fold(0.0, f64::max)
+        self.steady_burst_samples().into_iter().fold(0.0, f64::max)
     }
 
     /// The queue trace as `(ms, packets)` points for plotting.
@@ -207,6 +206,22 @@ impl IncastRunResult {
 
 /// Runs one cyclic-incast experiment.
 pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
+    run_incast_instrumented(cfg, None).0
+}
+
+/// Runs one cyclic-incast experiment with an optional telemetry sink.
+///
+/// When a sink is attached, the run streams structured events to it —
+/// per-packet trace and queue-depth samples on the bottleneck link,
+/// shared-buffer watermarks, per-flow window transitions from every
+/// sender, and burst boundary markers — each gated by the sink's
+/// [`telemetry::EventSink::accepts`] subscriptions. The returned
+/// [`RunManifest`] describes the run (seed, topology, transport config,
+/// code version, event counts, wall clock) for replay and diffing.
+pub fn run_incast_instrumented(
+    cfg: &ModesConfig,
+    sink: Option<&SinkRef>,
+) -> (IncastRunResult, RunManifest) {
     assert!(cfg.num_flows > 0);
     assert!(cfg.burst_duration_ms > 0.0);
 
@@ -225,13 +240,21 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
         .link_mut(bottleneck)
         .queue
         .enable_monitor(cfg.queue_sample);
+    if let Some(s) = sink {
+        fabric.sim.set_sink(s.clone());
+        fabric.sim.enable_depth_probe(bottleneck);
+    }
 
     // Workers.
     let root = Rng::new(cfg.seed);
     let mut worker_handles = Vec::with_capacity(cfg.num_flows);
     for (i, &s) in fabric.senders.iter().enumerate() {
         let worker = Worker::new(root.fork(1000 + i as u64));
-        let host = Shared::new(TcpHost::new(cfg.tcp.clone(), Box::new(worker)));
+        let mut host = TcpHost::new(cfg.tcp.clone(), Box::new(worker));
+        if let Some(sk) = sink {
+            host.set_sink(sk.clone());
+        }
+        let host = Shared::new(host);
         worker_handles.push(host.handle());
         fabric.sim.set_endpoint(s, Box::new(host));
     }
@@ -245,7 +268,11 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
     );
     icfg.schedule = cfg.schedule;
     icfg.grouping = cfg.grouping;
-    let coordinator = Shared::new(CyclicCoordinator::new(icfg));
+    let mut coord = CyclicCoordinator::new(icfg);
+    if let Some(sk) = sink {
+        coord.set_sink(sk.clone());
+    }
+    let coordinator = Shared::new(coord);
     let coord_handle = coordinator.handle();
     fabric.sim.set_endpoint(
         fabric.receivers[0],
@@ -314,11 +341,7 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
 
     let link = fabric.sim.link(bottleneck);
     let qstats = link.queue.stats();
-    let queue_pkts = link
-        .queue
-        .monitor()
-        .expect("monitor enabled above")
-        .clone();
+    let queue_pkts = link.queue.monitor().expect("monitor enabled above").clone();
 
     let mut retx_bytes = 0;
     let mut timeouts = 0;
@@ -333,7 +356,22 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
     }
 
     let (d0, t0, r0) = warmup_counters.unwrap_or((0, 0, 0));
-    IncastRunResult {
+    let profile = fabric.sim.profile();
+
+    let mut manifest = RunManifest::new(
+        "incast",
+        cfg.seed,
+        &format!("dumbbell:senders={},receivers=1", cfg.num_flows),
+    )
+    .with_git_describe();
+    manifest.config_json = cfg.tcp.to_json();
+    manifest.event_count = sink.map(|s| s.event_count()).unwrap_or(0);
+    manifest.events_processed = fabric.sim.counters().events_processed;
+    manifest.sim_time_ps = fabric.sim.now().as_ps();
+    manifest.counters_json = fabric.sim.counters().to_json();
+    manifest.wall_clock_us = Some(profile.wall.as_micros() as u64);
+
+    let result = IncastRunResult {
         bcts_ms,
         mean_bct_ms,
         queue_pkts,
@@ -352,7 +390,9 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
         finished_at: fabric.sim.now(),
         ecn_threshold_pkts: cfg.tor_queue.ecn_threshold_pkts.unwrap_or(0),
         warmup_bursts: cfg.warmup_bursts,
-    }
+        profile,
+    };
+    (result, manifest)
 }
 
 #[cfg(test)]
@@ -438,5 +478,51 @@ mod tests {
         assert_eq!(a.bcts_ms, b.bcts_ms);
         assert_eq!(a.drops, b.drops);
         assert_eq!(a.marked_pkts, b.marked_pkts);
+    }
+
+    #[test]
+    fn profile_reflects_event_loop_work() {
+        let r = run_incast(&quick(10, 0.5, 2));
+        assert!(r.profile.events() > 1000, "{}", r.profile.events());
+        assert!(r.profile.tallies.delivery > 0);
+        assert!(r.profile.tallies.timer > 0);
+        assert!(r.profile.summary().contains("events"));
+    }
+
+    #[test]
+    fn instrumented_run_streams_events_and_manifest() {
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        let cfg = quick(10, 0.5, 2);
+        let (r, manifest) = run_incast_instrumented(&cfg, Some(&sref));
+        assert!(r.enqueued_pkts > 0);
+
+        let out = jsonl.borrow().render().to_string();
+        assert!(out.contains(r#""ev":"queue_depth""#), "queue probe silent");
+        assert!(out.contains(r#""ev":"flow_window""#), "flow probes silent");
+        assert!(out.contains(r#""ev":"burst_start""#));
+        assert!(out.contains(r#""ev":"burst_end""#));
+        assert!(out.contains(r#""ev":"pkt_enq""#));
+
+        assert_eq!(manifest.event_count, jsonl.borrow().events_written());
+        assert!(manifest.event_count > 0);
+        assert_eq!(manifest.seed, cfg.seed);
+        assert_eq!(manifest.topology, "dumbbell:senders=10,receivers=1");
+        assert!(manifest.config_json.contains(r#""cca":"dctcp""#));
+        assert!(manifest.events_processed > 0);
+        assert!(manifest.counters_json.contains("delivered_pkts"));
+        assert!(manifest.wall_clock_us.is_some());
+    }
+
+    #[test]
+    fn instrumented_run_matches_bare_run() {
+        let cfg = quick(20, 1.0, 2);
+        let bare = run_incast(&cfg);
+        let sref = telemetry::SinkRef::new(telemetry::NullSink::new());
+        let (instr, _) = run_incast_instrumented(&cfg, Some(&sref));
+        // Telemetry observes; it must not perturb the simulation.
+        assert_eq!(bare.bcts_ms, instr.bcts_ms);
+        assert_eq!(bare.drops, instr.drops);
+        assert_eq!(bare.marked_pkts, instr.marked_pkts);
+        assert_eq!(bare.enqueued_pkts, instr.enqueued_pkts);
     }
 }

@@ -130,9 +130,10 @@ pub fn run_trace_with_snapshot(cfg: &TraceConfig, snapshot: SnapshotModel) -> Tr
     // Workers (shared by both coordinators; flows are disjoint by base).
     for (i, &s) in fabric.senders.iter().enumerate() {
         let worker = Worker::new(rng.fork(10_000 + i as u64));
-        fabric
-            .sim
-            .set_endpoint(s, Box::new(TcpHost::new(TcpConfig::default(), Box::new(worker))));
+        fabric.sim.set_endpoint(
+            s,
+            Box::new(TcpHost::new(TcpConfig::default(), Box::new(worker))),
+        );
     }
 
     // Measured coordinator.
@@ -156,12 +157,7 @@ pub fn run_trace_with_snapshot(cfg: &TraceConfig, snapshot: SnapshotModel) -> Tr
         // with the measured host should be the exception, not the rule.
         nsnap.bursts_per_sec *= 0.5;
         // The neighbor reuses this rack's worker pool, clamped to it.
-        let nschedule = sample_schedule(
-            &nsnap,
-            model.worker_pool,
-            cfg.duration,
-            &mut nrng,
-        );
+        let nschedule = sample_schedule(&nsnap, model.worker_pool, cfg.duration, &mut nrng);
         let contender = ScheduleCoordinator::with_flow_base(
             nschedule,
             fabric.senders.clone(),
@@ -194,7 +190,12 @@ pub fn run_trace_with_snapshot(cfg: &TraceConfig, snapshot: SnapshotModel) -> Tr
     let dstats = fabric.sim.link(bottleneck).queue.stats();
     let tstats = fabric.sim.link(fabric.trunk).queue.stats();
     let contender_drops = if cfg.contention {
-        fabric.sim.link(fabric.downlinks[1]).queue.stats().dropped_pkts
+        fabric
+            .sim
+            .link(fabric.downlinks[1])
+            .queue
+            .stats()
+            .dropped_pkts
     } else {
         0
     };

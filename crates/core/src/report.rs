@@ -19,9 +19,19 @@ impl Table {
         }
     }
 
-    /// Appends a row (padded/truncated to the header width).
+    /// Appends a row, padded with empty cells up to the header width.
+    ///
+    /// A row with *more* cells than the table has columns would silently
+    /// lose data in [`Table::render`]; that is a caller bug, caught here
+    /// in debug builds (release keeps the old drop-the-excess behavior).
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert!(
+            r.len() <= self.header.len(),
+            "table row has {} cells but only {} columns: {r:?}",
+            r.len(),
+            self.header.len(),
+        );
         r.resize(self.header.len(), String::new());
         self.rows.push(r);
         self
@@ -189,9 +199,21 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "only 2 columns"))]
+    fn over_wide_rows_are_a_debug_panic() {
+        let mut t = Table::new(["a", "b"]);
+        // Three cells into two columns: data would vanish from the render.
+        t.row(["1", "2", "3"]);
+        // Release builds keep the legacy truncation; make that explicit.
+        assert!(t.render().contains("| 1 | 2 |"));
+    }
+
+    #[test]
     fn plot_contains_series_glyphs_and_bounds() {
         let s1: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
-        let s2: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 2500.0 - (i * i) as f64)).collect();
+        let s2: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, 2500.0 - (i * i) as f64))
+            .collect();
         let out = ascii_plot("test", &[("up", &s1), ("down", &s2)], 40, 10);
         assert!(out.contains('*'));
         assert!(out.contains('o'));

@@ -56,6 +56,30 @@ pub fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Merges event-loop profiles from a batch of runs into one footer line to
+/// print beside report tables, e.g.
+/// `"perf: 3 runs, 1234567 events in 0.41s (3.0M ev/s; ...)"`.
+///
+/// Wall-clock times add up across runs, so for a parallel batch the ev/s
+/// figure is per-core throughput, not the batch's elapsed time.
+pub fn profile_footer<'a, I>(profiles: I) -> String
+where
+    I: IntoIterator<Item = &'a telemetry::LoopProfile>,
+{
+    let mut merged = telemetry::LoopProfile::new();
+    let mut runs = 0usize;
+    for p in profiles {
+        merged.merge(p);
+        runs += 1;
+    }
+    format!(
+        "perf: {} run{}, {}",
+        runs,
+        if runs == 1 { "" } else { "s" },
+        merged.summary()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +122,21 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn profile_footer_merges_runs() {
+        let p = telemetry::LoopProfile {
+            tallies: telemetry::EventTallies {
+                tx_complete: 10,
+                delivery: 20,
+                timer: 5,
+            },
+            wall: std::time::Duration::from_millis(100),
+        };
+        let s = profile_footer([&p, &p]);
+        assert!(s.starts_with("perf: 2 runs, 70 events"), "{s}");
+        let s = profile_footer([&p]);
+        assert!(s.starts_with("perf: 1 run, 35 events"), "{s}");
     }
 }

@@ -114,8 +114,7 @@ impl StabilityResult {
             return None;
         }
         let mean = means.iter().sum::<f64>() / means.len() as f64;
-        let var =
-            means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / means.len() as f64;
+        let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / means.len() as f64;
         Some(var.sqrt() / mean)
     }
 }

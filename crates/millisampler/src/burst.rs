@@ -8,7 +8,6 @@
 //! burst an *incast* when that count exceeds 25 flows.
 
 use crate::sampler::MsTrace;
-use serde::{Deserialize, Serialize};
 
 /// The paper's burst threshold: 50 % of line rate.
 pub const BURST_THRESHOLD_FRACTION: f64 = 0.5;
@@ -16,7 +15,7 @@ pub const BURST_THRESHOLD_FRACTION: f64 = 0.5;
 pub const INCAST_FLOW_THRESHOLD: u32 = 25;
 
 /// One detected burst.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Burst {
     /// Index of the first bucket of the burst.
     pub start_bucket: usize,
@@ -235,7 +234,10 @@ mod tests {
             pkts: 1,
         };
         assert!(!b.is_incast());
-        let b = Burst { peak_flows: 26, ..b };
+        let b = Burst {
+            peak_flows: 26,
+            ..b
+        };
         assert!(b.is_incast());
     }
 

@@ -13,10 +13,8 @@
 //! with several, each gets proportionally less — exactly the "rack-level
 //! contention" effect.
 
-use serde::{Deserialize, Serialize};
-
 /// Shared-buffer admission policy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum BufferPolicy {
     /// Admit while the pool has room (queues still enforce their own caps).
     StaticPool,
@@ -25,10 +23,11 @@ pub enum BufferPolicy {
 }
 
 /// One shared memory pool, charged by every member queue.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SharedBuffer {
     total_bytes: u64,
     used_bytes: u64,
+    peak_bytes: u64,
     policy: BufferPolicy,
     /// Admission refusals (for diagnostics).
     pub refusals: u64,
@@ -44,6 +43,7 @@ impl SharedBuffer {
         SharedBuffer {
             total_bytes,
             used_bytes: 0,
+            peak_bytes: 0,
             policy,
             refusals: 0,
         }
@@ -62,6 +62,11 @@ impl SharedBuffer {
     /// Free bytes.
     pub fn free_bytes(&self) -> u64 {
         self.total_bytes - self.used_bytes
+    }
+
+    /// Highest occupancy ever charged (the pool's high-water mark).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
     }
 
     /// Decides whether a queue currently holding `queue_bytes` may accept an
@@ -88,6 +93,7 @@ impl SharedBuffer {
     /// Charges the pool for an accepted arrival.
     pub fn on_enqueue(&mut self, pkt_bytes: u64) {
         self.used_bytes += pkt_bytes;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         debug_assert!(self.used_bytes <= self.total_bytes);
     }
 
@@ -158,6 +164,17 @@ mod tests {
         b.on_dequeue(60);
         assert_eq!(b.used_bytes(), 0);
         assert_eq!(b.free_bytes(), 100);
+    }
+
+    #[test]
+    fn peak_survives_dequeues() {
+        let mut b = SharedBuffer::new(100, BufferPolicy::StaticPool);
+        b.on_enqueue(60);
+        b.on_enqueue(30);
+        b.on_dequeue(80);
+        b.on_enqueue(10);
+        assert_eq!(b.peak_bytes(), 90);
+        assert_eq!(b.used_bytes(), 20);
     }
 
     #[test]

@@ -195,11 +195,7 @@ mod tests {
     use crate::units::Rate;
 
     fn cfg() -> LinkConfig {
-        LinkConfig::new(
-            Rate::gbps(10),
-            SimTime::from_us(1),
-            QueueConfig::host_nic(),
-        )
+        LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic())
     }
 
     #[test]

@@ -121,10 +121,7 @@ mod tests {
         let times: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.time.as_ps())
             .collect();
-        assert_eq!(
-            times,
-            vec![1_000_000, 2_000_000, 3_000_000]
-        );
+        assert_eq!(times, vec![1_000_000, 2_000_000, 3_000_000]);
     }
 
     #[test]

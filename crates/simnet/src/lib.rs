@@ -66,5 +66,7 @@ pub use queue::{DropReason, EcnQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use sim::{SimCounters, Simulator};
 pub use time::SimTime;
 pub use topology::{build_dumbbell, build_fabric, FabricConfig, IncastFabric};
-pub use trace::{PacketTracer, TextTracer, TraceEvent, TraceEventKind};
+pub use trace::{
+    drop_cause, packet_info, to_telemetry, PacketTracer, TextTracer, TraceEvent, TraceEventKind,
+};
 pub use units::Rate;

@@ -10,10 +10,9 @@ use crate::packet::Packet;
 use crate::queue::{EcnQueue, QueueConfig};
 use crate::time::SimTime;
 use crate::units::Rate;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one unidirectional link and its egress queue.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// Transmission rate.
     pub rate: Rate,
@@ -93,11 +92,7 @@ mod tests {
 
     #[test]
     fn new_link_is_idle() {
-        let cfg = LinkConfig::new(
-            Rate::gbps(10),
-            SimTime::from_us(1),
-            QueueConfig::host_nic(),
-        );
+        let cfg = LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
         let l = Link::new(NodeId(0), NodeId(1), cfg, None);
         assert!(!l.busy());
         assert!(l.queue.is_empty());
@@ -107,11 +102,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_loss_probability_rejected() {
-        let mut cfg = LinkConfig::new(
-            Rate::gbps(10),
-            SimTime::ZERO,
-            QueueConfig::host_nic(),
-        );
+        let mut cfg = LinkConfig::new(Rate::gbps(10), SimTime::ZERO, QueueConfig::host_nic());
         cfg.loss_probability = 1.5;
         Link::new(NodeId(0), NodeId(1), cfg, None);
     }

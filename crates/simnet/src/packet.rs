@@ -8,7 +8,6 @@
 
 use crate::ids::{FlowId, NodeId};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Ethernet + IPv4 + TCP header bytes carried by every segment.
 pub const HEADER_BYTES: u32 = 54;
@@ -18,7 +17,7 @@ pub const MIN_FRAME_BYTES: u32 = 64;
 pub const DEFAULT_MSS: u32 = 1500 - HEADER_BYTES;
 
 /// ECN codepoint in the IP header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ecn {
     /// Not ECN-capable transport.
     NotEct,
@@ -37,7 +36,7 @@ impl Ecn {
 }
 
 /// The transport-visible contents of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// A TCP data segment.
     Data {
@@ -74,7 +73,7 @@ pub enum PacketKind {
 }
 
 /// One frame in flight or queued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique packet id (assigned by the simulator at send time).
     pub id: u64,
@@ -121,7 +120,14 @@ impl Packet {
 
     /// Builds a pure ACK (minimum frame size, not ECN-capable — like Linux,
     /// which sends ACKs as non-ECT).
-    pub fn ack(flow: FlowId, src: NodeId, dst: NodeId, ack: u32, ece: bool, ts_echo: SimTime) -> Self {
+    pub fn ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        ack: u32,
+        ece: bool,
+        ts_echo: SimTime,
+    ) -> Self {
         Packet {
             id: 0,
             flow,

@@ -9,12 +9,11 @@
 
 use crate::packet::{Ecn, Packet};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use stats::TimeSeries;
 use std::collections::VecDeque;
 
 /// Configuration of one egress queue.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueueConfig {
     /// Capacity in bytes. Arrivals that would exceed it are dropped.
     pub capacity_bytes: u64,
@@ -81,7 +80,7 @@ pub enum EnqueueOutcome {
 }
 
 /// Counters maintained by every queue.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct QueueStats {
     pub enqueued_pkts: u64,
     pub enqueued_bytes: u64,

@@ -8,20 +8,20 @@
 
 use crate::endpoint::{Cmd, Ctx, Endpoint, IngressTap};
 use crate::event::{EventKind, EventQueue};
-use crate::trace::{PacketTracer, TraceEvent, TraceEventKind};
-use crate::ids::{LinkId, NodeId};
+use crate::ids::{BufferId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::Node;
 use crate::packet::Packet;
 use crate::queue::EnqueueOutcome;
 use crate::time::SimTime;
+use crate::trace::{self, PacketTracer, TraceEvent, TraceEventKind};
 use crate::SharedBuffer;
-use serde::{Deserialize, Serialize};
 use stats::Rng;
 use std::collections::HashMap;
+use telemetry::{EventClass, EventTallies, LoopProfile, SinkRef};
 
 /// Global counters maintained by the simulator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimCounters {
     /// Packets delivered to host endpoints.
     pub delivered_pkts: u64,
@@ -29,10 +29,31 @@ pub struct SimCounters {
     pub delivered_bytes: u64,
     /// Packets dropped at queues (tail drops + shared-buffer refusals).
     pub queue_drops: u64,
+    /// Subset of `queue_drops` refused by a shared buffer.
+    pub shared_buffer_drops: u64,
     /// Packets lost to link fault injection.
     pub fault_drops: u64,
+    /// Packets CE-marked at enqueue anywhere in the fabric.
+    pub ecn_marked_pkts: u64,
     /// Events processed so far.
     pub events_processed: u64,
+}
+
+impl SimCounters {
+    /// Deterministic JSON rendering (for run manifests).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.u64("delivered_pkts", self.delivered_pkts)
+            .u64("delivered_bytes", self.delivered_bytes)
+            .u64("queue_drops", self.queue_drops)
+            .u64("shared_buffer_drops", self.shared_buffer_drops)
+            .u64("fault_drops", self.fault_drops)
+            .u64("ecn_marked_pkts", self.ecn_marked_pkts)
+            .u64("events_processed", self.events_processed);
+        o.finish();
+        out
+    }
 }
 
 /// The simulation engine. Build one with
@@ -47,11 +68,21 @@ pub struct Simulator {
     endpoints: Vec<Option<Box<dyn Endpoint>>>,
     taps: Vec<Option<Box<dyn IngressTap>>>,
     tracer: Option<Box<dyn PacketTracer>>,
+    sink: Option<SinkRef>,
+    // Sink subscriptions, cached at attach time so the hot path pays one
+    // bool test per would-be event instead of a RefCell borrow.
+    sink_packets: bool,
+    sink_queue: bool,
+    sink_buffer: bool,
+    depth_probe: Vec<bool>,
+    buffer_peak_emitted: Vec<u64>,
     timer_gens: HashMap<(u32, u64), u64>,
     next_pkt_id: u64,
     cmd_buf: Vec<Cmd>,
     rng: Rng,
     counters: SimCounters,
+    tallies: EventTallies,
+    wall: std::time::Duration,
     started: bool,
 }
 
@@ -64,6 +95,8 @@ impl Simulator {
         seed: u64,
     ) -> Self {
         let n = nodes.len();
+        let num_links = links.len();
+        let num_buffers = buffers.len();
         Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
@@ -73,11 +106,19 @@ impl Simulator {
             endpoints: (0..n).map(|_| None).collect(),
             taps: (0..n).map(|_| None).collect(),
             tracer: None,
+            sink: None,
+            sink_packets: false,
+            sink_queue: false,
+            sink_buffer: false,
+            depth_probe: vec![false; num_links],
+            buffer_peak_emitted: vec![0; num_buffers],
             timer_gens: HashMap::new(),
             next_pkt_id: 0,
             cmd_buf: Vec::with_capacity(64),
             rng: Rng::new(seed),
             counters: SimCounters::default(),
+            tallies: EventTallies::default(),
+            wall: std::time::Duration::ZERO,
             started: false,
         }
     }
@@ -114,15 +155,102 @@ impl Simulator {
         self.tracer = Some(tracer);
     }
 
+    /// Attaches a structured telemetry sink. Per-packet, queue-depth, and
+    /// buffer-watermark events flow to it, gated by the sink's
+    /// [`telemetry::EventSink::accepts`] subscriptions (sampled once here, so
+    /// a sink's class set must be fixed before attaching).
+    pub fn set_sink(&mut self, sink: SinkRef) {
+        self.sink_packets = sink.accepts(EventClass::Packet);
+        self.sink_queue = sink.accepts(EventClass::Queue);
+        self.sink_buffer = sink.accepts(EventClass::Buffer);
+        self.sink = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any (for handing to endpoints).
+    pub fn sink(&self) -> Option<&SinkRef> {
+        self.sink.as_ref()
+    }
+
+    /// Enables per-event queue-depth telemetry on `link`: every enqueue and
+    /// dequeue emits a [`telemetry::EventKind::QueueDepth`] sample when a
+    /// queue-subscribing sink is attached.
+    pub fn enable_depth_probe(&mut self, link: LinkId) {
+        self.depth_probe[link.index()] = true;
+    }
+
+    /// Wall-clock profile of the event loop so far: per-kind event tallies
+    /// and time spent inside [`Simulator::run`] / [`Simulator::run_until`].
+    pub fn profile(&self) -> LoopProfile {
+        LoopProfile {
+            tallies: self.tallies,
+            wall: self.wall,
+        }
+    }
+
     #[inline]
     fn trace(&mut self, kind: TraceEventKind, link: LinkId, pkt: &Packet) {
+        if self.tracer.is_none() && !self.sink_packets {
+            return;
+        }
+        let ev = TraceEvent {
+            now: self.now,
+            kind,
+            link,
+            pkt,
+        };
         if let Some(t) = self.tracer.as_mut() {
-            t.on_event(&TraceEvent {
-                now: self.now,
-                kind,
-                link,
-                pkt,
-            });
+            t.on_event(&ev);
+        }
+        if self.sink_packets {
+            if let Some(s) = &self.sink {
+                s.emit(&trace::to_telemetry(&ev));
+            }
+        }
+    }
+
+    /// Emits a queue-depth sample for `link` if it is probed and a sink
+    /// subscribes to queue events.
+    #[inline]
+    fn emit_queue_depth(&mut self, link_id: LinkId) {
+        if !self.sink_queue || !self.depth_probe[link_id.index()] {
+            return;
+        }
+        let q = &self.links[link_id.index()].queue;
+        let ev = telemetry::Event {
+            t_ps: self.now.as_ps(),
+            kind: telemetry::EventKind::QueueDepth {
+                link: link_id.0,
+                pkts: q.pkts(),
+                bytes: q.bytes(),
+            },
+        };
+        if let Some(s) = &self.sink {
+            s.emit(&ev);
+        }
+    }
+
+    /// Emits a buffer-watermark event if the pool just reached a new peak.
+    #[inline]
+    fn emit_buffer_watermark(&mut self, bid: BufferId) {
+        if !self.sink_buffer {
+            return;
+        }
+        let buf = &self.buffers[bid.index()];
+        let peak = buf.peak_bytes();
+        if peak <= self.buffer_peak_emitted[bid.index()] {
+            return;
+        }
+        self.buffer_peak_emitted[bid.index()] = peak;
+        let ev = telemetry::Event {
+            t_ps: self.now.as_ps(),
+            kind: telemetry::EventKind::BufferWatermark {
+                buffer: bid.0,
+                used_bytes: peak,
+                total_bytes: buf.total_bytes(),
+            },
+        };
+        if let Some(s) = &self.sink {
+            s.emit(&ev);
         }
     }
 
@@ -172,19 +300,23 @@ impl Simulator {
     /// Runs until the event list is empty.
     pub fn run(&mut self) {
         self.start_if_needed();
+        let t0 = std::time::Instant::now();
         while self.step_inner() {}
+        self.wall += t0.elapsed();
     }
 
     /// Runs until simulated time reaches `deadline` (events at exactly
     /// `deadline` are processed). Pending later events remain queued.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_if_needed();
+        let t0 = std::time::Instant::now();
         while let Some(t) = self.events.peek_time() {
             if t > deadline {
                 break;
             }
             self.step_inner();
         }
+        self.wall += t0.elapsed();
         if self.now < deadline {
             self.now = deadline;
         }
@@ -204,9 +336,18 @@ impl Simulator {
         self.now = ev.time;
         self.counters.events_processed += 1;
         match ev.kind {
-            EventKind::TxComplete { link } => self.on_tx_complete(link),
-            EventKind::Delivery { link, pkt } => self.on_delivery(link, pkt),
-            EventKind::Timer { node, key, gen } => self.on_timer(node, key, gen),
+            EventKind::TxComplete { link } => {
+                self.tallies.tx_complete += 1;
+                self.on_tx_complete(link);
+            }
+            EventKind::Delivery { link, pkt } => {
+                self.tallies.delivery += 1;
+                self.on_delivery(link, pkt);
+            }
+            EventKind::Timer { node, key, gen } => {
+                self.tallies.timer += 1;
+                self.on_timer(node, key, gen);
+            }
         }
         true
     }
@@ -224,6 +365,7 @@ impl Simulator {
             if !ok {
                 link.queue.note_shared_drop(&pkt);
                 self.counters.queue_drops += 1;
+                self.counters.shared_buffer_drops += 1;
                 self.trace(
                     TraceEventKind::Drop(crate::queue::DropReason::SharedBuffer),
                     link_id,
@@ -234,12 +376,19 @@ impl Simulator {
         }
         match link.queue.enqueue(now, pkt) {
             EnqueueOutcome::Queued { marked } => {
+                if marked {
+                    self.counters.ecn_marked_pkts += 1;
+                }
                 let shared = link.shared;
                 let busy = link.busy();
                 if let Some(bid) = shared {
                     self.buffers[bid.index()].on_enqueue(pkt.wire_size as u64);
                 }
                 self.trace(TraceEventKind::Enqueue { marked }, link_id, &pkt);
+                self.emit_queue_depth(link_id);
+                if let Some(bid) = shared {
+                    self.emit_buffer_watermark(bid);
+                }
                 if !busy {
                     self.start_tx(link_id);
                 }
@@ -265,6 +414,7 @@ impl Simulator {
         let ser = link.serialize_time(pkt.wire_size as u64);
         link.serializing = Some(pkt);
         self.trace(TraceEventKind::TxStart, link_id, &pkt);
+        self.emit_queue_depth(link_id);
         self.events
             .schedule(now + ser, EventKind::TxComplete { link: link_id });
     }
@@ -280,14 +430,21 @@ impl Simulator {
         if lose {
             link.fault_drops += 1;
             self.counters.fault_drops += 1;
+            if self.sink_packets {
+                if let Some(s) = &self.sink {
+                    s.emit(&telemetry::Event {
+                        t_ps: self.now.as_ps(),
+                        kind: telemetry::EventKind::PktDrop {
+                            link: link_id.0,
+                            pkt: trace::packet_info(&pkt),
+                            reason: telemetry::DropCause::Fault,
+                        },
+                    });
+                }
+            }
         } else {
-            self.events.schedule(
-                self.now + prop,
-                EventKind::Delivery {
-                    link: link_id,
-                    pkt,
-                },
-            );
+            self.events
+                .schedule(self.now + prop, EventKind::Delivery { link: link_id, pkt });
         }
         // Keep the transmitter running.
         if !self.links[link_id.index()].queue.is_empty() {
@@ -300,14 +457,16 @@ impl Simulator {
         let dst = self.links[link_id.index()].dst;
         match &self.nodes[dst.index()] {
             Node::Switch { .. } => {
-                let next = self.nodes[dst.index()].next_hop(pkt.dst).unwrap_or_else(|| {
-                    panic!(
-                        "switch {} has no route to {} (packet {:?})",
-                        self.nodes[dst.index()].name(),
-                        pkt.dst,
-                        pkt.kind
-                    )
-                });
+                let next = self.nodes[dst.index()]
+                    .next_hop(pkt.dst)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "switch {} has no route to {} (packet {:?})",
+                            self.nodes[dst.index()].name(),
+                            pkt.dst,
+                            pkt.kind
+                        )
+                    });
                 self.enqueue_to_link(next, pkt);
             }
             Node::Host { .. } => {
@@ -364,9 +523,7 @@ impl Simulator {
                     pkt.id = self.next_pkt_id;
                     self.next_pkt_id += 1;
                     let uplink = match &self.nodes[node.index()] {
-                        Node::Host { uplink, .. } => {
-                            uplink.expect("host sends but has no uplink")
-                        }
+                        Node::Host { uplink, .. } => uplink.expect("host sends but has no uplink"),
                         Node::Switch { .. } => unreachable!("switches have no endpoints"),
                     };
                     self.enqueue_to_link(uplink, pkt);
@@ -379,7 +536,8 @@ impl Simulator {
                         .or_insert(0);
                     let gen = *gen;
                     let at = at.max(self.now);
-                    self.events.schedule(at, EventKind::Timer { node, key, gen });
+                    self.events
+                        .schedule(at, EventKind::Timer { node, key, gen });
                 }
                 Cmd::CancelTimer { key } => {
                     self.timer_gens
@@ -542,7 +700,12 @@ mod tests {
     fn timer_semantics() {
         let (mut sim, a, _c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
         let fired = Rc::new(RefCell::new(Vec::new()));
-        sim.set_endpoint(a, Box::new(TimerBox { fired: fired.clone() }));
+        sim.set_endpoint(
+            a,
+            Box::new(TimerBox {
+                fired: fired.clone(),
+            }),
+        );
         sim.run();
         let fired = fired.borrow();
         assert_eq!(
@@ -560,17 +723,10 @@ mod tests {
         let mut b = NetworkBuilder::new();
         let a = b.add_host("a");
         let c = b.add_host("c");
-        let mut lossy = LinkConfig::new(
-            Rate::gbps(10),
-            SimTime::from_us(1),
-            QueueConfig::host_nic(),
-        );
+        let mut lossy =
+            LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
         lossy.loss_probability = 1.0;
-        let clean = LinkConfig::new(
-            Rate::gbps(10),
-            SimTime::from_us(1),
-            QueueConfig::host_nic(),
-        );
+        let clean = LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
         b.connect(a, c, lossy, clean);
         let mut sim = b.build(3);
         let log = Rc::new(RefCell::new(Vec::new()));
@@ -662,5 +818,155 @@ mod tests {
         sim.set_endpoint(c, Box::new(CtrlSink { got: got.clone() }));
         sim.run();
         assert_eq!(*got.borrow(), Some((1234, 9)));
+    }
+
+    #[test]
+    fn sink_captures_packet_lifecycle() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        sim.set_sink(sref);
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 2,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let out = jsonl.borrow().render().to_string();
+        // Each packet: enq + tx + rx on each of two hops = 12 events total.
+        assert_eq!(out.lines().count(), 12);
+        assert!(out.contains(r#""ev":"pkt_enq""#));
+        assert!(out.contains(r#""ev":"pkt_tx""#));
+        assert!(out.contains(r#""ev":"pkt_rx""#));
+        assert!(out.contains(r#""pkt":"data""#));
+    }
+
+    #[test]
+    fn depth_probe_emits_queue_samples() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let (jsonl, sref) = telemetry::JsonlSink::new()
+            .with_classes(&[EventClass::Queue])
+            .shared();
+        sim.set_sink(sref);
+        sim.enable_depth_probe(LinkId(0));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 3,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let out = jsonl.borrow().render().to_string();
+        // 3 enqueues + 3 dequeues on the probed link, nothing else.
+        assert_eq!(out.lines().count(), 6);
+        for line in out.lines() {
+            assert!(line.contains(r#""ev":"queue_depth""#), "{line}");
+            assert!(line.contains(r#""link":0"#), "{line}");
+        }
+        // Depth must reach 2 while the first frame serializes.
+        assert!(out.contains(r#""pkts":2"#));
+    }
+
+    #[test]
+    fn fault_drops_reach_sink_with_fault_cause() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host("a");
+        let c = b.add_host("c");
+        let mut lossy =
+            LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
+        lossy.loss_probability = 1.0;
+        let clean = LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
+        b.connect(a, c, lossy, clean);
+        let mut sim = b.build(3);
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        sim.set_sink(sref);
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 2,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let out = jsonl.borrow().render().to_string();
+        let faults: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains(r#""reason":"fault""#))
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert!(faults[0].contains(r#""ev":"pkt_drop""#));
+    }
+
+    #[test]
+    fn profile_tallies_match_counters() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 5,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let p = sim.profile();
+        assert_eq!(p.events(), sim.counters().events_processed);
+        // 5 frames, 2 hops each: 10 tx completions, 10 deliveries.
+        assert_eq!(p.tallies.tx_complete, 10);
+        assert_eq!(p.tallies.delivery, 10);
+        assert_eq!(p.tallies.timer, 0);
+    }
+
+    #[test]
+    fn counters_json_tracks_marks_and_drops() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 1,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.run();
+        let js = sim.counters().to_json();
+        assert!(js.contains(r#""delivered_pkts":1"#));
+        assert!(js.contains(r#""ecn_marked_pkts":0"#));
+        assert!(js.contains(r#""shared_buffer_drops":0"#));
     }
 }

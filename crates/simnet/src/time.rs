@@ -8,14 +8,11 @@
 //! here (the longest is an 18-hour fleet study, which is simulated as many
 //! independent 2-second traces).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// An instant (or duration) in simulated time, in picoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 pub const PS_PER_NS: u64 = 1_000;
@@ -219,10 +216,7 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert!(SimTime::MAX.checked_add(SimTime(1)).is_none());
-        assert_eq!(
-            SimTime(1).checked_add(SimTime(2)),
-            Some(SimTime(3))
-        );
+        assert_eq!(SimTime(1).checked_add(SimTime(2)), Some(SimTime(3)));
     }
 
     #[test]

@@ -12,11 +12,11 @@ use crate::buffer::BufferPolicy;
 use crate::builder::NetworkBuilder;
 use crate::ids::{LinkId, NodeId};
 use crate::link::LinkConfig;
+use crate::packet::MIN_FRAME_BYTES;
 use crate::queue::QueueConfig;
 use crate::sim::Simulator;
 use crate::time::SimTime;
 use crate::units::Rate;
-use crate::packet::MIN_FRAME_BYTES;
 
 /// Configuration for [`build_fabric`].
 #[derive(Debug, Clone)]

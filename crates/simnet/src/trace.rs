@@ -1,16 +1,19 @@
 //! Packet tracing — the simulator's `tcpdump`.
 //!
-//! A [`PacketTracer`] observes every per-link packet event (enqueue, drop,
-//! transmit start, delivery). [`TextTracer`] renders them as one line per
-//! event, optionally filtered to a flow, with a bounded buffer so a
-//! long-running simulation cannot exhaust memory. Attach with
-//! [`crate::Simulator::set_tracer`]; wrap in [`crate::Shared`] to keep a
-//! handle for reading the log after the run.
+//! The simulator emits structured [`telemetry::Event`]s; this module
+//! bridges packets to that event model and keeps the original line-per-event
+//! [`TextTracer`] as a thin *formatter* over the same stream. `TextTracer`
+//! works both ways: as a legacy [`PacketTracer`] attached with
+//! [`crate::Simulator::set_tracer`], and as a [`telemetry::EventSink`]
+//! attached with [`crate::Simulator::set_sink`] — either way it renders the
+//! identical text. For machine-readable traces attach a
+//! [`telemetry::JsonlSink`] instead.
 
-use crate::ids::{FlowId, LinkId};
+use crate::ids::{FlowId, LinkId, NodeId};
 use crate::packet::{Packet, PacketKind};
 use crate::queue::DropReason;
 use crate::time::SimTime;
+use telemetry::{DropCause, Event, EventClass, EventKind, EventSink, PktDetail, PktInfo};
 
 /// What happened to a packet at a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,52 @@ pub trait PacketTracer {
 impl<T: PacketTracer> PacketTracer for crate::endpoint::Shared<T> {
     fn on_event(&mut self, ev: &TraceEvent) {
         self.borrow_mut().on_event(ev);
+    }
+}
+
+/// Converts a packet to its telemetry description.
+pub fn packet_info(pkt: &Packet) -> PktInfo {
+    PktInfo {
+        flow: pkt.flow.0,
+        src: pkt.src.0,
+        dst: pkt.dst.0,
+        bytes: pkt.wire_size,
+        ce: pkt.is_ce(),
+        detail: match pkt.kind {
+            PacketKind::Data {
+                seq, payload, retx, ..
+            } => PktDetail::Data { seq, payload, retx },
+            PacketKind::Ack { ack, ece, .. } => PktDetail::Ack { ack, ece },
+            PacketKind::Ctrl { demand, burst } => PktDetail::Ctrl { demand, burst },
+        },
+    }
+}
+
+/// Converts a [`DropReason`] to its telemetry cause.
+pub fn drop_cause(reason: DropReason) -> DropCause {
+    match reason {
+        DropReason::QueueFull => DropCause::QueueFull,
+        DropReason::SharedBuffer => DropCause::SharedBuffer,
+    }
+}
+
+/// Converts a legacy [`TraceEvent`] to a structured telemetry event.
+pub fn to_telemetry(ev: &TraceEvent) -> Event {
+    let link = ev.link.0;
+    let pkt = packet_info(ev.pkt);
+    let kind = match ev.kind {
+        TraceEventKind::Enqueue { marked } => EventKind::PktEnqueue { link, pkt, marked },
+        TraceEventKind::Drop(reason) => EventKind::PktDrop {
+            link,
+            pkt,
+            reason: drop_cause(reason),
+        },
+        TraceEventKind::TxStart => EventKind::PktTxStart { link, pkt },
+        TraceEventKind::Deliver => EventKind::PktDeliver { link, pkt },
+    };
+    Event {
+        t_ps: ev.now.as_ps(),
+        kind,
     }
 }
 
@@ -100,58 +149,95 @@ impl TextTracer {
         out
     }
 
-    fn describe(pkt: &Packet) -> String {
-        match pkt.kind {
-            PacketKind::Data {
-                seq,
-                payload,
-                retx,
-                ..
-            } => format!(
+    fn describe(pkt: &PktInfo) -> String {
+        match pkt.detail {
+            PktDetail::Data { seq, payload, retx } => format!(
                 "DATA seq={seq} len={payload}{}{}",
                 if retx { " retx" } else { "" },
-                if pkt.is_ce() { " CE" } else { "" }
+                if pkt.ce { " CE" } else { "" }
             ),
-            PacketKind::Ack { ack, ece, .. } => {
+            PktDetail::Ack { ack, ece } => {
                 format!("ACK ack={ack}{}", if ece { " ECE" } else { "" })
             }
-            PacketKind::Ctrl { demand, burst } => {
+            PktDetail::Ctrl { demand, burst } => {
                 format!("CTRL demand={demand} burst={burst}")
             }
         }
     }
-}
 
-impl PacketTracer for TextTracer {
-    fn on_event(&mut self, ev: &TraceEvent) {
+    /// Formats one packet-class telemetry event into the tracer's buffer.
+    /// Non-packet events (queue depth, flow windows, …) are ignored.
+    fn format_event(&mut self, ev: &Event) {
+        let (what, link, pkt) = match &ev.kind {
+            EventKind::PktEnqueue {
+                link,
+                pkt,
+                marked: true,
+            } => ("enq+mark", *link, pkt),
+            EventKind::PktEnqueue {
+                link,
+                pkt,
+                marked: false,
+            } => ("enq", *link, pkt),
+            EventKind::PktDrop {
+                link,
+                pkt,
+                reason: DropCause::QueueFull,
+            } => ("DROP(full)", *link, pkt),
+            EventKind::PktDrop {
+                link,
+                pkt,
+                reason: DropCause::SharedBuffer,
+            } => ("DROP(shared)", *link, pkt),
+            EventKind::PktDrop {
+                link,
+                pkt,
+                reason: DropCause::Fault,
+            } => ("DROP(fault)", *link, pkt),
+            EventKind::PktTxStart { link, pkt } => ("tx", *link, pkt),
+            EventKind::PktDeliver { link, pkt } => ("rx", *link, pkt),
+            _ => return,
+        };
         if let Some(f) = self.filter {
-            if ev.pkt.flow != f {
+            if pkt.flow != f.0 {
                 return;
             }
         }
         self.events_seen += 1;
-        let what = match ev.kind {
-            TraceEventKind::Enqueue { marked: true } => "enq+mark",
-            TraceEventKind::Enqueue { marked: false } => "enq",
-            TraceEventKind::Drop(DropReason::QueueFull) => "DROP(full)",
-            TraceEventKind::Drop(DropReason::SharedBuffer) => "DROP(shared)",
-            TraceEventKind::TxStart => "tx",
-            TraceEventKind::Deliver => "rx",
-        };
         let line = format!(
             "{:>12} {} {:<11} {} {}->{} {}",
-            ev.now,
-            ev.link,
+            SimTime(ev.t_ps),
+            LinkId(link),
             what,
-            ev.pkt.flow,
-            ev.pkt.src,
-            ev.pkt.dst,
-            Self::describe(ev.pkt),
+            FlowId(pkt.flow),
+            NodeId(pkt.src),
+            NodeId(pkt.dst),
+            Self::describe(pkt),
         );
         if self.lines.len() == self.cap {
             self.lines.pop_front();
         }
         self.lines.push_back(line);
+    }
+}
+
+impl PacketTracer for TextTracer {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.format_event(&to_telemetry(ev));
+    }
+}
+
+impl EventSink for TextTracer {
+    fn accepts(&self, class: EventClass) -> bool {
+        class == EventClass::Packet
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.format_event(ev);
+    }
+
+    fn event_count(&self) -> u64 {
+        self.events_seen
     }
 }
 
@@ -185,8 +271,8 @@ mod tests {
     fn records_and_renders_events() {
         let mut t = TextTracer::new(16);
         let p = data(5);
-        t.on_event(&ev(TraceEventKind::Enqueue { marked: true }, &p));
-        t.on_event(&ev(TraceEventKind::Deliver, &p));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Enqueue { marked: true }, &p));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Deliver, &p));
         assert_eq!(t.events_seen, 2);
         let log = t.render();
         assert!(log.contains("enq+mark"), "{log}");
@@ -198,8 +284,8 @@ mod tests {
     #[test]
     fn flow_filter_applies() {
         let mut t = TextTracer::for_flow(FlowId(7), 16);
-        t.on_event(&ev(TraceEventKind::TxStart, &data(5)));
-        t.on_event(&ev(TraceEventKind::TxStart, &data(7)));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::TxStart, &data(5)));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::TxStart, &data(7)));
         assert_eq!(t.events_seen, 1);
         assert_eq!(t.lines().count(), 1);
     }
@@ -209,7 +295,7 @@ mod tests {
         let mut t = TextTracer::new(3);
         let p = data(0);
         for _ in 0..10 {
-            t.on_event(&ev(TraceEventKind::TxStart, &p));
+            PacketTracer::on_event(&mut t, &ev(TraceEventKind::TxStart, &p));
         }
         assert_eq!(t.lines().count(), 3);
         assert_eq!(t.events_seen, 10);
@@ -219,8 +305,11 @@ mod tests {
     fn drop_reasons_rendered() {
         let mut t = TextTracer::new(4);
         let p = data(0);
-        t.on_event(&ev(TraceEventKind::Drop(DropReason::QueueFull), &p));
-        t.on_event(&ev(TraceEventKind::Drop(DropReason::SharedBuffer), &p));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Drop(DropReason::QueueFull), &p));
+        PacketTracer::on_event(
+            &mut t,
+            &ev(TraceEventKind::Drop(DropReason::SharedBuffer), &p),
+        );
         let log = t.render();
         assert!(log.contains("DROP(full)"));
         assert!(log.contains("DROP(shared)"));
@@ -231,11 +320,70 @@ mod tests {
         let mut t = TextTracer::new(4);
         let ack = Packet::ack(FlowId(1), NodeId(2), NodeId(0), 777, true, SimTime::ZERO);
         let ctrl = Packet::ctrl(FlowId(1), NodeId(0), NodeId(2), 9000, 3);
-        t.on_event(&ev(TraceEventKind::Deliver, &ack));
-        t.on_event(&ev(TraceEventKind::Deliver, &ctrl));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Deliver, &ack));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Deliver, &ctrl));
         let log = t.render();
         assert!(log.contains("ACK ack=777 ECE"));
         assert!(log.contains("CTRL demand=9000 burst=3"));
+    }
+
+    #[test]
+    fn tracer_and_sink_paths_format_identically() {
+        let p = data(5);
+        let trace_ev = ev(TraceEventKind::Enqueue { marked: false }, &p);
+
+        let mut via_tracer = TextTracer::new(4);
+        PacketTracer::on_event(&mut via_tracer, &trace_ev);
+
+        let mut via_sink = TextTracer::new(4);
+        EventSink::on_event(&mut via_sink, &to_telemetry(&trace_ev));
+
+        assert_eq!(via_tracer.render(), via_sink.render());
+        assert_eq!(via_sink.event_count(), 1);
+    }
+
+    #[test]
+    fn sink_ignores_non_packet_events() {
+        let mut t = TextTracer::new(4);
+        EventSink::on_event(
+            &mut t,
+            &Event {
+                t_ps: 0,
+                kind: EventKind::QueueDepth {
+                    link: 0,
+                    pkts: 1,
+                    bytes: 1500,
+                },
+            },
+        );
+        assert_eq!(t.events_seen, 0);
+        assert!(!t.accepts(EventClass::Queue));
+        assert!(t.accepts(EventClass::Packet));
+    }
+
+    #[test]
+    fn conversion_carries_packet_fields() {
+        let p = data(9);
+        let tev = to_telemetry(&ev(TraceEventKind::Deliver, &p));
+        assert_eq!(tev.t_ps, SimTime::from_us(3).as_ps());
+        assert_eq!(tev.flow(), Some(9));
+        match tev.kind {
+            EventKind::PktDeliver { link, pkt } => {
+                assert_eq!(link, 1);
+                assert_eq!(pkt.src, 0);
+                assert_eq!(pkt.dst, 2);
+                assert_eq!(pkt.bytes, 1500);
+                assert_eq!(
+                    pkt.detail,
+                    PktDetail::Data {
+                        seq: 100,
+                        payload: 1446,
+                        retx: false
+                    }
+                );
+            }
+            _ => panic!("wrong kind"),
+        }
     }
 
     #[test]

@@ -5,11 +5,10 @@
 //! picoseconds).
 
 use crate::time::{SimTime, PS_PER_SEC};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A link rate in bits per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rate(pub u64);
 
 impl Rate {

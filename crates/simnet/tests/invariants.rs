@@ -1,23 +1,34 @@
 //! Simulator-level invariants under randomized inputs.
+//!
+//! Formerly proptest-based; rewritten as seeded `stats::Rng` case loops so
+//! the workspace carries no external dev-dependencies (the build containers
+//! are air-gapped). The invariants checked are unchanged.
 
-use proptest::prelude::*;
-use simnet::{
-    EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime,
-};
+use simnet::{EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime};
 
 fn pkt(payload: u32) -> Packet {
-    Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, payload, false, SimTime::ZERO)
+    Packet::data(
+        FlowId(0),
+        NodeId(0),
+        NodeId(1),
+        0,
+        payload,
+        false,
+        SimTime::ZERO,
+    )
 }
 
-proptest! {
-    /// Conservation: everything offered is either dequeued, dropped, or
-    /// still queued; byte counters agree with packet counters.
-    #[test]
-    fn queue_conserves_packets_and_bytes(
-        sizes in proptest::collection::vec(1u32..1460, 1..300),
-        cap_pkts in 1u32..64,
-        deq_every in 1usize..8,
-    ) {
+/// Conservation: everything offered is either dequeued, dropped, or
+/// still queued; byte counters agree with packet counters.
+#[test]
+fn queue_conserves_packets_and_bytes() {
+    let mut rng = stats::Rng::new(0x1BAD_CAFE);
+    for _ in 0..64 {
+        let n = rng.range_u64(1, 300) as usize;
+        let sizes: Vec<u32> = (0..n).map(|_| rng.range_u64(1, 1459) as u32).collect();
+        let cap_pkts = rng.range_u64(1, 63) as u32;
+        let deq_every = rng.range_u64(1, 7) as usize;
+
         let cfg = QueueConfig {
             capacity_bytes: u64::MAX / 2,
             capacity_pkts: Some(cap_pkts),
@@ -38,30 +49,27 @@ proptest! {
         }
         let stats = q.stats().clone();
         // Packet conservation.
-        prop_assert_eq!(
-            stats.enqueued_pkts + stats.dropped_pkts,
-            sizes.len() as u64
-        );
-        prop_assert_eq!(
-            stats.enqueued_pkts,
-            dequeued + q.pkts() as u64
-        );
+        assert_eq!(stats.enqueued_pkts + stats.dropped_pkts, sizes.len() as u64);
+        assert_eq!(stats.enqueued_pkts, dequeued + q.pkts() as u64);
         // Byte conservation.
-        prop_assert_eq!(stats.dequeued_bytes, dequeued_bytes);
-        prop_assert_eq!(
-            stats.enqueued_bytes,
-            stats.dequeued_bytes + q.bytes()
-        );
+        assert_eq!(stats.dequeued_bytes, dequeued_bytes);
+        assert_eq!(stats.enqueued_bytes, stats.dequeued_bytes + q.bytes());
         // Capacity never exceeded.
-        prop_assert!(stats.watermark_pkts <= cap_pkts);
+        assert!(stats.watermark_pkts <= cap_pkts);
         // Marks only on enqueued packets.
-        prop_assert!(stats.marked_pkts <= stats.enqueued_pkts);
+        assert!(stats.marked_pkts <= stats.enqueued_pkts);
     }
+}
 
-    /// Draining the queue after arbitrary churn always yields FIFO order
-    /// of the accepted packets.
-    #[test]
-    fn fifo_order_survives_churn(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+/// Draining the queue after arbitrary churn always yields FIFO order
+/// of the accepted packets.
+#[test]
+fn fifo_order_survives_churn() {
+    let mut rng = stats::Rng::new(0xF1F0);
+    for _ in 0..64 {
+        let n = rng.range_u64(1, 200) as usize;
+        let ops: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+
         let cfg = QueueConfig {
             capacity_bytes: 1 << 20,
             capacity_pkts: Some(16),
@@ -83,12 +91,12 @@ proptest! {
                 }
                 next_id += 1;
             } else if let Some(p) = q.dequeue(SimTime::from_us(i as u64)) {
-                prop_assert_eq!(Some(p.id), expected.pop_front());
+                assert_eq!(Some(p.id), expected.pop_front());
             }
         }
         while let Some(p) = q.dequeue(SimTime::ZERO) {
-            prop_assert_eq!(Some(p.id), expected.pop_front());
+            assert_eq!(Some(p.id), expected.pop_front());
         }
-        prop_assert!(expected.is_empty());
+        assert!(expected.is_empty());
     }
 }

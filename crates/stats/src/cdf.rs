@@ -5,16 +5,13 @@
 //! fraction-at-or-below queries, and can render itself as `(x, F(x))` pairs
 //! for plotting.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over `f64` samples.
 ///
 /// Samples are stored and sorted lazily on first query; `NaN` samples are
 /// rejected at insertion time so ordering is total.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<f64>,
-    #[serde(skip)]
     sorted: bool,
 }
 
@@ -135,7 +132,6 @@ impl Cdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn percentile_nearest_rank_small() {
@@ -215,30 +211,49 @@ mod tests {
         Cdf::new().percentile(50.0);
     }
 
-    proptest! {
-        #[test]
-        fn percentiles_are_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
-            let mut c = Cdf::from_samples(xs.drain(..));
+    /// Seeded randomized vectors in `[-1e6, 1e6)` of length `[lo, hi]`.
+    fn random_cases(seed: u64, cases: usize, lo: u64, hi: u64) -> Vec<Vec<f64>> {
+        let mut rng = crate::Rng::new(seed);
+        (0..cases)
+            .map(|_| {
+                let n = rng.range_u64(lo, hi) as usize;
+                (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        for xs in random_cases(0xCDF0, 64, 1, 200) {
+            let mut c = Cdf::from_samples(xs);
             let mut prev = c.percentile(0.0);
             for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
                 let v = c.percentile(p);
-                prop_assert!(v >= prev);
+                assert!(v >= prev);
                 prev = v;
             }
         }
+    }
 
-        #[test]
-        fn percentile_is_a_sample(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+    #[test]
+    fn percentile_is_a_sample() {
+        let mut rng = crate::Rng::new(0xCDF1);
+        for xs in random_cases(0xCDF2, 64, 1, 200) {
+            let p = rng.range_f64(0.0, 100.0);
             let mut c = Cdf::from_samples(xs.iter().copied());
             let v = c.percentile(p);
-            prop_assert!(xs.contains(&v));
+            assert!(xs.contains(&v));
         }
+    }
 
-        #[test]
-        fn fraction_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 0..100), q in -1e7f64..1e7) {
+    #[test]
+    fn fraction_bounded() {
+        let mut rng = crate::Rng::new(0xCDF3);
+        for xs in random_cases(0xCDF4, 64, 0, 100) {
+            let q = rng.range_f64(-1e7, 1e7);
             let mut c = Cdf::from_samples(xs.iter().copied());
             let f = c.fraction_at_or_below(q);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&f));
         }
     }
 }

@@ -9,10 +9,9 @@
 //! components.
 
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 
-/// A samplable, serializable probability distribution over `f64`.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+/// A samplable probability distribution over `f64`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Dist {
     /// Every sample equals the given constant.
     Constant(f64),
@@ -155,7 +154,10 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let d = Dist::Normal { mean: 10.0, std_dev: 2.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let m = mean_of(&d, 100_000, 6);
         assert!((m - 10.0).abs() < 0.05, "mean {m}");
         let mut rng = Rng::new(7);
@@ -171,7 +173,10 @@ mod tests {
 
     #[test]
     fn lognormal_is_positive_and_matches_mean() {
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
         let mut rng = Rng::new(8);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) > 0.0);
@@ -182,7 +187,10 @@ mod tests {
 
     #[test]
     fn pareto_respects_x_min() {
-        let d = Dist::Pareto { x_min: 1.5, alpha: 2.5 };
+        let d = Dist::Pareto {
+            x_min: 1.5,
+            alpha: 2.5,
+        };
         let mut rng = Rng::new(10);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) >= 1.5);
@@ -193,7 +201,10 @@ mod tests {
 
     #[test]
     fn pareto_heavy_tail_has_no_mean() {
-        let d = Dist::Pareto { x_min: 1.0, alpha: 0.9 };
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 0.9,
+        };
         assert!(d.mean().is_none());
     }
 
@@ -219,17 +230,17 @@ mod tests {
 
     #[test]
     fn mixture_respects_weights() {
-        let d = Dist::Mixture(vec![
-            (9.0, Dist::Constant(1.0)),
-            (1.0, Dist::Constant(2.0)),
-        ]);
+        let d = Dist::Mixture(vec![(9.0, Dist::Constant(1.0)), (1.0, Dist::Constant(2.0))]);
         let m = mean_of(&d, 100_000, 13);
         assert!((m - 1.1).abs() < 0.01, "mean {m}");
     }
 
     #[test]
     fn sample_clamped_respects_bounds() {
-        let d = Dist::Normal { mean: 0.0, std_dev: 100.0 };
+        let d = Dist::Normal {
+            mean: 0.0,
+            std_dev: 100.0,
+        };
         let mut rng = Rng::new(14);
         for _ in 0..1000 {
             let x = d.sample_clamped(&mut rng, -1.0, 1.0);
@@ -239,7 +250,10 @@ mod tests {
 
     #[test]
     fn sample_count_never_negative() {
-        let d = Dist::Normal { mean: 0.0, std_dev: 5.0 };
+        let d = Dist::Normal {
+            mean: 0.0,
+            std_dev: 5.0,
+        };
         let mut rng = Rng::new(15);
         for _ in 0..1000 {
             let _ = d.sample_count(&mut rng); // u64 by construction; just exercise it
@@ -247,13 +261,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_round_trip() {
         let d = Dist::Mixture(vec![
             (0.3, Dist::Exponential { mean: 2.0 }),
-            (0.7, Dist::Pareto { x_min: 1.0, alpha: 3.0 }),
+            (
+                0.7,
+                Dist::Pareto {
+                    x_min: 1.0,
+                    alpha: 3.0,
+                },
+            ),
         ]);
-        let json = serde_json::to_string(&d).unwrap();
-        let back: Dist = serde_json::from_str(&json).unwrap();
+        let back = d.clone();
         assert_eq!(d, back);
+        // Clones must also sample identically from identical RNG streams.
+        let mut r1 = Rng::new(99);
+        let mut r2 = Rng::new(99);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r1), back.sample(&mut r2));
+        }
     }
 }

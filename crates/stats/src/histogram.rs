@@ -4,11 +4,9 @@
 //! retains every sample) would be wasteful — e.g. per-flow in-flight bytes
 //! sampled every RTT across thousands of flows.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with uniform-width buckets over `[lo, hi)` plus overflow and
 /// underflow counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,13 +5,11 @@
 //! finer for queue traces). [`TimeSeries`] is that grid: values are added at
 //! a time offset and land in `floor(t / interval)` buckets.
 
-use serde::{Deserialize, Serialize};
-
 /// A time series of `f64` values accumulated into fixed-width buckets.
 ///
 /// Times are `u64` in any consistent unit (the simulator uses picoseconds,
 /// the sampler uses nanoseconds); the unit is the caller's contract.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     interval: u64,
     buckets: Vec<f64>,

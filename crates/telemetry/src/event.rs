@@ -1,0 +1,524 @@
+//! Structured telemetry events.
+//!
+//! One [`Event`] is one timestamped observation from anywhere in the stack:
+//! a per-link packet event from the simulator, a queue-depth or shared-buffer
+//! sample, a per-flow congestion-window transition from the transport, a
+//! burst lifecycle marker from the workload, or a flushed metric. Events
+//! carry raw integer identifiers (link/node/flow indices, picosecond
+//! timestamps) so this crate stays at the bottom of the dependency graph;
+//! the emitting crates own the typed ids.
+
+use crate::json::Obj;
+
+/// Coarse event category, used by sinks for cheap subscription gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// Per-packet link events (enqueue/drop/tx/deliver).
+    Packet,
+    /// Queue-depth samples.
+    Queue,
+    /// Shared-buffer occupancy watermarks.
+    Buffer,
+    /// Per-flow transport state transitions.
+    Flow,
+    /// Application/workload lifecycle (burst start/end).
+    App,
+    /// Flushed metric values.
+    Metric,
+}
+
+/// Payload details of a traced packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PktDetail {
+    /// A data segment.
+    Data {
+        /// Wire sequence number.
+        seq: u32,
+        /// Payload bytes.
+        payload: u32,
+        /// True if this is a retransmission.
+        retx: bool,
+    },
+    /// An acknowledgment.
+    Ack {
+        /// Cumulative ack (wire).
+        ack: u32,
+        /// ECN-Echo flag.
+        ece: bool,
+    },
+    /// An application control message.
+    Ctrl {
+        /// Demand bytes requested.
+        demand: u64,
+        /// Burst index.
+        burst: u64,
+    },
+}
+
+/// Identity and size of a traced packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PktInfo {
+    /// Flow index.
+    pub flow: u32,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Wire size in bytes.
+    pub bytes: u32,
+    /// True if the packet currently carries a CE mark.
+    pub ce: bool,
+    /// Kind-specific detail.
+    pub detail: PktDetail,
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The egress queue's own byte/packet capacity was exceeded.
+    QueueFull,
+    /// The switch's shared buffer refused admission.
+    SharedBuffer,
+    /// Link fault injection lost the frame on the wire.
+    Fault,
+}
+
+impl DropCause {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropCause::QueueFull => "queue_full",
+            DropCause::SharedBuffer => "shared_buffer",
+            DropCause::Fault => "fault",
+        }
+    }
+}
+
+/// Transport-level connection state, as seen by flow probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowState {
+    /// Normal transmission.
+    Open,
+    /// NewReno fast recovery.
+    Recovery,
+    /// Post-RTO: the window collapsed and the flow is rebuilding.
+    Backoff,
+}
+
+impl FlowState {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowState::Open => "open",
+            FlowState::Recovery => "recovery",
+            FlowState::Backoff => "backoff",
+        }
+    }
+}
+
+/// What caused a flow-window event to be emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowTrigger {
+    /// An ACK advanced or changed the window.
+    Ack,
+    /// An ACK carrying ECN-Echo changed the window.
+    Ece,
+    /// Triple-duplicate-ACK fast retransmit.
+    FastRetransmit,
+    /// Retransmission timeout.
+    Rto,
+    /// Fresh demand after idle (a new burst is starting).
+    BurstStart,
+}
+
+impl WindowTrigger {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WindowTrigger::Ack => "ack",
+            WindowTrigger::Ece => "ece",
+            WindowTrigger::FastRetransmit => "fast_retx",
+            WindowTrigger::Rto => "rto",
+            WindowTrigger::BurstStart => "burst_start",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A packet was accepted into a link's egress queue.
+    PktEnqueue {
+        /// Link index.
+        link: u32,
+        /// The packet.
+        pkt: PktInfo,
+        /// True if this enqueue CE-marked the packet.
+        marked: bool,
+    },
+    /// A packet was dropped at (or on) a link.
+    PktDrop {
+        /// Link index.
+        link: u32,
+        /// The packet.
+        pkt: PktInfo,
+        /// Why.
+        reason: DropCause,
+    },
+    /// Serialization of a packet onto the wire began.
+    PktTxStart {
+        /// Link index.
+        link: u32,
+        /// The packet.
+        pkt: PktInfo,
+    },
+    /// A packet arrived at a link's far end.
+    PktDeliver {
+        /// Link index.
+        link: u32,
+        /// The packet.
+        pkt: PktInfo,
+    },
+    /// Queue depth after an enqueue or dequeue on a probed link.
+    QueueDepth {
+        /// Link index.
+        link: u32,
+        /// Occupancy in packets.
+        pkts: u32,
+        /// Occupancy in bytes.
+        bytes: u64,
+    },
+    /// A shared buffer reached a new occupancy high-water mark.
+    BufferWatermark {
+        /// Buffer index.
+        buffer: u32,
+        /// Bytes charged at the new peak.
+        used_bytes: u64,
+        /// Pool size.
+        total_bytes: u64,
+    },
+    /// A sender's congestion window / state changed.
+    FlowWindow {
+        /// Host node index.
+        node: u32,
+        /// Flow index.
+        flow: u32,
+        /// Congestion window in bytes (floor applied).
+        cwnd: u64,
+        /// Slow-start threshold in bytes.
+        ssthresh: u64,
+        /// Bytes in flight.
+        inflight: u64,
+        /// Connection state.
+        state: FlowState,
+        /// What caused this emission.
+        trigger: WindowTrigger,
+    },
+    /// A coordinator issued the requests of a new burst.
+    BurstStart {
+        /// Burst index (0-based).
+        burst: u32,
+        /// Number of flows queried.
+        flows: u32,
+        /// Demand per flow in bytes.
+        per_flow_bytes: u64,
+    },
+    /// The last response byte of a burst arrived.
+    BurstEnd {
+        /// Burst index (0-based).
+        burst: u32,
+        /// Burst completion time in milliseconds.
+        bct_ms: f64,
+    },
+    /// A flushed metric value (see [`crate::MetricsRegistry`]).
+    Metric {
+        /// Owning component ("link", "flow", "sim", …).
+        component: &'static str,
+        /// Metric name.
+        name: &'static str,
+        /// Instance id.
+        id: u64,
+        /// Value.
+        value: f64,
+    },
+}
+
+/// One timestamped telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated time in picoseconds.
+    pub t_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event's class (for sink gating).
+    pub fn class(&self) -> EventClass {
+        match self.kind {
+            EventKind::PktEnqueue { .. }
+            | EventKind::PktDrop { .. }
+            | EventKind::PktTxStart { .. }
+            | EventKind::PktDeliver { .. } => EventClass::Packet,
+            EventKind::QueueDepth { .. } => EventClass::Queue,
+            EventKind::BufferWatermark { .. } => EventClass::Buffer,
+            EventKind::FlowWindow { .. } => EventClass::Flow,
+            EventKind::BurstStart { .. } | EventKind::BurstEnd { .. } => EventClass::App,
+            EventKind::Metric { .. } => EventClass::Metric,
+        }
+    }
+
+    /// The flow this event concerns, if any (drives flow filters).
+    pub fn flow(&self) -> Option<u32> {
+        match self.kind {
+            EventKind::PktEnqueue { pkt, .. }
+            | EventKind::PktDrop { pkt, .. }
+            | EventKind::PktTxStart { pkt, .. }
+            | EventKind::PktDeliver { pkt, .. } => Some(pkt.flow),
+            EventKind::FlowWindow { flow, .. } => Some(flow),
+            _ => None,
+        }
+    }
+
+    fn write_pkt(o: &mut Obj, link: u32, pkt: &PktInfo) {
+        o.u64("link", link as u64)
+            .u64("flow", pkt.flow as u64)
+            .u64("src", pkt.src as u64)
+            .u64("dst", pkt.dst as u64)
+            .u64("bytes", pkt.bytes as u64)
+            .bool("ce", pkt.ce);
+        match pkt.detail {
+            PktDetail::Data { seq, payload, retx } => {
+                o.str("pkt", "data")
+                    .u64("seq", seq as u64)
+                    .u64("len", payload as u64)
+                    .bool("retx", retx);
+            }
+            PktDetail::Ack { ack, ece } => {
+                o.str("pkt", "ack").u64("ack", ack as u64).bool("ece", ece);
+            }
+            PktDetail::Ctrl { demand, burst } => {
+                o.str("pkt", "ctrl")
+                    .u64("demand", demand)
+                    .u64("burst", burst);
+            }
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) to `out`.
+    ///
+    /// Field order is fixed, so equal events serialize to equal bytes —
+    /// the property the determinism tests and trace diffing rely on.
+    pub fn write_json(&self, out: &mut String) {
+        let mut o = Obj::new(out);
+        o.u64("t", self.t_ps);
+        match &self.kind {
+            EventKind::PktEnqueue { link, pkt, marked } => {
+                o.str("ev", "pkt_enq");
+                Self::write_pkt(&mut o, *link, pkt);
+                o.bool("marked", *marked);
+            }
+            EventKind::PktDrop { link, pkt, reason } => {
+                o.str("ev", "pkt_drop");
+                Self::write_pkt(&mut o, *link, pkt);
+                o.str("reason", reason.label());
+            }
+            EventKind::PktTxStart { link, pkt } => {
+                o.str("ev", "pkt_tx");
+                Self::write_pkt(&mut o, *link, pkt);
+            }
+            EventKind::PktDeliver { link, pkt } => {
+                o.str("ev", "pkt_rx");
+                Self::write_pkt(&mut o, *link, pkt);
+            }
+            EventKind::QueueDepth { link, pkts, bytes } => {
+                o.str("ev", "queue_depth")
+                    .u64("link", *link as u64)
+                    .u64("pkts", *pkts as u64)
+                    .u64("bytes", *bytes);
+            }
+            EventKind::BufferWatermark {
+                buffer,
+                used_bytes,
+                total_bytes,
+            } => {
+                o.str("ev", "buffer_watermark")
+                    .u64("buffer", *buffer as u64)
+                    .u64("used_bytes", *used_bytes)
+                    .u64("total_bytes", *total_bytes);
+            }
+            EventKind::FlowWindow {
+                node,
+                flow,
+                cwnd,
+                ssthresh,
+                inflight,
+                state,
+                trigger,
+            } => {
+                o.str("ev", "flow_window")
+                    .u64("node", *node as u64)
+                    .u64("flow", *flow as u64)
+                    .u64("cwnd", *cwnd)
+                    .u64("ssthresh", *ssthresh)
+                    .u64("inflight", *inflight)
+                    .str("state", state.label())
+                    .str("trigger", trigger.label());
+            }
+            EventKind::BurstStart {
+                burst,
+                flows,
+                per_flow_bytes,
+            } => {
+                o.str("ev", "burst_start")
+                    .u64("burst", *burst as u64)
+                    .u64("flows", *flows as u64)
+                    .u64("per_flow_bytes", *per_flow_bytes);
+            }
+            EventKind::BurstEnd { burst, bct_ms } => {
+                o.str("ev", "burst_end")
+                    .u64("burst", *burst as u64)
+                    .f64("bct_ms", *bct_ms);
+            }
+            EventKind::Metric {
+                component,
+                name,
+                id,
+                value,
+            } => {
+                o.str("ev", "metric")
+                    .str("component", component)
+                    .str("name", name)
+                    .u64("id", *id)
+                    .f64("value", *value);
+            }
+        }
+        o.finish();
+    }
+
+    /// This event as a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_pkt() -> PktInfo {
+        PktInfo {
+            flow: 5,
+            src: 0,
+            dst: 2,
+            bytes: 1500,
+            ce: false,
+            detail: PktDetail::Data {
+                seq: 100,
+                payload: 1446,
+                retx: false,
+            },
+        }
+    }
+
+    #[test]
+    fn enqueue_serializes_with_fixed_field_order() {
+        let ev = Event {
+            t_ps: 3_000_000,
+            kind: EventKind::PktEnqueue {
+                link: 1,
+                pkt: data_pkt(),
+                marked: true,
+            },
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"t":3000000,"ev":"pkt_enq","link":1,"flow":5,"src":0,"dst":2,"bytes":1500,"ce":false,"pkt":"data","seq":100,"len":1446,"retx":false,"marked":true}"#
+        );
+    }
+
+    #[test]
+    fn classes_and_flows() {
+        let pkt_ev = Event {
+            t_ps: 0,
+            kind: EventKind::PktDeliver {
+                link: 0,
+                pkt: data_pkt(),
+            },
+        };
+        assert_eq!(pkt_ev.class(), EventClass::Packet);
+        assert_eq!(pkt_ev.flow(), Some(5));
+
+        let q = Event {
+            t_ps: 0,
+            kind: EventKind::QueueDepth {
+                link: 2,
+                pkts: 7,
+                bytes: 10_500,
+            },
+        };
+        assert_eq!(q.class(), EventClass::Queue);
+        assert_eq!(q.flow(), None);
+
+        let fw = Event {
+            t_ps: 0,
+            kind: EventKind::FlowWindow {
+                node: 1,
+                flow: 9,
+                cwnd: 14460,
+                ssthresh: u64::MAX,
+                inflight: 0,
+                state: FlowState::Open,
+                trigger: WindowTrigger::BurstStart,
+            },
+        };
+        assert_eq!(fw.class(), EventClass::Flow);
+        assert_eq!(fw.flow(), Some(9));
+    }
+
+    #[test]
+    fn drop_reasons_and_states_have_stable_labels() {
+        assert_eq!(DropCause::QueueFull.label(), "queue_full");
+        assert_eq!(DropCause::SharedBuffer.label(), "shared_buffer");
+        assert_eq!(DropCause::Fault.label(), "fault");
+        assert_eq!(FlowState::Backoff.label(), "backoff");
+        assert_eq!(WindowTrigger::FastRetransmit.label(), "fast_retx");
+    }
+
+    #[test]
+    fn ack_and_ctrl_serialize() {
+        let ack = Event {
+            t_ps: 1,
+            kind: EventKind::PktDeliver {
+                link: 3,
+                pkt: PktInfo {
+                    flow: 1,
+                    src: 2,
+                    dst: 0,
+                    bytes: 64,
+                    ce: false,
+                    detail: PktDetail::Ack {
+                        ack: 777,
+                        ece: true,
+                    },
+                },
+            },
+        };
+        assert!(ack
+            .to_json()
+            .contains(r#""pkt":"ack","ack":777,"ece":true"#));
+        let ctrl = Event {
+            t_ps: 2,
+            kind: EventKind::BurstEnd {
+                burst: 4,
+                bct_ms: 1.25,
+            },
+        };
+        assert_eq!(
+            ctrl.to_json(),
+            r#"{"t":2,"ev":"burst_end","burst":4,"bct_ms":1.25}"#
+        );
+    }
+}

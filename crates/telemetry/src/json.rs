@@ -1,0 +1,198 @@
+//! A minimal, dependency-free JSON encoder.
+//!
+//! The workspace builds in air-gapped containers where no crate registry is
+//! reachable, so telemetry serialization cannot lean on serde. This module is
+//! the replacement: a tiny writer producing deterministic output — fields
+//! appear exactly in the order they are written, floats use Rust's shortest
+//! round-trip formatting — which is what makes byte-identical trace diffing
+//! across runs possible.
+
+/// Escapes `s` into `out` as the contents of a JSON string (no quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `v` as a JSON number into `out` (`null` for NaN/infinite values,
+/// which JSON cannot represent).
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `{}` prints integral floats without a fraction ("1"), which is
+        // still a valid JSON number, so no fix-up is needed.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incremental JSON object writer appending to a borrowed buffer.
+///
+/// ```
+/// let mut buf = String::new();
+/// let mut o = telemetry::json::Obj::new(&mut buf);
+/// o.u64("t", 7).str("ev", "drop").bool("ce", false);
+/// o.finish();
+/// assert_eq!(buf, r#"{"t":7,"ev":"drop","ce":false}"#);
+/// ```
+#[derive(Debug)]
+pub struct Obj<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Obj<'a> {
+    /// Starts an object (writes the opening brace).
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        Obj { out, first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        escape_into(k, self.out);
+        self.out.push_str("\":");
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float field (`null` for non-finite values).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write_f64(v, self.out);
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.out.push('"');
+        escape_into(v, self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// Writes a pre-rendered JSON value verbatim (object, array, …).
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.out.push_str(json);
+        self
+    }
+
+    /// Writes an explicit `null` field.
+    pub fn null(&mut self, k: &str) -> &mut Self {
+        self.key(k);
+        self.out.push_str("null");
+        self
+    }
+
+    /// Closes the object (writes the closing brace).
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+/// Renders an iterator of pre-rendered JSON values as a JSON array.
+pub fn array_of_raw<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_fields_in_order() {
+        let mut buf = String::new();
+        let mut o = Obj::new(&mut buf);
+        o.u64("a", 1).str("b", "x").bool("c", true).f64("d", 2.5);
+        o.finish();
+        assert_eq!(buf, r#"{"a":1,"b":"x","c":true,"d":2.5}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut buf = String::new();
+        let mut o = Obj::new(&mut buf);
+        o.str("s", "a\"b\\c\nd\te\u{1}");
+        o.finish();
+        assert_eq!(buf, "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut buf = String::new();
+        let mut o = Obj::new(&mut buf);
+        o.f64("nan", f64::NAN).f64("inf", f64::INFINITY);
+        o.finish();
+        assert_eq!(buf, r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn integral_floats_are_valid_json() {
+        let mut buf = String::new();
+        write_f64(3.0, &mut buf);
+        assert_eq!(buf, "3");
+    }
+
+    #[test]
+    fn raw_and_null_and_arrays() {
+        let mut buf = String::new();
+        let mut o = Obj::new(&mut buf);
+        o.raw("inner", r#"{"x":1}"#).null("gone");
+        o.finish();
+        assert_eq!(buf, r#"{"inner":{"x":1},"gone":null}"#);
+        let arr = array_of_raw(vec!["1".to_string(), "2".to_string()]);
+        assert_eq!(arr, "[1,2]");
+        assert_eq!(array_of_raw(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut buf = String::new();
+        Obj::new(&mut buf).finish();
+        assert_eq!(buf, "{}");
+    }
+}

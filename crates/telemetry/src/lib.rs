@@ -1,0 +1,38 @@
+//! Unified telemetry for the incast-bursts workspace.
+//!
+//! The paper's measurement half is an observability tool (Millisampler,
+//! Section 3); this crate is the simulator's equivalent. It provides:
+//!
+//! - [`MetricsRegistry`] — counters, gauges, and sim-time series keyed by
+//!   `(component, name, id)`, with deterministic JSON snapshots;
+//! - [`Event`] / [`EventSink`] / [`SinkRef`] — structured, timestamped
+//!   events (per-packet link events, queue depth, buffer watermarks,
+//!   per-flow cwnd transitions, burst lifecycle) flowing from simnet,
+//!   transport, and workload into pluggable sinks;
+//! - [`JsonlSink`] — a deterministic JSONL renderer of the event stream
+//!   (one JSON object per line, byte-identical across same-seed runs);
+//! - [`RunManifest`] — a replayable description of a run (seed, topology,
+//!   config, git describe, counters);
+//! - [`LoopProfile`] — wall-clock profiling of the simulator hot loop
+//!   (events/sec, per-event-kind tallies).
+//!
+//! The crate sits at the bottom of the workspace dependency graph (it
+//! depends only on `stats`) and identifies links/nodes/flows by raw
+//! integers, so every other crate can emit into it without cycles. It has
+//! no external dependencies: JSON encoding is hand-rolled in [`json`],
+//! which is what makes the output bit-for-bit reproducible.
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod profile;
+pub mod registry;
+pub mod sink;
+
+pub use event::{
+    DropCause, Event, EventClass, EventKind, FlowState, PktDetail, PktInfo, WindowTrigger,
+};
+pub use manifest::{git_describe, RunManifest};
+pub use profile::{EventTallies, LoopProfile};
+pub use registry::{MetricKey, MetricsRegistry};
+pub use sink::{EventSink, JsonlSink, NullSink, SinkRef};

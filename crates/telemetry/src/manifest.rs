@@ -1,0 +1,173 @@
+//! Per-run manifests.
+//!
+//! A [`RunManifest`] records everything needed to replay and diff a run:
+//! the seed, topology, transport configuration, the code version
+//! (`git describe`), how many telemetry events were captured, how many
+//! simulator events were processed, and (optionally) wall-clock time.
+//! Everything except wall-clock is deterministic for a fixed seed and
+//! binary, so manifests from two identical runs compare byte-equal once
+//! the wall-clock field is left unset (it is omitted from the JSON when
+//! `None`).
+
+use crate::json::Obj;
+
+/// A replayable description of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunManifest {
+    /// Human name of the experiment/run.
+    pub name: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Topology summary, e.g. `"dumbbell:senders=32,trunk=100G"`.
+    pub topology: String,
+    /// Pre-rendered JSON of the transport config (see
+    /// `TcpConfig::to_json` in the transport crate), or `"{}"`.
+    pub config_json: String,
+    /// Output of `git describe --always --dirty`, or `"unknown"`.
+    pub git_describe: String,
+    /// Telemetry events captured by the attached sink.
+    pub event_count: u64,
+    /// Simulator events processed.
+    pub events_processed: u64,
+    /// Final simulated time in picoseconds.
+    pub sim_time_ps: u64,
+    /// Pre-rendered JSON of the simulator counters, or `"{}"`.
+    pub counters_json: String,
+    /// Wall-clock duration in microseconds. `None` keeps the manifest
+    /// deterministic; the field is omitted from the JSON entirely.
+    pub wall_clock_us: Option<u64>,
+}
+
+impl RunManifest {
+    /// A manifest with the identifying fields set and the rest default.
+    pub fn new(name: &str, seed: u64, topology: &str) -> Self {
+        RunManifest {
+            name: name.to_string(),
+            seed,
+            topology: topology.to_string(),
+            config_json: "{}".to_string(),
+            git_describe: "unknown".to_string(),
+            counters_json: "{}".to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Fills `git_describe` from the working tree (best effort).
+    pub fn with_git_describe(mut self) -> Self {
+        self.git_describe = git_describe();
+        self
+    }
+
+    /// Renders the manifest as one JSON object. Field order is fixed;
+    /// `wall_clock_us` is omitted when `None`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut o = Obj::new(&mut out);
+        o.str("name", &self.name)
+            .u64("seed", self.seed)
+            .str("topology", &self.topology)
+            .raw(
+                "config",
+                if self.config_json.is_empty() {
+                    "{}"
+                } else {
+                    &self.config_json
+                },
+            )
+            .str("git_describe", &self.git_describe)
+            .u64("event_count", self.event_count)
+            .u64("events_processed", self.events_processed)
+            .u64("sim_time_ps", self.sim_time_ps)
+            .raw(
+                "counters",
+                if self.counters_json.is_empty() {
+                    "{}"
+                } else {
+                    &self.counters_json
+                },
+            );
+        if let Some(us) = self.wall_clock_us {
+            o.u64("wall_clock_us", us);
+        }
+        o.finish();
+        out
+    }
+
+    /// This manifest with the wall-clock field cleared — the form to use
+    /// when comparing manifests across runs for determinism.
+    pub fn deterministic(&self) -> RunManifest {
+        let mut m = self.clone();
+        m.wall_clock_us = None;
+        m
+    }
+}
+
+/// `git describe --always --dirty` of the current working tree, or
+/// `"unknown"` when git is unavailable (e.g. outside a checkout).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_renders_fixed_field_order() {
+        let mut m = RunManifest::new("paper_default", 42, "dumbbell:senders=4");
+        m.config_json = r#"{"mss":1500}"#.to_string();
+        m.event_count = 10;
+        m.events_processed = 99;
+        m.sim_time_ps = 1_000_000;
+        m.counters_json = r#"{"drops":2}"#.to_string();
+        let j = m.to_json();
+        assert_eq!(
+            j,
+            r#"{"name":"paper_default","seed":42,"topology":"dumbbell:senders=4","config":{"mss":1500},"git_describe":"unknown","event_count":10,"events_processed":99,"sim_time_ps":1000000,"counters":{"drops":2}}"#
+        );
+    }
+
+    #[test]
+    fn wall_clock_is_omitted_when_none_and_present_when_set() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("wall_clock_us"));
+        m.wall_clock_us = Some(1234);
+        assert!(m.to_json().contains(r#""wall_clock_us":1234"#));
+        assert!(!m.deterministic().to_json().contains("wall_clock_us"));
+    }
+
+    #[test]
+    fn empty_config_falls_back_to_empty_object() {
+        let mut m = RunManifest::new("x", 1, "t");
+        m.config_json = String::new();
+        m.counters_json = String::new();
+        let j = m.to_json();
+        assert!(j.contains(r#""config":{}"#));
+        assert!(j.contains(r#""counters":{}"#));
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn deterministic_manifests_compare_equal() {
+        let mut a = RunManifest::new("x", 7, "t");
+        let mut b = RunManifest::new("x", 7, "t");
+        a.wall_clock_us = Some(1);
+        b.wall_clock_us = Some(999);
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic(), b.deterministic());
+        assert_eq!(a.deterministic().to_json(), b.deterministic().to_json());
+    }
+}

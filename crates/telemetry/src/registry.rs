@@ -1,0 +1,292 @@
+//! A lightweight metrics registry.
+//!
+//! Counters, gauges, and sim-time time-series keyed by
+//! `(component, name, id)`. Component and metric names are `&'static str`
+//! so a metric key is two pointers and an integer — updates are a hash
+//! lookup plus an add, with no allocation on the hot path after the first
+//! touch of a key. Snapshots render deterministically (keys sorted) so two
+//! identical runs produce identical metric dumps.
+
+use crate::event::{Event, EventKind};
+use crate::json::{array_of_raw, Obj};
+use crate::sink::SinkRef;
+use stats::TimeSeries;
+use std::collections::HashMap;
+
+/// Identifies one metric instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Owning component ("link", "flow", "sim", …).
+    pub component: &'static str,
+    /// Metric name ("drops", "cwnd_bytes", …).
+    pub name: &'static str,
+    /// Instance id (link index, flow index, 0 for singletons).
+    pub id: u64,
+}
+
+impl MetricKey {
+    /// Builds a key.
+    pub fn new(component: &'static str, name: &'static str, id: u64) -> Self {
+        MetricKey {
+            component,
+            name,
+            id,
+        }
+    }
+}
+
+/// Counters, gauges, and time-series, deterministically snapshotable.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: HashMap<MetricKey, u64>,
+    gauges: HashMap<MetricKey, f64>,
+    series: HashMap<MetricKey, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter (creating it at zero).
+    pub fn count(&mut self, component: &'static str, name: &'static str, id: u64, delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(component, name, id))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn gauge(&mut self, component: &'static str, name: &'static str, id: u64, value: f64) {
+        self.gauges
+            .insert(MetricKey::new(component, name, id), value);
+    }
+
+    /// Accumulates `value` into a sim-time series bucketed at
+    /// `interval_ps`, at time `t_ps`. The interval of an existing series is
+    /// fixed by its first observation.
+    pub fn observe(
+        &mut self,
+        component: &'static str,
+        name: &'static str,
+        id: u64,
+        interval_ps: u64,
+        t_ps: u64,
+        value: f64,
+    ) {
+        self.series
+            .entry(MetricKey::new(component, name, id))
+            .or_insert_with(|| TimeSeries::new(interval_ps))
+            .accumulate(t_ps, value);
+    }
+
+    /// A counter's value (0 if never touched).
+    pub fn counter(&self, component: &'static str, name: &'static str, id: u64) -> u64 {
+        self.counters
+            .get(&MetricKey::new(component, name, id))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge_value(&self, component: &'static str, name: &'static str, id: u64) -> Option<f64> {
+        self.gauges
+            .get(&MetricKey::new(component, name, id))
+            .copied()
+    }
+
+    /// A time-series, if observed.
+    pub fn series(
+        &self,
+        component: &'static str,
+        name: &'static str,
+        id: u64,
+    ) -> Option<&TimeSeries> {
+        self.series.get(&MetricKey::new(component, name, id))
+    }
+
+    /// Total number of registered metric instances.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.series.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes every counter and gauge to `sink` as [`EventKind::Metric`]
+    /// events stamped `t_ps`, in sorted key order.
+    pub fn flush_to(&self, sink: &SinkRef, t_ps: u64) {
+        let mut keys: Vec<&MetricKey> = self.counters.keys().collect();
+        keys.sort();
+        for k in keys {
+            sink.emit(&Event {
+                t_ps,
+                kind: EventKind::Metric {
+                    component: k.component,
+                    name: k.name,
+                    id: k.id,
+                    value: self.counters[k] as f64,
+                },
+            });
+        }
+        let mut keys: Vec<&MetricKey> = self.gauges.keys().collect();
+        keys.sort();
+        for k in keys {
+            sink.emit(&Event {
+                t_ps,
+                kind: EventKind::Metric {
+                    component: k.component,
+                    name: k.name,
+                    id: k.id,
+                    value: self.gauges[k],
+                },
+            });
+        }
+    }
+
+    /// Renders the whole registry as one deterministic JSON object:
+    /// `{"counters":[...],"gauges":[...],"series":[...]}` with entries
+    /// sorted by key.
+    pub fn to_json(&self) -> String {
+        fn key_obj(k: &MetricKey, out: &mut Obj) {
+            out.str("component", k.component)
+                .str("name", k.name)
+                .u64("id", k.id);
+        }
+
+        let mut counters: Vec<(&MetricKey, u64)> =
+            self.counters.iter().map(|(k, v)| (k, *v)).collect();
+        counters.sort_by_key(|(k, _)| **k);
+        let counters = array_of_raw(counters.into_iter().map(|(k, v)| {
+            let mut s = String::new();
+            let mut o = Obj::new(&mut s);
+            key_obj(k, &mut o);
+            o.u64("value", v);
+            o.finish();
+            s
+        }));
+
+        let mut gauges: Vec<(&MetricKey, f64)> = self.gauges.iter().map(|(k, v)| (k, *v)).collect();
+        gauges.sort_by_key(|(k, _)| **k);
+        let gauges = array_of_raw(gauges.into_iter().map(|(k, v)| {
+            let mut s = String::new();
+            let mut o = Obj::new(&mut s);
+            key_obj(k, &mut o);
+            o.f64("value", v);
+            o.finish();
+            s
+        }));
+
+        let mut series: Vec<(&MetricKey, &TimeSeries)> = self.series.iter().collect();
+        series.sort_by_key(|(k, _)| **k);
+        let series = array_of_raw(series.into_iter().map(|(k, ts)| {
+            let mut s = String::new();
+            let mut o = Obj::new(&mut s);
+            key_obj(k, &mut o);
+            o.u64("interval_ps", ts.interval());
+            let values = array_of_raw(ts.values().iter().map(|&v| {
+                let mut b = String::new();
+                crate::json::write_f64(v, &mut b);
+                b
+            }));
+            o.raw("values", &values);
+            o.finish();
+            s
+        }));
+
+        let mut out = String::new();
+        let mut o = Obj::new(&mut out);
+        o.raw("counters", &counters)
+            .raw("gauges", &gauges)
+            .raw("series", &series);
+        o.finish();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::JsonlSink;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.count("link", "drops", 3, 1);
+        r.count("link", "drops", 3, 2);
+        r.count("link", "drops", 4, 5);
+        assert_eq!(r.counter("link", "drops", 3), 3);
+        assert_eq!(r.counter("link", "drops", 4), 5);
+        assert_eq!(r.counter("link", "drops", 9), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.gauge("sim", "events_per_sec", 0, 1.0);
+        r.gauge("sim", "events_per_sec", 0, 2.5);
+        assert_eq!(r.gauge_value("sim", "events_per_sec", 0), Some(2.5));
+        assert_eq!(r.gauge_value("sim", "missing", 0), None);
+    }
+
+    #[test]
+    fn series_bucket_by_interval() {
+        let mut r = MetricsRegistry::new();
+        r.observe("link", "depth", 0, 100, 10, 1.0);
+        r.observe("link", "depth", 0, 100, 150, 2.0);
+        r.observe("link", "depth", 0, 100, 160, 3.0);
+        let ts = r.series("link", "depth", 0).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get(0), 1.0);
+        assert_eq!(ts.get(1), 5.0);
+    }
+
+    #[test]
+    fn to_json_is_sorted_and_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.count("link", "drops", 2, 7);
+            r.count("flow", "retx", 0, 1);
+            r.gauge("sim", "eps", 0, 3.5);
+            r.observe("link", "depth", 1, 1000, 0, 4.0);
+            r.to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        // "flow" sorts before "link": insertion order must not leak.
+        let flow_at = a.find(r#""component":"flow""#).unwrap();
+        let link_at = a.find(r#""component":"link""#).unwrap();
+        assert!(flow_at < link_at);
+        assert!(a.contains(r#""interval_ps":1000"#));
+    }
+
+    #[test]
+    fn flush_emits_sorted_metric_events() {
+        let mut r = MetricsRegistry::new();
+        r.count("b", "x", 0, 2);
+        r.count("a", "x", 0, 1);
+        r.gauge("c", "y", 1, 9.0);
+        let (rc, sref) = JsonlSink::new().shared();
+        r.flush_to(&sref, 42);
+        let out = rc.borrow().render().to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""component":"a""#));
+        assert!(lines[1].contains(r#""component":"b""#));
+        assert!(lines[2].contains(r#""component":"c""#));
+        assert!(rc.borrow().events_written() == 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.count("a", "b", 0, 1);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -176,7 +176,7 @@ mod tests {
         let mut ctx = ctx_at(0);
         ctx.snd_una = MSS;
         c.on_enter_recovery(&ctx); // w_max = 100, cwnd = 70
-        // Feed ACKs over simulated seconds; cwnd should climb back near w_max.
+                                   // Feed ACKs over simulated seconds; cwnd should climb back near w_max.
         for ms in 1..2000u64 {
             let mut ctx = ctx_at(ms * 1000);
             ctx.snd_una = ms * MSS;

@@ -21,7 +21,6 @@ pub use memory::MemoryDctcp;
 pub use reno::Reno;
 pub use swift::SwiftLike;
 
-use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 
 /// Context the sender passes to every CCA callback.
@@ -72,7 +71,7 @@ pub trait Cca: std::fmt::Debug {
 
 /// Serializable CCA selection, turned into a boxed implementation per
 /// connection via [`CcaKind::build`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CcaKind {
     /// DCTCP (Alizadeh et al., SIGCOMM 2010) with estimation gain `g`.
     Dctcp {

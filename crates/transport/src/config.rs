@@ -1,7 +1,6 @@
 //! Transport configuration.
 
 use crate::cca::CcaKind;
-use serde::{Deserialize, Serialize};
 use simnet::{SimTime, DEFAULT_MSS};
 
 /// Delayed acknowledgment behavior.
@@ -10,7 +9,7 @@ use simnet::{SimTime, DEFAULT_MSS};
 /// exacerbates burstiness and masks the impact of DCTCP's congestion
 /// control" (§4); we default to disabled and ablate the choice (bench
 /// `ablation_delack`).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DelayedAckConfig {
     /// ACK at latest after this many full-size segments (2 is standard).
     pub max_segments: u32,
@@ -28,7 +27,7 @@ impl Default for DelayedAckConfig {
 }
 
 /// Static configuration shared by every connection on a host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcpConfig {
     /// Maximum segment size in payload bytes (1446 → 1500 B frames).
     pub mss: u32,
@@ -88,7 +87,7 @@ impl Default for TcpConfig {
 }
 
 /// Swift-style pacing parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PacingConfig {
     /// The window floor as a fraction of MSS (Swift's minimum congestion
     /// window is effectively `1/num_rtts_between_packets`).
@@ -118,6 +117,35 @@ impl TcpConfig {
     /// Initial congestion window in bytes.
     pub fn init_cwnd_bytes(&self) -> u64 {
         self.init_cwnd_segs as u64 * self.mss_bytes()
+    }
+
+    /// Deterministic JSON rendering, for run manifests: every field that
+    /// shapes behavior, times in picoseconds, the CCA by name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.u64("mss", self.mss as u64)
+            .u64("init_cwnd_segs", self.init_cwnd_segs as u64)
+            .u64("min_cwnd_segs", self.min_cwnd_segs as u64)
+            .str("cca", self.cca.name())
+            .u64("initial_rto_ps", self.initial_rto.as_ps())
+            .u64("min_rto_ps", self.min_rto.as_ps())
+            .u64("max_rto_ps", self.max_rto.as_ps())
+            .bool("delayed_ack", self.delayed_ack.is_some());
+        match self.flight_sample_interval {
+            Some(iv) => o.u64("flight_sample_interval_ps", iv.as_ps()),
+            None => o.null("flight_sample_interval_ps"),
+        };
+        match self.pacing {
+            Some(p) => o.f64("pacing_min_cwnd_fraction", p.min_cwnd_fraction),
+            None => o.null("pacing_min_cwnd_fraction"),
+        };
+        match self.idle_restart_after {
+            Some(t) => o.u64("idle_restart_after_ps", t.as_ps()),
+            None => o.null("idle_restart_after_ps"),
+        };
+        o.finish();
+        out
     }
 
     /// Validates invariants (positive MSS, floor <= initial window, sane
@@ -163,21 +191,29 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let mut c = TcpConfig::default();
-        c.mss = 0;
+        let c = TcpConfig {
+            mss: 0,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TcpConfig::default();
-        c.min_cwnd_segs = 0;
+        let c = TcpConfig {
+            min_cwnd_segs: 0,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TcpConfig::default();
-        c.init_cwnd_segs = 1;
-        c.min_cwnd_segs = 4;
+        let c = TcpConfig {
+            init_cwnd_segs: 1,
+            min_cwnd_segs: 4,
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TcpConfig::default();
-        c.min_rto = SimTime::from_secs(100);
+        let c = TcpConfig {
+            min_rto: SimTime::from_secs(100),
+            ..TcpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -186,5 +222,21 @@ mod tests {
         let d = DelayedAckConfig::default();
         assert_eq!(d.max_segments, 2);
         assert_eq!(d.timeout, SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_names_cca() {
+        let c = TcpConfig::default();
+        let js = c.to_json();
+        assert_eq!(js, c.clone().to_json());
+        assert!(js.contains(r#""cca":"dctcp""#), "{js}");
+        assert!(js.contains(r#""mss":1446"#));
+        assert!(js.contains(r#""pacing_min_cwnd_fraction":null"#));
+
+        let c = TcpConfig {
+            pacing: Some(PacingConfig::default()),
+            ..TcpConfig::default()
+        };
+        assert!(c.to_json().contains(r#""pacing_min_cwnd_fraction":0.0625"#));
     }
 }

@@ -10,9 +10,10 @@
 use crate::config::TcpConfig;
 use crate::keys::{self, TimerKind};
 use crate::receiver::Receiver;
-use crate::sender::{AckOutcome, Sender};
+use crate::sender::{AckOutcome, FlowProbe, Sender};
 use simnet::{Ctx, Endpoint, FlowId, NodeId, Packet, PacketKind, SimTime};
 use std::collections::HashMap;
+use telemetry::SinkRef;
 
 /// Connection tables and configuration for one host.
 #[derive(Debug)]
@@ -20,6 +21,8 @@ pub struct HostCore {
     cfg: TcpConfig,
     senders: HashMap<FlowId, Sender>,
     receivers: HashMap<FlowId, Receiver>,
+    /// Telemetry sink handed to every sender opened on this host.
+    sink: Option<SinkRef>,
     /// Packets for unknown flows (should stay zero in healthy runs).
     pub stray_packets: u64,
 }
@@ -31,6 +34,7 @@ impl HostCore {
             cfg,
             senders: HashMap::new(),
             receivers: HashMap::new(),
+            sink: None,
             stray_packets: 0,
         }
     }
@@ -69,7 +73,14 @@ pub trait TcpApp {
     /// Simulation start.
     fn on_start(&mut self, _api: &mut TcpApi) {}
     /// A control (request) message arrived, e.g. a coordinator's demand.
-    fn on_ctrl(&mut self, _api: &mut TcpApi, _from: NodeId, _flow: FlowId, _demand: u64, _burst: u64) {
+    fn on_ctrl(
+        &mut self,
+        _api: &mut TcpApi,
+        _from: NodeId,
+        _flow: FlowId,
+        _demand: u64,
+        _burst: u64,
+    ) {
     }
     /// In-order data arrived on a receiving connection.
     fn on_receive(&mut self, _api: &mut TcpApi, _flow: FlowId, _newly: u64, _total: u64) {}
@@ -102,12 +113,18 @@ impl<'a, 'c> TcpApi<'a, 'c> {
     }
 
     /// Opens (or reuses) a sending connection of `flow` toward `peer`.
+    /// New senders pick up the host's telemetry sink, if one is attached.
     pub fn open_sender(&mut self, flow: FlowId, peer: NodeId) {
         let cfg = &self.core.cfg;
-        self.core
-            .senders
-            .entry(flow)
-            .or_insert_with(|| Sender::new(flow, peer, cfg));
+        let sink = &self.core.sink;
+        let node = self.ctx.node();
+        self.core.senders.entry(flow).or_insert_with(|| {
+            let mut tx = Sender::new(flow, peer, cfg);
+            if let Some(s) = sink {
+                tx.set_probe(FlowProbe::new(s.clone(), node));
+            }
+            tx
+        });
     }
 
     /// Appends `bytes` of demand on an open sending connection.
@@ -184,6 +201,13 @@ impl TcpHost {
         &self.core
     }
 
+    /// Attaches a telemetry sink: every sender opened afterwards streams
+    /// its window transitions ([`telemetry::EventKind::FlowWindow`]) to it.
+    /// Attach before the simulation starts so no connection is missed.
+    pub fn set_sink(&mut self, sink: SinkRef) {
+        self.core.sink = Some(sink);
+    }
+
     fn with_app<F>(&mut self, ctx: &mut Ctx, f: F)
     where
         F: FnOnce(&mut dyn TcpApp, &mut TcpApi),
@@ -222,16 +246,14 @@ impl Endpoint for TcpHost {
                     self.with_app(ctx, |app, api| app.on_receive(api, pkt.flow, newly, total));
                 }
             }
-            PacketKind::Ack { ack, ece, ts_echo } => {
-                match self.core.senders.get_mut(&pkt.flow) {
-                    Some(tx) => {
-                        if tx.on_ack(ctx, ack, ece, ts_echo) == AckOutcome::AllAcked {
-                            self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
-                        }
+            PacketKind::Ack { ack, ece, ts_echo } => match self.core.senders.get_mut(&pkt.flow) {
+                Some(tx) => {
+                    if tx.on_ack(ctx, ack, ece, ts_echo) == AckOutcome::AllAcked {
+                        self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
                     }
-                    None => self.core.stray_packets += 1,
                 }
-            }
+                None => self.core.stray_packets += 1,
+            },
             PacketKind::Ctrl { demand, burst } => {
                 self.with_app(ctx, |app, api| {
                     app.on_ctrl(api, pkt.src, pkt.flow, demand, burst)
@@ -415,10 +437,54 @@ mod tests {
             fabric.senders[0],
             Box::new(TcpHost::new(
                 TcpConfig::default(),
-                Box::new(TimerApp { fired: fired.clone() }),
+                Box::new(TimerApp {
+                    fired: fired.clone(),
+                }),
             )),
         );
         fabric.sim.run();
         assert_eq!(*fired.borrow(), vec![9, 3]);
+    }
+
+    #[test]
+    fn host_sink_probes_every_opened_sender() {
+        let mut fabric = build_dumbbell(2, 4);
+        let rx = fabric.receivers[0];
+        let (jsonl, sref) = telemetry::JsonlSink::new()
+            .with_classes(&[telemetry::EventClass::Flow])
+            .shared();
+
+        for &s in &fabric.senders {
+            let mut host = TcpHost::new(TcpConfig::default(), Box::new(Worker));
+            host.set_sink(sref.clone());
+            fabric.sim.set_endpoint(s, Box::new(host));
+        }
+        fabric.sim.set_endpoint(
+            rx,
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(Coordinator {
+                    workers: fabric.senders.clone(),
+                    demand: 30_000,
+                    received: Rc::new(RefCell::new(HashMap::new())),
+                    done_at: Rc::new(RefCell::new(None)),
+                }),
+            )),
+        );
+        fabric.sim.run();
+
+        let out = jsonl.borrow().render().to_string();
+        assert!(!out.is_empty(), "probes emitted nothing");
+        // Both flows report transitions, starting with burst_start.
+        assert!(out.contains(r#""flow":0"#));
+        assert!(out.contains(r#""flow":1"#));
+        assert!(out
+            .lines()
+            .next()
+            .unwrap()
+            .contains(r#""trigger":"burst_start""#));
+        for line in out.lines() {
+            assert!(line.contains(r#""ev":"flow_window""#), "{line}");
+        }
     }
 }

@@ -30,9 +30,10 @@ pub mod seq;
 pub mod stats;
 
 pub use cca::{Cca, CcaCtx, CcaKind};
+pub use config::PacingConfig;
 pub use config::{DelayedAckConfig, TcpConfig};
 pub use host::{HostCore, TcpApi, TcpApp, TcpHost};
 pub use receiver::Receiver;
 pub use rtt::RttEstimator;
-pub use sender::{AckOutcome, Sender};
+pub use sender::{AckOutcome, FlowProbe, Sender};
 pub use stats::{FlightRecorder, ReceiverStats, SenderStats};

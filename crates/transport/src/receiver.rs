@@ -410,9 +410,7 @@ mod tests {
         h.rx.rcv_nxt = (1u64 << 32) - MSS as u64;
         let seq_wire = seq::wrap(h.rx.rcv_nxt);
         let mut ctx = Ctx::new(SimTime::ZERO, NodeId(5), &mut h.cmds);
-        let newly = h
-            .rx
-            .on_data(&mut ctx, seq_wire, MSS, false, SimTime::ZERO);
+        let newly = h.rx.on_data(&mut ctx, seq_wire, MSS, false, SimTime::ZERO);
         assert_eq!(newly, MSS as u64);
         assert_eq!(h.rx.delivered(), 1 << 32);
     }

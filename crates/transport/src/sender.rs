@@ -21,6 +21,27 @@ use crate::rtt::RttEstimator;
 use crate::seq;
 use crate::stats::{FlightRecorder, SenderStats};
 use simnet::{Ctx, FlowId, NodeId, Packet, SimTime};
+use telemetry::{Event, EventClass, EventKind, FlowState, SinkRef, WindowTrigger};
+
+/// Streams per-flow congestion-window transitions to a telemetry sink.
+///
+/// This generalizes [`FlightRecorder`]: instead of fixed-interval in-flight
+/// samples it captures every window *transition* — which trigger moved the
+/// window (ACK, ECE, fast retransmit, RTO, burst start), the resulting
+/// cwnd/ssthresh/in-flight, and the sender's recovery state — as
+/// [`telemetry::EventKind::FlowWindow`] events.
+#[derive(Debug, Clone)]
+pub struct FlowProbe {
+    sink: SinkRef,
+    node: u32,
+}
+
+impl FlowProbe {
+    /// A probe reporting transitions of flows on `node` to `sink`.
+    pub fn new(sink: SinkRef, node: NodeId) -> Self {
+        FlowProbe { sink, node: node.0 }
+    }
+}
 
 /// Result of processing an ACK, for the host/application layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +74,12 @@ pub struct Sender {
     /// Fast-recovery window inflation in bytes (RFC 5681 §3.2 style).
     recovery_extra: u64,
     rto_armed: bool,
+    /// True between an RTO and the next cumulative ACK (exponential
+    /// backoff territory — the paper's Mode 3 stragglers live here).
+    backing_off: bool,
     stats: SenderStats,
     flight: Option<FlightRecorder>,
+    probe: Option<FlowProbe>,
     /// RFC 2861 window validation: restart threshold and the parameters
     /// needed to rebuild the window (`(threshold, init_cwnd, cca_kind)`).
     idle_restart: Option<(SimTime, u64, crate::cca::CcaKind)>,
@@ -100,7 +125,9 @@ impl Sender {
             recover: 0,
             recovery_extra: 0,
             rto_armed: false,
+            backing_off: false,
             stats: SenderStats::default(),
+            probe: None,
             flight: cfg
                 .flight_sample_interval
                 .map(|iv| FlightRecorder::new(iv.as_ps())),
@@ -142,6 +169,39 @@ impl Sender {
     /// The in-flight recorder, if enabled.
     pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
         self.flight.as_ref()
+    }
+
+    /// Attaches a window-transition probe. A sink that does not subscribe
+    /// to [`EventClass::Flow`] is dropped here, so unprobed senders pay
+    /// nothing on the ACK path.
+    pub fn set_probe(&mut self, probe: FlowProbe) {
+        if probe.sink.accepts(EventClass::Flow) {
+            self.probe = Some(probe);
+        }
+    }
+
+    /// Emits a [`EventKind::FlowWindow`] transition if a probe is attached.
+    fn probe_window(&self, now: SimTime, trigger: WindowTrigger) {
+        let Some(p) = &self.probe else { return };
+        let state = if self.backing_off {
+            FlowState::Backoff
+        } else if self.in_recovery {
+            FlowState::Recovery
+        } else {
+            FlowState::Open
+        };
+        p.sink.emit(&Event {
+            t_ps: now.as_ps(),
+            kind: EventKind::FlowWindow {
+                node: p.node,
+                flow: self.flow.0,
+                cwnd: self.cwnd(),
+                ssthresh: self.cca.ssthresh(),
+                inflight: self.in_flight(),
+                state,
+                trigger,
+            },
+        });
     }
 
     /// Smoothed RTT estimate, if any.
@@ -192,6 +252,7 @@ impl Sender {
                 let offset = SimTime::from_ps(self.pace_phase % floor_gap.as_ps().max(1));
                 self.next_pace_at = ctx.now() + offset;
             }
+            self.probe_window(ctx.now(), WindowTrigger::BurstStart);
         }
         self.demand_end += bytes;
         self.stats.demand_bytes += bytes;
@@ -348,6 +409,15 @@ impl Sender {
                 self.cancel_rto(ctx);
             }
 
+            self.backing_off = false;
+            self.probe_window(
+                ctx.now(),
+                if ece {
+                    WindowTrigger::Ece
+                } else {
+                    WindowTrigger::Ack
+                },
+            );
             self.try_send(ctx);
             self.record_flight(ctx.now());
             if self.is_idle() && self.demand_end > 0 {
@@ -371,6 +441,7 @@ impl Sender {
                 let cctx = self.cca_ctx(ctx.now());
                 self.cca.on_enter_recovery(&cctx);
                 self.retransmit_head(ctx);
+                self.probe_window(ctx.now(), WindowTrigger::FastRetransmit);
             } else if self.in_recovery {
                 // Each further dup ACK signals a departure: inflate.
                 self.recovery_extra += self.mss;
@@ -393,8 +464,10 @@ impl Sender {
         self.dup_acks = 0;
         let cctx = self.cca_ctx(ctx.now());
         self.cca.on_timeout(&cctx);
+        self.backing_off = true;
         self.retransmit_head(ctx);
         self.record_flight(ctx.now());
+        self.probe_window(ctx.now(), WindowTrigger::Rto);
     }
 }
 
@@ -444,8 +517,7 @@ mod tests {
 
         fn ack(&mut self, abs: u64, ece: bool) -> AckOutcome {
             let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
-            self.tx
-                .on_ack(&mut ctx, seq::wrap(abs), ece, SimTime::ZERO)
+            self.tx.on_ack(&mut ctx, seq::wrap(abs), ece, SimTime::ZERO)
         }
 
         fn rto(&mut self) {
@@ -461,10 +533,7 @@ mod tests {
                 .filter_map(|c| match c {
                     Cmd::Send(p) => match p.kind {
                         PacketKind::Data {
-                            seq,
-                            payload,
-                            retx,
-                            ..
+                            seq, payload, retx, ..
                         } => Some((seq, payload, retx)),
                         _ => None,
                     },
@@ -549,7 +618,8 @@ mod tests {
         h.ack(2 * MSS, false);
         let sent = h.sent();
         assert!(
-            sent.iter().any(|&(s, _, retx)| retx && s == (2 * MSS) as u32),
+            sent.iter()
+                .any(|&(s, _, retx)| retx && s == (2 * MSS) as u32),
             "partial ack must retransmit the next hole: {sent:?}"
         );
         // Full ack at the recovery point exits recovery.
@@ -635,8 +705,10 @@ mod tests {
 
     #[test]
     fn flight_recorder_tracks_inflight() {
-        let mut cfg = TcpConfig::default();
-        cfg.flight_sample_interval = Some(SimTime::from_us(50));
+        let cfg = TcpConfig {
+            flight_sample_interval: Some(SimTime::from_us(50)),
+            ..TcpConfig::default()
+        };
         let mut h = Harness::new(&cfg);
         h.demand(5 * MSS);
         assert_eq!(
@@ -653,5 +725,42 @@ mod tests {
         // Corrupt ack way beyond anything sent: ignored.
         h.ack(500 * MSS, false);
         assert_eq!(h.tx.in_flight(), 5 * MSS);
+    }
+
+    #[test]
+    fn probe_streams_window_transitions() {
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        let mut h = Harness::default();
+        h.tx.set_probe(FlowProbe::new(sref, NodeId(0)));
+        h.demand(20 * MSS); // burst_start
+        h.sent();
+        h.ack(MSS, false); // ack
+        h.sent();
+        for _ in 0..3 {
+            h.ack(MSS, false); // third dup -> fast_retx
+        }
+        h.sent();
+        h.rto(); // rto -> backoff
+        let out = jsonl.borrow().render().to_string();
+        assert!(out.contains(r#""trigger":"burst_start""#), "{out}");
+        assert!(out.contains(r#""trigger":"ack""#));
+        assert!(out.contains(r#""trigger":"fast_retx""#));
+        assert!(out.contains(r#""trigger":"rto""#));
+        assert!(out.contains(r#""state":"recovery""#));
+        assert!(out.contains(r#""state":"backoff""#));
+        for line in out.lines() {
+            assert!(line.contains(r#""ev":"flow_window""#), "{line}");
+            assert!(line.contains(r#""flow":1"#), "{line}");
+        }
+    }
+
+    #[test]
+    fn probe_on_unsubscribed_sink_is_dropped() {
+        let (_jsonl, sref) = telemetry::JsonlSink::new()
+            .with_classes(&[EventClass::Packet])
+            .shared();
+        let mut h = Harness::default();
+        h.tx.set_probe(FlowProbe::new(sref, NodeId(0)));
+        assert!(h.tx.probe.is_none(), "non-Flow sink must not attach");
     }
 }

@@ -1,10 +1,9 @@
 //! Per-flow transport statistics.
 
-use serde::{Deserialize, Serialize};
 use stats::TimeSeries;
 
 /// Counters kept by a sending connection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SenderStats {
     /// Payload bytes handed down by the application so far.
     pub demand_bytes: u64,
@@ -27,7 +26,7 @@ pub struct SenderStats {
 }
 
 /// Counters kept by a receiving connection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReceiverStats {
     /// Payload bytes delivered in order to the application.
     pub bytes_delivered: u64,

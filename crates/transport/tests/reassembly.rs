@@ -1,8 +1,11 @@
 //! Receiver reassembly under adversarial segment orderings: whatever order
 //! (and however duplicated) segments arrive in, the application sees the
 //! byte stream exactly once, in order.
+//!
+//! Formerly proptest-based; rewritten as seeded `stats::Rng` case loops so
+//! the workspace carries no external dev-dependencies. The invariants
+//! checked are unchanged.
 
-use proptest::prelude::*;
 use simnet::{Cmd, Ctx, FlowId, NodeId, SimTime};
 use transport::{seq, Receiver, TcpConfig};
 
@@ -11,16 +14,17 @@ fn deliver(rx: &mut Receiver, cmds: &mut Vec<Cmd>, start: u64, len: u32, t: u64)
     rx.on_data(&mut ctx, seq::wrap(start), len, false, SimTime::ZERO)
 }
 
-proptest! {
-    /// Segments of a contiguous stream, shuffled and partially duplicated:
-    /// total in-order delivery equals the stream length exactly.
-    #[test]
-    fn shuffled_segments_deliver_exactly_once(
-        seg_count in 1usize..40,
-        seg_len in 1u32..2000,
-        order in proptest::collection::vec(0usize..40, 0..80),
-        seed in 0u64..100,
-    ) {
+/// Segments of a contiguous stream, shuffled and partially duplicated:
+/// total in-order delivery equals the stream length exactly.
+#[test]
+fn shuffled_segments_deliver_exactly_once() {
+    let mut rng = stats::Rng::new(0x5EA55E1);
+    for _ in 0..48 {
+        let seg_count = rng.range_u64(1, 39) as usize;
+        let seg_len = rng.range_u64(1, 1999) as u32;
+        let dup_count = rng.range_u64(0, 79) as usize;
+        let order: Vec<usize> = (0..dup_count).map(|_| rng.below(40) as usize).collect();
+
         let cfg = TcpConfig::default();
         let mut rx = Receiver::new(FlowId(0), NodeId(0), &cfg);
         let mut cmds = Vec::new();
@@ -29,29 +33,36 @@ proptest! {
         // A deterministic shuffle of all segments, then extra duplicates
         // from `order`.
         let mut idx: Vec<usize> = (0..seg_count).collect();
-        let mut rng = stats::Rng::new(seed);
         rng.shuffle(&mut idx);
         let mut delivered = 0u64;
-        let mut t = 0u64;
-        for &i in idx.iter().chain(order.iter().filter(|&&i| i < seg_count)) {
+        for (t, &i) in idx
+            .iter()
+            .chain(order.iter().filter(|&&i| i < seg_count))
+            .enumerate()
+        {
             let start = i as u64 * seg_len as u64;
-            delivered += deliver(&mut rx, &mut cmds, start, seg_len, t);
-            t += 1;
+            delivered += deliver(&mut rx, &mut cmds, start, seg_len, t as u64);
         }
-        prop_assert_eq!(delivered, total, "in-order delivery total");
-        prop_assert_eq!(rx.delivered(), total);
+        assert_eq!(delivered, total, "in-order delivery total");
+        assert_eq!(rx.delivered(), total);
         // Everything reassembled: no gaps left.
-        prop_assert_eq!(rx.ooo_ranges().count(), 0);
+        assert_eq!(rx.ooo_ranges().count(), 0);
         // The receiver acked every arrival.
-        prop_assert!(rx.stats().acks_sent >= seg_count as u64);
+        assert!(rx.stats().acks_sent >= seg_count as u64);
     }
+}
 
-    /// Overlapping random chunks of a stream still produce monotonic,
-    /// gap-free delivery up to the highest contiguous byte.
-    #[test]
-    fn random_overlapping_chunks_never_double_deliver(
-        chunks in proptest::collection::vec((0u64..5000, 1u32..1500), 1..60),
-    ) {
+/// Overlapping random chunks of a stream still produce monotonic,
+/// gap-free delivery up to the highest contiguous byte.
+#[test]
+fn random_overlapping_chunks_never_double_deliver() {
+    let mut rng = stats::Rng::new(0xC4);
+    for _ in 0..48 {
+        let n = rng.range_u64(1, 60) as usize;
+        let chunks: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.below(5000), rng.range_u64(1, 1499) as u32))
+            .collect();
+
         let cfg = TcpConfig::default();
         let mut rx = Receiver::new(FlowId(0), NodeId(0), &cfg);
         let mut cmds = Vec::new();
@@ -71,7 +82,7 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(delivered, prefix, "delivery equals contiguous prefix");
-        prop_assert_eq!(rx.delivered(), prefix);
+        assert_eq!(delivered, prefix, "delivery equals contiguous prefix");
+        assert_eq!(rx.delivered(), prefix);
     }
 }

@@ -12,6 +12,7 @@
 
 use simnet::{FlowId, NodeId, SimTime};
 use stats::Rng;
+use telemetry::{Event, EventClass, EventKind, SinkRef};
 use transport::{TcpApi, TcpApp};
 
 /// How successive bursts are scheduled.
@@ -114,6 +115,8 @@ pub struct CyclicCoordinator {
     flows_done: usize,
     /// Completed bursts.
     pub outcomes: Vec<BurstOutcome>,
+    /// Telemetry sink for burst boundary events.
+    sink: Option<SinkRef>,
 }
 
 impl CyclicCoordinator {
@@ -131,6 +134,17 @@ impl CyclicCoordinator {
             burst_start: SimTime::ZERO,
             flows_done: 0,
             outcomes: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a telemetry sink: burst boundaries are reported as
+    /// [`EventKind::BurstStart`] / [`EventKind::BurstEnd`] events (the
+    /// trace markers used to align queue and flow telemetry per burst).
+    /// A sink not subscribing to [`EventClass::App`] is dropped here.
+    pub fn set_sink(&mut self, sink: SinkRef) {
+        if sink.accepts(EventClass::App) {
+            self.sink = Some(sink);
         }
     }
 
@@ -168,16 +182,36 @@ impl CyclicCoordinator {
             let delay = self.request_delay(i);
             api.set_app_timer_after(REQUEST_BASE + i as u64, delay);
         }
+        if let Some(s) = &self.sink {
+            s.emit(&Event {
+                t_ps: api.now().as_ps(),
+                kind: EventKind::BurstStart {
+                    burst: self.burst_idx,
+                    flows: self.cfg.workers.len() as u32,
+                    per_flow_bytes: self.cfg.per_flow_bytes,
+                },
+            });
+        }
     }
 
     fn maybe_finish_burst(&mut self, api: &mut TcpApi) {
         if self.flows_done < self.cfg.workers.len() {
             return;
         }
-        self.outcomes.push(BurstOutcome {
+        let outcome = BurstOutcome {
             start: self.burst_start,
             end: api.now(),
-        });
+        };
+        if let Some(s) = &self.sink {
+            s.emit(&Event {
+                t_ps: api.now().as_ps(),
+                kind: EventKind::BurstEnd {
+                    burst: self.burst_idx,
+                    bct_ms: outcome.bct().as_ms_f64(),
+                },
+            });
+        }
+        self.outcomes.push(outcome);
         self.burst_idx += 1;
         if self.burst_idx >= self.cfg.num_bursts {
             return;
@@ -239,9 +273,7 @@ impl TcpApp for CyclicCoordinator {
         debug_assert!((flow.0 as usize) < self.cfg.workers.len());
         // A flow is done with the current burst when its cumulative
         // delivery reaches the cumulative expectation.
-        if total >= self.expected_total
-            && total - _newly < self.expected_total
-        {
+        if total >= self.expected_total && total - _newly < self.expected_total {
             self.flows_done += 1;
             self.maybe_finish_burst(api);
         }
@@ -321,6 +353,27 @@ mod tests {
         // Three groups 1 ms apart: the burst takes at least 2 ms even
         // though the data itself fits in ~1 ms.
         assert!(c.outcomes[0].bct() >= SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn sink_reports_burst_boundaries() {
+        let (mut fabric, coord) = build(3, 0.5, 2, None);
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        coord.borrow_mut().set_sink(sref);
+        fabric.sim.run();
+        assert!(coord.borrow().finished());
+        let out = jsonl.borrow().render().to_string();
+        let starts = out.lines().filter(|l| l.contains(r#""ev":"burst_start""#));
+        let ends: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains(r#""ev":"burst_end""#))
+            .collect();
+        assert_eq!(starts.count(), 2);
+        assert_eq!(ends.len(), 2);
+        assert!(ends[0].contains(r#""burst":0"#));
+        assert!(ends[1].contains(r#""burst":1"#));
+        assert!(ends[0].contains(r#""bct_ms":"#));
+        assert!(out.contains(r#""flows":3"#));
     }
 
     #[test]

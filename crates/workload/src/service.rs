@@ -24,12 +24,11 @@
 //! These are *calibration inputs*; queueing, marking, losses, and measured
 //! durations are emergent from the packet simulation.
 
-use serde::{Deserialize, Serialize};
 use simnet::Rate;
 use stats::{Dist, Rng};
 
 /// Identifier of one of the five modeled services.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceId {
     /// Distributed key-value store.
     Storage,
@@ -158,9 +157,7 @@ impl SnapshotModel {
         self.classes
             .iter()
             .map(|(w, c)| {
-                w / total
-                    * c.flows.mean().unwrap_or(0.0)
-                    * c.per_flow_bytes.mean().unwrap_or(0.0)
+                w / total * c.flows.mean().unwrap_or(0.0) * c.per_flow_bytes.mean().unwrap_or(0.0)
             })
             .sum()
     }

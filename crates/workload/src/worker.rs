@@ -109,14 +109,11 @@ mod tests {
         let first = Rc::new(RefCell::new(HashMap::new()));
         for (i, &s) in fabric.senders.iter().enumerate() {
             let worker = Worker::with_jitter(Rng::new(100 + i as u64), jitter);
-            fabric.sim.set_endpoint(
-                s,
-                Box::new(TcpHostBox::new(worker)),
-            );
+            fabric.sim.set_endpoint(s, Box::new(host_for(worker)));
         }
         fabric.sim.set_endpoint(
             fabric.receivers[0],
-            Box::new(TcpHostBox::new(OneShotCoord {
+            Box::new(host_for(OneShotCoord {
                 workers: fabric.senders.clone(),
                 demand: 30_000,
                 totals: totals.clone(),
@@ -130,11 +127,8 @@ mod tests {
     }
 
     /// Helper: wrap an app in a TcpHost with default config.
-    struct TcpHostBox;
-    impl TcpHostBox {
-        fn new(app: impl TcpApp + 'static) -> transport::TcpHost {
-            transport::TcpHost::new(TcpConfig::default(), Box::new(app))
-        }
+    fn host_for(app: impl TcpApp + 'static) -> transport::TcpHost {
+        transport::TcpHost::new(TcpConfig::default(), Box::new(app))
     }
 
     #[test]
@@ -176,15 +170,12 @@ mod tests {
     #[test]
     fn shared_wrapper_exposes_worker_state() {
         let mut fabric = build_dumbbell(1, 9);
-        let host = Shared::new(TcpHostBox::new(Worker::with_jitter(
-            Rng::new(5),
-            SimTime::ZERO,
-        )));
+        let host = Shared::new(host_for(Worker::with_jitter(Rng::new(5), SimTime::ZERO)));
         let handle = host.handle();
         fabric.sim.set_endpoint(fabric.senders[0], Box::new(host));
         fabric.sim.set_endpoint(
             fabric.receivers[0],
-            Box::new(TcpHostBox::new(OneShotCoord {
+            Box::new(host_for(OneShotCoord {
                 workers: fabric.senders.clone(),
                 demand: 10_000,
                 totals: Rc::new(RefCell::new(HashMap::new())),

@@ -10,7 +10,10 @@ use incast_bursts::core_api::report::ascii_plot;
 
 fn main() {
     for (flows, label) in [
-        (80usize, "Mode 1 exemplar: healthy, queue oscillates around K"),
+        (
+            80usize,
+            "Mode 1 exemplar: healthy, queue oscillates around K",
+        ),
         (500, "Mode 2: degenerate point, queue pinned at ~N - BDP"),
         (1000, "Mode 3: overflow, timeouts, BCT at RTO scale"),
     ] {
@@ -42,7 +45,12 @@ fn main() {
                 .collect();
             println!(
                 "{}",
-                ascii_plot("queue (pkts) vs ms from burst start", &[("q", &pts)], 100, 10)
+                ascii_plot(
+                    "queue (pkts) vs ms from burst start",
+                    &[("q", &pts)],
+                    100,
+                    10
+                )
             );
         }
     }

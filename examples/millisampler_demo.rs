@@ -16,9 +16,10 @@ fn main() {
     let mut fabric = build_dumbbell(60, 5);
     for (i, &s) in fabric.senders.iter().enumerate() {
         let worker = Worker::new(Rng::new(100 + i as u64));
-        fabric
-            .sim
-            .set_endpoint(s, Box::new(TcpHost::new(TcpConfig::default(), Box::new(worker))));
+        fabric.sim.set_endpoint(
+            s,
+            Box::new(TcpHost::new(TcpConfig::default(), Box::new(worker))),
+        );
     }
     let coord = CyclicCoordinator::new(IncastConfig::paper(fabric.senders.clone(), 2.0, 6, 1));
     fabric.sim.set_endpoint(
@@ -33,15 +34,16 @@ fn main() {
 
     fabric.sim.run_until(SimTime::from_ms(60));
     let trace = {
-        let sampler = std::mem::replace(
-            &mut *handle.borrow_mut(),
-            Millisampler::new(Rate::gbps(10)),
-        );
+        let sampler =
+            std::mem::replace(&mut *handle.borrow_mut(), Millisampler::new(Rate::gbps(10)));
         sampler.finish(SimTime::from_ms(60))
     };
 
     println!("per-ms buckets (only non-idle shown):");
-    println!("{:>6} {:>10} {:>8} {:>8} {:>7}", "ms", "bytes", "marked", "retx", "flows");
+    println!(
+        "{:>6} {:>10} {:>8} {:>8} {:>7}",
+        "ms", "bytes", "marked", "retx", "flows"
+    );
     for (i, b) in trace.buckets.iter().enumerate() {
         if b.bytes > 0 {
             println!(
@@ -62,5 +64,8 @@ fn main() {
             b.is_incast()
         );
     }
-    println!("\nmean utilization: {:.1}%", trace.mean_utilization() * 100.0);
+    println!(
+        "\nmean utilization: {:.1}%",
+        trace.mean_utilization() * 100.0
+    );
 }

@@ -17,9 +17,7 @@ fn main() {
         seed: 99,
         ..ModesConfig::default()
     };
-    println!(
-        "100-flow, 15 ms cyclic incast; comparing mitigations (5 bursts each)...\n"
-    );
+    println!("100-flow, 15 ms cyclic incast; comparing mitigations (5 bursts each)...\n");
 
     let mut t = Table::new([
         "mitigation",

@@ -20,13 +20,19 @@ fn main() {
     };
     let r = run_incast(&cfg);
 
-    println!("incast of {} flows, {} bursts:", cfg.num_flows, cfg.num_bursts);
+    println!(
+        "incast of {} flows, {} bursts:",
+        cfg.num_flows, cfg.num_bursts
+    );
     for (i, bct) in r.bcts_ms.iter().enumerate() {
         println!("  burst {i}: completed in {bct:.2} ms");
     }
     println!("operating mode:      {}", r.mode().label());
     println!("mean steady BCT:     {:.2} ms", r.mean_bct_ms);
-    println!("peak queue:          {} packets (capacity 1333)", r.queue_watermark_pkts);
+    println!(
+        "peak queue:          {} packets (capacity 1333)",
+        r.queue_watermark_pkts
+    );
     println!(
         "ECN marks:           {} of {} packets ({:.1}%)",
         r.marked_pkts,

@@ -6,9 +6,9 @@
 //! cargo run --release --example service_study
 //! ```
 
+use incast_bursts::core_api::default_threads;
 use incast_bursts::core_api::production::{run_fleet, FleetConfig};
 use incast_bursts::core_api::report::Table;
-use incast_bursts::core_api::default_threads;
 
 fn main() {
     let mut cfg = FleetConfig::quick(default_threads());

@@ -15,7 +15,10 @@
 //! - [`incast_core`] (re-exported as [`core_api`]): experiment configs and
 //!   runners for every figure and table in the paper, plus ablations and
 //!   mitigation prototypes,
-//! - [`stats`]: deterministic RNG, distributions, CDFs, and time series.
+//! - [`stats`]: deterministic RNG, distributions, CDFs, and time series,
+//! - [`telemetry`]: the unified observability layer — metrics registry,
+//!   event sinks (JSONL export, flow filters), run manifests, and
+//!   event-loop profiles shared by every crate above.
 //!
 //! ## Quickstart
 //!
@@ -35,5 +38,6 @@ pub use incast_core as core_api;
 pub use millisampler;
 pub use simnet;
 pub use stats;
+pub use telemetry;
 pub use transport;
 pub use workload;

@@ -5,10 +5,10 @@
 use incast_bursts::simnet::{
     build_fabric, FabricConfig, LinkConfig, NetworkBuilder, QueueConfig, Rate, Shared, SimTime,
 };
+use incast_bursts::simnet::{FlowId, NodeId};
 use incast_bursts::stats::Rng;
 use incast_bursts::transport::{TcpApi, TcpApp, TcpConfig, TcpHost};
 use incast_bursts::workload::Worker;
-use incast_bursts::simnet::{FlowId, NodeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -59,8 +59,10 @@ fn lossy_wire_still_delivers_everything() {
     let mut worker_handles = Vec::new();
     for (i, &s) in senders.iter().enumerate() {
         // Shorter min RTO keeps the lossy test fast without changing logic.
-        let mut cfg = TcpConfig::default();
-        cfg.min_rto = SimTime::from_ms(10);
+        let cfg = TcpConfig {
+            min_rto: SimTime::from_ms(10),
+            ..TcpConfig::default()
+        };
         let host = Shared::new(TcpHost::new(
             cfg,
             Box::new(Worker::new(Rng::new(7 + i as u64))),
@@ -118,11 +120,7 @@ fn drain_burst(
     while tx.in_flight() > 0 {
         *ack_base += tx.in_flight();
         *t_us += 30;
-        let mut ctx = Ctx::new(
-            SimTime::from_us(*t_us),
-            NodeId(0),
-            &mut cmds,
-        );
+        let mut ctx = Ctx::new(SimTime::from_us(*t_us), NodeId(0), &mut cmds);
         tx.on_ack(&mut ctx, seq::wrap(*ack_base), false, SimTime::ZERO);
         cmds.clear();
         rounds += 1;
@@ -154,8 +152,10 @@ fn idle_restart_resets_stale_windows() {
 
     // Drive a sender directly: grow its window, go idle past the
     // threshold, and check the next burst restarts from the initial window.
-    let mut cfg = TcpConfig::default();
-    cfg.idle_restart_after = Some(SimTime::from_ms(100));
+    let cfg = TcpConfig {
+        idle_restart_after: Some(SimTime::from_ms(100)),
+        ..TcpConfig::default()
+    };
     let mut cmds: Vec<Cmd> = Vec::new();
     let mut tx = Sender::new(FlowId(0), NodeId(1), &cfg);
     let mss = cfg.mss_bytes();
@@ -233,14 +233,13 @@ fn fabric_fault_injection_is_seed_deterministic() {
         f.sim.link_mut(f.trunk).cfg.loss_probability = 0.5;
         let totals = Rc::new(RefCell::new(HashMap::new()));
         for (i, &s) in f.senders.iter().enumerate() {
-            let mut cfg = TcpConfig::default();
-            cfg.min_rto = SimTime::from_ms(10);
+            let cfg = TcpConfig {
+                min_rto: SimTime::from_ms(10),
+                ..TcpConfig::default()
+            };
             f.sim.set_endpoint(
                 s,
-                Box::new(TcpHost::new(
-                    cfg,
-                    Box::new(Worker::new(Rng::new(i as u64))),
-                )),
+                Box::new(TcpHost::new(cfg, Box::new(Worker::new(Rng::new(i as u64))))),
             );
         }
         f.sim.set_endpoint(
@@ -255,7 +254,10 @@ fn fabric_fault_injection_is_seed_deterministic() {
             )),
         );
         f.sim.run_until(SimTime::from_secs(10));
-        (f.sim.counters().fault_drops, f.sim.counters().delivered_pkts)
+        (
+            f.sim.counters().fault_drops,
+            f.sim.counters().delivered_pkts,
+        )
     };
     assert_eq!(run(9), run(9));
     assert_ne!(run(9).0, run(10).0);

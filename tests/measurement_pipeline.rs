@@ -41,12 +41,17 @@ fn run(flows: usize, burst_ms: f64, bursts: u32, seed: u64) -> Rig {
     let tap = Shared::new(Millisampler::new(Rate::gbps(10)));
     let tap_handle = tap.handle();
     fabric.sim.set_tap(fabric.receivers[0], Box::new(tap));
-    fabric.sim.set_endpoint(fabric.receivers[0], Box::new(coord));
+    fabric
+        .sim
+        .set_endpoint(fabric.receivers[0], Box::new(coord));
     fabric.sim.run_until(SimTime::from_secs(5));
 
     let end = fabric.sim.now();
     let trace = {
-        let s = std::mem::replace(&mut *tap_handle.borrow_mut(), Millisampler::new(Rate::gbps(10)));
+        let s = std::mem::replace(
+            &mut *tap_handle.borrow_mut(),
+            Millisampler::new(Rate::gbps(10)),
+        );
         s.finish(end)
     };
     let mut sender_retx = 0;

@@ -1,24 +1,26 @@
-//! Property-based integration tests: random small configurations must
+//! Property-style integration tests: random small configurations must
 //! uphold the transport's delivery invariants and the simulator's
 //! conservation laws.
+//!
+//! Formerly proptest-based; rewritten as seeded `stats::Rng` case loops so
+//! the workspace carries no external dev-dependencies. The invariants
+//! checked are unchanged.
 
 use incast_bursts::core_api::modes::{run_incast, ModesConfig};
 use incast_bursts::millisampler::unwrap_seq;
 use incast_bursts::transport::seq;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Any small incast completes, delivers all demand, and never reports
+/// more acked than sent.
+#[test]
+fn random_incasts_complete() {
+    let mut rng = stats::Rng::new(0x1CA5);
+    for _ in 0..12 {
+        let flows = rng.range_u64(2, 39) as usize;
+        let burst_ms = rng.range_u64(1, 3) as u32;
+        let bursts = rng.range_u64(2, 3) as u32;
+        let seed = rng.below(1000);
 
-    /// Any small incast completes, delivers all demand, and never reports
-    /// more acked than sent.
-    #[test]
-    fn random_incasts_complete(
-        flows in 2usize..40,
-        burst_ms in 1u32..4,
-        bursts in 2u32..4,
-        seed in 0u64..1000,
-    ) {
         let cfg = ModesConfig {
             num_flows: flows,
             burst_duration_ms: burst_ms as f64,
@@ -28,20 +30,25 @@ proptest! {
             ..ModesConfig::default()
         };
         let r = run_incast(&cfg);
-        prop_assert_eq!(r.bcts_ms.len(), bursts as usize);
+        assert_eq!(r.bcts_ms.len(), bursts as usize);
         for bct in &r.bcts_ms {
-            prop_assert!(*bct > 0.0);
+            assert!(*bct > 0.0);
         }
         // Queue never exceeds its configured capacity.
-        prop_assert!(r.queue_watermark_pkts <= 1333);
+        assert!(r.queue_watermark_pkts <= 1333);
         // Marks never exceed enqueued packets.
-        prop_assert!(r.marked_pkts <= r.enqueued_pkts);
+        assert!(r.marked_pkts <= r.enqueued_pkts);
     }
+}
 
-    /// The sampler's sequence unwrap is exactly the transport's.
-    #[test]
-    fn unwrap_implementations_agree(wire: u32, reference in 0u64..(1 << 48)) {
-        prop_assert_eq!(unwrap_seq(wire, reference), seq::unwrap(wire, reference));
+/// The sampler's sequence unwrap is exactly the transport's.
+#[test]
+fn unwrap_implementations_agree() {
+    let mut rng = stats::Rng::new(0xA9CEE);
+    for _ in 0..2000 {
+        let wire = rng.next_u64() as u32;
+        let reference = rng.below(1 << 48);
+        assert_eq!(unwrap_seq(wire, reference), seq::unwrap(wire, reference));
     }
 }
 

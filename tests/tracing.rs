@@ -1,11 +1,13 @@
 //! End-to-end packet tracing: the simulator's `tcpdump` attached to a real
-//! incast run.
+//! incast run, plus the JSONL telemetry export that supersedes it.
 
+use incast_bursts::core_api::modes::{run_incast_instrumented, ModesConfig};
+use incast_bursts::simnet::FlowId;
 use incast_bursts::simnet::{build_dumbbell, Shared, SimTime, TextTracer};
 use incast_bursts::stats::Rng;
+use incast_bursts::telemetry::JsonlSink;
 use incast_bursts::transport::{TcpConfig, TcpHost};
 use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
-use incast_bursts::simnet::FlowId;
 
 fn run_traced(filter: Option<FlowId>) -> (u64, String) {
     let mut fabric = build_dumbbell(4, 21);
@@ -46,7 +48,11 @@ fn tracer_sees_the_whole_exchange() {
     let (events, log) = run_traced(None);
     assert!(events > 1000, "only {events} events traced");
     // Control, data, and ack legs all appear, as do all event kinds.
-    assert!(log.contains("CTRL demand="), "{}", &log[..500.min(log.len())]);
+    assert!(
+        log.contains("CTRL demand="),
+        "{}",
+        &log[..500.min(log.len())]
+    );
     assert!(log.contains("DATA seq="));
     assert!(log.contains("ACK ack="));
     assert!(log.contains(" enq "));
@@ -72,4 +78,52 @@ fn tracing_does_not_change_outcomes() {
     let (b, log_b) = run_traced(None);
     assert_eq!(a, b);
     assert_eq!(log_a, log_b);
+}
+
+fn instrumented(seed: u64) -> (String, String) {
+    let cfg = ModesConfig {
+        num_flows: 6,
+        burst_duration_ms: 0.5,
+        num_bursts: 2,
+        warmup_bursts: 1,
+        seed,
+        ..ModesConfig::default()
+    };
+    let (jsonl, sref) = JsonlSink::new().shared();
+    let (_, manifest) = run_incast_instrumented(&cfg, Some(&sref));
+    let stream = jsonl.borrow().render().to_string();
+    // Wall-clock is the one nondeterministic manifest field; strip it.
+    (stream, manifest.deterministic().to_json())
+}
+
+#[test]
+fn jsonl_export_is_byte_identical_across_same_seed_runs() {
+    let (stream_a, manifest_a) = instrumented(42);
+    let (stream_b, manifest_b) = instrumented(42);
+    assert!(!stream_a.is_empty());
+    assert_eq!(stream_a, stream_b, "same seed must replay byte-identically");
+    assert_eq!(manifest_a, manifest_b);
+    // Every event kind the acceptance criteria name is present.
+    for ev in [
+        "queue_depth",
+        "flow_window",
+        "burst_start",
+        "burst_end",
+        "pkt_enq",
+    ] {
+        assert!(
+            stream_a.contains(&format!("\"ev\":\"{ev}\"")),
+            "missing {ev} events"
+        );
+    }
+}
+
+#[test]
+fn jsonl_export_differs_across_seeds() {
+    let (stream_a, _) = instrumented(42);
+    let (stream_b, _) = instrumented(43);
+    assert_ne!(
+        stream_a, stream_b,
+        "different seeds should perturb the trace"
+    );
 }
