@@ -5,10 +5,15 @@
 //! is a small hand-rolled harness: a warmup pass, then a timed loop,
 //! reporting ns/op. Numbers are indicative, not statistically rigorous.
 
-use incast_core::modes::{run_incast, run_incast_instrumented, ModesConfig};
-use simnet::{EcnQueue, EnqueueOutcome, FlowId, NodeId, Packet, QueueConfig, SimTime};
+use incast_core::modes::{run_incast, run_incast_instrumented, run_incast_with, ModesConfig};
+use simnet::{
+    build_fabric_with, EcnQueue, EnqueueOutcome, EventKind, EventQueue, FabricConfig, FlowId,
+    NodeId, Packet, QueueConfig, Scheduler, SimTime, TimingWheel,
+};
 use stats::Rng;
 use std::time::Instant;
+use transport::{TcpConfig, TcpHost};
+use workload::{CyclicCoordinator, IncastConfig, Worker};
 
 /// Runs `op` `iters` times (after `iters / 10 + 1` warmup calls) and prints
 /// mean ns/op. Returns total elapsed seconds of the timed loop.
@@ -70,6 +75,126 @@ fn bench_incast() {
     });
 }
 
+/// Steady-state scheduler throughput under the hold model: one pending
+/// population of `PENDING` timers, pop one / schedule one at a mixed
+/// horizon (mostly near-future, 10% RTO-like 200 ms hops that land in the
+/// wheel's upper levels or overflow heap).
+fn bench_scheduler_micro() {
+    fn hold<S: Scheduler>(label: &str, pending: usize) {
+        let mut s = S::default();
+        let mut rng = Rng::new(9);
+        let kind = EventKind::Timer {
+            node: NodeId(0),
+            key: 0,
+            gen: 0,
+        };
+        let mut horizon = |now: SimTime| {
+            let delta = if rng.chance(0.1) {
+                SimTime::from_ms(200).as_ps()
+            } else {
+                rng.below(1 << 24)
+            };
+            SimTime::from_ps(now.as_ps() + delta)
+        };
+        for _ in 0..pending {
+            let at = horizon(SimTime::ZERO);
+            s.schedule(at, kind);
+        }
+        bench(label, 5_000_000, || {
+            let ev = s.pop().expect("population is constant");
+            let at = horizon(ev.time);
+            s.schedule(at, kind);
+            ev.time.as_ps()
+        });
+    }
+    // Two populations: the heap's cost grows with log(pending) and its sift
+    // path misses cache harder as the arena grows; the wheel stays flat.
+    hold::<TimingWheel>("scheduler/hold_4096/wheel", 4096);
+    hold::<EventQueue>("scheduler/hold_4096/heap", 4096);
+    hold::<TimingWheel>("scheduler/hold_65536/wheel", 65536);
+    hold::<EventQueue>("scheduler/hold_65536/heap", 65536);
+}
+
+/// The ISSUE acceptance number: end-to-end events/sec on the fig5 Mode-1
+/// workload (100 synchronized flows, 15 ms bursts) under the timing wheel
+/// vs. the reference binary heap. Best-of-3 per scheduler; the target is
+/// a >=2x wheel/heap ratio.
+fn bench_scheduler_fig5() {
+    let cfg = ModesConfig {
+        num_flows: 100,
+        burst_duration_ms: 15.0,
+        num_bursts: 3,
+        seed: 5,
+        ..ModesConfig::default()
+    };
+    fn best_eps<S: Scheduler>(cfg: &ModesConfig) -> (f64, u64) {
+        let mut best = 0.0f64;
+        let mut events = 0;
+        let _ = run_incast_with::<S>(cfg, None); // warm
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let (r, _) = run_incast_with::<S>(cfg, None);
+            let eps = r.profile.events() as f64 / t0.elapsed().as_secs_f64();
+            best = best.max(eps);
+            events = r.profile.events();
+        }
+        (best, events)
+    }
+    let (heap, events) = best_eps::<EventQueue>(&cfg);
+    let (wheel, _) = best_eps::<TimingWheel>(&cfg);
+    println!(
+        "\nscheduler/fig5_100f_15ms ({events} events/run): \
+         wheel {:.2} Mev/s vs heap {:.2} Mev/s -> {:.2}x (target >=2x)",
+        wheel / 1e6,
+        heap / 1e6,
+        wheel / heap
+    );
+}
+
+/// Allocation baseline for the packet path: with the slab pool, in-flight
+/// packets occupy reused slots, so the high-water mark (== slots ever
+/// allocated) stays near the peak in-flight count instead of growing with
+/// every delivery.
+fn bench_packet_pool() {
+    let mut f = build_fabric_with::<TimingWheel>(&FabricConfig {
+        num_senders: 100,
+        seed: 5,
+        ..FabricConfig::default()
+    });
+    for (i, &s) in f.senders.iter().enumerate() {
+        f.sim.set_endpoint(
+            s,
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(Worker::new(Rng::new(i as u64))),
+            )),
+        );
+    }
+    f.sim.set_endpoint(
+        f.receivers[0],
+        Box::new(TcpHost::new(
+            TcpConfig::default(),
+            Box::new(CyclicCoordinator::new(IncastConfig::paper(
+                f.senders.clone(),
+                15.0,
+                2,
+                5,
+            ))),
+        )),
+    );
+    f.sim.run_until(SimTime::from_ms(40));
+    let delivered = f.sim.counters().delivered_pkts;
+    let pool = f.sim.packet_pool();
+    println!(
+        "\npacket_pool (fig5-like, 100 flows): {} slot allocs for {} deliveries \
+         ({} live at end; {:.4} allocs/delivery)",
+        pool.high_water(),
+        delivered,
+        pool.live(),
+        pool.high_water() as f64 / delivered.max(1) as f64
+    );
+}
+
 /// The headline number plus the telemetry-overhead acceptance check: an
 /// attached-but-discarding sink must not change simulator event throughput
 /// materially (the ISSUE budget is <5%; allow noise above that here since
@@ -116,6 +241,9 @@ fn headline_and_telemetry_overhead() {
 fn main() {
     bench_rng();
     bench_queue();
+    bench_scheduler_micro();
     bench_incast();
+    bench_scheduler_fig5();
+    bench_packet_pool();
     headline_and_telemetry_overhead();
 }

@@ -5,7 +5,10 @@
 //! Figure 7, every ablation, and the mitigation comparison: one
 //! configuration struct in, one [`IncastRunResult`] out.
 
-use simnet::{build_fabric, BufferPolicy, FabricConfig, QueueConfig, Shared, SimTime};
+use simnet::{
+    build_fabric_with, BufferPolicy, FabricConfig, QueueConfig, Scheduler, Shared, SimTime,
+    TimingWheel,
+};
 use stats::{Rng, TimeSeries};
 use telemetry::{LoopProfile, RunManifest, SinkRef};
 use transport::{TcpConfig, TcpHost};
@@ -209,7 +212,8 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
     run_incast_instrumented(cfg, None).0
 }
 
-/// Runs one cyclic-incast experiment with an optional telemetry sink.
+/// Runs one cyclic-incast experiment with an optional telemetry sink, on
+/// the default timing-wheel scheduler.
 ///
 /// When a sink is attached, the run streams structured events to it —
 /// per-packet trace and queue-depth samples on the bottleneck link,
@@ -219,6 +223,19 @@ pub fn run_incast(cfg: &ModesConfig) -> IncastRunResult {
 /// [`RunManifest`] describes the run (seed, topology, transport config,
 /// code version, event counts, wall clock) for replay and diffing.
 pub fn run_incast_instrumented(
+    cfg: &ModesConfig,
+    sink: Option<&SinkRef>,
+) -> (IncastRunResult, RunManifest) {
+    run_incast_with::<TimingWheel>(cfg, sink)
+}
+
+/// [`run_incast_instrumented`] with an explicit event [`Scheduler`].
+///
+/// The scheduler choice must not change anything but wall-clock time; the
+/// differential tests (`tests/scheduler_equivalence.rs`) drive this with
+/// [`TimingWheel`] and [`simnet::EventQueue`] from the same seed and
+/// require byte-identical telemetry.
+pub fn run_incast_with<S: Scheduler>(
     cfg: &ModesConfig,
     sink: Option<&SinkRef>,
 ) -> (IncastRunResult, RunManifest) {
@@ -233,7 +250,7 @@ pub fn run_incast_instrumented(
         seed: cfg.seed,
         ..FabricConfig::default()
     };
-    let mut fabric = build_fabric(&fabric_cfg);
+    let mut fabric = build_fabric_with::<S>(&fabric_cfg);
     let bottleneck = fabric.downlinks[0];
     fabric
         .sim
@@ -369,7 +386,12 @@ pub fn run_incast_instrumented(
     manifest.events_processed = fabric.sim.counters().events_processed;
     manifest.sim_time_ps = fabric.sim.now().as_ps();
     manifest.counters_json = fabric.sim.counters().to_json();
+    manifest.scheduler = fabric.sim.scheduler_name().to_string();
     manifest.wall_clock_us = Some(profile.wall.as_micros() as u64);
+    let wall_s = profile.wall.as_secs_f64();
+    if wall_s > 0.0 {
+        manifest.events_per_sec = Some((profile.events() as f64 / wall_s) as u64);
+    }
 
     let result = IncastRunResult {
         bcts_ms,

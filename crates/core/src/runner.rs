@@ -6,11 +6,17 @@
 //! land at their item's index, so the output order (and therefore every
 //! downstream aggregate) is independent of thread scheduling.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Applies `f` to every item on up to `threads` worker threads, preserving
 /// input order in the output.
+///
+/// If `f` panics on any item, the first panic's payload is re-raised on the
+/// calling thread (`std::thread::scope` alone would replace it with a
+/// generic "a scoped thread panicked"), and workers stop claiming further
+/// items.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -27,6 +33,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -34,11 +41,25 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("poisoned result slot") = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *slots[i].lock().expect("poisoned result slot") = Some(r),
+                    Err(p) => {
+                        let mut first = panic_payload.lock().expect("poisoned panic slot");
+                        if first.is_none() {
+                            *first = Some(p);
+                        }
+                        // Park the claim counter past the end so every
+                        // worker winds down instead of starting new items.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(p) = panic_payload.into_inner().expect("poisoned panic slot") {
+        resume_unwind(p);
+    }
     slots
         .into_iter()
         .map(|m| {
@@ -122,6 +143,35 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..64u64).collect::<Vec<_>>(), 4, |&x| {
+                if x == 7 {
+                    panic!("boom on item {x}");
+                }
+                x * 2
+            })
+        });
+        let payload = result.expect_err("par_map must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original String payload lost");
+        assert_eq!(msg, "boom on item 7");
+    }
+
+    #[test]
+    fn every_worker_panicking_still_reports_one_payload() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(vec![1u64, 2, 3, 4, 5, 6, 7, 8], 4, |_| -> u64 {
+                panic!("all fail")
+            })
+        });
+        let payload = result.expect_err("par_map must panic");
+        let msg = payload.downcast_ref::<&str>().expect("payload lost");
+        assert_eq!(*msg, "all fail");
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! links in id order, so equal-cost ties always resolve the same way.
 
 use crate::buffer::BufferPolicy;
+use crate::event::Scheduler;
 use crate::ids::{BufferId, LinkId, NodeId};
 use crate::link::{Link, LinkConfig};
 use crate::node::Node;
 use crate::sim::Simulator;
+use crate::wheel::TimingWheel;
 use crate::SharedBuffer;
 
 struct LinkSpec {
@@ -103,10 +105,18 @@ impl NetworkBuilder {
     }
 
     /// Finalizes the topology: computes forwarding tables and returns a
-    /// simulator seeded with `seed` (used only for fault injection).
+    /// simulator seeded with `seed` (used only for fault injection),
+    /// running on the default [`TimingWheel`] scheduler.
     ///
     /// Panics on malformed topologies (host with zero or multiple uplinks).
     pub fn build(self, seed: u64) -> Simulator {
+        self.build_with_scheduler::<TimingWheel>(seed)
+    }
+
+    /// Like [`NetworkBuilder::build`], but with an explicit [`Scheduler`] —
+    /// used by the differential tests and benchmarks to run the same
+    /// topology on the reference heap.
+    pub fn build_with_scheduler<S: Scheduler>(self, seed: u64) -> Simulator<S> {
         let n = self.nodes.len();
 
         // Host uplinks and switch port lists.

@@ -1,30 +1,38 @@
-//! The discrete-event queue.
+//! The future event list: the [`Scheduler`] abstraction and its reference
+//! implementation.
 //!
-//! A binary min-heap of events ordered by `(time, sequence)`. The sequence
-//! number is assigned at scheduling time, so events at the same instant fire
-//! in scheduling order — this makes the whole simulation deterministic, a
-//! hard requirement for reproducing the paper's figures bit-for-bit from a
-//! seed.
+//! Events are ordered by `(time, sequence)`. The sequence number is assigned
+//! at scheduling time, so events at the same instant fire in scheduling
+//! order — this makes the whole simulation deterministic, a hard requirement
+//! for reproducing the paper's figures bit-for-bit from a seed.
+//!
+//! [`EventQueue`] is the straightforward binary min-heap. The production
+//! engine runs the hierarchical timing wheel in [`crate::wheel`]; both sit
+//! behind [`Scheduler`] so the differential tests can drive them from the
+//! same seed and assert identical pop order.
 
 use crate::ids::{LinkId, NodeId};
-use crate::packet::Packet;
+use crate::packet::PacketSlot;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// What happens when an event fires.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     /// A link finished serializing a frame; it may start the next one.
     TxComplete { link: LinkId },
-    /// A frame finished propagating and arrives at the link's far end.
-    Delivery { link: LinkId, pkt: Packet },
+    /// A frame finished propagating and arrives at the link's far end. The
+    /// packet itself lives in the simulator's [`crate::packet::PacketPool`];
+    /// the event carries only its slot, keeping events small and the hot
+    /// path free of packet copies through the scheduler.
+    Delivery { link: LinkId, slot: PacketSlot },
     /// A node timer set through [`crate::endpoint::Ctx::set_timer`].
     Timer { node: NodeId, key: u64, gen: u64 },
 }
 
 /// An event with its firing time and deterministic tie-break sequence.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     pub time: SimTime,
     pub seq: u64,
@@ -54,7 +62,44 @@ impl PartialOrd for Event {
     }
 }
 
-/// The simulator's future event list.
+/// A future event list the simulator can run on.
+///
+/// Implementations must pop events in exactly `(time, seq)` order, with
+/// `seq` assigned in scheduling order — two schedulers driven by the same
+/// schedule sequence must produce the same pop sequence. That contract is
+/// what lets the differential harness (`tests/scheduler_equivalence.rs`)
+/// swap the timing wheel in for the heap without changing a single figure.
+pub trait Scheduler: Default {
+    /// Short implementation name, emitted in run manifests and benchmarks.
+    const NAME: &'static str;
+
+    /// Schedules `kind` to fire at `time`, assigning the next sequence
+    /// number as the deterministic same-time tie-break.
+    fn schedule(&mut self, time: SimTime, kind: EventKind);
+
+    /// Removes and returns the earliest event.
+    fn pop(&mut self) -> Option<Event>;
+
+    /// Time of the earliest pending event. Takes `&mut self` because lazy
+    /// implementations (the timing wheel) advance internal state to find it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True if nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled (diagnostic).
+    fn scheduled_total(&self) -> u64;
+}
+
+/// The reference scheduler: a plain binary min-heap.
+///
+/// Kept as the oracle the timing wheel is differentially tested against;
+/// `O(log n)` per operation and re-heapifies on every timer reschedule.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
@@ -97,6 +142,30 @@ impl EventQueue {
     /// Total events ever scheduled (diagnostic).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+}
+
+impl Scheduler for EventQueue {
+    const NAME: &'static str = "heap";
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        EventQueue::schedule(self, time, kind);
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn scheduled_total(&self) -> u64 {
+        EventQueue::scheduled_total(self)
     }
 }
 

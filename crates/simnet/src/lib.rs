@@ -54,19 +54,24 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod units;
+pub mod wheel;
 
 pub use buffer::{BufferPolicy, SharedBuffer};
 pub use builder::NetworkBuilder;
 pub use endpoint::{Cmd, Ctx, Endpoint, IngressTap, Shared};
+pub use event::{Event, EventKind, EventQueue, Scheduler};
 pub use ids::{BufferId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig};
 pub use node::Node;
-pub use packet::{Ecn, Packet, PacketKind, DEFAULT_MSS, HEADER_BYTES, MIN_FRAME_BYTES};
+pub use packet::{
+    Ecn, Packet, PacketKind, PacketPool, PacketSlot, DEFAULT_MSS, HEADER_BYTES, MIN_FRAME_BYTES,
+};
 pub use queue::{DropReason, EcnQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use sim::{SimCounters, Simulator};
 pub use time::SimTime;
-pub use topology::{build_dumbbell, build_fabric, FabricConfig, IncastFabric};
+pub use topology::{build_dumbbell, build_fabric, build_fabric_with, FabricConfig, IncastFabric};
 pub use trace::{
     drop_cause, packet_info, to_telemetry, PacketTracer, TextTracer, TraceEvent, TraceEventKind,
 };
 pub use units::Rate;
+pub use wheel::TimingWheel;

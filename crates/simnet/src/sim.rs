@@ -7,14 +7,15 @@
 //! randomness is the seeded fault-injection RNG).
 
 use crate::endpoint::{Cmd, Ctx, Endpoint, IngressTap};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, Scheduler};
 use crate::ids::{BufferId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::Node;
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketPool};
 use crate::queue::EnqueueOutcome;
 use crate::time::SimTime;
 use crate::trace::{self, PacketTracer, TraceEvent, TraceEventKind};
+use crate::wheel::TimingWheel;
 use crate::SharedBuffer;
 use stats::Rng;
 use std::collections::HashMap;
@@ -59,9 +60,20 @@ impl SimCounters {
 /// The simulation engine. Build one with
 /// [`NetworkBuilder`](crate::builder::NetworkBuilder), install endpoints,
 /// then call [`Simulator::run_until`] or [`Simulator::run`].
-pub struct Simulator {
+///
+/// Generic over its [`Scheduler`]; the default is the [`TimingWheel`] fast
+/// path. [`NetworkBuilder::build_with_scheduler`] selects the reference
+/// heap instead — both pop the same event sequence (the differential tests
+/// in `tests/scheduler_equivalence.rs` hold them to that), so the choice
+/// affects wall-clock only.
+///
+/// [`NetworkBuilder::build_with_scheduler`]: crate::builder::NetworkBuilder::build_with_scheduler
+pub struct Simulator<S: Scheduler = TimingWheel> {
     now: SimTime,
-    events: EventQueue,
+    events: S,
+    /// In-flight packets parked between `TxComplete` and `Delivery`;
+    /// events carry pool slots, not packets.
+    pool: PacketPool,
     nodes: Vec<Node>,
     links: Vec<Link>,
     buffers: Vec<SharedBuffer>,
@@ -86,7 +98,7 @@ pub struct Simulator {
     started: bool,
 }
 
-impl Simulator {
+impl<S: Scheduler> Simulator<S> {
     /// Assembles a simulator (normally called by the builder).
     pub(crate) fn assemble(
         nodes: Vec<Node>,
@@ -99,7 +111,8 @@ impl Simulator {
         let num_buffers = buffers.len();
         Simulator {
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: S::default(),
+            pool: PacketPool::new(),
             nodes,
             links,
             buffers,
@@ -131,6 +144,18 @@ impl Simulator {
     /// Counter snapshot.
     pub fn counters(&self) -> &SimCounters {
         &self.counters
+    }
+
+    /// Name of the scheduler implementation driving this simulator
+    /// (`"wheel"` or `"heap"`), for run manifests.
+    pub fn scheduler_name(&self) -> &'static str {
+        S::NAME
+    }
+
+    /// The in-flight packet pool (its high-water mark is the packet path's
+    /// allocs-per-run baseline).
+    pub fn packet_pool(&self) -> &PacketPool {
+        &self.pool
     }
 
     /// Installs the software for a host. Panics on switches.
@@ -340,8 +365,9 @@ impl Simulator {
                 self.tallies.tx_complete += 1;
                 self.on_tx_complete(link);
             }
-            EventKind::Delivery { link, pkt } => {
+            EventKind::Delivery { link, slot } => {
                 self.tallies.delivery += 1;
+                let pkt = self.pool.take(slot);
                 self.on_delivery(link, pkt);
             }
             EventKind::Timer { node, key, gen } => {
@@ -443,8 +469,14 @@ impl Simulator {
                 }
             }
         } else {
-            self.events
-                .schedule(self.now + prop, EventKind::Delivery { link: link_id, pkt });
+            let slot = self.pool.insert(pkt);
+            self.events.schedule(
+                self.now + prop,
+                EventKind::Delivery {
+                    link: link_id,
+                    slot,
+                },
+            );
         }
         // Keep the transmitter running.
         if !self.links[link_id.index()].queue.is_empty() {

@@ -10,6 +10,7 @@
 
 use crate::buffer::BufferPolicy;
 use crate::builder::NetworkBuilder;
+use crate::event::Scheduler;
 use crate::ids::{LinkId, NodeId};
 use crate::link::LinkConfig;
 use crate::packet::MIN_FRAME_BYTES;
@@ -17,6 +18,7 @@ use crate::queue::QueueConfig;
 use crate::sim::Simulator;
 use crate::time::SimTime;
 use crate::units::Rate;
+use crate::wheel::TimingWheel;
 
 /// Configuration for [`build_fabric`].
 #[derive(Debug, Clone)]
@@ -64,9 +66,9 @@ impl Default for FabricConfig {
 }
 
 /// A built incast fabric.
-pub struct IncastFabric {
+pub struct IncastFabric<S: Scheduler = TimingWheel> {
     /// The runnable simulator.
-    pub sim: Simulator,
+    pub sim: Simulator<S>,
     /// Sending hosts, in index order.
     pub senders: Vec<NodeId>,
     /// Receiving hosts, in index order.
@@ -101,6 +103,12 @@ fn per_link_propagation(cfg: &FabricConfig) -> SimTime {
 
 /// Builds the paper's incast fabric.
 pub fn build_fabric(cfg: &FabricConfig) -> IncastFabric {
+    build_fabric_with::<TimingWheel>(cfg)
+}
+
+/// [`build_fabric`] with an explicit [`Scheduler`] (for the differential
+/// wheel-vs-heap tests and benchmarks).
+pub fn build_fabric_with<S: Scheduler>(cfg: &FabricConfig) -> IncastFabric<S> {
     assert!(cfg.num_senders > 0, "need at least one sender");
     assert!(cfg.num_receivers > 0, "need at least one receiver");
     let prop = per_link_propagation(cfg);
@@ -150,7 +158,7 @@ pub fn build_fabric(cfg: &FabricConfig) -> IncastFabric {
     }
 
     IncastFabric {
-        sim: b.build(cfg.seed),
+        sim: b.build_with_scheduler::<S>(cfg.seed),
         senders,
         receivers,
         tor_s,

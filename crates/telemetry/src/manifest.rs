@@ -33,9 +33,16 @@ pub struct RunManifest {
     pub sim_time_ps: u64,
     /// Pre-rendered JSON of the simulator counters, or `"{}"`.
     pub counters_json: String,
+    /// Event scheduler driving the run (`"wheel"` or `"heap"`), or
+    /// `"unknown"`.
+    pub scheduler: String,
     /// Wall-clock duration in microseconds. `None` keeps the manifest
     /// deterministic; the field is omitted from the JSON entirely.
     pub wall_clock_us: Option<u64>,
+    /// Event-loop throughput (simulator events per wall-clock second).
+    /// Nondeterministic like `wall_clock_us`; omitted from the JSON when
+    /// `None` and cleared by [`RunManifest::deterministic`].
+    pub events_per_sec: Option<u64>,
 }
 
 impl RunManifest {
@@ -48,6 +55,7 @@ impl RunManifest {
             config_json: "{}".to_string(),
             git_describe: "unknown".to_string(),
             counters_json: "{}".to_string(),
+            scheduler: "unknown".to_string(),
             ..Default::default()
         }
     }
@@ -85,19 +93,24 @@ impl RunManifest {
                 } else {
                     &self.counters_json
                 },
-            );
+            )
+            .str("scheduler", &self.scheduler);
         if let Some(us) = self.wall_clock_us {
             o.u64("wall_clock_us", us);
+        }
+        if let Some(eps) = self.events_per_sec {
+            o.u64("events_per_sec", eps);
         }
         o.finish();
         out
     }
 
-    /// This manifest with the wall-clock field cleared — the form to use
-    /// when comparing manifests across runs for determinism.
+    /// This manifest with the wall-clock-derived fields cleared — the form
+    /// to use when comparing manifests across runs for determinism.
     pub fn deterministic(&self) -> RunManifest {
         let mut m = self.clone();
         m.wall_clock_us = None;
+        m.events_per_sec = None;
         m
     }
 }
@@ -128,10 +141,11 @@ mod tests {
         m.events_processed = 99;
         m.sim_time_ps = 1_000_000;
         m.counters_json = r#"{"drops":2}"#.to_string();
+        m.scheduler = "wheel".to_string();
         let j = m.to_json();
         assert_eq!(
             j,
-            r#"{"name":"paper_default","seed":42,"topology":"dumbbell:senders=4","config":{"mss":1500},"git_describe":"unknown","event_count":10,"events_processed":99,"sim_time_ps":1000000,"counters":{"drops":2}}"#
+            r#"{"name":"paper_default","seed":42,"topology":"dumbbell:senders=4","config":{"mss":1500},"git_describe":"unknown","event_count":10,"events_processed":99,"sim_time_ps":1000000,"counters":{"drops":2},"scheduler":"wheel"}"#
         );
     }
 
@@ -139,9 +153,14 @@ mod tests {
     fn wall_clock_is_omitted_when_none_and_present_when_set() {
         let mut m = RunManifest::new("x", 1, "t");
         assert!(!m.to_json().contains("wall_clock_us"));
+        assert!(!m.to_json().contains("events_per_sec"));
         m.wall_clock_us = Some(1234);
+        m.events_per_sec = Some(5_000_000);
         assert!(m.to_json().contains(r#""wall_clock_us":1234"#));
-        assert!(!m.deterministic().to_json().contains("wall_clock_us"));
+        assert!(m.to_json().contains(r#""events_per_sec":5000000"#));
+        let det = m.deterministic().to_json();
+        assert!(!det.contains("wall_clock_us"));
+        assert!(!det.contains("events_per_sec"));
     }
 
     #[test]

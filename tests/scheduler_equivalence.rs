@@ -1,0 +1,126 @@
+//! Differential scheduler testing: the timing-wheel fast path must be
+//! *observationally identical* to the reference binary heap. Both
+//! schedulers run the same seeded workloads and every observable output
+//! is compared byte-for-byte — the JSONL telemetry stream, the run
+//! manifest (modulo the scheduler's own name), burst completion times,
+//! and, at the raw simnet layer, the full packet trace and counters of
+//! seeded random topologies.
+
+use incast_bursts::core_api::modes::{run_incast_with, ModesConfig};
+use incast_bursts::simnet::{
+    build_fabric_with, EventQueue, FabricConfig, Scheduler, Shared, SimTime, TextTracer,
+    TimingWheel,
+};
+use incast_bursts::stats::Rng;
+use incast_bursts::telemetry::JsonlSink;
+use incast_bursts::transport::{TcpConfig, TcpHost};
+use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
+
+/// One instrumented incast run under scheduler `S`: the JSONL stream, the
+/// deterministic manifest JSON with the scheduler name masked out (it is
+/// the one field that *should* differ), and the per-burst completions.
+fn run_with<S: Scheduler>(cfg: &ModesConfig) -> (String, String, Vec<f64>) {
+    let (jsonl, sref) = JsonlSink::new().shared();
+    let (result, manifest) = run_incast_with::<S>(cfg, Some(&sref));
+    let stream = jsonl.borrow().render().to_string();
+    let mut det = manifest.deterministic();
+    assert_eq!(det.scheduler, S::NAME, "manifest must name its scheduler");
+    det.scheduler = "masked".to_string();
+    (stream, det.to_json(), result.bcts_ms)
+}
+
+#[test]
+fn wheel_and_heap_emit_byte_identical_jsonl_for_seeded_configs() {
+    // 12 configurations: four seeds across three workload shapes
+    // (covering multiple flow counts, burst lengths, and burst counts).
+    let shapes = [(2usize, 0.25f64, 2u32), (6, 0.5, 2), (16, 0.5, 3)];
+    let mut compared = 0;
+    for (num_flows, burst_duration_ms, num_bursts) in shapes {
+        for seed in [1u64, 7, 42, 1000] {
+            let cfg = ModesConfig {
+                num_flows,
+                burst_duration_ms,
+                num_bursts,
+                warmup_bursts: 1,
+                seed,
+                ..ModesConfig::default()
+            };
+            let (stream_w, manifest_w, bcts_w) = run_with::<TimingWheel>(&cfg);
+            let (stream_h, manifest_h, bcts_h) = run_with::<EventQueue>(&cfg);
+            assert!(!stream_w.is_empty(), "no telemetry captured");
+            assert_eq!(
+                stream_w, stream_h,
+                "JSONL streams diverged (flows={num_flows}, seed={seed})"
+            );
+            assert_eq!(
+                manifest_w, manifest_h,
+                "manifests diverged (flows={num_flows}, seed={seed})"
+            );
+            assert_eq!(
+                bcts_w, bcts_h,
+                "burst completions diverged (flows={num_flows}, seed={seed})"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= 10, "need 10+ seeded configurations");
+}
+
+/// Full simnet-layer observables for a seeded random topology under
+/// scheduler `S`: the complete packet trace, the counters JSON, the event
+/// tallies, and the final simulated time.
+fn random_topology_observables<S: Scheduler>(seed: u64) -> (String, String, u64, u64) {
+    // Derive the topology from the seed so every configuration differs:
+    // fan-in, demand, and fault injection all vary.
+    let mut rng = Rng::new(seed);
+    let num_senders = 2 + rng.below(12) as usize;
+    let fabric_cfg = FabricConfig {
+        num_senders,
+        seed: rng.next_u64(),
+        ..FabricConfig::default()
+    };
+    let burst_ms = 0.1 + 0.1 * rng.below(4) as f64;
+    let loss = if rng.chance(0.5) { 0.01 } else { 0.0 };
+
+    let mut f = build_fabric_with::<S>(&fabric_cfg);
+    f.sim.link_mut(f.trunk).cfg.loss_probability = loss;
+    for (i, &s) in f.senders.iter().enumerate() {
+        f.sim.set_endpoint(
+            s,
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(Worker::new(Rng::new(seed ^ i as u64))),
+            )),
+        );
+    }
+    f.sim.set_endpoint(
+        f.receivers[0],
+        Box::new(TcpHost::new(
+            TcpConfig::default(),
+            Box::new(CyclicCoordinator::new(IncastConfig::paper(
+                f.senders.clone(),
+                burst_ms,
+                2,
+                rng.next_u64(),
+            ))),
+        )),
+    );
+    let tracer = Shared::new(TextTracer::new(2_000_000));
+    let handle = tracer.handle();
+    f.sim.set_tracer(Box::new(tracer));
+    f.sim.run_until(SimTime::from_ms(10));
+    let trace = handle.borrow().render();
+    let counters = f.sim.counters().to_json();
+    let events = f.sim.profile().tallies.total();
+    (trace, counters, events, f.sim.now().as_ps())
+}
+
+#[test]
+fn wheel_and_heap_trace_identically_on_seeded_random_topologies() {
+    for seed in 100..110u64 {
+        let wheel = random_topology_observables::<TimingWheel>(seed);
+        let heap = random_topology_observables::<EventQueue>(seed);
+        assert!(!wheel.0.is_empty(), "empty trace for seed {seed}");
+        assert_eq!(wheel, heap, "schedulers diverged on topology seed {seed}");
+    }
+}
