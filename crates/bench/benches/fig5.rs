@@ -1,12 +1,18 @@
 //! Figure 5: DCTCP's three operating modes at 100 / 500 / 1000 flows
 //! (15 ms bursts) — ToR queue length over time, burst completion times,
 //! and mode classification.
+//!
+//! Runs as one sweep on the persistent pool through the content-addressed
+//! run cache (`INCAST_RUN_CACHE=1` enables the disk layer, making repeat
+//! invocations nearly free).
 
 use bench::{banner, f};
 use incast_core::full_scale;
-use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::modes::ModesConfig;
 use incast_core::report::{ascii_plot, Table};
 use incast_core::runner::profile_footer;
+use incast_core::sweep::{run_incast_sweep, sweep_manifest, IncastSweepAggregate};
+use incast_core::{default_threads, RunCache};
 
 fn main() {
     banner(
@@ -19,6 +25,27 @@ fn main() {
     );
 
     let num_bursts = if full_scale() { 11 } else { 6 };
+    // 80 flows is this reproduction's Mode-1 exemplar: the degenerate
+    // point sits where N x 1 MSS > K + BDP (~90 packets in flight, as the
+    // paper itself computes), so N=100 already pins the queue here.
+    let flow_counts = [80usize, 100, 500, 1000];
+    let cfgs: Vec<ModesConfig> = flow_counts
+        .iter()
+        .map(|&flows| ModesConfig {
+            num_flows: flows,
+            burst_duration_ms: 15.0,
+            num_bursts,
+            seed: 5,
+            ..ModesConfig::default()
+        })
+        .collect();
+
+    let cache = RunCache::global();
+    let threads = default_threads();
+    let t0 = std::time::Instant::now();
+    let runs = run_incast_sweep(&cfgs, threads, cache);
+    let sweep_wall = t0.elapsed();
+
     let mut t = Table::new([
         "flows",
         "mode",
@@ -29,21 +56,8 @@ fn main() {
         "steady timeouts",
         "marked share",
     ]);
-
     let mut profiles = Vec::new();
-    // 80 flows is this reproduction's Mode-1 exemplar: the degenerate
-    // point sits where N x 1 MSS > K + BDP (~90 packets in flight, as the
-    // paper itself computes), so N=100 already pins the queue here.
-    for &flows in &[80usize, 100, 500, 1000] {
-        let cfg = ModesConfig {
-            num_flows: flows,
-            burst_duration_ms: 15.0,
-            num_bursts,
-            seed: 5,
-            ..ModesConfig::default()
-        };
-        let t0 = std::time::Instant::now();
-        let r = run_incast(&cfg);
+    for (&flows, r) in flow_counts.iter().zip(&runs) {
         let steady_bcts: Vec<f64> = r
             .bcts_ms
             .iter()
@@ -77,8 +91,7 @@ fn main() {
                 ascii_plot(
                     &format!(
                         "Fig 5 ({flows} flows): queue (pkts) vs ms from burst start \
-                         [K=65, capacity=1333]  (wall {:?})",
-                        t0.elapsed()
+                         [K=65, capacity=1333]"
                     ),
                     &[("queue", &pts)],
                     110,
@@ -89,6 +102,18 @@ fn main() {
     }
     println!("{}", t.render());
     println!("{}", profile_footer(&profiles));
+
+    let agg = IncastSweepAggregate::from_runs(runs.iter().map(|r| &**r));
+    println!(
+        "sweep: {} runs in {:.2?} on {threads} threads",
+        agg.runs, sweep_wall
+    );
+    println!("{}", cache.stats().summary());
+    println!("digest: {}", agg.digest());
+    println!(
+        "manifest: {}",
+        sweep_manifest("fig5", 5, &agg, threads, cache).to_json()
+    );
     println!();
     println!("paper: Mode 1 healthy at 100 flows; degenerate point once N x 1 MSS");
     println!("exceeds K + BDP (~90 pkts in flight); timeouts once the burst-start");

@@ -1,11 +1,15 @@
 //! Figure 6: queue behavior during 2 ms bursts — the common case. Short
 //! bursts are dominated by the initial window spike; there is no time for
 //! the oscillatory steady state of Figure 5.
+//!
+//! Runs as one sweep on the persistent pool through the run cache.
 
 use bench::f;
 use incast_core::full_scale;
-use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::modes::ModesConfig;
 use incast_core::report::{ascii_plot, Table};
+use incast_core::sweep::{run_incast_sweep, IncastSweepAggregate};
+use incast_core::{default_threads, RunCache};
 
 fn main() {
     bench::banner(
@@ -17,6 +21,22 @@ fn main() {
 
     let num_bursts = if full_scale() { 11 } else { 6 };
     let flow_counts = [50usize, 100, 200, 500];
+    let cfgs: Vec<ModesConfig> = flow_counts
+        .iter()
+        .map(|&flows| ModesConfig {
+            num_flows: flows,
+            burst_duration_ms: 2.0,
+            num_bursts,
+            seed: 3,
+            ..ModesConfig::default()
+        })
+        .collect();
+
+    let cache = RunCache::global();
+    let t0 = std::time::Instant::now();
+    let runs = run_incast_sweep(&cfgs, default_threads(), cache);
+    let sweep_wall = t0.elapsed();
+
     let mut t = Table::new([
         "flows",
         "steady BCT ms",
@@ -27,15 +47,7 @@ fn main() {
     ]);
     let mut traces: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
 
-    for &flows in &flow_counts {
-        let cfg = ModesConfig {
-            num_flows: flows,
-            burst_duration_ms: 2.0,
-            num_bursts,
-            seed: 3,
-            ..ModesConfig::default()
-        };
-        let r = run_incast(&cfg);
+    for (&flows, r) in flow_counts.iter().zip(&runs) {
         let samples = r.steady_burst_samples();
         let above =
             samples.iter().filter(|&&q| q >= 65.0).count() as f64 / samples.len().max(1) as f64;
@@ -80,6 +92,10 @@ fn main() {
         )
     );
     println!("{}", t.render());
+    let agg = IncastSweepAggregate::from_runs(runs.iter().map(|r| &**r));
+    println!("sweep: {} runs in {:.2?}", agg.runs, sweep_wall);
+    println!("{}", cache.stats().summary());
+    println!("digest: {}", agg.digest());
     println!();
     println!("paper: the spike at burst start dominates the whole (short) burst;");
     println!("higher flow counts pin deeper queues for the burst's entire life.");

@@ -9,9 +9,10 @@
 
 use bench::f;
 use incast_core::full_scale;
-use incast_core::modes::run_incast;
 use incast_core::report::{ascii_plot, Table};
 use incast_core::straggler::{flight_skew, skew_summary, straggler_config};
+use incast_core::sweep::run_incast_sweep;
+use incast_core::{default_threads, RunCache};
 
 fn main() {
     bench::banner(
@@ -33,12 +34,20 @@ fn main() {
         "start spike pkts",
     ]);
 
-    for (flows, k, label) in [
+    let variants = [
         (80usize, 65u32, "80 flows @ K=65"),
         (100, 89, "100 flows @ K=89 (production)"),
-    ] {
-        let t0 = std::time::Instant::now();
-        let r = run_incast(&straggler_config(flows, k, bursts, 11));
+    ];
+    let cfgs: Vec<_> = variants
+        .iter()
+        .map(|&(flows, k, _)| straggler_config(flows, k, bursts, 11))
+        .collect();
+    let cache = RunCache::global();
+    let t0 = std::time::Instant::now();
+    let runs = run_incast_sweep(&cfgs, default_threads(), cache);
+    let sweep_wall = t0.elapsed();
+
+    for (&(_, k, label), r) in variants.iter().zip(&runs) {
         let pts = flight_skew(&r.flights);
         let (s_ms, e_ms) = r.burst_windows[r.warmup_bursts as usize];
 
@@ -65,7 +74,7 @@ fn main() {
                 f(mean_kb(&body)),
                 f(mean_kb(&ramp)),
                 f(incast_core::mitigation::start_spike(
-                    &r,
+                    r,
                     simnet::SimTime::from_us(500),
                 )),
             ]);
@@ -97,11 +106,7 @@ fn main() {
             println!(
                 "{}",
                 ascii_plot(
-                    &format!(
-                        "Fig 7 ({label}): per-flow in-flight KB vs ms from burst start \
-                         (wall {:?})",
-                        t0.elapsed()
-                    ),
+                    &format!("Fig 7 ({label}): per-flow in-flight KB vs ms from burst start"),
                     &[
                         ("mean", &mean),
                         ("p50", &p50),
@@ -115,6 +120,8 @@ fn main() {
         }
     }
     println!("{}", t.render());
+    println!("sweep: {} runs in {:.2?}", runs.len(), sweep_wall);
+    println!("{}", cache.stats().summary());
     println!();
     println!("paper: p95/p100 run several times the median; the mean rises at");
     println!("burst end as stragglers claim freed bandwidth. This reproduction's");

@@ -6,6 +6,8 @@
 //! reporting ns/op. Numbers are indicative, not statistically rigorous.
 
 use incast_core::modes::{run_incast, run_incast_instrumented, run_incast_with, ModesConfig};
+use incast_core::sweep::{run_incast_cached, run_incast_sweep};
+use incast_core::{default_threads, par_map, RunCache};
 use simnet::{
     build_fabric_with, EcnQueue, EnqueueOutcome, EventKind, EventQueue, FabricConfig, FlowId,
     NodeId, Packet, QueueConfig, Scheduler, SimTime, TimingWheel,
@@ -238,6 +240,167 @@ fn headline_and_telemetry_overhead() {
     println!("manifest: {}", manifest.to_json());
 }
 
+/// The pre-pool `par_map`: scoped threads spawned per call, one shared
+/// cursor, `Mutex<Option<R>>` result slots. Kept here (only) as the
+/// baseline the persistent pool is measured against.
+fn scoped_par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = items.len();
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("slot filled"))
+        .collect()
+}
+
+/// Persistent pool vs. per-call scoped spawn on the sweep engine's actual
+/// dispatch pattern: many small `par_map` calls, where per-call thread
+/// startup/teardown is the overhead being amortized. Forced to >=2
+/// threads so neither path takes the serial shortcut. Best-of-3 each.
+fn bench_pool_vs_scoped() {
+    let threads = default_threads().max(2);
+    const DISPATCHES: usize = 100;
+    let items: Vec<u64> = (0..32).collect();
+    let work = |&seed: &u64| {
+        let mut rng = Rng::new(seed);
+        let mut acc = 0u64;
+        for _ in 0..2_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
+    };
+    let time_best = |run: &dyn Fn() -> u64| {
+        let mut best = f64::MAX;
+        std::hint::black_box(run()); // warm
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::hint::black_box(run());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let scoped = time_best(&|| {
+        let mut acc = 0u64;
+        for _ in 0..DISPATCHES {
+            acc = scoped_par_map(items.clone(), threads, work)
+                .iter()
+                .fold(acc, |a, &b| a.wrapping_add(b));
+        }
+        acc
+    });
+    let pooled = time_best(&|| {
+        let mut acc = 0u64;
+        for _ in 0..DISPATCHES {
+            acc = par_map(items.clone(), threads, work)
+                .iter()
+                .fold(acc, |a, &b| a.wrapping_add(b));
+        }
+        acc
+    });
+    println!(
+        "\nsweep/pool_vs_scoped ({DISPATCHES} dispatches x {} items, {threads} threads): \
+         pool {:.1} us/dispatch vs scoped spawn {:.1} us/dispatch -> {:.2}x",
+        items.len(),
+        pooled * 1e6 / DISPATCHES as f64,
+        scoped * 1e6 / DISPATCHES as f64,
+        scoped / pooled
+    );
+}
+
+/// Cost of a warm in-memory cache hit (key render + hash lookup).
+fn bench_cache_hit() {
+    let cache = RunCache::in_memory();
+    let cfg = ModesConfig {
+        num_flows: 8,
+        burst_duration_ms: 0.5,
+        num_bursts: 2,
+        warmup_bursts: 1,
+        ..ModesConfig::default()
+    };
+    let _ = run_incast_cached(&cfg, &cache); // populate
+    bench("cache/mem_hit", 200_000, || {
+        run_incast_cached(&cfg, &cache).drops
+    });
+}
+
+/// The acceptance numbers: a repeated fig5-style sweep must be at least
+/// 1.3x faster against a warm cache, and the engine must not regress a
+/// cold sweep of unique configs vs. plain `par_map`.
+fn bench_sweep_cache() {
+    let threads = default_threads();
+    let mk = |flows: usize, seed: u64| ModesConfig {
+        num_flows: flows,
+        burst_duration_ms: 15.0,
+        num_bursts: 3,
+        seed,
+        ..ModesConfig::default()
+    };
+    let cfgs: Vec<ModesConfig> = [40usize, 60, 80, 100].map(|f| mk(f, 5)).to_vec();
+
+    // Repeated sweep: cold fill, then the same configs against the warm
+    // cache (what a re-invoked figure bench sees under INCAST_RUN_CACHE=1).
+    let cache = RunCache::in_memory();
+    let t0 = Instant::now();
+    let cold_runs = run_incast_sweep(&cfgs, threads, &cache);
+    let cold = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm_runs = run_incast_sweep(&cfgs, threads, &cache);
+    let warm = t0.elapsed().as_secs_f64();
+    assert_eq!(cold_runs.len(), warm_runs.len());
+    println!(
+        "\nsweep/fig5_repeat ({} cfgs, {threads} threads): cold {:.0} ms, \
+         warm {:.2} ms -> {:.0}x (target >=1.3x); {}",
+        cfgs.len(),
+        cold * 1e3,
+        warm * 1e3,
+        cold / warm,
+        cache.stats().summary()
+    );
+
+    // Cold unique-config sweep vs. plain par_map of the same work: the
+    // cache bookkeeping must be in the noise (fresh seeds everywhere so
+    // neither path ever hits).
+    let direct_cfgs: Vec<ModesConfig> = (0..4u64).map(|s| mk(60, 100 + s)).collect();
+    let engine_cfgs: Vec<ModesConfig> = (0..4u64).map(|s| mk(60, 200 + s)).collect();
+    let t0 = Instant::now();
+    let direct = par_map(direct_cfgs, threads, run_incast);
+    let direct_s = t0.elapsed().as_secs_f64();
+    let fresh = RunCache::in_memory();
+    let t0 = Instant::now();
+    let engine = run_incast_sweep(&engine_cfgs, threads, &fresh);
+    let engine_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box((direct.len(), engine.len()));
+    println!(
+        "sweep/cold_overhead: engine {:.0} ms vs par_map {:.0} ms ({:+.1}%)",
+        engine_s * 1e3,
+        direct_s * 1e3,
+        (engine_s - direct_s) / direct_s * 100.0
+    );
+}
+
 fn main() {
     bench_rng();
     bench_queue();
@@ -245,5 +408,8 @@ fn main() {
     bench_incast();
     bench_scheduler_fig5();
     bench_packet_pool();
+    bench_pool_vs_scoped();
+    bench_cache_hit();
+    bench_sweep_cache();
     headline_and_telemetry_overhead();
 }

@@ -9,18 +9,26 @@
 //! - [`straggler`]: per-flow in-flight skew (Figure 7),
 //! - [`mitigation`]: the Section-5 mitigation comparison,
 //! - [`runner`]: parallel execution of independent simulations,
+//! - [`pool`]: the persistent work-stealing thread pool behind the runner,
+//! - [`cache`]: the content-addressed run cache shared by sweeps,
+//! - [`sweep`]: the sweep engine tying pool + cache + streaming reducers,
 //! - [`report`]: ASCII tables/plots for bench output.
 
+pub mod cache;
 pub mod mitigation;
 pub mod modes;
+pub mod pool;
 pub mod production;
 pub mod report;
 pub mod runner;
 pub mod stability;
 pub mod straggler;
+pub mod sweep;
 
+pub use cache::RunCache;
 pub use modes::{run_incast, IncastRunResult, ModesConfig, OperatingMode};
-pub use runner::{default_threads, par_map};
+pub use runner::{default_threads, par_map, par_reduce};
+pub use sweep::{run_incast_cached, run_incast_sweep, IncastSweepAggregate};
 
 /// True when paper-scale parameters were requested via `INCAST_FULL=1`.
 pub fn full_scale() -> bool {

@@ -13,7 +13,8 @@
 //! service while both downlink queues charge a shared Dynamic-Threshold
 //! buffer.
 
-use millisampler::{detect_bursts, Burst, Millisampler, MsTrace};
+use crate::cache::{trace_key, RunCache};
+use millisampler::{detect_bursts, Burst, Millisampler, MsTrace, TraceSummary};
 use simnet::{build_fabric, BufferPolicy, FabricConfig, Shared, SimTime};
 use stats::{Rng, TimeSeries};
 use transport::{TcpConfig, TcpHost};
@@ -258,9 +259,60 @@ impl FleetConfig {
     }
 }
 
+/// The `TraceConfig` of one fleet cell; pulled out so the run cache keys
+/// the exact config the cell simulates.
+fn fleet_cell_config(
+    cfg: &FleetConfig,
+    si: usize,
+    svc: ServiceId,
+    h: usize,
+    k: usize,
+) -> TraceConfig {
+    TraceConfig {
+        service: svc,
+        duration: cfg.duration,
+        seed: cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((si as u64) << 48 | (h as u64) << 24 | k as u64),
+        contention: cfg.contention,
+        queue_sample: SimTime::from_us(100),
+    }
+}
+
+/// Reduces one host-trace config to its cached summary: a hit decodes the
+/// stored [`TraceSummary`]; a miss runs the packet simulation.
+pub fn run_trace_summary_cached(
+    cfg: &TraceConfig,
+    cache: &RunCache,
+) -> std::sync::Arc<TraceSummary> {
+    cache.get_or_compute(&trace_key(cfg), || {
+        let r = run_service_trace(cfg);
+        TraceSummary::from_trace(
+            &r.trace,
+            &r.bursts,
+            Some((&r.queue_pkts, r.queue_capacity_pkts)),
+        )
+    })
+}
+
 /// Runs the fleet study: every (service, host, snapshot) cell is one packet
 /// simulation; per-burst statistics pool into one accumulator per service.
+///
+/// Uses the process-wide run cache ([`RunCache::global`]); see
+/// [`run_fleet_with`] to pin a specific cache (tests, differential checks).
 pub fn run_fleet(cfg: &FleetConfig) -> Vec<(ServiceId, millisampler::FleetAccumulator)> {
+    run_fleet_with(cfg, RunCache::global())
+}
+
+/// [`run_fleet`] against an explicit cache. Cells run on the persistent
+/// pool and stream their cached [`TraceSummary`]s into the per-service
+/// accumulators in item order, so the pooled CDFs are identical for any
+/// thread count or cache state.
+pub fn run_fleet_with(
+    cfg: &FleetConfig,
+    cache: &RunCache,
+) -> Vec<(ServiceId, millisampler::FleetAccumulator)> {
     let mut items = Vec::new();
     for (si, &svc) in cfg.services.iter().enumerate() {
         for h in 0..cfg.hosts {
@@ -269,32 +321,21 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<(ServiceId, millisampler::FleetAccumu
             }
         }
     }
-    let results = crate::runner::par_map(items, cfg.threads, |&(si, svc, h, k)| {
-        let trace_cfg = TraceConfig {
-            service: svc,
-            duration: cfg.duration,
-            seed: cfg
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((si as u64) << 48 | (h as u64) << 24 | k as u64),
-            contention: cfg.contention,
-            queue_sample: SimTime::from_us(100),
-        };
-        let r = run_service_trace(&trace_cfg);
-        (si, r)
-    });
-    let mut accs: Vec<millisampler::FleetAccumulator> = cfg
+    let init: Vec<millisampler::FleetAccumulator> = cfg
         .services
         .iter()
         .map(|_| millisampler::FleetAccumulator::new())
         .collect();
-    for (si, r) in results {
-        accs[si].add_trace(
-            &r.trace,
-            &r.bursts,
-            Some((&r.queue_pkts, r.queue_capacity_pkts)),
-        );
-    }
+    let accs = crate::runner::par_reduce(
+        items,
+        cfg.threads,
+        |&(si, svc, h, k)| run_trace_summary_cached(&fleet_cell_config(cfg, si, svc, h, k), cache),
+        init,
+        |mut accs, &(si, _, _, _), summary| {
+            accs[si].add_summary(&summary);
+            accs
+        },
+    );
     cfg.services.iter().copied().zip(accs).collect()
 }
 

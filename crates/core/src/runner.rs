@@ -1,17 +1,57 @@
 //! Parallel experiment execution.
 //!
 //! A simulation is single-threaded and deterministic; experiments
-//! parallelize by running many independent simulations. [`par_map`] is a
-//! tiny scoped-thread work queue: items are claimed atomically, results
-//! land at their item's index, so the output order (and therefore every
-//! downstream aggregate) is independent of thread scheduling.
+//! parallelize by running many independent simulations. [`par_map`] keeps
+//! its original contract — results land at their item's index, so the
+//! output order (and therefore every downstream aggregate) is independent
+//! of thread scheduling — but now executes on the persistent
+//! [`crate::pool::SweepPool`] instead of spawning fresh threads per call,
+//! and writes results into index-disjoint slots instead of per-item
+//! mutexes. [`par_reduce`] is the streaming variant: per-item results are
+//! folded into an accumulator *in item-index order* as they arrive, so
+//! sweep reducers consume summaries incrementally instead of materializing
+//! the whole result vector first.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::mem::MaybeUninit;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
-/// Applies `f` to every item on up to `threads` worker threads, preserving
-/// input order in the output.
+use crate::pool::{SweepPool, Trampoline};
+
+/// One result slot, written by exactly one worker (the one that claimed the
+/// slot's index) and read by the submitter after the job's completion latch.
+struct Slot<R> {
+    value: UnsafeCell<MaybeUninit<R>>,
+    written: AtomicBool,
+}
+
+// Distinct indices are written by distinct workers and never aliased; the
+// submitter only reads after the job latch establishes happens-before.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+struct MapCtx<'a, T, R, F> {
+    items: &'a [T],
+    f: &'a F,
+    slots: &'a [Slot<R>],
+}
+
+/// # Safety
+/// Called with a `ctx` pointing at the matching `MapCtx` and a unique,
+/// in-bounds index per job (the pool guarantees both).
+unsafe fn map_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
+    let ctx = &*(ctx as *const MapCtx<'_, T, R, F>);
+    let r = (ctx.f)(&ctx.items[i]);
+    (*ctx.slots[i].value.get()).write(r);
+    ctx.slots[i].written.store(true, Ordering::Release);
+}
+
+/// Applies `f` to every item on up to `threads` participants (the calling
+/// thread plus persistent pool workers), preserving input order in the
+/// output.
 ///
 /// If `f` panics on any item, the first panic's payload is re-raised on the
 /// calling thread (`std::thread::scope` alone would replace it with a
@@ -31,43 +71,162 @@ where
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
-                    Ok(r) => *slots[i].lock().expect("poisoned result slot") = Some(r),
-                    Err(p) => {
-                        let mut first = panic_payload.lock().expect("poisoned panic slot");
-                        if first.is_none() {
-                            *first = Some(p);
-                        }
-                        // Park the claim counter past the end so every
-                        // worker winds down instead of starting new items.
-                        next.store(n, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            });
+    let slots: Vec<Slot<R>> = (0..n)
+        .map(|_| Slot {
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+            written: AtomicBool::new(false),
+        })
+        .collect();
+    let ctx = MapCtx {
+        items: &items,
+        f: &f,
+        slots: &slots,
+    };
+    // Safety: `ctx` outlives `finish()` below, and `map_one` writes only
+    // the claimed index's slot.
+    let handle = unsafe {
+        SweepPool::global().submit(
+            map_one::<T, R, F> as Trampoline,
+            &ctx as *const MapCtx<'_, T, R, F> as *const (),
+            n,
+            threads - 1,
+            threads,
+        )
+    };
+    handle.participate();
+    if let Some(p) = handle.finish() {
+        // Drop whatever results landed before the panic, then re-raise.
+        for s in &slots {
+            if s.written.load(Ordering::Acquire) {
+                unsafe { (*s.value.get()).assume_init_drop() };
+            }
         }
-    });
-    if let Some(p) = panic_payload.into_inner().expect("poisoned panic slot") {
         resume_unwind(p);
     }
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("poisoned result slot")
-                .expect("worker thread skipped an item")
+        .map(|s| {
+            assert!(s.written.into_inner(), "worker thread skipped an item");
+            unsafe { s.value.into_inner().assume_init() }
         })
         .collect()
+}
+
+/// The reorder channel between pool workers and the folding submitter.
+struct Channel<R> {
+    q: Mutex<Vec<(usize, R)>>,
+    cv: Condvar,
+}
+
+struct ReduceCtx<'a, T, R, F> {
+    items: &'a [T],
+    map: &'a F,
+    chan: &'a Channel<R>,
+}
+
+/// # Safety
+/// Same contract as `map_one`.
+unsafe fn reduce_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
+    let ctx = &*(ctx as *const ReduceCtx<'_, T, R, F>);
+    let r = (ctx.map)(&ctx.items[i]);
+    let mut q = ctx.chan.q.lock().expect("reduce channel");
+    q.push((i, r));
+    drop(q);
+    ctx.chan.cv.notify_one();
+}
+
+/// Streaming map-reduce: `map` runs on pool workers, and the calling thread
+/// folds each result into `acc` strictly in item-index order as results
+/// arrive (a small reorder buffer bridges out-of-order completion). The
+/// fixed fold order makes the accumulator byte-identical across thread
+/// counts, while memory stays at `O(in-flight results)` instead of
+/// `O(items)`.
+///
+/// With `threads <= 1` the whole reduction runs inline on the caller.
+/// Panics from `map` re-raise their original payload on the caller.
+pub fn par_reduce<T, R, A, F, G>(items: Vec<T>, threads: usize, map: F, init: A, mut fold: G) -> A
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    G: FnMut(A, &T, R) -> A,
+{
+    let n = items.len();
+    if n == 0 {
+        return init;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        let mut acc = init;
+        for item in &items {
+            let r = map(item);
+            acc = fold(acc, item, r);
+        }
+        return acc;
+    }
+    let chan = Channel {
+        q: Mutex::new(Vec::new()),
+        cv: Condvar::new(),
+    };
+    let ctx = ReduceCtx {
+        items: &items,
+        map: &map,
+        chan: &chan,
+    };
+    // Safety: `ctx` outlives `finish()`, and the channel push is the only
+    // shared write (guarded by its mutex). All `threads` participants are
+    // pool workers; the caller folds instead of computing, so progress
+    // relies on the pool's >= 1 worker threads.
+    let handle = unsafe {
+        SweepPool::global().submit(
+            reduce_one::<T, R, F> as Trampoline,
+            &ctx as *const ReduceCtx<'_, T, R, F> as *const (),
+            n,
+            threads,
+            threads,
+        )
+    };
+    let mut acc = init;
+    let mut reorder: BTreeMap<usize, R> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut received = 0usize;
+    while received < n {
+        let batch = {
+            let mut q = chan.q.lock().expect("reduce channel");
+            loop {
+                if !q.is_empty() {
+                    break std::mem::take(&mut *q);
+                }
+                // `is_done` while holding the channel lock: sends happen
+                // before their item's completion decrement, so done + empty
+                // means no further sends can arrive (items were skipped
+                // after a panic).
+                if handle.is_done() {
+                    break Vec::new();
+                }
+                let (g, _) = chan
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(10))
+                    .expect("reduce channel");
+                q = g;
+            }
+        };
+        if batch.is_empty() {
+            break;
+        }
+        received += batch.len();
+        for (i, r) in batch {
+            reorder.insert(i, r);
+        }
+        while let Some(r) = reorder.remove(&next) {
+            acc = fold(acc, &items[next], r);
+            next += 1;
+        }
+    }
+    if let Some(p) = handle.finish() {
+        resume_unwind(p);
+    }
+    acc
 }
 
 /// A default thread count: available parallelism minus one, at least one.
@@ -172,6 +331,100 @@ mod tests {
         let payload = result.expect_err("par_map must panic");
         let msg = payload.downcast_ref::<&str>().expect("payload lost");
         assert_eq!(*msg, "all fail");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // A panicking job must not poison the persistent pool for later
+        // submissions from the same process.
+        let _ = std::panic::catch_unwind(|| {
+            par_map(vec![1u64, 2, 3, 4], 4, |_| -> u64 { panic!("one-shot") })
+        });
+        let out = par_map((0..32u64).collect::<Vec<_>>(), 4, |&x| x + 1);
+        assert_eq!(out[31], 32);
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        // Submitters participate in their own jobs, so even if every pool
+        // worker is parked on outer jobs, the inner maps complete.
+        let out = par_map((0..8u64).collect::<Vec<_>>(), 4, |&x| {
+            par_map((0..8u64).collect::<Vec<_>>(), 4, |&y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (0..8).map(|y| i as u64 * 10 + y).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn heavy_types_drop_cleanly() {
+        // Results with heap payloads exercise slot initialization and drop.
+        let out = par_map((0..100u64).collect::<Vec<_>>(), 8, |&x| vec![x; 3]);
+        assert_eq!(out[99], vec![99, 99, 99]);
+        // And on the panic path, already-written Vec results are dropped.
+        let _ = std::panic::catch_unwind(|| {
+            par_map((0..100u64).collect::<Vec<_>>(), 8, |&x| {
+                if x == 50 {
+                    panic!("mid-job");
+                }
+                vec![x; 3]
+            })
+        });
+    }
+
+    #[test]
+    fn par_reduce_folds_in_index_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let folded = par_reduce(
+            items.clone(),
+            8,
+            |&x| x * 2,
+            Vec::new(),
+            |mut acc: Vec<u64>, _item, r| {
+                acc.push(r);
+                acc
+            },
+        );
+        let serial: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(folded, serial);
+    }
+
+    #[test]
+    fn par_reduce_matches_serial_accumulator() {
+        let items: Vec<u64> = (0..64).collect();
+        let sum = |acc: u64, item: &u64, r: u64| acc.wrapping_add(r ^ item);
+        let serial = par_reduce(items.clone(), 1, |&x| x * 3, 0u64, sum);
+        let parallel = par_reduce(items, 6, |&x| x * 3, 0u64, sum);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_init() {
+        let acc = par_reduce(Vec::<u32>::new(), 4, |&x| x, 42u32, |a, _, _| a + 1);
+        assert_eq!(acc, 42);
+    }
+
+    #[test]
+    fn par_reduce_panic_propagates_payload() {
+        let result = std::panic::catch_unwind(|| {
+            par_reduce(
+                (0..64u64).collect::<Vec<_>>(),
+                4,
+                |&x| {
+                    if x == 9 {
+                        panic!("reduce boom {x}");
+                    }
+                    x
+                },
+                0u64,
+                |a, _, r| a + r,
+            )
+        });
+        let payload = result.expect_err("par_reduce must panic");
+        let msg = payload.downcast_ref::<String>().expect("payload lost");
+        assert_eq!(msg, "reduce boom 9");
     }
 
     #[test]

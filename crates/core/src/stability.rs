@@ -9,10 +9,12 @@
 //! multi-mode services switch modes sluggishly between snapshots, as a
 //! scheduler spooling workers up and down would.
 
+use crate::cache::{trace_snapshot_key, RunCache};
 use crate::production::{run_trace_with_snapshot, TraceConfig};
-use crate::runner::par_map;
+use crate::runner::par_reduce;
+use millisampler::TraceSummary;
 use simnet::SimTime;
-use stats::{Cdf, Rng};
+use stats::{QuantileSketch, Rng};
 use workload::{ServiceId, SnapshotModel};
 
 /// Configuration of the stability study.
@@ -147,8 +149,18 @@ fn mode_sequence(
     out
 }
 
-/// Runs the study.
+/// Runs the study with the process-wide run cache.
 pub fn run_stability(cfg: &StabilityConfig) -> StabilityResult {
+    run_stability_with(cfg, RunCache::global())
+}
+
+/// [`run_stability`] against an explicit cache. Each cell's trace reduces
+/// to a cached [`TraceSummary`] (content-addressed by config *and*
+/// snapshot model, since the snapshot is pinned externally); per-burst
+/// flow counts stream into fixed-memory [`QuantileSketch`]es pooled by
+/// (service, time) and (service, host). Means are exact (the sketch keeps
+/// exact sums), p99s are within the sketch's ~3 % relative error.
+pub fn run_stability_with(cfg: &StabilityConfig, cache: &RunCache) -> StabilityResult {
     // Work items: (service_idx, snapshot_idx, host_idx, snapshot model).
     let mut items = Vec::new();
     for (si, &svc) in cfg.services.iter().enumerate() {
@@ -161,33 +173,47 @@ pub fn run_stability(cfg: &StabilityConfig) -> StabilityResult {
         }
     }
 
-    let results = par_map(items, cfg.threads, |(si, ti, h, snap)| {
-        let svc = cfg.services[*si];
-        let trace_cfg = TraceConfig {
-            service: svc,
-            duration: cfg.duration,
-            seed: cfg
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((*si as u64) << 40 | (*ti as u64) << 20 | *h as u64),
-            contention: false,
-            queue_sample: SimTime::from_ms(1),
-        };
-        let r = run_trace_with_snapshot(&trace_cfg, snap.clone());
-        let flows: Vec<f64> = r.bursts.iter().map(|b| b.peak_flows as f64).collect();
-        (*si, *ti, *h, flows)
-    });
-
-    // Pool per (service, time) for Fig. 3a and per (service, host) for 3b.
+    // Pool per (service, time) for Fig. 3a and per (service, host) for 3b,
+    // streaming: summaries fold in item order as cells finish out of order
+    // on the pool, so the sketches are identical for any thread count.
     let ns = cfg.services.len();
-    let mut by_time: Vec<Vec<Cdf>> = vec![(0..cfg.snapshots).map(|_| Cdf::new()).collect(); ns];
-    let mut by_host: Vec<Vec<Cdf>> = vec![(0..cfg.hosts).map(|_| Cdf::new()).collect(); ns];
-    for (si, ti, h, flows) in results {
-        for f in flows {
-            by_time[si][ti].add(f);
-            by_host[si][h].add(f);
-        }
-    }
+    let by_time: Vec<Vec<QuantileSketch>> = vec![vec![QuantileSketch::new(); cfg.snapshots]; ns];
+    let by_host: Vec<Vec<QuantileSketch>> = vec![vec![QuantileSketch::new(); cfg.hosts]; ns];
+    let (by_time, by_host) = par_reduce(
+        items,
+        cfg.threads,
+        |(si, ti, h, snap)| {
+            let trace_cfg = TraceConfig {
+                service: cfg.services[*si],
+                duration: cfg.duration,
+                seed: cfg
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((*si as u64) << 40 | (*ti as u64) << 20 | *h as u64),
+                contention: false,
+                queue_sample: SimTime::from_ms(1),
+            };
+            cache.get_or_compute(&trace_snapshot_key(&trace_cfg, snap), || {
+                let r = run_trace_with_snapshot(&trace_cfg, snap.clone());
+                TraceSummary::from_trace(&r.trace, &r.bursts, None)
+            })
+        },
+        (by_time, by_host),
+        |(mut bt, mut bh), (si, ti, h, _), summary| {
+            for row in &summary.per_burst {
+                bt[*si][*ti].add(row.peak_flows);
+                bh[*si][*h].add(row.peak_flows);
+            }
+            (bt, bh)
+        },
+    );
+
+    let point = |sk: &QuantileSketch| {
+        (
+            if sk.is_empty() { 0.0 } else { sk.mean() },
+            sk.try_quantile(99.0).unwrap_or(0.0),
+        )
+    };
 
     let over_time = cfg
         .services
@@ -195,17 +221,16 @@ pub fn run_stability(cfg: &StabilityConfig) -> StabilityResult {
         .enumerate()
         .map(|(si, &svc)| {
             let pts = by_time[si]
-                .iter_mut()
+                .iter()
                 .enumerate()
-                .map(|(ti, cdf)| TimePoint {
-                    hour: ti as f64 * cfg.interval_minutes / 60.0,
-                    mean_flows: if cdf.is_empty() { 0.0 } else { cdf.mean() },
-                    p99_flows: if cdf.is_empty() {
-                        0.0
-                    } else {
-                        cdf.percentile(99.0)
-                    },
-                    bursts: cdf.len(),
+                .map(|(ti, sk)| {
+                    let (mean_flows, p99_flows) = point(sk);
+                    TimePoint {
+                        hour: ti as f64 * cfg.interval_minutes / 60.0,
+                        mean_flows,
+                        p99_flows,
+                        bursts: sk.count() as usize,
+                    }
                 })
                 .collect();
             (svc, pts)
@@ -218,16 +243,15 @@ pub fn run_stability(cfg: &StabilityConfig) -> StabilityResult {
         .enumerate()
         .map(|(si, &svc)| {
             let pts = by_host[si]
-                .iter_mut()
+                .iter()
                 .enumerate()
-                .map(|(h, cdf)| HostPoint {
-                    host: h,
-                    mean_flows: if cdf.is_empty() { 0.0 } else { cdf.mean() },
-                    p99_flows: if cdf.is_empty() {
-                        0.0
-                    } else {
-                        cdf.percentile(99.0)
-                    },
+                .map(|(h, sk)| {
+                    let (mean_flows, p99_flows) = point(sk);
+                    HostPoint {
+                        host: h,
+                        mean_flows,
+                        p99_flows,
+                    }
                 })
                 .collect();
             (svc, pts)

@@ -1,0 +1,311 @@
+//! The sweep engine: persistent pool + run cache + streaming aggregation.
+//!
+//! A *sweep* is many independent simulations whose results feed one
+//! aggregate (a figure, a table row, a regression digest). This module is
+//! the one place that wires the three pieces together:
+//!
+//! - execution on the persistent work-stealing pool ([`crate::pool`],
+//!   via [`crate::runner::par_map`] / [`crate::runner::par_reduce`]),
+//! - memoization through the content-addressed [`RunCache`],
+//! - streaming reduction into fixed-memory summaries
+//!   ([`IncastSweepAggregate`]), so reducers never retain every run.
+//!
+//! Determinism contract: for fixed configs, the aggregate's [`digest`]
+//! (and any manifest rendered through [`sweep_manifest`], after
+//! [`telemetry::RunManifest::deterministic`]) is byte-identical across
+//! thread counts and cache states. The sweep differential test
+//! (`tests/sweep_equivalence.rs`) enforces this.
+//!
+//! [`digest`]: IncastSweepAggregate::digest
+
+use std::sync::Arc;
+
+use crate::cache::{incast_key, RunCache};
+use crate::modes::{run_incast, IncastRunResult, ModesConfig};
+use crate::runner::par_map;
+use stats::{Histogram, QuantileSketch, Summary};
+use telemetry::json::write_f64;
+use telemetry::{LoopProfile, RunManifest};
+
+/// Runs one incast configuration through the cache: a hit returns the
+/// memoized result, a miss computes via [`run_incast`] and stores it.
+pub fn run_incast_cached(cfg: &ModesConfig, cache: &RunCache) -> Arc<IncastRunResult> {
+    cache.get_or_compute(&incast_key(cfg), || run_incast(cfg))
+}
+
+/// Runs a whole sweep on the persistent pool, one cached run per config.
+/// Results come back in config order regardless of thread count.
+pub fn run_incast_sweep(
+    cfgs: &[ModesConfig],
+    threads: usize,
+    cache: &RunCache,
+) -> Vec<Arc<IncastRunResult>> {
+    par_map(cfgs.to_vec(), threads, |cfg| run_incast_cached(cfg, cache))
+}
+
+/// Streaming, mergeable reduction of an incast sweep: fixed memory
+/// regardless of sweep size (the per-run vectors are dropped after
+/// [`absorb`](Self::absorb)), deterministic in absorb order.
+#[derive(Debug, Clone)]
+pub struct IncastSweepAggregate {
+    /// Runs absorbed.
+    pub runs: usize,
+    /// Per-run mean BCT (ms): exact moments across the sweep.
+    pub bct: Summary,
+    /// Per-burst steady-state BCTs (ms), pooled across runs, in a
+    /// fixed-memory mergeable sketch (~3 % relative quantile error).
+    pub bct_sketch: QuantileSketch,
+    /// Per-burst steady-state BCTs (ms) in a fixed-shape histogram
+    /// (0–1000 ms, 200 buckets), mergeable bucket-wise.
+    pub bct_hist: Histogram,
+    /// Total drops across runs.
+    pub drops: u64,
+    /// Total RTO expirations across runs.
+    pub timeouts: u64,
+    /// Total ECN-marked packets across runs.
+    pub marked_pkts: u64,
+    /// Merged event-loop profile (wall-clock sums; excluded from
+    /// [`digest`](Self::digest)).
+    pub profile: LoopProfile,
+}
+
+impl Default for IncastSweepAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncastSweepAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        IncastSweepAggregate {
+            runs: 0,
+            bct: Summary::new(),
+            bct_sketch: QuantileSketch::new(),
+            bct_hist: Histogram::new(0.0, 1000.0, 200),
+            drops: 0,
+            timeouts: 0,
+            marked_pkts: 0,
+            profile: LoopProfile::new(),
+        }
+    }
+
+    /// Folds one run into the aggregate. All stats are additive, so
+    /// absorbing runs one by one equals absorbing them all at once.
+    pub fn absorb(&mut self, r: &IncastRunResult) {
+        self.runs += 1;
+        self.bct.add(r.mean_bct_ms);
+        for &bct in r.bcts_ms.iter().skip(r.warmup_bursts as usize) {
+            self.bct_sketch.add(bct);
+            self.bct_hist.add(bct);
+        }
+        self.drops += r.drops;
+        self.timeouts += r.timeouts;
+        self.marked_pkts += r.marked_pkts;
+        self.profile.merge(&r.profile);
+    }
+
+    /// Merges another aggregate into this one (for tree reductions).
+    pub fn merge(&mut self, other: &IncastSweepAggregate) {
+        self.runs += other.runs;
+        self.bct.merge(&other.bct);
+        self.bct_sketch.merge(&other.bct_sketch);
+        self.bct_hist.merge(&other.bct_hist);
+        self.drops += other.drops;
+        self.timeouts += other.timeouts;
+        self.marked_pkts += other.marked_pkts;
+        self.profile.merge(&other.profile);
+    }
+
+    /// Convenience: absorbs every run of a finished sweep.
+    pub fn from_runs<'a>(runs: impl IntoIterator<Item = &'a IncastRunResult>) -> Self {
+        let mut agg = Self::new();
+        for r in runs {
+            agg.absorb(r);
+        }
+        agg
+    }
+
+    /// A deterministic one-line fingerprint of the aggregate: every field
+    /// except wall-clock, with floats in shortest-round-trip form. Two
+    /// sweeps over the same configs produce byte-identical digests
+    /// regardless of thread count or cache state — this string is what
+    /// the sweep differential test compares.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("runs={};", self.runs));
+        let has_runs = self.runs > 0;
+        push_kv(&mut out, "bct_mean", has_runs.then(|| self.bct.mean()));
+        push_kv(&mut out, "bct_min", has_runs.then(|| self.bct.min()));
+        push_kv(&mut out, "bct_max", has_runs.then(|| self.bct.max()));
+        push_kv(&mut out, "burst_p50", self.bct_sketch.try_quantile(50.0));
+        push_kv(&mut out, "burst_p99", self.bct_sketch.try_quantile(99.0));
+        push_kv(&mut out, "hist_p50", self.bct_hist.try_percentile(50.0));
+        push_kv(&mut out, "hist_p99", self.bct_hist.try_percentile(99.0));
+        out.push_str(&format!(
+            "bursts={};drops={};timeouts={};marked={};events={}",
+            self.bct_sketch.count(),
+            self.drops,
+            self.timeouts,
+            self.marked_pkts,
+            self.profile.events(),
+        ));
+        out
+    }
+}
+
+/// `key=<shortest-round-trip float>;` or `key=none;` — `None` is how an
+/// empty histogram/sketch prints (the `try_percentile` call sites the
+/// empty-histogram panic fix exists for).
+fn push_kv(out: &mut String, key: &str, v: Option<f64>) {
+    out.push_str(key);
+    out.push('=');
+    match v {
+        Some(v) => write_f64(v, out),
+        None => out.push_str("none"),
+    }
+    out.push(';');
+}
+
+/// A manifest describing one sweep: topology field summarizes the sweep
+/// shape, cache statistics ride along in `cache_json` (cleared by
+/// [`RunManifest::deterministic`], since hit counts depend on cache
+/// state, not inputs).
+pub fn sweep_manifest(
+    name: &str,
+    seed: u64,
+    agg: &IncastSweepAggregate,
+    threads: usize,
+    cache: &RunCache,
+) -> RunManifest {
+    let mut m = RunManifest::new(
+        name,
+        seed,
+        &format!("sweep:runs={},threads={threads}", agg.runs),
+    )
+    .with_git_describe();
+    m.events_processed = agg.profile.events();
+    m.counters_json = {
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.u64("drops", agg.drops)
+            .u64("timeouts", agg.timeouts)
+            .u64("marked_pkts", agg.marked_pkts);
+        o.finish();
+        out
+    };
+    let wall = agg.profile.wall;
+    if !wall.is_zero() {
+        m.wall_clock_us = Some(wall.as_micros() as u64);
+        m.events_per_sec = Some(agg.profile.events_per_sec() as u64);
+    }
+    m.cache_json = Some(cache.stats().to_json());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ModesConfig;
+
+    fn tiny_cfg(seed: u64) -> ModesConfig {
+        ModesConfig {
+            num_flows: 8,
+            num_bursts: 2,
+            warmup_bursts: 1,
+            seed,
+            ..ModesConfig::default()
+        }
+    }
+
+    fn tiny_sweep(n: u64) -> Vec<ModesConfig> {
+        (0..n).map(tiny_cfg).collect()
+    }
+
+    #[test]
+    fn cached_run_hits_on_second_call() {
+        let cache = RunCache::in_memory();
+        let cfg = tiny_cfg(1);
+        let a = run_incast_cached(&cfg, &cache);
+        let b = run_incast_cached(&cfg, &cache);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().mem_hits, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn sweep_results_are_in_config_order() {
+        let cache = RunCache::in_memory();
+        let cfgs = tiny_sweep(4);
+        let runs = run_incast_sweep(&cfgs, 4, &cache);
+        assert_eq!(runs.len(), cfgs.len());
+        // Seeds differ, so the runs must differ pairwise; order is checked
+        // against a serial pass.
+        let serial = run_incast_sweep(&cfgs, 1, &cache);
+        for (a, b) in runs.iter().zip(&serial) {
+            assert!(Arc::ptr_eq(a, b), "cache must dedupe identical configs");
+        }
+    }
+
+    #[test]
+    fn digest_is_identical_across_threads_and_cache_state() {
+        let cfgs = tiny_sweep(3);
+        let digests: Vec<String> = [1usize, 4]
+            .iter()
+            .flat_map(|&threads| {
+                // Fresh cache (cold) and reused cache (warm).
+                let cache = RunCache::in_memory();
+                let cold = IncastSweepAggregate::from_runs(
+                    run_incast_sweep(&cfgs, threads, &cache)
+                        .iter()
+                        .map(|r| &**r),
+                );
+                let warm = IncastSweepAggregate::from_runs(
+                    run_incast_sweep(&cfgs, threads, &cache)
+                        .iter()
+                        .map(|r| &**r),
+                );
+                [cold.digest(), warm.digest()]
+            })
+            .collect();
+        for d in &digests[1..] {
+            assert_eq!(d, &digests[0]);
+        }
+    }
+
+    #[test]
+    fn empty_aggregate_digest_prints_none_not_panics() {
+        let agg = IncastSweepAggregate::new();
+        let d = agg.digest();
+        assert!(d.contains("bct_mean=none;"));
+        assert!(d.contains("hist_p50=none;"));
+        assert!(d.contains("runs=0;"));
+    }
+
+    #[test]
+    fn merge_equals_sequential_absorb() {
+        let cache = RunCache::in_memory();
+        let cfgs = tiny_sweep(4);
+        let runs = run_incast_sweep(&cfgs, 2, &cache);
+        let whole = IncastSweepAggregate::from_runs(runs.iter().map(|r| &**r));
+        let mut left = IncastSweepAggregate::from_runs(runs[..2].iter().map(|r| &**r));
+        let right = IncastSweepAggregate::from_runs(runs[2..].iter().map(|r| &**r));
+        left.merge(&right);
+        assert_eq!(left.digest(), whole.digest());
+    }
+
+    #[test]
+    fn sweep_manifest_carries_cache_stats_and_stays_deterministic() {
+        let cache = RunCache::in_memory();
+        let cfgs = tiny_sweep(2);
+        let runs = run_incast_sweep(&cfgs, 2, &cache);
+        let agg = IncastSweepAggregate::from_runs(runs.iter().map(|r| &**r));
+        let m = sweep_manifest("sweep_test", 0, &agg, 2, &cache);
+        assert!(m.to_json().contains(r#""cache":{"hits":"#));
+        let det = m.deterministic();
+        assert!(!det.to_json().contains("cache"));
+        assert!(det
+            .to_json()
+            .contains(r#""topology":"sweep:runs=2,threads=2""#));
+    }
+}

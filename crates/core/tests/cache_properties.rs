@@ -1,0 +1,200 @@
+//! Cache-correctness properties:
+//!
+//! 1. The canonical key is injective over config fields: two configs
+//!    differing in exactly one field — any field, including nested ones —
+//!    never collide into the same key string.
+//! 2. A cache hit is byte-identical to the cold run: the disk encoding of
+//!    a decoded entry equals the encoding of the freshly computed result,
+//!    so warm aggregates cannot drift.
+
+use incast_core::cache::{incast_key, trace_key, CacheValue, RunCache};
+use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::production::TraceConfig;
+use simnet::{BufferPolicy, SimTime};
+use workload::{BurstSchedule, Grouping, ServiceId};
+
+/// The base config plus one variant per `ModesConfig` field (nested
+/// structs perturbed through a representative inner field).
+fn one_field_variants() -> Vec<(&'static str, ModesConfig)> {
+    let base = ModesConfig::default;
+    let mut v: Vec<(&'static str, ModesConfig)> = Vec::new();
+    v.push(("num_flows", {
+        let mut c = base();
+        c.num_flows += 1;
+        c
+    }));
+    v.push(("burst_duration_ms", {
+        let mut c = base();
+        c.burst_duration_ms += 0.5;
+        c
+    }));
+    v.push(("num_bursts", {
+        let mut c = base();
+        c.num_bursts += 1;
+        c
+    }));
+    v.push(("warmup_bursts", {
+        let mut c = base();
+        c.warmup_bursts += 1;
+        c
+    }));
+    v.push(("gap", {
+        let mut c = base();
+        c.gap = SimTime::from_ms(3);
+        c
+    }));
+    v.push(("tcp.mss", {
+        let mut c = base();
+        c.tcp.mss -= 6;
+        c
+    }));
+    v.push(("tcp.init_cwnd_segs", {
+        let mut c = base();
+        c.tcp.init_cwnd_segs += 1;
+        c
+    }));
+    v.push(("tor_queue.ecn_threshold_pkts", {
+        let mut c = base();
+        c.tor_queue.ecn_threshold_pkts = Some(66);
+        c
+    }));
+    v.push(("receiver_tor_buffer", {
+        let mut c = base();
+        c.receiver_tor_buffer = Some((4_000_000, BufferPolicy::DynamicThreshold { alpha: 1.0 }));
+        c
+    }));
+    v.push(("queue_sample", {
+        let mut c = base();
+        c.queue_sample = SimTime::from_us(21);
+        c
+    }));
+    v.push(("flight_sample", {
+        let mut c = base();
+        c.flight_sample = Some(SimTime::from_us(100));
+        c
+    }));
+    v.push(("grouping", {
+        let mut c = base();
+        c.grouping = Some(Grouping {
+            group_size: 10,
+            group_gap: SimTime::from_us(500),
+        });
+        c
+    }));
+    v.push(("schedule", {
+        let mut c = base();
+        c.schedule = BurstSchedule::Periodic {
+            period: SimTime::from_ms(17),
+        };
+        c
+    }));
+    v.push(("seed", {
+        let mut c = base();
+        c.seed += 1;
+        c
+    }));
+    v.push(("horizon", {
+        let mut c = base();
+        c.horizon = SimTime::from_secs(31);
+        c
+    }));
+    v
+}
+
+#[test]
+fn one_field_difference_never_collides() {
+    let base_key = incast_key(&ModesConfig::default());
+    let variants = one_field_variants();
+    let mut keys = vec![("base", base_key)];
+    for (name, cfg) in &variants {
+        keys.push((name, incast_key(cfg)));
+    }
+    for (i, (ni, ki)) in keys.iter().enumerate() {
+        for (nj, kj) in keys.iter().skip(i + 1) {
+            assert_ne!(ki, kj, "configs '{ni}' and '{nj}' collided: {ki}");
+        }
+    }
+}
+
+#[test]
+fn trace_keys_separate_every_field() {
+    let base = || TraceConfig::new(ServiceId::Aggregator, 1);
+    let variants = [
+        {
+            let mut c = base();
+            c.service = ServiceId::Storage;
+            c
+        },
+        {
+            let mut c = base();
+            c.duration = SimTime::from_secs(1);
+            c
+        },
+        {
+            let mut c = base();
+            c.seed = 2;
+            c
+        },
+        {
+            let mut c = base();
+            c.contention = false;
+            c
+        },
+        {
+            let mut c = base();
+            c.queue_sample = SimTime::from_us(101);
+            c
+        },
+    ];
+    let base_key = trace_key(&base());
+    let keys: Vec<String> = variants.iter().map(trace_key).collect();
+    for (i, k) in keys.iter().enumerate() {
+        assert_ne!(k, &base_key, "variant {i} collided with base");
+        for other in keys.iter().skip(i + 1) {
+            assert_ne!(k, other);
+        }
+    }
+}
+
+#[test]
+fn warm_hit_is_byte_identical_to_cold_run() {
+    let dir = std::env::temp_dir().join(format!(
+        "incast-cache-prop-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ModesConfig {
+        num_flows: 10,
+        burst_duration_ms: 1.0,
+        num_bursts: 3,
+        warmup_bursts: 1,
+        flight_sample: Some(SimTime::from_us(200)),
+        seed: 9,
+        ..ModesConfig::default()
+    };
+    let cold = run_incast(&cfg);
+
+    let cache = RunCache::with_disk(&dir);
+    let first = incast_core::run_incast_cached(&cfg, &cache);
+    assert_eq!(cache.stats().misses, 1);
+    // Fresh cache over the same dir: forces the disk decode path.
+    let cache2 = RunCache::with_disk(&dir);
+    let decoded = incast_core::run_incast_cached(&cfg, &cache2);
+    assert_eq!(cache2.stats().disk_hits, 1);
+
+    // Byte identity through the full encode/decode cycle, and against a
+    // plain uncached run (wall-clock is the one field allowed to differ
+    // between two separate executions; everything before it must match).
+    let strip_wall = |s: &str| s.split(",\"p_wall_ns\":").next().unwrap().to_string();
+    assert_eq!(first.encode(), decoded.encode());
+    assert_eq!(strip_wall(&cold.encode()), strip_wall(&decoded.encode()));
+    // Spot-check decoded structure (not just the encoding): per-burst
+    // BCTs, flight series, and the profile survive exactly.
+    assert_eq!(cold.bcts_ms, decoded.bcts_ms);
+    assert_eq!(cold.flights.len(), decoded.flights.len());
+    assert_eq!(cold.profile.tallies, decoded.profile.tallies);
+    assert_eq!(cold.finished_at, decoded.finished_at);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,69 @@ use crate::sampler::MsTrace;
 use crate::watermark::peak_fraction;
 use stats::{Cdf, TimeSeries};
 
+/// One burst's contribution to the fleet CDFs, pre-reduced from the raw
+/// trace so the trace itself need not be retained (or recomputed — rows are
+/// what the sweep engine's run cache stores per host-trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRow {
+    /// Burst duration in ms.
+    pub duration_ms: f64,
+    /// Peak active flows.
+    pub peak_flows: f64,
+    /// ECN-marked fraction of bytes.
+    pub marked_fraction: f64,
+    /// Retransmitted volume as a fraction of line rate.
+    pub retx_fraction: f64,
+    /// Peak bottleneck-queue occupancy as a fraction of capacity; `None`
+    /// when no queue series was recorded.
+    pub queue_peak_fraction: Option<f64>,
+}
+
+/// Everything [`FleetAccumulator`] needs from one host-trace: the two
+/// per-trace scalars plus one [`BurstRow`] per detected burst. This is the
+/// streaming (and cacheable) form of [`FleetAccumulator::add_trace`] — a
+/// sweep reduces each run to a summary, and the accumulator consumes
+/// summaries incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Bursts per second over the trace (Fig. 2a sample).
+    pub bursts_per_sec: f64,
+    /// Mean utilization over the trace.
+    pub mean_utilization: f64,
+    /// Per-burst rows, in burst order.
+    pub per_burst: Vec<BurstRow>,
+}
+
+impl TraceSummary {
+    /// Reduces one host-trace to its summary. Arguments mirror
+    /// [`FleetAccumulator::add_trace`].
+    pub fn from_trace(
+        trace: &MsTrace,
+        bursts: &[Burst],
+        queue: Option<(&TimeSeries, f64)>,
+    ) -> Self {
+        let per_burst = bursts
+            .iter()
+            .map(|b| BurstRow {
+                duration_ms: b.duration_ms(trace),
+                peak_flows: b.peak_flows as f64,
+                marked_fraction: b.marked_fraction(),
+                retx_fraction: b.retx_fraction_of_line_rate(trace),
+                queue_peak_fraction: queue.map(|(series, capacity)| {
+                    let t0 = b.start_bucket as u64 * trace.interval.as_ps();
+                    let t1 = t0 + b.len_buckets as u64 * trace.interval.as_ps();
+                    peak_fraction(series, t0, t1, capacity)
+                }),
+            })
+            .collect();
+        TraceSummary {
+            bursts_per_sec: bursts_per_second(trace, bursts),
+            mean_utilization: trace.mean_utilization(),
+            per_burst,
+        }
+    }
+}
+
 /// Pooled per-burst and per-trace distributions for one service.
 #[derive(Debug, Default)]
 pub struct FleetAccumulator {
@@ -47,19 +110,22 @@ impl FleetAccumulator {
         bursts: &[Burst],
         queue: Option<(&TimeSeries, f64)>,
     ) {
+        self.add_summary(&TraceSummary::from_trace(trace, bursts, queue));
+    }
+
+    /// Adds one pre-reduced host-trace. Equivalent to [`Self::add_trace`]
+    /// on the summary's source trace, sample for sample.
+    pub fn add_summary(&mut self, summary: &TraceSummary) {
         self.traces += 1;
-        self.burst_frequency.add(bursts_per_second(trace, bursts));
-        self.utilization.add(trace.mean_utilization());
-        for b in bursts {
-            self.burst_duration_ms.add(b.duration_ms(trace));
-            self.burst_flows.add(b.peak_flows as f64);
-            self.marked_fraction.add(b.marked_fraction());
-            self.retx_fraction.add(b.retx_fraction_of_line_rate(trace));
-            if let Some((series, capacity)) = queue {
-                let t0 = b.start_bucket as u64 * trace.interval.as_ps();
-                let t1 = t0 + b.len_buckets as u64 * trace.interval.as_ps();
-                self.queue_peak_fraction
-                    .add(peak_fraction(series, t0, t1, capacity));
+        self.burst_frequency.add(summary.bursts_per_sec);
+        self.utilization.add(summary.mean_utilization);
+        for row in &summary.per_burst {
+            self.burst_duration_ms.add(row.duration_ms);
+            self.burst_flows.add(row.peak_flows);
+            self.marked_fraction.add(row.marked_fraction);
+            self.retx_fraction.add(row.retx_fraction);
+            if let Some(f) = row.queue_peak_fraction {
+                self.queue_peak_fraction.add(f);
             }
         }
     }
@@ -134,6 +200,34 @@ mod tests {
         assert_eq!(acc.queue_peak_fraction.len(), 1);
         let f = acc.queue_peak_fraction.percentile(50.0);
         assert!((f - 666.0 / 1333.0).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn add_summary_matches_add_trace() {
+        let (trace, bursts) = hot_trace();
+        let mut q = TimeSeries::new(SimTime::from_us(500).as_ps());
+        q.record_max(SimTime::from_us(1600).as_ps(), 666.0);
+        let queue = Some((&q, 1333.0));
+
+        let mut direct = FleetAccumulator::new();
+        direct.add_trace(&trace, &bursts, queue);
+        let summary = TraceSummary::from_trace(&trace, &bursts, queue);
+        let mut via_summary = FleetAccumulator::new();
+        via_summary.add_summary(&summary);
+
+        assert_eq!(direct.traces, via_summary.traces);
+        assert_eq!(
+            direct.burst_flows.samples(),
+            via_summary.burst_flows.samples()
+        );
+        assert_eq!(
+            direct.queue_peak_fraction.samples(),
+            via_summary.queue_peak_fraction.samples()
+        );
+        assert_eq!(
+            direct.burst_frequency.samples(),
+            via_summary.burst_frequency.samples()
+        );
     }
 
     #[test]

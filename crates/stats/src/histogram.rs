@@ -81,23 +81,52 @@ impl Histogram {
 
     /// Approximate percentile from bucket midpoints (nearest-rank over the
     /// in-range mass; under/overflow clamp to the range edges).
+    ///
+    /// Panics on an empty histogram; sweep reducers, where an all-dropped
+    /// run can legitimately produce zero samples, use [`Self::try_percentile`].
     pub fn percentile(&self, p: f64) -> f64 {
+        self.try_percentile(p)
+            .expect("percentile of empty histogram")
+    }
+
+    /// [`Self::percentile`] that answers `None` on an empty histogram
+    /// instead of panicking.
+    pub fn try_percentile(&self, p: f64) -> Option<f64> {
         assert!((0.0..=100.0).contains(&p));
         let total = self.total();
-        assert!(total > 0, "percentile of empty histogram");
+        if total == 0 {
+            return None;
+        }
         let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
         let mut seen = self.underflow;
         if seen >= target {
-            return self.lo;
+            return Some(self.lo);
         }
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return self.lo + (i as f64 + 0.5) * width;
+                return Some(self.lo + (i as f64 + 0.5) * width);
             }
         }
-        self.hi
+        Some(self.hi)
+    }
+
+    /// Folds `other` into `self` by adding counts. Panics unless both
+    /// histograms share the same `[lo, hi)` range and bucket count — merging
+    /// is only meaningful between identically-shaped histograms, as produced
+    /// by a sweep's per-run reducers.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.lo, self.hi, self.counts.len()),
+            (other.lo, other.hi, other.counts.len()),
+            "merging differently-shaped histograms"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 }
 
@@ -158,6 +187,36 @@ mod tests {
     #[should_panic]
     fn empty_percentile_panics() {
         Histogram::new(0.0, 1.0, 2).percentile(50.0);
+    }
+
+    #[test]
+    fn try_percentile_empty_is_none() {
+        assert_eq!(Histogram::new(0.0, 1.0, 2).try_percentile(50.0), None);
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.3);
+        assert_eq!(h.try_percentile(50.0), Some(0.25));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.add(1.5);
+        a.add(-1.0);
+        b.add(1.5);
+        b.add(20.0);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.merge(&Histogram::new(0.0, 10.0, 5));
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //!   queries, used to regenerate the paper's CDF figures,
 //! - [`TimeSeries`]: fixed-interval time-series buckets,
 //! - [`Histogram`]: simple linear-bucket histograms,
+//! - [`QuantileSketch`]: mergeable fixed-memory quantile sketches for
+//!   streaming sweep aggregation,
 //! - [`summary`]: scalar summary statistics (mean, variance, percentiles).
 
 pub mod cdf;
 pub mod dist;
 pub mod histogram;
 pub mod rng;
+pub mod sketch;
 pub mod summary;
 pub mod timeseries;
 
@@ -26,5 +29,6 @@ pub use cdf::Cdf;
 pub use dist::Dist;
 pub use histogram::Histogram;
 pub use rng::Rng;
+pub use sketch::QuantileSketch;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

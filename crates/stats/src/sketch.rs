@@ -1,0 +1,297 @@
+//! Mergeable fixed-memory quantile sketch.
+//!
+//! Sweep reducers previously pooled every per-burst sample into a
+//! [`crate::Cdf`], whose memory grows with the run count. [`QuantileSketch`]
+//! replaces that with a log-bucket histogram over the raw bit pattern of the
+//! sample: the top 16 bits of an `f64` (sign, exponent, and the 4 leading
+//! mantissa bits) index a bucket, so every bucket spans a 1/16-of-an-octave
+//! value range and quantile answers carry at most ~3.2% relative error.
+//! Counts live in a `BTreeMap`, so a sketch costs memory proportional to the
+//! number of *distinct magnitudes* seen (bounded by 2¹⁶), not the number of
+//! samples, and two sketches merge by adding counts — the property the sweep
+//! engine's streaming reducers rely on.
+//!
+//! Sums, counts, zeros, min, and max are tracked exactly, so `mean()` is
+//! exact and only interior quantiles are approximate. Samples must be
+//! non-negative and finite (all sweep observables are).
+
+use std::collections::BTreeMap;
+
+/// A mergeable log-bucket quantile sketch over non-negative finite samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantileSketch {
+    /// Count per log-bucket; the key is the top 16 bits of the sample's
+    /// IEEE-754 representation. Exact zeros are kept out of the map so the
+    /// common all-zero bucket answers exactly.
+    buckets: BTreeMap<u16, u64>,
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Bucket index: sign (always 0 here), 11 exponent bits, 4 mantissa bits.
+fn bucket_of(v: f64) -> u16 {
+    (v.to_bits() >> 48) as u16
+}
+
+/// Midpoint of the value range covered by bucket `k`. The range is
+/// `[from_bits(k << 48), from_bits((k+1) << 48))`, i.e. one sixteenth of an
+/// octave, so the midpoint is within ~3.2% of any member.
+fn bucket_mid(k: u16) -> f64 {
+    let lo = f64::from_bits((k as u64) << 48);
+    let hi = f64::from_bits(((k as u64) + 1) << 48);
+    (lo + hi) / 2.0
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Panics on NaN, infinite, or negative input.
+    pub fn add(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite sample");
+        assert!(v >= 0.0, "negative sample");
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Folds `other` into `self` by adding bucket counts. The result is
+    /// identical to having added both sketches' samples to one sketch,
+    /// except for `sum` where float addition order differs; merge order is
+    /// therefore part of a caller's determinism contract (the sweep engine
+    /// always merges in item-index order).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        for (&k, &c) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += c;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples (in insertion/merge order).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate percentile by nearest rank over the bucket counts, or
+    /// `None` if the sketch is empty. Answers are bucket midpoints clamped
+    /// to the exact `[min, max]` range, so the extremes are exact and
+    /// interior quantiles are within ~3.2% relative error.
+    pub fn try_quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = self.zeros;
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (&k, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_mid(k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Like [`Self::try_quantile`], defaulting to 0 for an empty sketch.
+    pub fn quantile_or_zero(&self, p: f64) -> f64 {
+        self.try_quantile(p).unwrap_or(0.0)
+    }
+
+    /// Number of occupied log-buckets (a memory-footprint gauge).
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.zeros > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn empty_sketch_answers_defaults() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.try_quantile(50.0), None);
+        assert_eq!(s.quantile_or_zero(99.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 2.8);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn zeros_are_exact() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..99 {
+            s.add(0.0);
+        }
+        s.add(1e6);
+        assert_eq!(s.try_quantile(50.0), Some(0.0));
+        assert_eq!(s.try_quantile(100.0), Some(1e6));
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new();
+        let mut samples: Vec<f64> = Vec::new();
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            // Span several orders of magnitude.
+            let v = (rng.f64() * 12.0).exp2();
+            s.add(v);
+            samples.push(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0] {
+            let exact = samples
+                [(((p / 100.0) * samples.len() as f64).ceil() as usize - 1).min(samples.len() - 1)];
+            let approx = s.try_quantile(p).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.033, "p{p}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_add() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut both = QuantileSketch::new();
+        let mut rng = Rng::new(11);
+        for i in 0..1_000 {
+            let v = rng.f64() * 100.0;
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            both.add(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), both.count());
+        assert_eq!(merged.min(), both.min());
+        assert_eq!(merged.max(), both.max());
+        assert_eq!(merged.buckets, both.buckets);
+        for p in [5.0, 50.0, 95.0] {
+            assert_eq!(merged.try_quantile(p), both.try_quantile(p));
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = QuantileSketch::new();
+        a.add(2.0);
+        a.add(8.0);
+        let mut empty = QuantileSketch::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        // And merging an empty sketch changes nothing.
+        let before = a.clone();
+        a.merge(&QuantileSketch::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_distinct_magnitudes() {
+        let mut s = QuantileSketch::new();
+        for i in 0..100_000u64 {
+            s.add(1.0 + (i % 7) as f64 * 1e-9); // same bucket
+        }
+        assert_eq!(s.occupied_buckets(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sample_panics() {
+        QuantileSketch::new().add(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_sample_panics() {
+        QuantileSketch::new().add(f64::NAN);
+    }
+}

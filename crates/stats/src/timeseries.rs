@@ -25,6 +25,14 @@ impl TimeSeries {
         }
     }
 
+    /// Reconstructs a series from its bucket values (the inverse of
+    /// [`Self::values`]), used by the run cache to decode stored series
+    /// bit-exactly. Panics if `interval` is zero.
+    pub fn from_values(interval: u64, buckets: Vec<f64>) -> Self {
+        assert!(interval > 0, "zero bucket interval");
+        Self { interval, buckets }
+    }
+
     /// Bucket width.
     pub fn interval(&self) -> u64 {
         self.interval

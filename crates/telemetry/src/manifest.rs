@@ -43,6 +43,11 @@ pub struct RunManifest {
     /// Nondeterministic like `wall_clock_us`; omitted from the JSON when
     /// `None` and cleared by [`RunManifest::deterministic`].
     pub events_per_sec: Option<u64>,
+    /// Pre-rendered JSON of the run-cache statistics for the sweep that
+    /// produced this manifest (hits, misses, entries). Depends on cache
+    /// state rather than the run's inputs, so like the wall-clock fields it
+    /// is omitted when `None` and cleared by [`RunManifest::deterministic`].
+    pub cache_json: Option<String>,
 }
 
 impl RunManifest {
@@ -101,6 +106,9 @@ impl RunManifest {
         if let Some(eps) = self.events_per_sec {
             o.u64("events_per_sec", eps);
         }
+        if let Some(cache) = &self.cache_json {
+            o.raw("cache", cache);
+        }
         o.finish();
         out
     }
@@ -111,6 +119,7 @@ impl RunManifest {
         let mut m = self.clone();
         m.wall_clock_us = None;
         m.events_per_sec = None;
+        m.cache_json = None;
         m
     }
 }
@@ -161,6 +170,15 @@ mod tests {
         let det = m.deterministic().to_json();
         assert!(!det.contains("wall_clock_us"));
         assert!(!det.contains("events_per_sec"));
+    }
+
+    #[test]
+    fn cache_json_is_omitted_when_none_and_raw_when_set() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("cache"));
+        m.cache_json = Some(r#"{"hits":3,"misses":1}"#.to_string());
+        assert!(m.to_json().ends_with(r#""cache":{"hits":3,"misses":1}}"#));
+        assert!(!m.deterministic().to_json().contains("cache"));
     }
 
     #[test]

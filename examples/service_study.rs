@@ -9,6 +9,7 @@
 use incast_bursts::core_api::default_threads;
 use incast_bursts::core_api::production::{run_fleet, FleetConfig};
 use incast_bursts::core_api::report::Table;
+use incast_bursts::core_api::RunCache;
 
 fn main() {
     let mut cfg = FleetConfig::quick(default_threads());
@@ -21,7 +22,14 @@ fn main() {
         cfg.snapshots,
         cfg.duration.as_secs_f64()
     );
+    let t0 = std::time::Instant::now();
     let fleet = run_fleet(&cfg);
+    println!(
+        "swept {} cells in {:.2?}",
+        cfg.services.len() * cfg.hosts * cfg.snapshots,
+        t0.elapsed()
+    );
+    println!("{}", RunCache::global().stats().summary());
 
     let mut t = Table::new([
         "service",
