@@ -402,6 +402,17 @@ fn bench_sweep_cache() {
 }
 
 fn main() {
+    // The simulation-invariant layer is feature-gated to compile out of
+    // benchmark builds; state which build this is so overhead comparisons
+    // (`--features check` vs. not) are unambiguous in saved logs.
+    println!(
+        "invariants: {}\n",
+        if cfg!(feature = "check") {
+            "enabled (checked build: expect <=5% overhead on fig5)"
+        } else {
+            "compiled out (zero overhead)"
+        }
+    );
     bench_rng();
     bench_queue();
     bench_scheduler_micro();

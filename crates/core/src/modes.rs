@@ -392,6 +392,14 @@ pub fn run_incast_with<S: Scheduler>(
     if wall_s > 0.0 {
         manifest.events_per_sec = Some((profile.events() as f64 / wall_s) as u64);
     }
+    #[cfg(feature = "check")]
+    {
+        // End-of-run conservation audit; the running total includes any
+        // violations the per-event hooks recorded along the way. The caller
+        // (e.g. the simcheck fuzzer) owns resetting/draining the log.
+        fabric.sim.audit_conservation();
+        manifest.invariant_violations = Some(simnet::check::violation_count());
+    }
 
     let result = IncastRunResult {
         bcts_ms,

@@ -7,7 +7,7 @@
 //!    a decoded entry equals the encoding of the freshly computed result,
 //!    so warm aggregates cannot drift.
 
-use incast_core::cache::{incast_key, trace_key, CacheValue, RunCache};
+use incast_core::cache::{fnv1a64, incast_key, trace_key, CacheValue, RunCache};
 use incast_core::modes::{run_incast, ModesConfig};
 use incast_core::production::TraceConfig;
 use simnet::{BufferPolicy, SimTime};
@@ -195,6 +195,90 @@ fn warm_hit_is_byte_identical_to_cold_run() {
     assert_eq!(cold.flights.len(), decoded.flights.len());
     assert_eq!(cold.profile.tallies, decoded.profile.tallies);
     assert_eq!(cold.finished_at, decoded.finished_at);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// 3. A damaged on-disk entry — truncated, garbled, or outright binary
+///    noise — is a cache *miss*, never a panic or a wrong decode: the
+///    strict scanner rejects it and the value is recomputed and rewritten.
+#[test]
+fn corrupted_disk_entries_miss_instead_of_panicking() {
+    let dir = std::env::temp_dir().join(format!(
+        "incast-cache-corrupt-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ModesConfig {
+        num_flows: 4,
+        burst_duration_ms: 0.5,
+        num_bursts: 1,
+        warmup_bursts: 0,
+        seed: 3,
+        ..ModesConfig::default()
+    };
+    let key = incast_key(&cfg);
+    let entry = dir.join(format!("{:016x}.jsonl", fnv1a64(&key)));
+
+    // Seed the directory with one valid entry.
+    let seed_cache = RunCache::with_disk(&dir);
+    let reference = incast_core::run_incast_cached(&cfg, &seed_cache);
+    assert_eq!(seed_cache.stats().disk_writes, 1);
+    let pristine = std::fs::read_to_string(&entry).expect("entry written");
+    let (meta, payload) = pristine.split_once('\n').expect("meta line");
+
+    let corruptions: Vec<(&str, String)> = vec![
+        // Payload cut mid-record: the scanner runs off the end.
+        (
+            "truncated payload",
+            format!("{meta}\n{}", &payload[..payload.len() / 2]),
+        ),
+        // Meta line survives but the payload is not JSON at all.
+        ("garbled payload", format!("{meta}\nnot json {{]!\n")),
+        // A digit swapped for a letter deep inside an otherwise-valid body.
+        (
+            "flipped byte",
+            format!("{meta}\n{}", payload.replacen(':', ":x", 1)),
+        ),
+        // Nothing after the meta line.
+        ("missing payload", format!("{meta}\n")),
+        // Zero-length file.
+        ("empty file", String::new()),
+        // Meta mismatch (wrong schema/key) must miss even with a valid body.
+        ("garbled meta", format!("{{\"v\":999}}\n{payload}")),
+        // Binary noise, including an invalid-UTF-8 decoy handled below.
+        ("binary noise", "\u{1}\u{2}\u{3}\n[1,2,".to_string()),
+    ];
+
+    for (name, body) in &corruptions {
+        std::fs::write(&entry, body).expect("inject corruption");
+        let cache = RunCache::with_disk(&dir);
+        let recomputed = incast_core::run_incast_cached(&cfg, &cache);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 0, "'{name}' decoded as a hit");
+        assert_eq!(stats.misses, 1, "'{name}' did not fall through to a miss");
+        assert_eq!(
+            recomputed.bcts_ms, reference.bcts_ms,
+            "'{name}' recompute diverged"
+        );
+        // The recompute must also have repaired the entry on disk (byte
+        // identical up to the wall-clock field, which varies per execution).
+        let strip_wall = |s: &str| s.split(",\"p_wall_ns\":").next().unwrap().to_string();
+        let repaired = std::fs::read_to_string(&entry).expect("entry rewritten");
+        assert_eq!(
+            strip_wall(&repaired),
+            strip_wall(&pristine),
+            "'{name}' left a bad entry behind"
+        );
+    }
+
+    // Invalid UTF-8 bytes (read_to_string fails entirely).
+    std::fs::write(&entry, [0xFF, 0xFE, 0x00, 0xC3]).expect("inject corruption");
+    let cache = RunCache::with_disk(&dir);
+    let recomputed = incast_core::run_incast_cached(&cfg, &cache);
+    assert_eq!(cache.stats().disk_hits, 0);
+    assert_eq!(recomputed.bcts_ms, reference.bcts_ms);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

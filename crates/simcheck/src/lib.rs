@@ -1,0 +1,438 @@
+//! # simcheck — randomized scenario fuzzing for the incast simulator
+//!
+//! Three layers, in the spirit of generative protocol checkers:
+//!
+//! 1. **Invariants.** Built with the `check` feature enabled everywhere, so
+//!    every run carries `simnet::check`'s shadow byte ledgers, packet
+//!    conservation, per-node time monotonicity, and the transport crates'
+//!    TCP conformance oracle (sequence-space monotonicity, no ACK of unsent
+//!    data, RTO backoff doubling, ECE-matches-CE).
+//! 2. **Scenario fuzzing.** [`Scenario::generate`] derives a random but
+//!    seeded incast configuration — fan-in, burst schedule, queue capacity,
+//!    ECN threshold, shared-buffer model, delayed ACKs, grouping — and
+//!    [`check_scenario`] runs it on both event schedulers (timing wheel and
+//!    reference heap) plus a repeat run, requiring byte-identical results
+//!    and zero recorded violations.
+//! 3. **Shrinking.** [`shrink`] greedily minimizes a failing scenario
+//!    (halve flows, drop the buffer, shorten bursts, ...) while the failure
+//!    persists, and [`reproducer`] renders the survivor as a ready-to-paste
+//!    `#[test]`.
+//!
+//! The `simcheck` binary drives seed ranges in parallel:
+//! `cargo run --release -p simcheck -- --seeds 500`.
+
+use incast_core::cache::CacheValue;
+use incast_core::modes::run_incast_with;
+use incast_core::ModesConfig;
+use simnet::check::Violation;
+use simnet::{BufferPolicy, EventQueue, QueueConfig, SimTime, TimingWheel};
+use stats::Rng;
+use transport::{DelayedAckConfig, TcpConfig};
+use workload::{BurstSchedule, Grouping};
+
+/// Shared-buffer part of a [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferScenario {
+    /// Pool size in KiB.
+    pub total_kb: u64,
+    /// Dynamic Threshold alpha x100 (`Some(50)` = alpha 0.5), or `None`
+    /// for a static pool.
+    pub alpha_x100: Option<u32>,
+}
+
+/// One randomly generated incast scenario. The `Debug` rendering is valid
+/// construction syntax, which is what lets [`reproducer`] emit a paste-able
+/// test from a shrunk failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for both the generator that produced this scenario and the run
+    /// itself.
+    pub seed: u64,
+    /// Incast fan-in (N senders).
+    pub num_flows: usize,
+    /// Burst duration in tenths of a millisecond (integral so scenarios
+    /// stay `Eq` and shrink deterministically).
+    pub burst_ms_x10: u64,
+    /// Bursts per run.
+    pub num_bursts: u32,
+    /// Bottleneck queue capacity in packets.
+    pub queue_capacity_pkts: u32,
+    /// ECN marking threshold K in packets (`None` = no marking).
+    pub ecn_threshold_pkts: Option<u32>,
+    /// Optional shared buffer on the receiver ToR.
+    pub buffer: Option<BufferScenario>,
+    /// DCTCP delayed-ACK state machine on or off.
+    pub delayed_ack: bool,
+    /// Receiver-side group scheduling (§5.2 mitigation path).
+    pub grouping: bool,
+    /// Open-loop periodic bursts instead of request-response.
+    pub periodic: bool,
+}
+
+impl Scenario {
+    /// Derives a random scenario from `seed`. The same seed always yields
+    /// the same scenario, and the scenario's run uses the same seed, so one
+    /// integer pins the whole test case.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut rng = Rng::new(seed ^ 0x51AC_C0DE_D00D_F00D);
+        let queue_capacity_pkts = rng.range_u64(30, 300) as u32;
+        let ecn_threshold_pkts = if rng.chance(0.85) {
+            Some(rng.range_u64(4, (queue_capacity_pkts / 2).max(5) as u64) as u32)
+        } else {
+            None
+        };
+        let buffer = if rng.chance(0.6) {
+            Some(BufferScenario {
+                total_kb: rng.range_u64(64, 1024),
+                alpha_x100: if rng.chance(0.7) {
+                    Some(*rng.choose(&[25u32, 50, 100, 200, 400, 800]).unwrap())
+                } else {
+                    None
+                },
+            })
+        } else {
+            None
+        };
+        Scenario {
+            seed,
+            num_flows: rng.range_u64(2, 40) as usize,
+            burst_ms_x10: rng.range_u64(5, 40),
+            num_bursts: rng.range_u64(1, 3) as u32,
+            queue_capacity_pkts,
+            ecn_threshold_pkts,
+            buffer,
+            delayed_ack: rng.chance(0.3),
+            grouping: rng.chance(0.2),
+            periodic: rng.chance(0.3),
+        }
+    }
+
+    /// The [`ModesConfig`] this scenario runs as.
+    pub fn to_config(&self) -> ModesConfig {
+        let tcp = TcpConfig {
+            delayed_ack: if self.delayed_ack {
+                Some(DelayedAckConfig::default())
+            } else {
+                None
+            },
+            ..TcpConfig::default()
+        };
+        let tor_queue = QueueConfig {
+            capacity_bytes: self.queue_capacity_pkts as u64 * 1500,
+            capacity_pkts: Some(self.queue_capacity_pkts),
+            ecn_threshold_pkts: self.ecn_threshold_pkts,
+            ecn_threshold_bytes: None,
+        };
+        let receiver_tor_buffer = self.buffer.map(|b| {
+            let policy = match b.alpha_x100 {
+                Some(a) => BufferPolicy::DynamicThreshold {
+                    alpha: a as f64 / 100.0,
+                },
+                None => BufferPolicy::StaticPool,
+            };
+            (b.total_kb * 1024, policy)
+        });
+        ModesConfig {
+            num_flows: self.num_flows,
+            burst_duration_ms: self.burst_ms_x10 as f64 / 10.0,
+            num_bursts: self.num_bursts,
+            warmup_bursts: 0,
+            tcp,
+            tor_queue,
+            receiver_tor_buffer,
+            grouping: if self.grouping {
+                Some(Grouping {
+                    group_size: (self.num_flows / 4).max(2),
+                    group_gap: SimTime::from_us(200),
+                })
+            } else {
+                None
+            },
+            schedule: if self.periodic {
+                BurstSchedule::Periodic {
+                    period: SimTime::from_ms(5),
+                }
+            } else {
+                BurstSchedule::AfterCompletion {
+                    gap: SimTime::from_ms(1),
+                }
+            },
+            seed: self.seed,
+            horizon: SimTime::from_secs(5),
+            ..ModesConfig::default()
+        }
+    }
+}
+
+/// A failed scenario: any recorded invariant violation, a wheel-vs-heap
+/// divergence, or a repeat-run nondeterminism.
+#[derive(Debug)]
+pub struct Failure {
+    /// The scenario that failed.
+    pub scenario: Scenario,
+    /// Violations drained from the invariant log (capped; see
+    /// `simnet::check`), plus the true total.
+    pub violations: Vec<Violation>,
+    /// Total violation count (may exceed `violations.len()`).
+    pub violation_count: u64,
+    /// Differential mismatch description, if any.
+    pub mismatch: Option<String>,
+}
+
+impl Failure {
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.violation_count > 0 {
+            let kinds: Vec<&str> = {
+                let mut k: Vec<&str> = self.violations.iter().map(|v| v.kind).collect();
+                k.sort_unstable();
+                k.dedup();
+                k
+            };
+            parts.push(format!(
+                "{} violation(s): {}",
+                self.violation_count,
+                kinds.join(", ")
+            ));
+        }
+        if let Some(m) = &self.mismatch {
+            parts.push(m.clone());
+        }
+        parts.join("; ")
+    }
+}
+
+/// Result-encoding with the wall-clock profile field stripped (everything
+/// else in an [`incast_core::IncastRunResult`] is deterministic).
+fn deterministic_encoding(result: &incast_core::IncastRunResult) -> String {
+    let enc = result.encode();
+    enc.split(",\"p_wall_ns\":")
+        .next()
+        .unwrap_or(&enc)
+        .to_string()
+}
+
+/// Runs `scenario` with all invariants on: once on the timing wheel, once
+/// on the reference heap scheduler, and once more on the wheel for repeat
+/// determinism. Returns `None` on a clean pass, `Some(Failure)` otherwise.
+pub fn check_scenario(scenario: &Scenario) -> Option<Failure> {
+    simnet::check::reset();
+    let cfg = scenario.to_config();
+
+    let (r_wheel, m_wheel) = run_incast_with::<TimingWheel>(&cfg, None);
+    let (r_heap, m_heap) = run_incast_with::<EventQueue>(&cfg, None);
+    let (r_again, _) = run_incast_with::<TimingWheel>(&cfg, None);
+
+    let e_wheel = deterministic_encoding(&r_wheel);
+    let e_heap = deterministic_encoding(&r_heap);
+    let e_again = deterministic_encoding(&r_again);
+
+    let mut mismatch = None;
+    if e_wheel != e_heap {
+        mismatch = Some(format!(
+            "wheel vs heap result diverged (wheel {} B, heap {} B encoded)",
+            e_wheel.len(),
+            e_heap.len()
+        ));
+    } else if m_wheel.events_processed != m_heap.events_processed
+        || m_wheel.sim_time_ps != m_heap.sim_time_ps
+        || m_wheel.counters_json != m_heap.counters_json
+    {
+        mismatch = Some(format!(
+            "wheel vs heap manifest diverged (events {} vs {}, sim_time {} vs {} ps)",
+            m_wheel.events_processed,
+            m_heap.events_processed,
+            m_wheel.sim_time_ps,
+            m_heap.sim_time_ps
+        ));
+    } else if e_wheel != e_again {
+        mismatch = Some("repeat run with identical seed diverged".to_string());
+    }
+
+    let violation_count = simnet::check::violation_count();
+    let violations = simnet::check::take();
+    if violation_count == 0 && mismatch.is_none() {
+        return None;
+    }
+    Some(Failure {
+        scenario: *scenario,
+        violations,
+        violation_count,
+        mismatch,
+    })
+}
+
+/// Shrinking transformations of `sc`, each strictly smaller (so greedy
+/// shrinking terminates).
+fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.num_flows > 2 {
+        out.push(Scenario {
+            num_flows: (sc.num_flows / 2).max(2),
+            ..*sc
+        });
+        out.push(Scenario {
+            num_flows: sc.num_flows - 1,
+            ..*sc
+        });
+    }
+    if sc.num_bursts > 1 {
+        out.push(Scenario {
+            num_bursts: 1,
+            ..*sc
+        });
+    }
+    if sc.burst_ms_x10 > 5 {
+        out.push(Scenario {
+            burst_ms_x10: (sc.burst_ms_x10 / 2).max(5),
+            ..*sc
+        });
+    }
+    if sc.buffer.is_some() {
+        out.push(Scenario {
+            buffer: None,
+            ..*sc
+        });
+    }
+    if sc.grouping {
+        out.push(Scenario {
+            grouping: false,
+            ..*sc
+        });
+    }
+    if sc.delayed_ack {
+        out.push(Scenario {
+            delayed_ack: false,
+            ..*sc
+        });
+    }
+    if sc.periodic {
+        out.push(Scenario {
+            periodic: false,
+            ..*sc
+        });
+    }
+    if sc.ecn_threshold_pkts.is_some() {
+        out.push(Scenario {
+            ecn_threshold_pkts: None,
+            ..*sc
+        });
+    }
+    out
+}
+
+/// Greedily shrinks a failing scenario: applies the first transformation
+/// that still fails, repeats until no transformation preserves the failure.
+/// Every candidate is strictly smaller, so this terminates. Returns the
+/// minimal failing scenario (the input itself if nothing smaller fails).
+pub fn shrink(failing: &Scenario) -> Scenario {
+    let mut current = *failing;
+    loop {
+        let mut improved = false;
+        for cand in shrink_candidates(&current) {
+            if check_scenario(&cand).is_some() {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Renders a shrunk failure as a ready-to-paste `#[test]`.
+pub fn reproducer(sc: &Scenario, failure: &Failure) -> String {
+    format!(
+        r#"// Shrunk by `cargo run -p simcheck` from seed {seed}.
+// Failure: {summary}
+#[test]
+fn simcheck_reproducer_seed_{seed}() {{
+    use simcheck::*;
+    let scenario = {sc:?};
+    assert!(
+        simcheck::check_scenario(&scenario).is_none(),
+        "invariant violation or scheduler divergence"
+    );
+}}
+"#,
+        seed = sc.seed,
+        summary = failure.summary(),
+        sc = sc,
+    )
+}
+
+/// Outcome of fuzzing one seed (what the binary and CI report).
+#[derive(Debug)]
+pub enum SeedOutcome {
+    /// All invariants held, schedulers agreed.
+    Pass,
+    /// Something failed; carries the original failure.
+    Fail(Box<Failure>),
+}
+
+/// Fuzzes one seed: generate, run, check.
+pub fn fuzz_seed(seed: u64) -> SeedOutcome {
+    let scenario = Scenario::generate(seed);
+    match check_scenario(&scenario) {
+        None => SeedOutcome::Pass,
+        Some(f) => SeedOutcome::Fail(Box::new(f)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Scenario::generate(17), Scenario::generate(17));
+        assert_ne!(Scenario::generate(17), Scenario::generate(18));
+    }
+
+    #[test]
+    fn scenarios_cover_the_config_space() {
+        let scs: Vec<Scenario> = (0..200).map(Scenario::generate).collect();
+        assert!(scs.iter().any(|s| s.buffer.is_some()));
+        assert!(scs.iter().any(|s| s.buffer.is_none()));
+        assert!(scs.iter().any(|s| s.delayed_ack));
+        assert!(scs.iter().any(|s| s.grouping));
+        assert!(scs.iter().any(|s| s.periodic));
+        assert!(scs.iter().any(|s| s.ecn_threshold_pkts.is_none()));
+        for s in &scs {
+            assert!((2..=40).contains(&s.num_flows));
+            assert!((5..=40).contains(&s.burst_ms_x10));
+            if let Some(k) = s.ecn_threshold_pkts {
+                assert!(k < s.queue_capacity_pkts, "K below capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn debug_rendering_is_construction_syntax() {
+        let sc = Scenario::generate(3);
+        let dbg = format!("{sc:?}");
+        assert!(dbg.starts_with("Scenario {"), "{dbg}");
+        assert!(dbg.contains("seed: 3"), "{dbg}");
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let sc = Scenario::generate(5);
+        let size = |s: &Scenario| {
+            s.num_flows as u64
+                + s.num_bursts as u64
+                + s.burst_ms_x10
+                + s.buffer.is_some() as u64
+                + s.grouping as u64
+                + s.delayed_ack as u64
+                + s.periodic as u64
+                + s.ecn_threshold_pkts.is_some() as u64
+        };
+        for cand in shrink_candidates(&sc) {
+            assert!(size(&cand) < size(&sc), "{cand:?} not smaller than {sc:?}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The simcheck CLI: fuzz a seed range with all invariants enabled.
+//!
+//! ```sh
+//! cargo run --release -p simcheck -- --seeds 500
+//! cargo run --release -p simcheck -- --seeds 200 --start 1000 --report out.txt
+//! ```
+//!
+//! Each seed becomes one random scenario, run on both schedulers plus a
+//! repeat run. Failures are shrunk to minimal reproducers and printed as
+//! paste-able `#[test]`s; the process exits nonzero if anything failed.
+
+use incast_core::{default_threads, par_map};
+use simcheck::{fuzz_seed, reproducer, shrink, SeedOutcome};
+use std::io::Write;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    threads: usize,
+    report: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 100,
+        start: 0,
+        threads: default_threads(),
+        report: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start" => args.start = value("--start")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--report" => args.report = Some(value("--report")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: simcheck [--seeds N] [--start S] [--threads T] [--report FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
+    println!(
+        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on",
+        args.start,
+        args.start + args.seeds,
+        args.threads
+    );
+    let t0 = std::time::Instant::now();
+    let outcomes = par_map(seeds.clone(), args.threads, |&seed| match fuzz_seed(seed) {
+        SeedOutcome::Pass => None,
+        SeedOutcome::Fail(f) => Some((seed, f)),
+    });
+    let failures: Vec<_> = outcomes.into_iter().flatten().collect();
+    let elapsed = t0.elapsed();
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "simcheck: {} seed(s) in {:.2?}, {} failure(s)\n",
+        args.seeds,
+        elapsed,
+        failures.len()
+    ));
+    // Shrink each failure (sequentially: shrinking re-runs scenarios and
+    // uses the thread-local violation log).
+    for (seed, failure) in &failures {
+        report.push_str(&format!(
+            "\nseed {seed}: {}\n  original: {:?}\n",
+            failure.summary(),
+            failure.scenario
+        ));
+        let minimal = shrink(&failure.scenario);
+        report.push_str(&format!("  shrunk:   {minimal:?}\n"));
+        report.push_str(&format!(
+            "  reproducer:\n{}\n",
+            reproducer(&minimal, failure)
+        ));
+    }
+    print!("{report}");
+    if let Some(path) = &args.report {
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(report.as_bytes())) {
+            Ok(()) => println!("report written to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

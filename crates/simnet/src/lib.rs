@@ -42,6 +42,8 @@
 
 pub mod buffer;
 pub mod builder;
+#[cfg(feature = "check")]
+pub mod check;
 pub mod endpoint;
 pub mod event;
 pub mod ids;

@@ -96,6 +96,8 @@ pub struct Simulator<S: Scheduler = TimingWheel> {
     tallies: EventTallies,
     wall: std::time::Duration,
     started: bool,
+    #[cfg(feature = "check")]
+    audit: crate::check::Audit,
 }
 
 impl<S: Scheduler> Simulator<S> {
@@ -133,6 +135,8 @@ impl<S: Scheduler> Simulator<S> {
             tallies: EventTallies::default(),
             wall: std::time::Duration::ZERO,
             started: false,
+            #[cfg(feature = "check")]
+            audit: crate::check::Audit::new(n, num_links, num_buffers),
         }
     }
 
@@ -358,6 +362,17 @@ impl<S: Scheduler> Simulator<S> {
             return false;
         };
         debug_assert!(ev.time >= self.now, "time went backwards");
+        #[cfg(feature = "check")]
+        if ev.time < self.now {
+            crate::check::violated(
+                "time_monotonic",
+                format_args!(
+                    "scheduler popped t={} ps while now={} ps",
+                    ev.time.as_ps(),
+                    self.now.as_ps()
+                ),
+            );
+        }
         self.now = ev.time;
         self.counters.events_processed += 1;
         match ev.kind {
@@ -410,6 +425,8 @@ impl<S: Scheduler> Simulator<S> {
                 if let Some(bid) = shared {
                     self.buffers[bid.index()].on_enqueue(pkt.wire_size as u64);
                 }
+                #[cfg(feature = "check")]
+                self.audit_enqueue(link_id, shared, pkt.wire_size as u64);
                 self.trace(TraceEventKind::Enqueue { marked }, link_id, &pkt);
                 self.emit_queue_depth(link_id);
                 if let Some(bid) = shared {
@@ -434,11 +451,21 @@ impl<S: Scheduler> Simulator<S> {
         let Some(pkt) = link.queue.dequeue(now) else {
             return;
         };
-        if let Some(bid) = link.shared {
-            self.buffers[bid.index()].on_dequeue(pkt.wire_size as u64);
-        }
+        let shared = link.shared;
         let ser = link.serialize_time(pkt.wire_size as u64);
         link.serializing = Some(pkt);
+        if let Some(bid) = shared {
+            let release = pkt.wire_size as u64;
+            #[cfg(feature = "check")]
+            let release = if crate::check::inject_buffer_underrelease() {
+                release - 1
+            } else {
+                release
+            };
+            self.buffers[bid.index()].on_dequeue(release);
+        }
+        #[cfg(feature = "check")]
+        self.audit_dequeue(link_id, shared, pkt.wire_size as u64);
         self.trace(TraceEventKind::TxStart, link_id, &pkt);
         self.emit_queue_depth(link_id);
         self.events
@@ -532,6 +559,22 @@ impl<S: Scheduler> Simulator<S> {
     where
         F: FnOnce(&mut dyn Endpoint, &mut Ctx),
     {
+        #[cfg(feature = "check")]
+        {
+            let last = &mut self.audit.last_dispatch_ps[node.index()];
+            if self.now.as_ps() < *last {
+                crate::check::violated(
+                    "node_time_monotonic",
+                    format_args!(
+                        "node {} dispatched at t={} ps after t={} ps",
+                        node.0,
+                        self.now.as_ps(),
+                        *last
+                    ),
+                );
+            }
+            *last = self.now.as_ps();
+        }
         let mut ep = self.endpoints[node.index()]
             .take()
             .expect("dispatch to missing endpoint");
@@ -554,6 +597,10 @@ impl<S: Scheduler> Simulator<S> {
                 Cmd::Send(mut pkt) => {
                     pkt.id = self.next_pkt_id;
                     self.next_pkt_id += 1;
+                    #[cfg(feature = "check")]
+                    {
+                        self.audit.injected_pkts += 1;
+                    }
                     let uplink = match &self.nodes[node.index()] {
                         Node::Host { uplink, .. } => uplink.expect("host sends but has no uplink"),
                         Node::Switch { .. } => unreachable!("switches have no endpoints"),
@@ -577,6 +624,191 @@ impl<S: Scheduler> Simulator<S> {
                         .and_modify(|g| *g += 1)
                         .or_insert(0);
                 }
+            }
+        }
+    }
+}
+
+/// Invariant hooks (the `check` feature). See [`crate::check`].
+#[cfg(feature = "check")]
+impl<S: Scheduler> Simulator<S> {
+    /// Shadow-charges an enqueue and cross-checks both ledgers and bounds.
+    #[inline]
+    fn audit_enqueue(&mut self, link_id: LinkId, shared: Option<BufferId>, wire: u64) {
+        let shadow = &mut self.audit.queue_bytes[link_id.index()];
+        *shadow += wire;
+        let q = &self.links[link_id.index()].queue;
+        if q.bytes() != *shadow {
+            crate::check::violated(
+                "queue_accounting",
+                format_args!(
+                    "link {} queue has {} B, shadow ledger {} B after enqueue",
+                    link_id.0,
+                    q.bytes(),
+                    *shadow
+                ),
+            );
+        }
+        if q.bytes() > q.config().capacity_bytes {
+            crate::check::violated(
+                "queue_overflow",
+                format_args!(
+                    "link {} queue at {} B exceeds capacity {} B",
+                    link_id.0,
+                    q.bytes(),
+                    q.config().capacity_bytes
+                ),
+            );
+        }
+        if let Some(bid) = shared {
+            let shadow = &mut self.audit.buffer_used[bid.index()];
+            *shadow += wire;
+            self.audit_buffer(bid);
+        }
+    }
+
+    /// Shadow-releases a dequeue and cross-checks both ledgers.
+    #[inline]
+    fn audit_dequeue(&mut self, link_id: LinkId, shared: Option<BufferId>, wire: u64) {
+        let shadow = &mut self.audit.queue_bytes[link_id.index()];
+        match shadow.checked_sub(wire) {
+            Some(v) => *shadow = v,
+            None => {
+                crate::check::violated(
+                    "queue_accounting",
+                    format_args!(
+                        "link {} shadow ledger underflow: release {} B from {} B",
+                        link_id.0, wire, *shadow
+                    ),
+                );
+                *shadow = 0;
+            }
+        }
+        let q = &self.links[link_id.index()].queue;
+        if q.bytes() != *shadow {
+            crate::check::violated(
+                "queue_accounting",
+                format_args!(
+                    "link {} queue has {} B, shadow ledger {} B after dequeue",
+                    link_id.0,
+                    q.bytes(),
+                    *shadow
+                ),
+            );
+        }
+        if let Some(bid) = shared {
+            let shadow = &mut self.audit.buffer_used[bid.index()];
+            match shadow.checked_sub(wire) {
+                Some(v) => *shadow = v,
+                None => {
+                    crate::check::violated(
+                        "buffer_accounting",
+                        format_args!(
+                            "buffer {} shadow ledger underflow: release {} B from {} B",
+                            bid.0, wire, *shadow
+                        ),
+                    );
+                    *shadow = 0;
+                }
+            }
+            self.audit_buffer(bid);
+        }
+    }
+
+    /// Compares a shared buffer against its shadow ledger and capacity.
+    #[inline]
+    fn audit_buffer(&self, bid: BufferId) {
+        let buf = &self.buffers[bid.index()];
+        let shadow = self.audit.buffer_used[bid.index()];
+        if buf.used_bytes() != shadow {
+            crate::check::violated(
+                "buffer_accounting",
+                format_args!(
+                    "buffer {} holds {} B, shadow ledger {} B",
+                    bid.0,
+                    buf.used_bytes(),
+                    shadow
+                ),
+            );
+        }
+        if buf.used_bytes() > buf.total_bytes() {
+            crate::check::violated(
+                "buffer_overflow",
+                format_args!(
+                    "buffer {} at {} B exceeds capacity {} B",
+                    bid.0,
+                    buf.used_bytes(),
+                    buf.total_bytes()
+                ),
+            );
+        }
+    }
+
+    /// Packet conservation: every packet handed to the engine is delivered,
+    /// dropped, or still somewhere in flight. Valid at any event boundary.
+    pub fn audit_conservation(&self) {
+        let queued: u64 = self.links.iter().map(|l| l.queue.pkts() as u64).sum();
+        let on_wire = self.links.iter().filter(|l| l.busy()).count() as u64;
+        let accounted = self.counters.delivered_pkts
+            + self.counters.queue_drops
+            + self.counters.fault_drops
+            + self.pool.live() as u64
+            + queued
+            + on_wire;
+        if self.audit.injected_pkts != accounted {
+            crate::check::record(
+                "packet_conservation",
+                format!(
+                    "{} packets injected but {} accounted for \
+                     (delivered {} + queue drops {} + fault drops {} + \
+                     pool {} + queued {} + serializing {})",
+                    self.audit.injected_pkts,
+                    accounted,
+                    self.counters.delivered_pkts,
+                    self.counters.queue_drops,
+                    self.counters.fault_drops,
+                    self.pool.live(),
+                    queued,
+                    on_wire
+                ),
+            );
+        }
+    }
+
+    /// Drain-state invariants: once the event list is empty no packet may be
+    /// parked anywhere. Also runs [`Self::audit_conservation`]. Call after
+    /// [`Self::run`]; a no-op mid-run (pending events mean in-flight state
+    /// is legitimate).
+    pub fn audit_drain(&mut self) {
+        self.audit_conservation();
+        if self.events.peek_time().is_some() {
+            return;
+        }
+        if self.pool.live() != 0 {
+            crate::check::record(
+                "pool_drain",
+                format!("{} pool slots live after drain", self.pool.live()),
+            );
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            if !link.queue.is_empty() || link.busy() {
+                crate::check::record(
+                    "link_drain",
+                    format!(
+                        "link {} still holds {} queued pkt(s), busy={} after drain",
+                        i,
+                        link.queue.pkts(),
+                        link.busy()
+                    ),
+                );
+            }
+        }
+        for (i, buf) in self.buffers.iter().enumerate() {
+            if buf.used_bytes() != 0 {
+                crate::check::record(
+                    "buffer_drain",
+                    format!("buffer {} holds {} B after drain", i, buf.used_bytes()),
+                );
             }
         }
     }

@@ -61,15 +61,23 @@ impl Cdf {
         }
     }
 
-    /// Percentile `p` in `[0, 100]` by nearest-rank. Panics if empty or `p`
-    /// is out of range.
-    pub fn percentile(&mut self, p: f64) -> f64 {
-        assert!(!self.samples.is_empty(), "percentile of empty CDF");
+    /// Percentile `p` in `[0, 100]` by nearest-rank, or `None` if the CDF is
+    /// empty. Panics if `p` is out of range.
+    pub fn try_percentile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=100.0).contains(&p), "percentile out of [0,100]");
+        if self.samples.is_empty() {
+            return None;
+        }
         self.ensure_sorted();
         let n = self.samples.len();
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        self.samples[rank.max(1).min(n) - 1]
+        Some(self.samples[rank.max(1).min(n) - 1])
+    }
+
+    /// Percentile `p` in `[0, 100]` by nearest-rank. Panics if empty or `p`
+    /// is out of range.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        self.try_percentile(p).expect("percentile of empty CDF")
     }
 
     /// Median (50th percentile).
@@ -209,6 +217,24 @@ mod tests {
     #[should_panic]
     fn empty_percentile_panics() {
         Cdf::new().percentile(50.0);
+    }
+
+    #[test]
+    fn try_percentile_empty_is_none() {
+        assert_eq!(Cdf::new().try_percentile(50.0), None);
+        assert_eq!(Cdf::new().try_percentile(0.0), None);
+        let mut c = Cdf::from_samples([7.0]);
+        assert_eq!(c.try_percentile(99.0), Some(7.0));
+    }
+
+    #[test]
+    fn try_percentile_agrees_with_percentile() {
+        for xs in random_cases(0xCDF5, 32, 1, 100) {
+            let mut c = Cdf::from_samples(xs);
+            for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+                assert_eq!(c.try_percentile(p), Some(c.percentile(p)));
+            }
+        }
     }
 
     /// Seeded randomized vectors in `[-1e6, 1e6)` of length `[lo, hi]`.

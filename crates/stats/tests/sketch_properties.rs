@@ -1,0 +1,156 @@
+//! Property tests for [`stats::QuantileSketch`] through its public API:
+//! merge must behave like a commutative, associative union of the underlying
+//! sample multisets, and quantile answers must stay within the sketch's
+//! advertised relative rank-error bound of the exact empirical quantiles.
+
+use stats::{QuantileSketch, Rng};
+
+/// Relative value error of the bucketing scheme (top 16 bits of the f64
+/// representation: 4 mantissa bits, midpoint representative ≈ 3.2%). Tested
+/// against a slightly looser bound to avoid flaking on boundary samples.
+const REL_ERR: f64 = 0.04;
+
+const QUANTILES: [f64; 7] = [0.0, 10.0, 25.0, 50.0, 90.0, 99.0, 100.0];
+
+fn sketch_of(samples: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &x in samples {
+        s.add(x);
+    }
+    s
+}
+
+/// Seeded random non-negative sample vectors, mixing magnitudes across many
+/// bucket exponents and including exact zeros (the sketch's special bucket).
+fn random_cases(seed: u64, cases: usize, max_len: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng::new(seed);
+    (0..cases)
+        .map(|_| {
+            let n = rng.range_u64(0, max_len) as usize;
+            (0..n)
+                .map(|_| {
+                    if rng.chance(0.1) {
+                        0.0
+                    } else {
+                        // log-uniform over ~9 decades
+                        let exp = rng.range_f64(-3.0, 6.0);
+                        rng.range_f64(1.0, 10.0) * 10f64.powf(exp)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Everything observable through the public API, for exact comparison.
+/// `sum` is excluded where float re-association makes it inexact.
+fn observables(s: &QuantileSketch) -> (u64, f64, f64, usize, Vec<Option<f64>>) {
+    (
+        s.count(),
+        s.min(),
+        s.max(),
+        s.occupied_buckets(),
+        QUANTILES.iter().map(|&p| s.try_quantile(p)).collect(),
+    )
+}
+
+#[test]
+fn merge_is_commutative() {
+    let cases = random_cases(0x5E7C_0001, 48, 120);
+    for pair in cases.chunks_exact(2) {
+        let (xs, ys) = (&pair[0], &pair[1]);
+        let mut ab = sketch_of(xs);
+        ab.merge(&sketch_of(ys));
+        let mut ba = sketch_of(ys);
+        ba.merge(&sketch_of(xs));
+        assert_eq!(observables(&ab), observables(&ba));
+        // f64 addition is commutative (unlike associative), so even the sum
+        // must match bit-for-bit when both sides add the same two partials.
+        assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    let cases = random_cases(0x5E7C_0002, 48, 80);
+    for triple in cases.chunks_exact(3) {
+        let (xs, ys, zs) = (&triple[0], &triple[1], &triple[2]);
+        // (a ∪ b) ∪ c
+        let mut left = sketch_of(xs);
+        left.merge(&sketch_of(ys));
+        left.merge(&sketch_of(zs));
+        // a ∪ (b ∪ c)
+        let mut bc = sketch_of(ys);
+        bc.merge(&sketch_of(zs));
+        let mut right = sketch_of(xs);
+        right.merge(&bc);
+        assert_eq!(observables(&left), observables(&right));
+        // Sums differ only by float re-association.
+        let tol = 1e-12 * left.sum().abs().max(1.0);
+        assert!((left.sum() - right.sum()).abs() <= tol);
+    }
+}
+
+#[test]
+fn merge_equals_bulk_insertion() {
+    let cases = random_cases(0x5E7C_0003, 32, 100);
+    for pair in cases.chunks_exact(2) {
+        let (xs, ys) = (&pair[0], &pair[1]);
+        let mut merged = sketch_of(xs);
+        merged.merge(&sketch_of(ys));
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let bulk = sketch_of(&all);
+        assert_eq!(observables(&merged), observables(&bulk));
+    }
+}
+
+/// Exact nearest-rank quantile over a sample vector (the reference the
+/// sketch approximates).
+fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[test]
+fn quantiles_obey_relative_error_bound() {
+    let cases = random_cases(0x5E7C_0004, 64, 400);
+    for xs in cases.iter().filter(|xs| !xs.is_empty()) {
+        let s = sketch_of(xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &QUANTILES {
+            let approx = s.try_quantile(p).unwrap();
+            let exact = exact_quantile(&sorted, p);
+            if exact == 0.0 {
+                // Zeros occupy their own bucket and come back exactly.
+                assert_eq!(approx, 0.0, "p{p} of {} samples", xs.len());
+            } else {
+                let rel = (approx - exact).abs() / exact;
+                assert!(
+                    rel <= REL_ERR,
+                    "p{p}: approx {approx} vs exact {exact} (rel {rel:.4}) \
+                     over {} samples",
+                    xs.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_sketch_answers_none_and_merges_as_identity() {
+    let empty = QuantileSketch::new();
+    assert!(empty.is_empty());
+    assert_eq!(empty.try_quantile(50.0), None);
+
+    let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+    let mut s = sketch_of(&xs);
+    let before = observables(&s);
+    s.merge(&empty);
+    assert_eq!(observables(&s), before);
+
+    let mut e = QuantileSketch::new();
+    e.merge(&s);
+    assert_eq!(observables(&e), observables(&s));
+}

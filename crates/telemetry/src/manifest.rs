@@ -48,6 +48,11 @@ pub struct RunManifest {
     /// state rather than the run's inputs, so like the wall-clock fields it
     /// is omitted when `None` and cleared by [`RunManifest::deterministic`].
     pub cache_json: Option<String>,
+    /// Invariant violations recorded during the run by the `check` feature's
+    /// invariant layer (`simnet::check`). `None` when the layer is compiled
+    /// out; `Some(0)` is a clean checked run. Deterministic for a fixed
+    /// seed, so it survives [`RunManifest::deterministic`].
+    pub invariant_violations: Option<u64>,
 }
 
 impl RunManifest {
@@ -100,6 +105,9 @@ impl RunManifest {
                 },
             )
             .str("scheduler", &self.scheduler);
+        if let Some(v) = self.invariant_violations {
+            o.u64("invariant_violations", v);
+        }
         if let Some(us) = self.wall_clock_us {
             o.u64("wall_clock_us", us);
         }
@@ -179,6 +187,20 @@ mod tests {
         m.cache_json = Some(r#"{"hits":3,"misses":1}"#.to_string());
         assert!(m.to_json().ends_with(r#""cache":{"hits":3,"misses":1}}"#));
         assert!(!m.deterministic().to_json().contains("cache"));
+    }
+
+    #[test]
+    fn invariant_violations_render_and_survive_deterministic() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("invariant_violations"));
+        m.invariant_violations = Some(0);
+        assert!(m.to_json().contains(r#""invariant_violations":0"#));
+        // Deterministic for a fixed seed, so the determinism view keeps it.
+        assert_eq!(m.deterministic().invariant_violations, Some(0));
+        assert!(m
+            .deterministic()
+            .to_json()
+            .contains(r#""invariant_violations":0"#));
     }
 
     #[test]

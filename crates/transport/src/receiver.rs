@@ -73,6 +73,29 @@ impl Receiver {
     /// DCTCP state machine, which acknowledges the bytes received *before*
     /// a CE state change with the old state's ECE).
     fn send_ack_at(&mut self, ctx: &mut Ctx, ack_abs: u64, ece: bool) {
+        #[cfg(feature = "check")]
+        {
+            // Conformance oracle: an ACK may never claim bytes beyond what
+            // was reassembled, and ECE may only echo an actual CE mark.
+            if ack_abs > self.rcv_nxt {
+                simnet::check::violated(
+                    "ack_beyond_rcv_nxt",
+                    format_args!(
+                        "flow {}: acking {} with rcv_nxt {}",
+                        self.flow.0, ack_abs, self.rcv_nxt
+                    ),
+                );
+            }
+            if ece && self.stats.ce_segs == 0 {
+                simnet::check::violated(
+                    "ece_without_ce",
+                    format_args!(
+                        "flow {}: ECE set but no CE segment ever received",
+                        self.flow.0
+                    ),
+                );
+            }
+        }
         let ack = Packet::ack(
             self.flow,
             ctx.node(),
@@ -125,6 +148,16 @@ impl Receiver {
         if in_order {
             self.rcv_nxt = e;
             self.absorb_contiguous();
+            #[cfg(feature = "check")]
+            if self.rcv_nxt < before {
+                simnet::check::violated(
+                    "rcv_nxt_monotonic",
+                    format_args!(
+                        "flow {}: rcv_nxt moved backwards {} -> {}",
+                        self.flow.0, before, self.rcv_nxt
+                    ),
+                );
+            }
         } else {
             // A gap: store and ACK immediately (RFC 5681 §4.2 requires an
             // immediate dup ACK so fast retransmit can trigger).

@@ -156,6 +156,11 @@ impl Sender {
         self.snd_una == self.demand_end
     }
 
+    /// True while the sender is in NewReno fast recovery (diagnostic).
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> &SenderStats {
         &self.stats
@@ -288,6 +293,8 @@ impl Sender {
             self.arm_rto(ctx);
         }
         self.record_flight(ctx.now());
+        #[cfg(feature = "check")]
+        self.oracle_state();
     }
 
     /// Pacing-mode transmission: emit one segment if the pacing clock
@@ -371,6 +378,16 @@ impl Sender {
         }
         let ack = seq::unwrap(ack_wire, self.snd_una);
         self.last_activity = ctx.now();
+        #[cfg(feature = "check")]
+        if ack > self.snd_nxt {
+            simnet::check::violated(
+                "ack_of_unsent",
+                format_args!(
+                    "flow {}: ack {} beyond snd_nxt {}",
+                    self.flow.0, ack, self.snd_nxt
+                ),
+            );
+        }
 
         if ack > self.snd_una && ack <= self.snd_nxt {
             let newly = ack - self.snd_una;
@@ -458,7 +475,26 @@ impl Sender {
             return; // stale
         }
         self.stats.timeouts += 1;
+        #[cfg(feature = "check")]
+        let rto_before = self.rtt.rto();
         self.rtt.on_timeout();
+        #[cfg(feature = "check")]
+        {
+            let rto_after = self.rtt.rto();
+            // RFC 6298 backoff: each timeout at most doubles the timer and
+            // never shortens it (equality happens at the max-RTO cap).
+            if rto_after < rto_before || rto_after.as_ps() > rto_before.as_ps().saturating_mul(2) {
+                simnet::check::violated(
+                    "rto_backoff",
+                    format_args!(
+                        "flow {}: RTO went {} -> {} ps on timeout",
+                        self.flow.0,
+                        rto_before.as_ps(),
+                        rto_after.as_ps()
+                    ),
+                );
+            }
+        }
         self.in_recovery = false;
         self.recovery_extra = 0;
         self.dup_acks = 0;
@@ -468,6 +504,37 @@ impl Sender {
         self.retransmit_head(ctx);
         self.record_flight(ctx.now());
         self.probe_window(ctx.now(), WindowTrigger::Rto);
+        #[cfg(feature = "check")]
+        self.oracle_state();
+    }
+
+    /// Structural invariants of the sequence-space state machine, part of
+    /// the `check` feature's TCP conformance oracle. Violations are
+    /// recorded, not panicked, so the `simcheck` fuzzer can shrink them.
+    #[cfg(feature = "check")]
+    #[inline]
+    fn oracle_state(&self) {
+        if self.snd_una > self.snd_nxt || self.snd_nxt > self.demand_end {
+            simnet::check::violated(
+                "seq_space",
+                format_args!(
+                    "flow {}: snd_una {} / snd_nxt {} / demand_end {} out of order",
+                    self.flow.0, self.snd_una, self.snd_nxt, self.demand_end
+                ),
+            );
+        }
+        // `cwnd()` clamps to the floor by construction; this defends against
+        // a refactor removing the clamp. Read once — it is a dyn call.
+        let w = self.cwnd();
+        if w < self.min_cwnd {
+            simnet::check::violated(
+                "cwnd_floor",
+                format_args!(
+                    "flow {}: effective cwnd {} below floor {}",
+                    self.flow.0, w, self.min_cwnd
+                ),
+            );
+        }
     }
 }
 

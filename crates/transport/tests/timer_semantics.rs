@@ -12,8 +12,8 @@
 //! - consecutive unanswered RTOs back off exponentially (the sender's
 //!   `on_rto` path), each firing exactly once at its backed-off deadline.
 
-use simnet::{build_dumbbell, FlowId, NodeId, Shared, SimTime};
-use transport::{TcpApi, TcpApp, TcpConfig, TcpHost};
+use simnet::{build_dumbbell, FlowId, NodeId, Packet, PacketKind, Shared, SimTime};
+use transport::{DelayedAckConfig, TcpApi, TcpApp, TcpConfig, TcpHost};
 
 const MSS: u64 = 1446;
 
@@ -40,22 +40,29 @@ impl TcpApp for Request {
 }
 
 /// One-sender dumbbell with `Echo` on the sender and `Request` on the
-/// receiver. Returns the fabric plus a handle to the sender host.
-fn one_flow_fabric(demand: u64, seed: u64) -> (simnet::IncastFabric, Shared<TcpHost>) {
+/// receiver, both hosts running `cfg`. Returns the fabric plus handles to
+/// the sender and receiver hosts.
+fn one_flow_fabric_cfg(
+    cfg: TcpConfig,
+    demand: u64,
+    seed: u64,
+) -> (simnet::IncastFabric, Shared<TcpHost>, Shared<TcpHost>) {
     let mut f = build_dumbbell(1, seed);
-    let host = Shared::new(TcpHost::new(TcpConfig::default(), Box::new(Echo)));
-    let handle = host.handle();
+    let host = Shared::new(TcpHost::new(cfg.clone(), Box::new(Echo)));
+    let tx_handle = host.handle();
     f.sim.set_endpoint(f.senders[0], Box::new(host));
     let rx = f.receivers[0];
     let worker = f.senders[0];
-    f.sim.set_endpoint(
-        rx,
-        Box::new(TcpHost::new(
-            TcpConfig::default(),
-            Box::new(Request { worker, demand }),
-        )),
-    );
-    (f, handle)
+    let rx_host = Shared::new(TcpHost::new(cfg, Box::new(Request { worker, demand })));
+    let rx_handle = rx_host.handle();
+    f.sim.set_endpoint(rx, Box::new(rx_host));
+    (f, tx_handle, rx_handle)
+}
+
+/// `one_flow_fabric_cfg` with the default endpoint config.
+fn one_flow_fabric(demand: u64, seed: u64) -> (simnet::IncastFabric, Shared<TcpHost>) {
+    let (f, tx, _rx) = one_flow_fabric_cfg(TcpConfig::default(), demand, seed);
+    (f, tx)
 }
 
 /// Total RTO fires observed by the sender host so far.
@@ -192,4 +199,175 @@ fn rearmed_rto_fires_once_at_the_new_deadline_after_the_ack_clock_stops() {
     let host = handle.borrow();
     let (_, tx) = host.core().senders().next().expect("sender exists");
     assert_eq!(tx.stats().timeouts, 3);
+}
+
+/// Steps the simulation in 50 ns increments (well under the trunk's 120 ns
+/// per-frame serialization time) until the trunk is serializing the data
+/// segment with wire sequence `seq`, makes the trunk lossy for the rest of
+/// that frame, and disarms the instant exactly one frame has dropped. Every
+/// other packet — before, after, and on the reverse path — survives.
+fn drop_exactly_one_data_seg(f: &mut simnet::IncastFabric, seq: u32) {
+    let step = SimTime::from_ns(50);
+    let deadline = SimTime::from_ms(5);
+    let mut now = SimTime::ZERO;
+    let mut armed = false;
+    while f.sim.counters().fault_drops == 0 {
+        now += step;
+        assert!(now < deadline, "seq {seq} never crossed the trunk");
+        f.sim.run_until(now);
+        if armed {
+            continue;
+        }
+        let on_wire = matches!(
+            f.sim.link(f.trunk).serializing,
+            Some(Packet {
+                kind: PacketKind::Data { seq: s, .. },
+                ..
+            }) if s == seq
+        );
+        if on_wire {
+            f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+            armed = true;
+        }
+    }
+    assert_eq!(f.sim.counters().fault_drops, 1);
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 0.0;
+}
+
+/// Duplicate-ACK threshold, exact, with delayed ACKs on: losing segment 8
+/// of 12 leaves four post-hole arrivals. The first flushes the receiver's
+/// pending cumulative ACK (which *advances* `snd_una`, so it does not count
+/// as a duplicate); the remaining three are immediate duplicate ACKs — RFC
+/// 5681 requires out-of-order segments to bypass ACK delay — and three is
+/// exactly the fast-retransmit threshold. The hole must be repaired with no
+/// help from the retransmission timer.
+#[test]
+fn three_dup_acks_with_delayed_acks_on_trigger_fast_retransmit() {
+    let cfg = TcpConfig {
+        delayed_ack: Some(DelayedAckConfig::default()),
+        ..TcpConfig::default()
+    };
+    let (mut f, tx, rx) = one_flow_fabric_cfg(cfg, 12 * MSS, 31);
+    drop_exactly_one_data_seg(&mut f, (7 * MSS) as u32); // segment 8 of 12
+    f.sim.run();
+
+    let host = tx.borrow();
+    let (_, s) = host.core().senders().next().expect("sender exists");
+    assert!(s.is_idle(), "transfer never finished: {s:?}");
+    assert_eq!(s.stats().bytes_acked, 12 * MSS);
+    assert_eq!(
+        s.stats().fast_retransmits,
+        1,
+        "the third duplicate ACK must trigger fast retransmit"
+    );
+    assert_eq!(s.stats().timeouts, 0, "the RTO must never fire: {s:?}");
+    assert!(!s.in_recovery(), "recovery must have completed");
+
+    // Delayed ACKs were genuinely active: the receiver coalesced in-order
+    // segments, so it sent strictly fewer ACKs than it received segments —
+    // yet still dup-ACKed the out-of-order ones immediately.
+    let rhost = rx.borrow();
+    let (_, r) = rhost.core().receivers().next().expect("receiver exists");
+    assert!(r.stats().ooo_segs >= 3, "{:?}", r.stats());
+    assert!(
+        r.stats().acks_sent < r.stats().segs_received,
+        "no ACK coalescing happened — delayed ACKs were not in effect: {:?}",
+        r.stats()
+    );
+}
+
+/// The boundary's other side: losing segment 8 of 11 leaves only *two*
+/// duplicate ACKs (the first post-hole arrival advances, see above), one
+/// short of the threshold. Fast retransmit must NOT fire and the hole is
+/// repaired by the retransmission timeout instead — together with the test
+/// above this pins the threshold at exactly three.
+#[test]
+fn two_dup_acks_stay_below_the_fast_retransmit_threshold() {
+    let cfg = TcpConfig {
+        delayed_ack: Some(DelayedAckConfig::default()),
+        ..TcpConfig::default()
+    };
+    let (mut f, tx, _rx) = one_flow_fabric_cfg(cfg, 11 * MSS, 31);
+    drop_exactly_one_data_seg(&mut f, (7 * MSS) as u32); // segment 8 of 11
+    f.sim.run();
+
+    let host = tx.borrow();
+    let (_, s) = host.core().senders().next().expect("sender exists");
+    assert!(s.is_idle(), "transfer never finished: {s:?}");
+    assert_eq!(s.stats().bytes_acked, 11 * MSS);
+    assert_eq!(
+        s.stats().fast_retransmits,
+        0,
+        "two duplicate ACKs must not trigger fast retransmit: {s:?}"
+    );
+    assert_eq!(
+        s.stats().timeouts,
+        1,
+        "below the dupACK threshold, only the RTO can repair the hole"
+    );
+}
+
+/// RTO expiring *during* fast recovery: enter recovery via a single loss,
+/// then cut the forward path so the fast retransmission (and everything
+/// after it) is lost and recovery can never complete. The timer must still
+/// be armed underneath recovery, fire while `in_recovery()` holds, and
+/// reset the connection out of recovery; restoring the link then lets the
+/// slow-start retransmission finish the transfer.
+#[test]
+fn rto_during_fast_recovery_resets_and_completes() {
+    let (mut f, tx, _rx) = one_flow_fabric_cfg(TcpConfig::default(), 40 * MSS, 13);
+    drop_exactly_one_data_seg(&mut f, (7 * MSS) as u32);
+
+    // Step until the third dup ACK puts the sender into fast recovery.
+    let mut now = f.sim.now();
+    let recovery_deadline = now + SimTime::from_ms(5);
+    loop {
+        now += SimTime::from_ns(500);
+        assert!(now < recovery_deadline, "sender never entered recovery");
+        f.sim.run_until(now);
+        let host = tx.borrow();
+        let (_, s) = host.core().senders().next().expect("sender exists");
+        if s.in_recovery() {
+            assert_eq!(s.stats().fast_retransmits, 1);
+            assert_eq!(s.stats().timeouts, 0);
+            break;
+        }
+    }
+    // Lose the fast retransmission: it is still serializing on the sender's
+    // host link (1.2 us), so cutting the trunk now drops it and every
+    // subsequent recovery transmission.
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+
+    // Recovery stalls; the RTO must fire while still in recovery.
+    let rto_deadline = now + SimTime::from_secs(2);
+    loop {
+        now += SimTime::from_ms(1);
+        assert!(now < rto_deadline, "RTO never fired during recovery");
+        f.sim.run_until(now);
+        let host = tx.borrow();
+        let (_, s) = host.core().senders().next().expect("sender exists");
+        if s.stats().timeouts > 0 {
+            assert!(
+                !s.in_recovery(),
+                "an RTO must reset the sender out of fast recovery: {s:?}"
+            );
+            break;
+        }
+        assert!(
+            s.in_recovery(),
+            "sender left recovery without a full ACK or an RTO: {s:?}"
+        );
+    }
+
+    // Heal the path: the timeout-driven retransmission completes the
+    // transfer with no second fast retransmit.
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 0.0;
+    f.sim.run();
+    let host = tx.borrow();
+    let (_, s) = host.core().senders().next().expect("sender exists");
+    assert!(s.is_idle(), "transfer never finished: {s:?}");
+    assert_eq!(s.stats().bytes_acked, 40 * MSS);
+    assert_eq!(s.stats().fast_retransmits, 1);
+    assert!(s.stats().timeouts >= 1);
+    assert!(!s.in_recovery());
 }

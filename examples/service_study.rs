@@ -54,8 +54,8 @@ fn main() {
             svc.name().to_string(),
             format!("{:.1}", acc.burst_frequency.mean()),
             format!("{:.1}%", acc.utilization.mean() * 100.0),
-            format!("{:.0}", acc.burst_flows.percentile(50.0)),
-            format!("{:.0}", acc.burst_flows.percentile(99.0)),
+            format!("{:.0}", acc.burst_flows.try_percentile(50.0).unwrap_or(0.0)),
+            format!("{:.0}", acc.burst_flows.try_percentile(99.0).unwrap_or(0.0)),
             format!("{:.0}%", incast * 100.0),
             format!("{:.0}%", marked * 100.0),
             format!("{:.0}%", retx * 100.0),
