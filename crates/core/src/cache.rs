@@ -32,7 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::modes::{IncastRunResult, ModesConfig};
+use crate::modes::{IncastRunResult, ModesConfig, TruncationCause};
 use crate::production::TraceConfig;
 use millisampler::{BurstRow, TraceSummary};
 use simnet::SimTime;
@@ -43,7 +43,10 @@ use workload::SnapshotModel;
 
 /// Bumped whenever an encoding or a simulation-visible default changes, so
 /// stale disk entries from older schemas miss instead of decode.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `ModesConfig` gained the `faults` spec (part of the `Debug` key) and
+/// `IncastRunResult` gained the truncation cause and fault tallies.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over the canonical key; names the on-disk entry file.
 pub fn fnv1a64(s: &str) -> u64 {
@@ -99,6 +102,9 @@ pub struct CacheStats {
     pub entries: u64,
     /// Entries written to disk.
     pub disk_writes: u64,
+    /// Disk writes that needed at least one retry after a transient IO
+    /// error (each retried write counts once per extra attempt).
+    pub disk_retries: u64,
 }
 
 impl CacheStats {
@@ -116,7 +122,8 @@ impl CacheStats {
             .u64("disk_hits", self.disk_hits)
             .u64("misses", self.misses)
             .u64("entries", self.entries)
-            .u64("disk_writes", self.disk_writes);
+            .u64("disk_writes", self.disk_writes)
+            .u64("disk_retries", self.disk_retries);
         o.finish();
         out
     }
@@ -140,6 +147,7 @@ impl CacheStats {
         reg.count("sweep", "cache_disk_hits", 0, self.disk_hits);
         reg.count("sweep", "cache_misses", 0, self.misses);
         reg.count("sweep", "cache_disk_writes", 0, self.disk_writes);
+        reg.count("sweep", "cache_disk_retries", 0, self.disk_retries);
         reg.gauge("sweep", "cache_entries", 0, self.entries as f64);
     }
 }
@@ -154,6 +162,7 @@ pub struct RunCache {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     disk_writes: AtomicU64,
+    disk_retries: AtomicU64,
 }
 
 impl RunCache {
@@ -166,6 +175,7 @@ impl RunCache {
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
+            disk_retries: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +216,13 @@ impl RunCache {
         let value = Arc::new(compute());
         self.disk_put(key, &*value);
         self.intern(key, value)
+    }
+
+    /// Cache-only probe: both layers, no compute. Used by the supervised
+    /// runner, which must decide *after* a miss whether the freshly
+    /// computed result is cacheable (truncated runs are not).
+    pub fn get<V: CacheValue>(&self, key: &str) -> Option<Arc<V>> {
+        self.lookup(key)
     }
 
     /// Both layers, promoting disk hits into memory.
@@ -249,18 +266,32 @@ impl RunCache {
         Some(Arc::new(V::decode(rest.trim_end_matches('\n'))?))
     }
 
-    /// Best effort: IO errors silently leave the entry memory-only.
+    /// Best effort: persistent IO errors silently leave the entry
+    /// memory-only. The write is crash-safe — the body goes to a
+    /// process-unique `.tmp` file first and is published with an atomic
+    /// rename, so a reader never observes a half-written entry (a process
+    /// killed mid-write leaves only an ignored `.tmp` behind) — and
+    /// transient errors are retried with backoff (counted in
+    /// [`CacheStats::disk_retries`]).
     fn disk_put<V: CacheValue>(&self, key: &str, value: &V) {
         let Some(dir) = self.disk_dir.as_ref() else {
             return;
         };
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
         let name = entry_name(key);
         let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+        let dst = dir.join(name);
         let body = format!("{}\n{}\n", meta_line(key), value.encode());
-        if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, dir.join(name)).is_ok() {
+        let (outcome, retries) = stats::retry_with_backoff(
+            3,
+            std::time::Duration::from_millis(5),
+            || -> std::io::Result<()> {
+                std::fs::create_dir_all(dir)?;
+                std::fs::write(&tmp, &body)?;
+                std::fs::rename(&tmp, &dst)
+            },
+        );
+        self.disk_retries.fetch_add(retries, Ordering::Relaxed);
+        if outcome.is_ok() {
             self.disk_writes.fetch_add(1, Ordering::Relaxed);
         } else {
             let _ = std::fs::remove_file(&tmp);
@@ -275,6 +306,7 @@ impl RunCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.mem.lock().expect("cache map").len() as u64,
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_retries: self.disk_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -447,9 +479,11 @@ impl CacheValue for IncastRunResult {
             )
             .u64("fin_ps", self.finished_at.as_ps())
             .u64("k", self.ecn_threshold_pkts as u64)
+            .u64("trunc", self.truncated.map(|c| c.code()).unwrap_or(0))
             .u64("p_tx", self.profile.tallies.tx_complete)
             .u64("p_dl", self.profile.tallies.delivery)
             .u64("p_tm", self.profile.tallies.timer)
+            .u64("p_ft", self.profile.tallies.fault)
             .u64("p_wall_ns", self.profile.wall.as_nanos() as u64);
         o.finish();
         out
@@ -500,12 +534,19 @@ impl CacheValue for IncastRunResult {
         let fin_ps = sc.u64()?;
         sc.lit(",\"k\":")?;
         let ecn_threshold_pkts = sc.u32()?;
+        sc.lit(",\"trunc\":")?;
+        let trunc_code = sc.u64()?;
+        if trunc_code > 3 {
+            return None;
+        }
         sc.lit(",\"p_tx\":")?;
         let tx_complete = sc.u64()?;
         sc.lit(",\"p_dl\":")?;
         let delivery = sc.u64()?;
         sc.lit(",\"p_tm\":")?;
         let timer = sc.u64()?;
+        sc.lit(",\"p_ft\":")?;
+        let fault = sc.u64()?;
         sc.lit(",\"p_wall_ns\":")?;
         let wall_ns = sc.u64()?;
         sc.lit("}")?;
@@ -535,11 +576,13 @@ impl CacheValue for IncastRunResult {
                 .collect(),
             finished_at: SimTime::from_ps(fin_ps),
             ecn_threshold_pkts,
+            truncated: TruncationCause::from_code(trunc_code),
             profile: LoopProfile {
                 tallies: EventTallies {
                     tx_complete,
                     delivery,
                     timer,
+                    fault,
                 },
                 wall: std::time::Duration::from_nanos(wall_ns),
             },
@@ -636,7 +679,8 @@ mod tests {
     fn keys_carry_kind_version_and_fields() {
         let cfg = ModesConfig::default();
         let k = incast_key(&cfg);
-        assert!(k.starts_with("incast/v1|ModesConfig"));
+        assert!(k.starts_with("incast/v2|ModesConfig"));
+        assert!(k.contains("faults: FaultSpec"));
         assert!(k.contains("num_flows: 100"));
         assert!(k.contains("seed: 1"));
     }

@@ -12,6 +12,8 @@
 //! - [`pool`]: the persistent work-stealing thread pool behind the runner,
 //! - [`cache`]: the content-addressed run cache shared by sweeps,
 //! - [`sweep`]: the sweep engine tying pool + cache + streaming reducers,
+//! - [`supervisor`]: failure-tolerant sweep execution (panic isolation,
+//!   run budgets, quarantine reproducers, coverage accounting),
 //! - [`report`]: ASCII tables/plots for bench output.
 
 pub mod cache;
@@ -23,11 +25,15 @@ pub mod report;
 pub mod runner;
 pub mod stability;
 pub mod straggler;
+pub mod supervisor;
 pub mod sweep;
 
 pub use cache::RunCache;
-pub use modes::{run_incast, IncastRunResult, ModesConfig, OperatingMode};
+pub use modes::{
+    run_incast, FaultSpec, IncastRunResult, ModesConfig, OperatingMode, RunBudget, TruncationCause,
+};
 pub use runner::{default_threads, par_map, par_reduce};
+pub use supervisor::{supervised_incast_sweep, RunOutcome, SupervisedSweep, SupervisorConfig};
 pub use sweep::{run_incast_cached, run_incast_sweep, IncastSweepAggregate};
 
 /// True when paper-scale parameters were requested via `INCAST_FULL=1`.

@@ -6,13 +6,108 @@
 //! configuration struct in, one [`IncastRunResult`] out.
 
 use simnet::{
-    build_fabric_with, BufferPolicy, FabricConfig, QueueConfig, Scheduler, Shared, SimTime,
-    TimingWheel,
+    build_fabric_with, BufferPolicy, FabricConfig, FaultPlan, QueueConfig, Scheduler, Shared,
+    SimTime, TimingWheel,
 };
 use stats::{Rng, TimeSeries};
 use telemetry::{LoopProfile, RunManifest, SinkRef};
 use transport::{TcpConfig, TcpHost};
 use workload::{BurstSchedule, CyclicCoordinator, Grouping, IncastConfig, Worker};
+
+/// Infrastructure faults for one incast run, expressed against the incast
+/// fabric's well-known elements (the trunk, the bottleneck downlink, the
+/// shared receiver-ToR buffer, individual senders) rather than raw link
+/// ids. Compiled into a [`FaultPlan`] when the fabric is built. All
+/// windows are `[from, until)` in absolute sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Trunk blackhole window: the trunk drops every frame.
+    pub blackhole: Option<(SimTime, SimTime)>,
+    /// Extra random loss on the bottleneck downlink: `(from, until, p)`.
+    pub loss: Option<(SimTime, SimTime, f64)>,
+    /// Frame corruption on the bottleneck downlink: `(from, until, p)`.
+    pub corrupt: Option<(SimTime, SimTime, f64)>,
+    /// ECN mis-configuration window: marking disabled at the bottleneck,
+    /// then restored to the configured thresholds.
+    pub ecn_off: Option<(SimTime, SimTime)>,
+    /// Shared-buffer squeeze: `(from, until, shrunk_bytes)`; restored to
+    /// the configured size at `until`. Ignored unless the run has a shared
+    /// receiver-ToR buffer.
+    pub buffer_shrink: Option<(SimTime, SimTime, u64)>,
+    /// Straggler window: `(from, until, sender_index)` pauses that
+    /// sender's host software.
+    pub straggler: Option<(SimTime, SimTime, u32)>,
+}
+
+impl FaultSpec {
+    /// True if no fault is configured (the run installs no plan).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+}
+
+/// Why a budgeted run was cut short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationCause {
+    /// The sim-time budget was exhausted.
+    SimTime,
+    /// The event-count budget was exhausted.
+    Events,
+    /// The wall-clock watchdog fired.
+    WallClock,
+}
+
+impl TruncationCause {
+    /// Stable manifest label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TruncationCause::SimTime => "sim_time",
+            TruncationCause::Events => "events",
+            TruncationCause::WallClock => "wall_clock",
+        }
+    }
+
+    /// Stable integer code (for the run-cache encoding; 0 means "not
+    /// truncated").
+    pub fn code(&self) -> u64 {
+        match self {
+            TruncationCause::SimTime => 1,
+            TruncationCause::Events => 2,
+            TruncationCause::WallClock => 3,
+        }
+    }
+
+    /// Inverse of [`TruncationCause::code`].
+    pub fn from_code(code: u64) -> Option<TruncationCause> {
+        match code {
+            1 => Some(TruncationCause::SimTime),
+            2 => Some(TruncationCause::Events),
+            3 => Some(TruncationCause::WallClock),
+            _ => None,
+        }
+    }
+}
+
+/// Resource budgets for one supervised run. Any exceeded budget stops the
+/// run gracefully at the next polling step: partial results are collected,
+/// the manifest is marked `truncated`, and sweep aggregates exclude it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Wall-clock watchdog (nondeterministic — runs truncated by it are
+    /// not comparable across machines).
+    pub wall_clock: Option<std::time::Duration>,
+    /// Simulated-time ceiling (checked against `sim.now()`).
+    pub sim_time: Option<SimTime>,
+    /// Event-count ceiling (checked against `events_processed`).
+    pub max_events: Option<u64>,
+}
+
+impl RunBudget {
+    /// True if no budget is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.sim_time.is_none() && self.max_events.is_none()
+    }
+}
 
 /// Configuration of one cyclic-incast run.
 #[derive(Debug, Clone)]
@@ -50,6 +145,8 @@ pub struct ModesConfig {
     pub seed: u64,
     /// Hard wall-clock limit on simulated time (guards Mode-3 runs).
     pub horizon: SimTime,
+    /// Deterministic infrastructure faults injected during the run.
+    pub faults: FaultSpec,
 }
 
 impl Default for ModesConfig {
@@ -72,6 +169,7 @@ impl Default for ModesConfig {
             },
             seed: 1,
             horizon: SimTime::from_secs(30),
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -141,6 +239,10 @@ pub struct IncastRunResult {
     pub finished_at: SimTime,
     /// The ECN threshold in effect (packets), for classification.
     pub ecn_threshold_pkts: u32,
+    /// Why the run was truncated by a [`RunBudget`] guard, if it was.
+    /// Truncated results carry whatever partial data was collected and are
+    /// excluded from sweep aggregates.
+    pub truncated: Option<TruncationCause>,
     /// Event-loop wall-clock profile (events/sec, per-kind tallies).
     pub profile: LoopProfile,
 }
@@ -239,6 +341,22 @@ pub fn run_incast_with<S: Scheduler>(
     cfg: &ModesConfig,
     sink: Option<&SinkRef>,
 ) -> (IncastRunResult, RunManifest) {
+    run_incast_budgeted_with::<S>(cfg, sink, None)
+}
+
+/// [`run_incast_with`] under an optional [`RunBudget`].
+///
+/// When a budget trips, the run stops at the next polling step instead of
+/// completing: whatever bursts finished so far are collected, the result
+/// and manifest are marked `truncated` with the cause, and the supervised
+/// sweep runner excludes the run from aggregates. The sim-time and
+/// event-count guards are deterministic; the wall-clock watchdog is not
+/// and exists only to bound runaway runs.
+pub fn run_incast_budgeted_with<S: Scheduler>(
+    cfg: &ModesConfig,
+    sink: Option<&SinkRef>,
+    budget: Option<&RunBudget>,
+) -> (IncastRunResult, RunManifest) {
     assert!(cfg.num_flows > 0);
     assert!(cfg.burst_duration_ms > 0.0);
 
@@ -260,6 +378,43 @@ pub fn run_incast_with<S: Scheduler>(
     if let Some(s) = sink {
         fabric.sim.set_sink(s.clone());
         fabric.sim.enable_depth_probe(bottleneck);
+    }
+
+    // Compile the fault spec into a concrete plan against this fabric:
+    // blackholes hit the trunk, loss/corruption/ECN outages hit the
+    // bottleneck downlink, squeezes hit the shared receiver-ToR buffer,
+    // stragglers pause individual sender hosts.
+    let mut plan = FaultPlan::new();
+    if let Some((from, until)) = cfg.faults.blackhole {
+        plan = plan.blackhole(fabric.trunk, from, until);
+    }
+    if let Some((from, until, p)) = cfg.faults.loss {
+        plan = plan.lossy_window(bottleneck, from, until, p);
+    }
+    if let Some((from, until, p)) = cfg.faults.corrupt {
+        plan = plan.corrupt_window(bottleneck, from, until, p);
+    }
+    if let Some((from, until)) = cfg.faults.ecn_off {
+        plan = plan.ecn_outage(
+            bottleneck,
+            from,
+            until,
+            cfg.tor_queue.ecn_threshold_pkts,
+            cfg.tor_queue.ecn_threshold_bytes,
+        );
+    }
+    if let Some((from, until, shrunk)) = cfg.faults.buffer_shrink {
+        if let Some((total, _)) = cfg.receiver_tor_buffer {
+            plan = plan.buffer_squeeze(simnet::BufferId(0), from, until, shrunk, total);
+        }
+    }
+    if let Some((from, until, idx)) = cfg.faults.straggler {
+        let node = fabric.senders[idx as usize % fabric.senders.len()];
+        plan = plan.straggler(node, from, until);
+    }
+    let has_faults = !plan.is_empty();
+    if has_faults {
+        fabric.sim.set_fault_plan(plan);
     }
 
     // Workers.
@@ -309,8 +464,34 @@ pub fn run_incast_with<S: Scheduler>(
     // timeouts, retx_bytes).
     let mut warmup_counters: Option<(u64, u64, u64)> = None;
     let warmup = cfg.warmup_bursts as usize;
+    let mut truncated: Option<TruncationCause> = None;
+    let deadline = budget
+        .and_then(|b| b.wall_clock)
+        .map(|d| std::time::Instant::now() + d);
 
     while !coord_handle.borrow().finished() && fabric.sim.now() < cfg.horizon {
+        if let Some(b) = budget {
+            // Deterministic guards first, so a run that trips both a sim
+            // budget and the watchdog reports the reproducible cause.
+            if let Some(limit) = b.sim_time {
+                if fabric.sim.now() >= limit {
+                    truncated = Some(TruncationCause::SimTime);
+                    break;
+                }
+            }
+            if let Some(max) = b.max_events {
+                if fabric.sim.counters().events_processed >= max {
+                    truncated = Some(TruncationCause::Events);
+                    break;
+                }
+            }
+            if let Some(dl) = deadline {
+                if std::time::Instant::now() >= dl {
+                    truncated = Some(TruncationCause::WallClock);
+                    break;
+                }
+            }
+        }
         let next = (fabric.sim.now() + step).min(cfg.horizon);
         fabric.sim.run_until(next);
         if cfg.flight_sample.is_some() {
@@ -387,6 +568,10 @@ pub fn run_incast_with<S: Scheduler>(
     manifest.sim_time_ps = fabric.sim.now().as_ps();
     manifest.counters_json = fabric.sim.counters().to_json();
     manifest.scheduler = fabric.sim.scheduler_name().to_string();
+    if has_faults {
+        manifest.faults_injected = Some(fabric.sim.counters().faults_applied);
+    }
+    manifest.truncated = truncated.map(|c| c.label().to_string());
     manifest.wall_clock_us = Some(profile.wall.as_micros() as u64);
     let wall_s = profile.wall.as_secs_f64();
     if wall_s > 0.0 {
@@ -420,6 +605,7 @@ pub fn run_incast_with<S: Scheduler>(
         finished_at: fabric.sim.now(),
         ecn_threshold_pkts: cfg.tor_queue.ecn_threshold_pkts.unwrap_or(0),
         warmup_bursts: cfg.warmup_bursts,
+        truncated,
         profile,
     };
     (result, manifest)
@@ -554,5 +740,89 @@ mod tests {
         assert_eq!(bare.drops, instr.drops);
         assert_eq!(bare.marked_pkts, instr.marked_pkts);
         assert_eq!(bare.enqueued_pkts, instr.enqueued_pkts);
+    }
+
+    #[test]
+    fn fault_free_run_reports_no_faults_or_truncation() {
+        let (r, m) = run_incast_instrumented(&quick(10, 0.5, 2), None);
+        assert!(r.truncated.is_none());
+        assert_eq!(m.faults_injected, None);
+        assert_eq!(m.truncated, None);
+    }
+
+    #[test]
+    fn loss_window_injects_faults_and_stays_deterministic() {
+        let mut cfg = quick(15, 1.0, 3);
+        cfg.faults.loss = Some((SimTime::from_ms(1), SimTime::from_ms(4), 0.3));
+        let (a, ma) = run_incast_instrumented(&cfg, None);
+        let (b, mb) = run_incast_instrumented(&cfg, None);
+        // Loss/restore = 2 applied fault events.
+        assert_eq!(ma.faults_injected, Some(2));
+        assert!(ma.counters_json.contains(r#""fault_drops":"#));
+        assert!(
+            a.retx_bytes > 0,
+            "0.3 loss over 3 ms must force retransmits"
+        );
+        assert_eq!(a.bcts_ms, b.bcts_ms);
+        assert_eq!(a.retx_bytes, b.retx_bytes);
+        assert_eq!(ma.deterministic(), mb.deterministic());
+    }
+
+    #[test]
+    fn straggler_window_slows_its_burst() {
+        let healthy = run_incast(&quick(10, 1.0, 2));
+        let mut cfg = quick(10, 1.0, 2);
+        // Pause sender 3 while the first burst is still in flight; packets
+        // destined to it (ACKs, the next request) defer until resume at
+        // 40 ms, inflating that burst's completion time.
+        cfg.faults.straggler = Some((SimTime::from_us(100), SimTime::from_ms(40), 3));
+        let r = run_incast(&cfg);
+        assert!(
+            r.bcts_ms[0] > healthy.bcts_ms[0] + 10.0,
+            "straggler burst {} vs healthy {}",
+            r.bcts_ms[0],
+            healthy.bcts_ms[0]
+        );
+    }
+
+    #[test]
+    fn event_budget_truncates_gracefully() {
+        let budget = RunBudget {
+            max_events: Some(2_000),
+            ..RunBudget::default()
+        };
+        let cfg = quick(20, 2.0, 5);
+        let (r, m) = run_incast_budgeted_with::<TimingWheel>(&cfg, None, Some(&budget));
+        assert_eq!(r.truncated, Some(TruncationCause::Events));
+        assert_eq!(m.truncated.as_deref(), Some("events"));
+        // Partial data was still collected and the run ended early.
+        assert!(r.bcts_ms.len() < 5);
+        assert!(m.events_processed >= 2_000);
+    }
+
+    #[test]
+    fn sim_time_budget_truncates_before_horizon() {
+        let budget = RunBudget {
+            sim_time: Some(SimTime::from_ms(3)),
+            ..RunBudget::default()
+        };
+        let cfg = quick(20, 2.0, 5);
+        let (r, _) = run_incast_budgeted_with::<TimingWheel>(&cfg, None, Some(&budget));
+        assert_eq!(r.truncated, Some(TruncationCause::SimTime));
+        assert!(r.finished_at >= SimTime::from_ms(3));
+        assert!(r.finished_at < SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn truncation_cause_codes_round_trip() {
+        for c in [
+            TruncationCause::SimTime,
+            TruncationCause::Events,
+            TruncationCause::WallClock,
+        ] {
+            assert_eq!(TruncationCause::from_code(c.code()), Some(c));
+        }
+        assert_eq!(TruncationCause::from_code(0), None);
+        assert_eq!(TruncationCause::from_code(9), None);
     }
 }

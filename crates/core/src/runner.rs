@@ -14,13 +14,56 @@
 
 use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
+use std::fmt::Debug;
 use std::mem::MaybeUninit;
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use crate::pool::{SweepPool, Trampoline};
+
+/// Best-effort text of a panic payload (`&str` / `String`, else a marker).
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The item's `Debug` rendering, truncated so a pathological config can't
+/// blow up the panic message (the quarantine reproducer carries the full
+/// config; the payload only needs to identify the scenario).
+fn debug_key<T: Debug>(item: &T) -> String {
+    let mut s = format!("{item:?}");
+    if s.len() > 256 {
+        let mut cut = 253;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push_str("...");
+    }
+    s
+}
+
+/// Runs `f` on item `i`, re-raising any panic with the failing item's
+/// index and scenario key prepended — a sweep over hundreds of configs
+/// otherwise surfaces a bare "index out of bounds" with no hint of which
+/// scenario hit it.
+fn run_item<T: Debug, R, F: Fn(&T) -> R>(f: &F, items: &[T], i: usize) -> R {
+    match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+        Ok(r) => r,
+        Err(p) => std::panic::panic_any(format!(
+            "sweep item {i} ({}): {}",
+            debug_key(&items[i]),
+            panic_message(&*p)
+        )),
+    }
+}
 
 /// One result slot, written by exactly one worker (the one that claimed the
 /// slot's index) and read by the submitter after the job's completion latch.
@@ -42,9 +85,9 @@ struct MapCtx<'a, T, R, F> {
 /// # Safety
 /// Called with a `ctx` pointing at the matching `MapCtx` and a unique,
 /// in-bounds index per job (the pool guarantees both).
-unsafe fn map_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
+unsafe fn map_one<T: Debug, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
     let ctx = &*(ctx as *const MapCtx<'_, T, R, F>);
-    let r = (ctx.f)(&ctx.items[i]);
+    let r = run_item(ctx.f, ctx.items, i);
     (*ctx.slots[i].value.get()).write(r);
     ctx.slots[i].written.store(true, Ordering::Release);
 }
@@ -56,10 +99,11 @@ unsafe fn map_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
 /// If `f` panics on any item, the first panic's payload is re-raised on the
 /// calling thread (`std::thread::scope` alone would replace it with a
 /// generic "a scoped thread panicked"), and workers stop claiming further
-/// items.
+/// items. The payload is a `String` prefixed with the failing item's index
+/// and `Debug` key, so a sweep failure names its scenario.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
-    T: Send + Sync,
+    T: Send + Sync + Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
@@ -69,7 +113,7 @@ where
     }
     let threads = threads.max(1).min(n);
     if threads == 1 {
-        return items.iter().map(&f).collect();
+        return (0..n).map(|i| run_item(&f, &items, i)).collect();
     }
     let slots: Vec<Slot<R>> = (0..n)
         .map(|_| Slot {
@@ -126,9 +170,9 @@ struct ReduceCtx<'a, T, R, F> {
 
 /// # Safety
 /// Same contract as `map_one`.
-unsafe fn reduce_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
+unsafe fn reduce_one<T: Debug, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
     let ctx = &*(ctx as *const ReduceCtx<'_, T, R, F>);
-    let r = (ctx.map)(&ctx.items[i]);
+    let r = run_item(ctx.map, ctx.items, i);
     let mut q = ctx.chan.q.lock().expect("reduce channel");
     q.push((i, r));
     drop(q);
@@ -146,7 +190,7 @@ unsafe fn reduce_one<T, R, F: Fn(&T) -> R>(ctx: *const (), i: usize) {
 /// Panics from `map` re-raise their original payload on the caller.
 pub fn par_reduce<T, R, A, F, G>(items: Vec<T>, threads: usize, map: F, init: A, mut fold: G) -> A
 where
-    T: Send + Sync,
+    T: Send + Sync + Debug,
     R: Send,
     F: Fn(&T) -> R + Sync,
     G: FnMut(A, &T, R) -> A,
@@ -158,9 +202,9 @@ where
     let threads = threads.max(1).min(n);
     if threads == 1 {
         let mut acc = init;
-        for item in &items {
-            let r = map(item);
-            acc = fold(acc, item, r);
+        for i in 0..n {
+            let r = run_item(&map, &items, i);
+            acc = fold(acc, &items[i], r);
         }
         return acc;
     }
@@ -305,7 +349,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates_original_payload() {
+    fn worker_panic_propagates_labeled_payload() {
         let result = std::panic::catch_unwind(|| {
             par_map((0..64u64).collect::<Vec<_>>(), 4, |&x| {
                 if x == 7 {
@@ -317,8 +361,35 @@ mod tests {
         let payload = result.expect_err("par_map must panic");
         let msg = payload
             .downcast_ref::<String>()
-            .expect("original String payload lost");
-        assert_eq!(msg, "boom on item 7");
+            .expect("String payload lost");
+        assert_eq!(msg, "sweep item 7 (7): boom on item 7");
+    }
+
+    #[test]
+    fn inline_path_labels_panics_too() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(vec![10u64, 11, 12], 1, |&x| {
+                if x == 11 {
+                    panic!("inline boom");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("par_map must panic");
+        let msg = payload.downcast_ref::<String>().expect("payload lost");
+        assert_eq!(msg, "sweep item 1 (11): inline boom");
+    }
+
+    #[test]
+    fn oversized_item_keys_are_truncated() {
+        let big = vec!["x"; 300];
+        let result =
+            std::panic::catch_unwind(|| par_map(vec![big], 1, |_| -> u64 { panic!("heavy") }));
+        let msg_owner = result.expect_err("par_map must panic");
+        let msg = msg_owner.downcast_ref::<String>().expect("payload lost");
+        assert!(msg.contains("..."), "{msg}");
+        assert!(msg.ends_with(": heavy"), "{msg}");
+        assert!(msg.len() < 300, "{}", msg.len());
     }
 
     #[test]
@@ -329,8 +400,9 @@ mod tests {
             })
         });
         let payload = result.expect_err("par_map must panic");
-        let msg = payload.downcast_ref::<&str>().expect("payload lost");
-        assert_eq!(*msg, "all fail");
+        let msg = payload.downcast_ref::<String>().expect("payload lost");
+        assert!(msg.contains("all fail"), "{msg}");
+        assert!(msg.starts_with("sweep item "), "{msg}");
     }
 
     #[test]
@@ -424,7 +496,7 @@ mod tests {
         });
         let payload = result.expect_err("par_reduce must panic");
         let msg = payload.downcast_ref::<String>().expect("payload lost");
-        assert_eq!(msg, "reduce boom 9");
+        assert_eq!(msg, "sweep item 9 (9): reduce boom 9");
     }
 
     #[test]
@@ -434,6 +506,7 @@ mod tests {
                 tx_complete: 10,
                 delivery: 20,
                 timer: 5,
+                fault: 0,
             },
             wall: std::time::Duration::from_millis(100),
         };

@@ -1,0 +1,425 @@
+//! Supervised, failure-tolerant sweep execution.
+//!
+//! A plain [`crate::sweep::run_incast_sweep`] is all-or-nothing: one
+//! panicking configuration aborts the whole sweep, and one runaway run
+//! (a pathological config that never converges) holds the pool hostage.
+//! The supervisor wraps each run with
+//!
+//! - **panic isolation** — a panic in one run is caught on its worker,
+//!   recorded, and quarantined; every other run still completes and
+//!   aggregates,
+//! - **budget guards** — a [`RunBudget`] truncates runaway runs at the
+//!   next polling step; truncated runs are marked in the manifest and
+//!   excluded from aggregates,
+//! - **quarantine reproducers** — each failed or truncated run writes a
+//!   ready-to-paste `#[test]` under `target/quarantine/` that replays the
+//!   exact configuration (the `Debug` rendering of every config type in
+//!   the tree is valid construction syntax, which is what makes the
+//!   emitted source compile as-is; `tests/quarantine_reproducer.rs` pins
+//!   the emitter to a checked-in compiled copy),
+//! - **coverage accounting** — a [`RunCoverage`] reports
+//!   ran/failed/truncated/retried so a partial aggregate is never
+//!   mistaken for a complete one.
+//!
+//! Determinism: for a fixed config list and sim-side budgets, the
+//! surviving set and the aggregate digest are identical across thread
+//! counts and cache states (the wall-clock watchdog is the one
+//! intentionally nondeterministic guard).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::cache::{fnv1a64, incast_key, RunCache};
+use crate::modes::{
+    run_incast_budgeted_with, IncastRunResult, ModesConfig, RunBudget, TruncationCause,
+};
+use crate::runner::{panic_message, par_map};
+use crate::sweep::{sweep_manifest, IncastSweepAggregate};
+use millisampler::RunCoverage;
+use simnet::TimingWheel;
+use telemetry::RunManifest;
+
+/// How a supervised sweep executes its runs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Pool participants (see [`crate::runner::par_map`]).
+    pub threads: usize,
+    /// Per-run budgets; [`RunBudget::default`] means unlimited.
+    pub budget: RunBudget,
+    /// Where quarantine reproducers land; `None` disables emission.
+    pub quarantine_dir: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            threads: crate::runner::default_threads(),
+            budget: RunBudget::default(),
+            quarantine_dir: Some(PathBuf::from("target/quarantine")),
+        }
+    }
+}
+
+/// What happened to one run of a supervised sweep.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Completed within budget; the result was aggregated (and cached).
+    Completed(Arc<IncastRunResult>),
+    /// Cut short by a budget guard; partial result retained but excluded
+    /// from aggregates and never cached.
+    Truncated(TruncationCause, Box<IncastRunResult>),
+    /// Panicked; the payload text (as labeled by the runner).
+    Failed(String),
+}
+
+impl RunOutcome {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed(_) => "completed",
+            RunOutcome::Truncated(..) => "truncated",
+            RunOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Everything a supervised sweep produces.
+#[derive(Debug)]
+pub struct SupervisedSweep {
+    /// Aggregate over the surviving (completed) runs, in config order.
+    pub aggregate: IncastSweepAggregate,
+    /// Per-config outcomes, in config order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Coverage accounting over the whole sweep.
+    pub coverage: RunCoverage,
+    /// Reproducer files written for failed/truncated runs.
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl SupervisedSweep {
+    /// A sweep manifest with the coverage object attached (cleared by
+    /// [`RunManifest::deterministic`], since retry counts depend on
+    /// transient IO). When any run was truncated, the manifest is marked
+    /// with the first truncation cause.
+    pub fn manifest(&self, name: &str, seed: u64, cache: &RunCache) -> RunManifest {
+        let mut m = sweep_manifest(name, seed, &self.aggregate, 0, cache);
+        m.topology = format!(
+            "sweep:runs={}/{},threads=supervised",
+            self.coverage.ran, self.coverage.total
+        );
+        m.coverage_json = Some(self.coverage.to_json());
+        m.truncated = self.outcomes.iter().find_map(|o| match o {
+            RunOutcome::Truncated(cause, _) => Some(cause.label().to_string()),
+            _ => None,
+        });
+        m
+    }
+}
+
+/// Runs every config under supervision: panics are isolated per run,
+/// budgets truncate runaways, survivors aggregate in config order, and
+/// failures quarantine reproducers. See the module docs for the contract.
+pub fn supervised_incast_sweep(
+    cfgs: &[ModesConfig],
+    sup: &SupervisorConfig,
+    cache: &RunCache,
+) -> SupervisedSweep {
+    let retries_before = cache.stats().disk_retries;
+    let budget = (!sup.budget.is_unlimited()).then_some(&sup.budget);
+    let outcomes = par_map(cfgs.to_vec(), sup.threads, |cfg| {
+        supervised_run(cfg, cache, budget)
+    });
+
+    let mut aggregate = IncastSweepAggregate::new();
+    let mut coverage = RunCoverage {
+        total: cfgs.len() as u64,
+        ..RunCoverage::default()
+    };
+    let mut quarantined = Vec::new();
+    for (cfg, outcome) in cfgs.iter().zip(&outcomes) {
+        let cause = match outcome {
+            RunOutcome::Completed(r) => {
+                aggregate.absorb(r);
+                coverage.ran += 1;
+                None
+            }
+            RunOutcome::Truncated(cause, _) => {
+                coverage.truncated += 1;
+                Some(format!("budget exceeded: {}", cause.label()))
+            }
+            RunOutcome::Failed(msg) => {
+                coverage.failed += 1;
+                Some(format!("panic: {msg}"))
+            }
+        };
+        if let (Some(cause), Some(dir)) = (cause, sup.quarantine_dir.as_deref()) {
+            if let Some(path) = quarantine(dir, cfg, &cause) {
+                quarantined.push(path);
+            }
+        }
+    }
+    coverage.retried = cache.stats().disk_retries - retries_before;
+    SupervisedSweep {
+        aggregate,
+        outcomes,
+        coverage,
+        quarantined,
+    }
+}
+
+/// One supervised run: cache probe, then a budgeted run under
+/// `catch_unwind`. Only complete runs enter the cache.
+fn supervised_run(cfg: &ModesConfig, cache: &RunCache, budget: Option<&RunBudget>) -> RunOutcome {
+    let key = incast_key(cfg);
+    if let Some(hit) = cache.get::<IncastRunResult>(&key) {
+        return RunOutcome::Completed(hit);
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_incast_budgeted_with::<TimingWheel>(cfg, None, budget).0
+    })) {
+        Ok(r) => match r.truncated {
+            Some(cause) => RunOutcome::Truncated(cause, Box::new(r)),
+            None => RunOutcome::Completed(cache.get_or_compute(&key, move || r)),
+        },
+        Err(p) => RunOutcome::Failed(panic_message(&*p)),
+    }
+}
+
+/// Renders a failed run as a ready-to-paste `#[test]` that replays the
+/// exact configuration. The `Debug` rendering of `ModesConfig` (and every
+/// type it contains) is valid construction syntax given the glob imports
+/// below; `tests/quarantine_reproducer.rs` keeps a compiled copy of one
+/// emission and asserts the emitter still produces it byte-for-byte.
+pub fn reproducer_source(test_name: &str, cfg: &ModesConfig, cause: &str) -> String {
+    let cause = cause.replace('\n', "; ");
+    format!(
+        r#"// Quarantined by the supervised sweep runner.
+// cause: {cause}
+// Paste into crates/core/tests/<file>.rs and run:
+//   cargo test -p incast-core --test <file>
+#[test]
+fn {test_name}() {{
+    #[allow(unused_imports)]
+    use incast_core::modes::{{FaultSpec, ModesConfig}};
+    #[allow(unused_imports)]
+    use simnet::{{BufferPolicy::*, QueueConfig, SimTime}};
+    #[allow(unused_imports)]
+    use transport::{{CcaKind::*, DelayedAckConfig, PacingConfig, TcpConfig}};
+    #[allow(unused_imports)]
+    use workload::{{BurstSchedule::*, Grouping}};
+    let cfg = {cfg:?};
+    let _ = incast_core::run_incast(&cfg);
+}}
+"#
+    )
+}
+
+/// Writes the reproducer for one failed/truncated run; best effort (an
+/// unwritable quarantine dir must not fail the sweep).
+fn quarantine(dir: &Path, cfg: &ModesConfig, cause: &str) -> Option<PathBuf> {
+    let hash = fnv1a64(&incast_key(cfg));
+    let name = format!("quarantine_run_{hash:016x}");
+    let src = reproducer_source(&name, cfg, cause);
+    let path = dir.join(format!("{name}.rs"));
+    let (outcome, _retries) = stats::retry_with_backoff(
+        3,
+        std::time::Duration::from_millis(5),
+        || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(&path, &src)
+        },
+    );
+    outcome.ok().map(|_| path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn tiny(seed: u64) -> ModesConfig {
+        ModesConfig {
+            num_flows: 8,
+            burst_duration_ms: 1.0,
+            num_bursts: 2,
+            warmup_bursts: 1,
+            seed,
+            ..ModesConfig::default()
+        }
+    }
+
+    /// A config that panics inside the run: `run_incast` asserts
+    /// `burst_duration_ms > 0`.
+    fn poisoned() -> ModesConfig {
+        ModesConfig {
+            burst_duration_ms: -1.0,
+            ..tiny(99)
+        }
+    }
+
+    fn tmp_quarantine(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("incast-quarantine-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn poisoned_and_runaway_configs_do_not_abort_the_sweep() {
+        let dir = tmp_quarantine("mixed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfgs = vec![
+            tiny(1),
+            poisoned(),
+            tiny(2),
+            // Runaway: 2000 bursts can't finish inside the event budget.
+            ModesConfig {
+                num_bursts: 2000,
+                ..tiny(3)
+            },
+            tiny(4),
+        ];
+        let sup = SupervisorConfig {
+            threads: 4,
+            budget: RunBudget {
+                max_events: Some(20_000),
+                ..RunBudget::default()
+            },
+            quarantine_dir: Some(dir.clone()),
+        };
+        let cache = RunCache::in_memory();
+        let sweep = supervised_incast_sweep(&cfgs, &sup, &cache);
+
+        assert_eq!(sweep.coverage.total, 5);
+        assert_eq!(sweep.coverage.failed, 1);
+        assert_eq!(sweep.coverage.truncated, 1);
+        assert_eq!(sweep.coverage.ran, 3);
+        assert!(!sweep.coverage.complete());
+        assert_eq!(sweep.aggregate.runs, 3);
+        assert_eq!(sweep.outcomes[1].label(), "failed");
+        assert_eq!(sweep.outcomes[3].label(), "truncated");
+
+        // Both casualties left compiling reproducers behind.
+        assert_eq!(sweep.quarantined.len(), 2);
+        for p in &sweep.quarantined {
+            let src = std::fs::read_to_string(p).expect("reproducer written");
+            assert!(src.contains("#[test]"), "{src}");
+            assert!(src.contains("let cfg = ModesConfig {"), "{src}");
+        }
+        // The failed run's payload names the scenario (satellite: labeled
+        // panic payloads).
+        match &sweep.outcomes[1] {
+            RunOutcome::Failed(msg) => {
+                assert!(msg.contains("burst_duration_ms"), "{msg}")
+            }
+            o => panic!("expected failure, got {}", o.label()),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_reports_coverage_and_truncation() {
+        let dir = tmp_quarantine("manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfgs = vec![tiny(1), poisoned()];
+        let sup = SupervisorConfig {
+            threads: 2,
+            quarantine_dir: Some(dir.clone()),
+            ..SupervisorConfig::default()
+        };
+        let cache = RunCache::in_memory();
+        let sweep = supervised_incast_sweep(&cfgs, &sup, &cache);
+        let m = sweep.manifest("fault_matrix", 1, &cache);
+        let j = m.to_json();
+        assert!(
+            j.contains(r#""coverage":{"total":2,"ran":1,"failed":1"#),
+            "{j}"
+        );
+        // No truncated runs here, so no truncation marker.
+        assert!(m.truncated.is_none());
+        // Coverage depends on cache/IO state; the determinism view drops it.
+        assert!(!m.deterministic().to_json().contains("coverage"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn surviving_set_is_deterministic_across_threads() {
+        let cfgs = vec![
+            tiny(1),
+            poisoned(),
+            ModesConfig {
+                num_bursts: 2000,
+                ..tiny(2)
+            },
+            tiny(3),
+        ];
+        let digests: Vec<String> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let sup = SupervisorConfig {
+                    threads,
+                    budget: RunBudget {
+                        max_events: Some(20_000),
+                        ..RunBudget::default()
+                    },
+                    quarantine_dir: None,
+                };
+                let cache = RunCache::in_memory();
+                supervised_incast_sweep(&cfgs, &sup, &cache)
+                    .aggregate
+                    .digest()
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn completed_runs_enter_the_cache_but_truncated_ones_do_not() {
+        let cache = RunCache::in_memory();
+        let good = tiny(7);
+        let runaway = ModesConfig {
+            num_bursts: 2000,
+            ..tiny(8)
+        };
+        let sup = SupervisorConfig {
+            threads: 1,
+            budget: RunBudget {
+                max_events: Some(20_000),
+                ..RunBudget::default()
+            },
+            quarantine_dir: None,
+        };
+        supervised_incast_sweep(&[good.clone(), runaway.clone()], &sup, &cache);
+        assert!(cache.get::<IncastRunResult>(&incast_key(&good)).is_some());
+        assert!(cache
+            .get::<IncastRunResult>(&incast_key(&runaway))
+            .is_none());
+        // A second supervised pass serves the good run from cache.
+        let sweep = supervised_incast_sweep(std::slice::from_ref(&good), &sup, &cache);
+        assert_eq!(sweep.coverage.ran, 1);
+        assert!(cache.stats().hits() >= 1);
+    }
+
+    #[test]
+    fn truncated_outcome_keeps_the_partial_result() {
+        let sup = SupervisorConfig {
+            threads: 1,
+            budget: RunBudget {
+                sim_time: Some(SimTime::from_ms(2)),
+                ..RunBudget::default()
+            },
+            quarantine_dir: None,
+        };
+        let cache = RunCache::in_memory();
+        let cfgs = vec![ModesConfig {
+            num_bursts: 50,
+            ..tiny(5)
+        }];
+        let sweep = supervised_incast_sweep(&cfgs, &sup, &cache);
+        match &sweep.outcomes[0] {
+            RunOutcome::Truncated(cause, partial) => {
+                assert_eq!(*cause, TruncationCause::SimTime);
+                assert!(partial.finished_at >= SimTime::from_ms(2));
+            }
+            o => panic!("expected truncation, got {}", o.label()),
+        }
+    }
+}

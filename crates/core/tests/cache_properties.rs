@@ -98,6 +98,16 @@ fn one_field_variants() -> Vec<(&'static str, ModesConfig)> {
         c.horizon = SimTime::from_secs(31);
         c
     }));
+    v.push(("faults.straggler", {
+        let mut c = base();
+        c.faults.straggler = Some((SimTime::from_ms(1), SimTime::from_ms(5), 0));
+        c
+    }));
+    v.push(("faults.blackhole", {
+        let mut c = base();
+        c.faults.blackhole = Some((SimTime::from_ms(1), SimTime::from_ms(5)));
+        c
+    }));
     v
 }
 
@@ -272,6 +282,36 @@ fn corrupted_disk_entries_miss_instead_of_panicking() {
             "'{name}' left a bad entry behind"
         );
     }
+
+    // Mid-write kill: a writer died after creating its temp file but
+    // before the atomic rename. The stale `.tmp` must be invisible to
+    // readers (the published entry is still the pristine one), and a
+    // subsequent write must publish cleanly alongside it.
+    std::fs::write(&entry, &pristine).expect("restore entry");
+    let stale_tmp = dir.join(format!(".{:016x}.jsonl.999999.tmp", fnv1a64(&key)));
+    std::fs::write(&stale_tmp, &pristine[..pristine.len() / 3]).expect("stale tmp");
+    {
+        let cache = RunCache::with_disk(&dir);
+        let warmed = incast_core::run_incast_cached(&cfg, &cache);
+        assert_eq!(cache.stats().disk_hits, 1, "stale tmp shadowed the entry");
+        assert_eq!(warmed.bcts_ms, reference.bcts_ms);
+    }
+    // Kill the published entry too: only the half-written tmp remains.
+    // That is a miss, and the recompute republishes a valid entry.
+    std::fs::remove_file(&entry).expect("drop entry");
+    {
+        let cache = RunCache::with_disk(&dir);
+        let recomputed = incast_core::run_incast_cached(&cfg, &cache);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 0, "orphan tmp decoded as a hit");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.disk_writes, 1);
+        assert_eq!(recomputed.bcts_ms, reference.bcts_ms);
+        let strip_wall = |s: &str| s.split(",\"p_wall_ns\":").next().unwrap().to_string();
+        let republished = std::fs::read_to_string(&entry).expect("entry republished");
+        assert_eq!(strip_wall(&republished), strip_wall(&pristine));
+    }
+    let _ = std::fs::remove_file(&stale_tmp);
 
     // Invalid UTF-8 bytes (read_to_string fails entirely).
     std::fs::write(&entry, [0xFF, 0xFE, 0x00, 0xC3]).expect("inject corruption");

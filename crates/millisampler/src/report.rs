@@ -74,6 +74,47 @@ impl TraceSummary {
     }
 }
 
+/// Coverage accounting for a supervised fleet/sweep: how many of the
+/// planned runs actually contributed samples, and what happened to the
+/// rest. Aggregates (CDFs, sketches, accumulators) only ever see the `ran`
+/// subset; the counts here are what makes a partial aggregate honest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCoverage {
+    /// Runs planned.
+    pub total: u64,
+    /// Runs that completed and were aggregated.
+    pub ran: u64,
+    /// Runs that panicked (isolated; quarantined when a dir is set).
+    pub failed: u64,
+    /// Runs cut short by a budget guard (excluded from aggregates).
+    pub truncated: u64,
+    /// Transient-IO retries consumed while persisting results.
+    pub retried: u64,
+}
+
+impl RunCoverage {
+    /// True when every planned run was aggregated.
+    pub fn complete(&self) -> bool {
+        self.ran == self.total
+    }
+
+    /// Fixed-order JSON object for run manifests.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"total\":{},\"ran\":{},\"failed\":{},\"truncated\":{},\"retried\":{}}}",
+            self.total, self.ran, self.failed, self.truncated, self.retried
+        )
+    }
+
+    /// One stable human-readable line (grepped by the CI fault-matrix job).
+    pub fn summary(&self) -> String {
+        format!(
+            "coverage: ran={}/{} failed={} truncated={} retried={}",
+            self.ran, self.total, self.failed, self.truncated, self.retried
+        )
+    }
+}
+
 /// Pooled per-burst and per-trace distributions for one service.
 #[derive(Debug, Default)]
 pub struct FleetAccumulator {
@@ -169,6 +210,32 @@ mod tests {
         };
         let bursts = crate::burst::detect_bursts(&trace);
         (trace, bursts)
+    }
+
+    #[test]
+    fn coverage_renders_json_and_summary() {
+        let cov = RunCoverage {
+            total: 6,
+            ran: 4,
+            failed: 1,
+            truncated: 1,
+            retried: 2,
+        };
+        assert!(!cov.complete());
+        assert_eq!(
+            cov.to_json(),
+            r#"{"total":6,"ran":4,"failed":1,"truncated":1,"retried":2}"#
+        );
+        assert_eq!(
+            cov.summary(),
+            "coverage: ran=4/6 failed=1 truncated=1 retried=2"
+        );
+        let full = RunCoverage {
+            total: 3,
+            ran: 3,
+            ..RunCoverage::default()
+        };
+        assert!(full.complete());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use incast_core::cache::CacheValue;
 use incast_core::modes::run_incast_with;
-use incast_core::ModesConfig;
+use incast_core::{FaultSpec, ModesConfig};
 use simnet::check::Violation;
 use simnet::{BufferPolicy, EventQueue, QueueConfig, SimTime, TimingWheel};
 use stats::Rng;
@@ -38,6 +38,40 @@ pub struct BufferScenario {
     /// Dynamic Threshold alpha x100 (`Some(50)` = alpha 0.5), or `None`
     /// for a static pool.
     pub alpha_x100: Option<u32>,
+}
+
+/// Fault-injection part of a [`Scenario`]: at most one scheduled fault,
+/// with integral microsecond windows so scenarios stay `Eq` and shrink
+/// deterministically. All-`None` means a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultScenario {
+    /// Trunk blackhole over `[from_us, until_us)`.
+    pub blackhole_us: Option<(u64, u64)>,
+    /// Random trunk loss over a window, probability in per-mille.
+    pub loss_pm: Option<(u64, u64, u32)>,
+    /// Host pause (paper-style straggler) of one sender over a window.
+    pub straggler_us: Option<(u64, u64, u32)>,
+}
+
+impl FaultScenario {
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultScenario::default()
+    }
+
+    /// Length of the scheduled window in microseconds (0 when empty).
+    pub fn window_us(&self) -> u64 {
+        let span = |w: (u64, u64)| w.1.saturating_sub(w.0);
+        self.blackhole_us.map(span).unwrap_or(0)
+            + self
+                .loss_pm
+                .map(|(a, b, _)| b.saturating_sub(a))
+                .unwrap_or(0)
+            + self
+                .straggler_us
+                .map(|(a, b, _)| b.saturating_sub(a))
+                .unwrap_or(0)
+    }
 }
 
 /// One randomly generated incast scenario. The `Debug` rendering is valid
@@ -67,6 +101,8 @@ pub struct Scenario {
     pub grouping: bool,
     /// Open-loop periodic bursts instead of request-response.
     pub periodic: bool,
+    /// Scheduled fault, if any (blackhole, lossy window, or straggler).
+    pub fault: FaultScenario,
 }
 
 impl Scenario {
@@ -93,7 +129,7 @@ impl Scenario {
         } else {
             None
         };
-        Scenario {
+        let mut sc = Scenario {
             seed,
             num_flows: rng.range_u64(2, 40) as usize,
             burst_ms_x10: rng.range_u64(5, 40),
@@ -104,7 +140,29 @@ impl Scenario {
             delayed_ack: rng.chance(0.3),
             grouping: rng.chance(0.2),
             periodic: rng.chance(0.3),
+            fault: FaultScenario::default(),
+        };
+        // Fault draws come LAST so adding them did not reshuffle the
+        // scenarios older seeds generate.
+        if rng.chance(0.3) {
+            let from = rng.range_u64(50, 2_000);
+            let until = from + rng.range_u64(100, 3_000);
+            sc.fault = match rng.range_u64(0, 3) {
+                0 => FaultScenario {
+                    blackhole_us: Some((from, until)),
+                    ..FaultScenario::default()
+                },
+                1 => FaultScenario {
+                    loss_pm: Some((from, until, rng.range_u64(10, 200) as u32)),
+                    ..FaultScenario::default()
+                },
+                _ => FaultScenario {
+                    straggler_us: Some((from, until, rng.range_u64(0, sc.num_flows as u64) as u32)),
+                    ..FaultScenario::default()
+                },
+            };
         }
+        sc
     }
 
     /// The [`ModesConfig`] this scenario runs as.
@@ -159,6 +217,19 @@ impl Scenario {
             },
             seed: self.seed,
             horizon: SimTime::from_secs(5),
+            faults: {
+                let mut f = FaultSpec::default();
+                if let Some((a, b)) = self.fault.blackhole_us {
+                    f.blackhole = Some((SimTime::from_us(a), SimTime::from_us(b)));
+                }
+                if let Some((a, b, pm)) = self.fault.loss_pm {
+                    f.loss = Some((SimTime::from_us(a), SimTime::from_us(b), pm as f64 / 1000.0));
+                }
+                if let Some((a, b, idx)) = self.fault.straggler_us {
+                    f.straggler = Some((SimTime::from_us(a), SimTime::from_us(b), idx));
+                }
+                f
+            },
             ..ModesConfig::default()
         }
     }
@@ -319,6 +390,28 @@ fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
             ..*sc
         });
     }
+    if !sc.fault.is_empty() {
+        // Drop the fault entirely...
+        out.push(Scenario {
+            fault: FaultScenario::default(),
+            ..*sc
+        });
+        // ...or keep it but halve its window (strictly shorter).
+        if sc.fault.window_us() > 100 {
+            let halve = |(a, b): (u64, u64)| (a, a + (b - a) / 2);
+            out.push(Scenario {
+                fault: FaultScenario {
+                    blackhole_us: sc.fault.blackhole_us.map(halve),
+                    loss_pm: sc.fault.loss_pm.map(|(a, b, p)| (a, a + (b - a) / 2, p)),
+                    straggler_us: sc
+                        .fault
+                        .straggler_us
+                        .map(|(a, b, i)| (a, a + (b - a) / 2, i)),
+                },
+                ..*sc
+            });
+        }
+    }
     out
 }
 
@@ -401,6 +494,10 @@ mod tests {
         assert!(scs.iter().any(|s| s.grouping));
         assert!(scs.iter().any(|s| s.periodic));
         assert!(scs.iter().any(|s| s.ecn_threshold_pkts.is_none()));
+        assert!(scs.iter().any(|s| s.fault.is_empty()));
+        assert!(scs.iter().any(|s| s.fault.blackhole_us.is_some()));
+        assert!(scs.iter().any(|s| s.fault.loss_pm.is_some()));
+        assert!(scs.iter().any(|s| s.fault.straggler_us.is_some()));
         for s in &scs {
             assert!((2..=40).contains(&s.num_flows));
             assert!((5..=40).contains(&s.burst_ms_x10));
@@ -420,7 +517,6 @@ mod tests {
 
     #[test]
     fn shrink_candidates_are_strictly_smaller() {
-        let sc = Scenario::generate(5);
         let size = |s: &Scenario| {
             s.num_flows as u64
                 + s.num_bursts as u64
@@ -430,9 +526,18 @@ mod tests {
                 + s.delayed_ack as u64
                 + s.periodic as u64
                 + s.ecn_threshold_pkts.is_some() as u64
+                + (!s.fault.is_empty()) as u64
+                + s.fault.window_us()
         };
-        for cand in shrink_candidates(&sc) {
-            assert!(size(&cand) < size(&sc), "{cand:?} not smaller than {sc:?}");
+        // Cover both fault-free and faulted starting points.
+        let mut faulted = 0;
+        for seed in 0..40 {
+            let sc = Scenario::generate(seed);
+            faulted += (!sc.fault.is_empty()) as u64;
+            for cand in shrink_candidates(&sc) {
+                assert!(size(&cand) < size(&sc), "{cand:?} not smaller than {sc:?}");
+            }
         }
+        assert!(faulted > 0, "no faulted scenario in the sample");
     }
 }

@@ -67,6 +67,55 @@ fn injected_buffer_bug_is_caught_and_shrunk() {
     assert!(clean_again.is_none(), "bug off: scenario must pass again");
 }
 
+/// Fault schedules are part of the fuzzed space: flip the test-only
+/// fault-drop-miscount bug (drops on an administratively-down link bypass
+/// the global `fault_drops` counter, so packet conservation stops
+/// balancing — invisible unless a FaultPlan takes a link down), and the
+/// checker must catch it on a generated blackhole scenario and shrink it
+/// to a minimal plan that *keeps* the fault.
+#[test]
+fn injected_fault_miscount_is_caught_and_shrunk_to_a_minimal_plan() {
+    simnet::check::set_inject_fault_drop_miscount(true);
+    // Search generated scenarios for a blackhole whose window actually
+    // drops packets under the bug (the outage must overlap live traffic).
+    let (scenario, failure) = (0..300)
+        .map(Scenario::generate)
+        .filter(|s| s.fault.blackhole_us.is_some())
+        .find_map(|s| check_scenario(&s).map(|f| (s, f)))
+        .expect("some generated blackhole scenario must trip the bug");
+    let minimal = shrink(&scenario);
+    simnet::check::set_inject_fault_drop_miscount(false);
+
+    assert!(
+        failure
+            .violations
+            .iter()
+            .any(|v| v.kind == "packet_conservation"),
+        "expected a packet_conservation violation, got: {}",
+        failure.summary()
+    );
+    assert!(
+        minimal.fault.blackhole_us.is_some(),
+        "shrinking must keep the fault (dropping it removes the failure): {minimal:?}"
+    );
+    assert!(
+        minimal.fault.window_us() <= scenario.fault.window_us(),
+        "shrinking never widens the fault window"
+    );
+    assert!(
+        minimal.num_flows <= scenario.num_flows,
+        "shrinking never adds flows"
+    );
+    let test_src = reproducer(&minimal, &failure);
+    assert!(test_src.contains("fault: FaultScenario"), "{test_src}");
+
+    // Bug off: the same scenario passes again (faults alone are benign).
+    assert!(
+        check_scenario(&scenario).is_none(),
+        "bug off: faulted scenario must pass cleanly"
+    );
+}
+
 /// Conservation and drain audits also hold on a direct simnet run (not
 /// just through the incast runner).
 #[test]

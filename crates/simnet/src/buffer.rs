@@ -31,6 +31,10 @@ pub struct SharedBuffer {
     policy: BufferPolicy,
     /// Admission refusals (for diagnostics).
     pub refusals: u64,
+    /// Pending fault-injected shrink target: when a resize lands below the
+    /// current occupancy, `total_bytes` ratchets down toward this as
+    /// packets drain (so `used <= total` always holds).
+    shrink_target: Option<u64>,
 }
 
 impl SharedBuffer {
@@ -46,6 +50,23 @@ impl SharedBuffer {
             peak_bytes: 0,
             policy,
             refusals: 0,
+            shrink_target: None,
+        }
+    }
+
+    /// Resizes the pool (fault injection). Growing takes effect
+    /// immediately and cancels any pending shrink. Shrinking below the
+    /// current occupancy clamps to `used_bytes` now and ratchets the rest
+    /// of the way down as packets drain, keeping `used <= total` — the
+    /// byte-accounting audits hold through any resize schedule.
+    pub fn set_total_bytes(&mut self, target: u64) {
+        assert!(target > 0, "zero-size shared buffer resize");
+        if target >= self.used_bytes {
+            self.total_bytes = target;
+            self.shrink_target = None;
+        } else {
+            self.total_bytes = self.used_bytes;
+            self.shrink_target = Some(target);
         }
     }
 
@@ -101,6 +122,12 @@ impl SharedBuffer {
     pub fn on_dequeue(&mut self, pkt_bytes: u64) {
         debug_assert!(self.used_bytes >= pkt_bytes);
         self.used_bytes = self.used_bytes.saturating_sub(pkt_bytes);
+        if let Some(target) = self.shrink_target {
+            self.total_bytes = target.max(self.used_bytes);
+            if self.total_bytes == target {
+                self.shrink_target = None;
+            }
+        }
     }
 }
 
@@ -175,6 +202,46 @@ mod tests {
         b.on_enqueue(10);
         assert_eq!(b.peak_bytes(), 90);
         assert_eq!(b.used_bytes(), 20);
+    }
+
+    #[test]
+    fn grow_takes_effect_immediately() {
+        let mut b = SharedBuffer::new(100, BufferPolicy::StaticPool);
+        b.on_enqueue(80);
+        b.set_total_bytes(200);
+        assert_eq!(b.total_bytes(), 200);
+        assert_eq!(b.free_bytes(), 120);
+    }
+
+    #[test]
+    fn shrink_below_occupancy_ratchets_down() {
+        let mut b = SharedBuffer::new(1000, BufferPolicy::StaticPool);
+        b.on_enqueue(600);
+        b.set_total_bytes(300);
+        // Clamped to occupancy: nothing free, nothing admitted.
+        assert_eq!(b.total_bytes(), 600);
+        assert_eq!(b.free_bytes(), 0);
+        assert!(!b.admit(0, 1));
+        // Draining ratchets total toward the target...
+        b.on_dequeue(200);
+        assert_eq!(b.total_bytes(), 400);
+        // ...and pins at the target once occupancy passes below it.
+        b.on_dequeue(200);
+        assert_eq!(b.total_bytes(), 300);
+        b.on_dequeue(100);
+        assert_eq!(b.total_bytes(), 300);
+        assert_eq!(b.used_bytes(), 100);
+    }
+
+    #[test]
+    fn shrink_then_grow_cancels_ratchet() {
+        let mut b = SharedBuffer::new(1000, BufferPolicy::StaticPool);
+        b.on_enqueue(600);
+        b.set_total_bytes(100);
+        b.set_total_bytes(800);
+        assert_eq!(b.total_bytes(), 800);
+        b.on_dequeue(600);
+        assert_eq!(b.total_bytes(), 800);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum EventKind {
     Delivery { link: LinkId, slot: PacketSlot },
     /// A node timer set through [`crate::endpoint::Ctx::set_timer`].
     Timer { node: NodeId, key: u64, gen: u64 },
+    /// A scheduled fault from the run's [`crate::fault::FaultPlan`] fires;
+    /// `index` is the event's position in the plan.
+    Fault { index: u32 },
 }
 
 /// An event with its firing time and deterministic tie-break sequence.

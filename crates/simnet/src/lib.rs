@@ -42,10 +42,10 @@
 
 pub mod buffer;
 pub mod builder;
-#[cfg(feature = "check")]
 pub mod check;
 pub mod endpoint;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -62,6 +62,7 @@ pub use buffer::{BufferPolicy, SharedBuffer};
 pub use builder::NetworkBuilder;
 pub use endpoint::{Cmd, Ctx, Endpoint, IngressTap, Shared};
 pub use event::{Event, EventKind, EventQueue, Scheduler};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{BufferId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig};
 pub use node::Node;

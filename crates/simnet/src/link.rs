@@ -54,6 +54,15 @@ pub struct Link {
     pub serializing: Option<Packet>,
     /// Frames lost to fault injection.
     pub fault_drops: u64,
+    /// Fault state: link is administratively down (frames finishing
+    /// serialization are blackholed until a `LinkUp` fault).
+    pub down: bool,
+    /// Fault state: extra per-frame loss probability injected by the
+    /// active `FaultPlan` (0.0 when healthy).
+    pub fault_loss: f64,
+    /// Fault state: per-frame corruption probability injected by the
+    /// active `FaultPlan` (0.0 when healthy).
+    pub fault_corrupt: f64,
 }
 
 impl Link {
@@ -72,6 +81,9 @@ impl Link {
             shared,
             serializing: None,
             fault_drops: 0,
+            down: false,
+            fault_loss: 0.0,
+            fault_corrupt: 0.0,
         }
     }
 

@@ -157,6 +157,13 @@ impl EcnQueue {
         &self.cfg
     }
 
+    /// Overwrites the ECN marking thresholds at runtime (fault injection:
+    /// a mis-configuration window). `None`/`None` disables marking.
+    pub fn set_ecn_thresholds(&mut self, pkts: Option<u32>, bytes: Option<u64>) {
+        self.cfg.ecn_threshold_pkts = pkts;
+        self.cfg.ecn_threshold_bytes = bytes;
+    }
+
     fn would_overflow(&self, pkt: &Packet) -> bool {
         if self.bytes + pkt.wire_size as u64 > self.cfg.capacity_bytes {
             return true;
@@ -374,6 +381,25 @@ mod tests {
         );
         assert_eq!(
             q.enqueue(SimTime::ZERO, pkt(1446)),
+            EnqueueOutcome::Queued { marked: true }
+        );
+    }
+
+    #[test]
+    fn ecn_thresholds_can_be_rewritten_at_runtime() {
+        let mut q = EcnQueue::new(small_cfg()); // threshold 2 pkts
+        q.enqueue(SimTime::ZERO, pkt(100));
+        q.enqueue(SimTime::ZERO, pkt(100));
+        // Mis-configuration window: marking disabled.
+        q.set_ecn_thresholds(None, None);
+        assert_eq!(
+            q.enqueue(SimTime::ZERO, pkt(100)),
+            EnqueueOutcome::Queued { marked: false }
+        );
+        // Restored: the next arrival observes 3 queued >= 2 and is marked.
+        q.set_ecn_thresholds(Some(2), None);
+        assert_eq!(
+            q.enqueue(SimTime::ZERO, pkt(100)),
             EnqueueOutcome::Queued { marked: true }
         );
     }

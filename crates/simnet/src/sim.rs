@@ -8,6 +8,7 @@
 
 use crate::endpoint::{Cmd, Ctx, Endpoint, IngressTap};
 use crate::event::{EventKind, Scheduler};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::ids::{BufferId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::Node;
@@ -34,10 +35,14 @@ pub struct SimCounters {
     pub shared_buffer_drops: u64,
     /// Packets lost to link fault injection.
     pub fault_drops: u64,
+    /// Subset of `fault_drops` lost to injected frame corruption.
+    pub corrupt_drops: u64,
     /// Packets CE-marked at enqueue anywhere in the fabric.
     pub ecn_marked_pkts: u64,
     /// Events processed so far.
     pub events_processed: u64,
+    /// Faults applied from the run's fault plan.
+    pub faults_applied: u64,
 }
 
 impl SimCounters {
@@ -50,11 +55,24 @@ impl SimCounters {
             .u64("queue_drops", self.queue_drops)
             .u64("shared_buffer_drops", self.shared_buffer_drops)
             .u64("fault_drops", self.fault_drops)
+            .u64("corrupt_drops", self.corrupt_drops)
             .u64("ecn_marked_pkts", self.ecn_marked_pkts)
-            .u64("events_processed", self.events_processed);
+            .u64("events_processed", self.events_processed)
+            .u64("faults_applied", self.faults_applied);
         o.finish();
         out
     }
+}
+
+/// An endpoint dispatch deferred while its host is paused (a fault-plan
+/// straggler window); drained in arrival order on resume.
+#[derive(Debug)]
+enum Deferred {
+    /// A delivered packet waiting for the endpoint to wake.
+    Packet(Packet),
+    /// A timer that fired while paused; `gen` is re-checked at resume so a
+    /// timer the endpoint re-arms while draining stays lazily cancelled.
+    Timer { key: u64, gen: u64 },
 }
 
 /// The simulation engine. Build one with
@@ -86,6 +104,7 @@ pub struct Simulator<S: Scheduler = TimingWheel> {
     sink_packets: bool,
     sink_queue: bool,
     sink_buffer: bool,
+    sink_fault: bool,
     depth_probe: Vec<bool>,
     buffer_peak_emitted: Vec<u64>,
     timer_gens: HashMap<(u32, u64), u64>,
@@ -96,6 +115,11 @@ pub struct Simulator<S: Scheduler = TimingWheel> {
     tallies: EventTallies,
     wall: std::time::Duration,
     started: bool,
+    fault_plan: FaultPlan,
+    /// Per-node straggler state: while paused, endpoint dispatches are
+    /// deferred into `pending_dispatch` and drained on resume.
+    paused: Vec<bool>,
+    pending_dispatch: Vec<Vec<Deferred>>,
     #[cfg(feature = "check")]
     audit: crate::check::Audit,
 }
@@ -125,6 +149,7 @@ impl<S: Scheduler> Simulator<S> {
             sink_packets: false,
             sink_queue: false,
             sink_buffer: false,
+            sink_fault: false,
             depth_probe: vec![false; num_links],
             buffer_peak_emitted: vec![0; num_buffers],
             timer_gens: HashMap::new(),
@@ -135,6 +160,9 @@ impl<S: Scheduler> Simulator<S> {
             tallies: EventTallies::default(),
             wall: std::time::Duration::ZERO,
             started: false,
+            fault_plan: FaultPlan::default(),
+            paused: vec![false; n],
+            pending_dispatch: (0..n).map(|_| Vec::new()).collect(),
             #[cfg(feature = "check")]
             audit: crate::check::Audit::new(n, num_links, num_buffers),
         }
@@ -192,7 +220,60 @@ impl<S: Scheduler> Simulator<S> {
         self.sink_packets = sink.accepts(EventClass::Packet);
         self.sink_queue = sink.accepts(EventClass::Queue);
         self.sink_buffer = sink.accepts(EventClass::Buffer);
+        self.sink_fault = sink.accepts(EventClass::Fault);
         self.sink = Some(sink);
+    }
+
+    /// Installs the run's fault plan. Must be called before the simulation
+    /// starts; every event is validated against the topology here and
+    /// scheduled as a first-class sim event when the run begins.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install the fault plan before running");
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::LinkDown { link }
+                | FaultKind::LinkUp { link }
+                | FaultKind::SetEcnThreshold { link, .. } => {
+                    assert!(
+                        link.index() < self.links.len(),
+                        "fault targets unknown link"
+                    );
+                }
+                FaultKind::SetLinkLoss { link, probability }
+                | FaultKind::SetLinkCorrupt { link, probability } => {
+                    assert!(
+                        link.index() < self.links.len(),
+                        "fault targets unknown link"
+                    );
+                    assert!(
+                        (0.0..=1.0).contains(&probability),
+                        "fault probability out of range"
+                    );
+                }
+                FaultKind::BufferResize {
+                    buffer,
+                    total_bytes,
+                } => {
+                    assert!(
+                        buffer.index() < self.buffers.len(),
+                        "fault targets unknown buffer"
+                    );
+                    assert!(total_bytes > 0, "fault resizes buffer to zero");
+                }
+                FaultKind::HostPause { node } | FaultKind::HostResume { node } => {
+                    assert!(
+                        node.index() < self.nodes.len() && self.nodes[node.index()].is_host(),
+                        "pause/resume faults target hosts"
+                    );
+                }
+            }
+        }
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The attached telemetry sink, if any (for handing to endpoints).
@@ -319,6 +400,13 @@ impl<S: Scheduler> Simulator<S> {
             return;
         }
         self.started = true;
+        // Fault events enter the schedule before any endpoint's start-up
+        // traffic, giving them the earliest tie-break sequence numbers at
+        // their firing times — the plan order is part of the run's identity.
+        for (i, ev) in self.fault_plan.events.iter().enumerate() {
+            self.events
+                .schedule(ev.at, EventKind::Fault { index: i as u32 });
+        }
         for idx in 0..self.nodes.len() {
             if self.endpoints[idx].is_some() {
                 self.dispatch_endpoint(NodeId(idx as u32), |ep, ctx| ep.on_start(ctx));
@@ -389,8 +477,80 @@ impl<S: Scheduler> Simulator<S> {
                 self.tallies.timer += 1;
                 self.on_timer(node, key, gen);
             }
+            EventKind::Fault { index } => {
+                self.tallies.fault += 1;
+                self.apply_fault(index);
+            }
         }
         true
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Applies one scheduled fault from the installed plan, mutating
+    /// network state and recording the application in counters and (when a
+    /// fault-subscribing sink is attached) telemetry. Packet-level
+    /// consequences flow through the ordinary event loop, so conservation
+    /// audits stay valid under any plan.
+    fn apply_fault(&mut self, index: u32) {
+        let ev = self.fault_plan.events[index as usize];
+        self.counters.faults_applied += 1;
+        match ev.kind {
+            FaultKind::LinkDown { link } => self.links[link.index()].down = true,
+            FaultKind::LinkUp { link } => self.links[link.index()].down = false,
+            FaultKind::SetLinkLoss { link, probability } => {
+                self.links[link.index()].fault_loss = probability;
+            }
+            FaultKind::SetLinkCorrupt { link, probability } => {
+                self.links[link.index()].fault_corrupt = probability;
+            }
+            FaultKind::SetEcnThreshold { link, pkts, bytes } => {
+                self.links[link.index()]
+                    .queue
+                    .set_ecn_thresholds(pkts, bytes);
+            }
+            FaultKind::BufferResize {
+                buffer,
+                total_bytes,
+            } => {
+                self.buffers[buffer.index()].set_total_bytes(total_bytes);
+            }
+            FaultKind::HostPause { node } => self.paused[node.index()] = true,
+            FaultKind::HostResume { node } => {
+                self.paused[node.index()] = false;
+                let pending = std::mem::take(&mut self.pending_dispatch[node.index()]);
+                for d in pending {
+                    if self.endpoints[node.index()].is_none() {
+                        break;
+                    }
+                    match d {
+                        Deferred::Packet(pkt) => {
+                            self.dispatch_endpoint(node, |ep, ctx| ep.on_packet(ctx, pkt));
+                        }
+                        Deferred::Timer { key, gen } => {
+                            // Re-check lazily: a packet drained just above
+                            // may have re-armed or cancelled this timer.
+                            let current = self.timer_gens.get(&(node.0, key)).copied();
+                            if current == Some(gen) {
+                                self.dispatch_endpoint(node, |ep, ctx| ep.on_timer(ctx, key));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.sink_fault {
+            if let Some(s) = &self.sink {
+                s.emit(&telemetry::Event {
+                    t_ps: self.now.as_ps(),
+                    kind: telemetry::EventKind::Fault {
+                        index,
+                        kind: ev.kind.label(),
+                        target: ev.kind.target(),
+                    },
+                });
+            }
+        }
     }
 
     // ---- link machinery -------------------------------------------------
@@ -479,10 +639,24 @@ impl<S: Scheduler> Simulator<S> {
             .take()
             .expect("TxComplete with no frame on the wire");
         let prop = link.cfg.propagation;
-        let lose = link.cfg.loss_probability > 0.0 && self.rng.chance(link.cfg.loss_probability);
-        if lose {
+        // Healthy links with no configured loss take none of the RNG draws
+        // below, so installing (or omitting) an empty fault plan cannot
+        // perturb a run's random sequence.
+        let down = link.down;
+        let lose = down
+            || (link.cfg.loss_probability > 0.0 && self.rng.chance(link.cfg.loss_probability))
+            || (link.fault_loss > 0.0 && self.rng.chance(link.fault_loss));
+        let corrupt = !lose && link.fault_corrupt > 0.0 && self.rng.chance(link.fault_corrupt);
+        if lose || corrupt {
             link.fault_drops += 1;
-            self.counters.fault_drops += 1;
+            if corrupt {
+                self.counters.corrupt_drops += 1;
+            }
+            // Injected bug (check feature, simcheck only): drops on a downed
+            // link miss the global counter, breaking packet conservation.
+            if !(down && crate::check::inject_fault_drop_miscount()) {
+                self.counters.fault_drops += 1;
+            }
             if self.sink_packets {
                 if let Some(s) = &self.sink {
                     s.emit(&telemetry::Event {
@@ -490,7 +664,11 @@ impl<S: Scheduler> Simulator<S> {
                         kind: telemetry::EventKind::PktDrop {
                             link: link_id.0,
                             pkt: trace::packet_info(&pkt),
-                            reason: telemetry::DropCause::Fault,
+                            reason: if corrupt {
+                                telemetry::DropCause::Corrupt
+                            } else {
+                                telemetry::DropCause::Fault
+                            },
                         },
                     });
                 }
@@ -535,7 +713,13 @@ impl<S: Scheduler> Simulator<S> {
                     tap.on_packet(self.now, &pkt);
                 }
                 if self.endpoints[dst.index()].is_some() {
-                    self.dispatch_endpoint(dst, |ep, ctx| ep.on_packet(ctx, pkt));
+                    if self.paused[dst.index()] {
+                        // Straggler window: the NIC received the packet
+                        // (counted above), but the software is stalled.
+                        self.pending_dispatch[dst.index()].push(Deferred::Packet(pkt));
+                    } else {
+                        self.dispatch_endpoint(dst, |ep, ctx| ep.on_packet(ctx, pkt));
+                    }
                 }
             }
         }
@@ -549,7 +733,11 @@ impl<S: Scheduler> Simulator<S> {
             return; // superseded or cancelled
         }
         if self.endpoints[node.index()].is_some() {
-            self.dispatch_endpoint(node, |ep, ctx| ep.on_timer(ctx, key));
+            if self.paused[node.index()] {
+                self.pending_dispatch[node.index()].push(Deferred::Timer { key, gen });
+            } else {
+                self.dispatch_endpoint(node, |ep, ctx| ep.on_timer(ctx, key));
+            }
         }
     }
 
@@ -1182,6 +1370,170 @@ mod tests {
             .collect();
         assert_eq!(faults.len(), 2);
         assert!(faults[0].contains(r#""ev":"pkt_drop""#));
+    }
+
+    #[test]
+    fn blackhole_window_drops_then_recovers() {
+        // a->sw is LinkId(0); 1500 B at 10 Gbps serializes in 1.2 us, so
+        // back-to-back completions land at 1.2, 2.4, 3.6, 4.8, 6.0 us. A
+        // [0, 3 us) blackhole eats exactly the first two frames.
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 5,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.set_fault_plan(FaultPlan::new().blackhole(
+            LinkId(0),
+            SimTime::ZERO,
+            SimTime::from_us(3),
+        ));
+        sim.run();
+        assert_eq!(sim.counters().fault_drops, 2);
+        assert_eq!(sim.counters().corrupt_drops, 0);
+        assert_eq!(sim.counters().delivered_pkts, 3);
+        assert_eq!(sim.counters().faults_applied, 2);
+        assert_eq!(log.borrow().len(), 3);
+    }
+
+    #[test]
+    fn corrupt_window_counts_as_corrupt_subset() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 5,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_fault_plan(FaultPlan::new().corrupt_window(
+            LinkId(0),
+            SimTime::ZERO,
+            SimTime::from_ms(1),
+            1.0,
+        ));
+        sim.run();
+        assert_eq!(sim.counters().corrupt_drops, 5);
+        // Corrupt drops are a subset of fault drops (conservation holds).
+        assert_eq!(sim.counters().fault_drops, 5);
+        assert_eq!(sim.counters().delivered_pkts, 0);
+    }
+
+    #[test]
+    fn host_pause_defers_dispatch_until_resume() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 3,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+        sim.set_fault_plan(FaultPlan::new().straggler(c, SimTime::ZERO, SimTime::from_us(100)));
+        sim.run();
+        // The NIC received everything during the pause...
+        assert_eq!(sim.counters().delivered_pkts, 3);
+        // ...but the endpoint saw all of it at the resume instant, in order.
+        let delivered = log.borrow();
+        assert_eq!(delivered.len(), 3);
+        for (t, _) in delivered.iter() {
+            assert_eq!(*t, SimTime::from_us(100));
+        }
+        assert!(delivered[0].1 < delivered[1].1 && delivered[1].1 < delivered[2].1);
+    }
+
+    #[test]
+    fn fault_events_reach_sink() {
+        let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        let (jsonl, sref) = telemetry::JsonlSink::new().shared();
+        sim.set_sink(sref);
+        sim.set_endpoint(
+            a,
+            Box::new(Blaster {
+                peer: c,
+                count: 1,
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_endpoint(
+            c,
+            Box::new(Sink {
+                log: Rc::new(RefCell::new(Vec::new())),
+            }),
+        );
+        sim.set_fault_plan(FaultPlan::new().blackhole(
+            LinkId(1),
+            SimTime::from_us(50),
+            SimTime::from_us(60),
+        ));
+        sim.run();
+        let out = jsonl.borrow().render().to_string();
+        let faults: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains(r#""ev":"fault""#))
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert!(faults[0].contains(r#""kind":"link_down""#), "{}", faults[0]);
+        assert!(faults[1].contains(r#""kind":"link_up""#), "{}", faults[1]);
+        assert!(faults[0].contains(r#""target":1"#), "{}", faults[0]);
+        let js = sim.counters().to_json();
+        assert!(js.contains(r#""faults_applied":2"#), "{js}");
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let run = || {
+            let (mut sim, a, c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            sim.set_endpoint(
+                a,
+                Box::new(Blaster {
+                    peer: c,
+                    count: 20,
+                    log: Rc::new(RefCell::new(Vec::new())),
+                }),
+            );
+            sim.set_endpoint(c, Box::new(Sink { log: log.clone() }));
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .lossy_window(LinkId(0), SimTime::ZERO, SimTime::from_us(10), 0.5)
+                    .blackhole(LinkId(0), SimTime::from_us(12), SimTime::from_us(15)),
+            );
+            sim.run();
+            let v = log.borrow().clone();
+            (
+                v,
+                sim.counters().events_processed,
+                sim.counters().fault_drops,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic]
+    fn fault_plan_rejects_unknown_link() {
+        let (mut sim, _a, _c) = two_hosts(Rate::gbps(10), SimTime::from_us(1));
+        sim.set_fault_plan(FaultPlan::new().blackhole(
+            LinkId(99),
+            SimTime::ZERO,
+            SimTime::from_us(1),
+        ));
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! - [`Histogram`]: simple linear-bucket histograms,
 //! - [`QuantileSketch`]: mergeable fixed-memory quantile sketches for
 //!   streaming sweep aggregation,
-//! - [`summary`]: scalar summary statistics (mean, variance, percentiles).
+//! - [`summary`]: scalar summary statistics (mean, variance, percentiles),
+//! - [`retry_with_backoff`]: bounded retry for transient IO in the sweep
+//!   machinery.
 
 pub mod cdf;
 pub mod dist;
 pub mod histogram;
+pub mod retry;
 pub mod rng;
 pub mod sketch;
 pub mod summary;
@@ -28,6 +31,7 @@ pub mod timeseries;
 pub use cdf::Cdf;
 pub use dist::Dist;
 pub use histogram::Histogram;
+pub use retry::retry_with_backoff;
 pub use rng::Rng;
 pub use sketch::QuantileSketch;
 pub use summary::Summary;

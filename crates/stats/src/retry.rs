@@ -1,0 +1,88 @@
+//! Bounded retry with exponential backoff.
+//!
+//! Shared by the run cache's disk writes and the supervised sweep runner:
+//! transient IO errors (a concurrently-created directory, a filesystem
+//! momentarily out of handles, an antivirus scanner holding a lock) are
+//! worth a couple of short-delay retries; persistent errors should fail
+//! fast and let the caller degrade gracefully.
+
+use std::time::Duration;
+
+/// Calls `op` up to `attempts` times, sleeping `base * 2^i` after the
+/// `i`-th failure. Returns the first `Ok` (or the last `Err`) together
+/// with the number of retries consumed — 0 when the first attempt
+/// succeeded, so callers can count "writes that needed a retry".
+///
+/// `attempts` is clamped to at least 1; the backoff sleep is skipped after
+/// the final failure.
+pub fn retry_with_backoff<T, E>(
+    attempts: u32,
+    base: Duration,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> (Result<T, E>, u64) {
+    let attempts = attempts.max(1);
+    let mut retries = 0u64;
+    loop {
+        match op() {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) => {
+                if retries as u32 + 1 >= attempts {
+                    return (Err(e), retries);
+                }
+                std::thread::sleep(base * 2u32.saturating_pow(retries as u32));
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_costs_no_retries() {
+        let (r, retries) = retry_with_backoff(3, Duration::ZERO, || Ok::<_, ()>(42));
+        assert_eq!(r, Ok(42));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        let mut calls = 0;
+        let (r, retries) = retry_with_backoff(3, Duration::ZERO, || {
+            calls += 1;
+            if calls < 3 {
+                Err("flaky")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(3));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn persistent_failure_returns_last_error_after_budget() {
+        let mut calls = 0;
+        let (r, retries) = retry_with_backoff(3, Duration::ZERO, || -> Result<(), _> {
+            calls += 1;
+            Err(calls)
+        });
+        assert_eq!(r, Err(3));
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let mut calls = 0;
+        let (r, retries) = retry_with_backoff(0, Duration::ZERO, || -> Result<(), _> {
+            calls += 1;
+            Err(())
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(retries, 0);
+    }
+}

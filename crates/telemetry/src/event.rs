@@ -25,6 +25,9 @@ pub enum EventClass {
     App,
     /// Flushed metric values.
     Metric,
+    /// Injected infrastructure faults (link flaps, buffer resizes, host
+    /// pauses) from a simulation's fault plan.
+    Fault,
 }
 
 /// Payload details of a traced packet.
@@ -81,6 +84,9 @@ pub enum DropCause {
     SharedBuffer,
     /// Link fault injection lost the frame on the wire.
     Fault,
+    /// Link fault injection corrupted the frame (dropped at the receiver
+    /// as an FCS failure).
+    Corrupt,
 }
 
 impl DropCause {
@@ -90,6 +96,7 @@ impl DropCause {
             DropCause::QueueFull => "queue_full",
             DropCause::SharedBuffer => "shared_buffer",
             DropCause::Fault => "fault",
+            DropCause::Corrupt => "corrupt",
         }
     }
 }
@@ -230,6 +237,16 @@ pub enum EventKind {
         /// Burst completion time in milliseconds.
         bct_ms: f64,
     },
+    /// A scheduled infrastructure fault fired (see the simulator's
+    /// `FaultPlan`).
+    Fault {
+        /// Position of the fault in its plan.
+        index: u32,
+        /// Stable fault-kind label ("link_down", "buffer_resize", …).
+        kind: &'static str,
+        /// Index of the targeted entity (link, buffer, or node).
+        target: u64,
+    },
     /// A flushed metric value (see [`crate::MetricsRegistry`]).
     Metric {
         /// Owning component ("link", "flow", "sim", …).
@@ -264,6 +281,7 @@ impl Event {
             EventKind::BufferWatermark { .. } => EventClass::Buffer,
             EventKind::FlowWindow { .. } => EventClass::Flow,
             EventKind::BurstStart { .. } | EventKind::BurstEnd { .. } => EventClass::App,
+            EventKind::Fault { .. } => EventClass::Fault,
             EventKind::Metric { .. } => EventClass::Metric,
         }
     }
@@ -380,6 +398,16 @@ impl Event {
                     .u64("burst", *burst as u64)
                     .f64("bct_ms", *bct_ms);
             }
+            EventKind::Fault {
+                index,
+                kind,
+                target,
+            } => {
+                o.str("ev", "fault")
+                    .u64("index", *index as u64)
+                    .str("kind", kind)
+                    .u64("target", *target);
+            }
             EventKind::Metric {
                 component,
                 name,
@@ -479,10 +507,29 @@ mod tests {
     }
 
     #[test]
+    fn fault_event_serializes_and_classes() {
+        let ev = Event {
+            t_ps: 5_000_000,
+            kind: EventKind::Fault {
+                index: 2,
+                kind: "link_down",
+                target: 4,
+            },
+        };
+        assert_eq!(ev.class(), EventClass::Fault);
+        assert_eq!(ev.flow(), None);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"t":5000000,"ev":"fault","index":2,"kind":"link_down","target":4}"#
+        );
+    }
+
+    #[test]
     fn drop_reasons_and_states_have_stable_labels() {
         assert_eq!(DropCause::QueueFull.label(), "queue_full");
         assert_eq!(DropCause::SharedBuffer.label(), "shared_buffer");
         assert_eq!(DropCause::Fault.label(), "fault");
+        assert_eq!(DropCause::Corrupt.label(), "corrupt");
         assert_eq!(FlowState::Backoff.label(), "backoff");
         assert_eq!(WindowTrigger::FastRetransmit.label(), "fast_retx");
     }

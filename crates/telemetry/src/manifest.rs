@@ -53,6 +53,21 @@ pub struct RunManifest {
     /// out; `Some(0)` is a clean checked run. Deterministic for a fixed
     /// seed, so it survives [`RunManifest::deterministic`].
     pub invariant_violations: Option<u64>,
+    /// Faults applied from the run's fault plan. `None` when the run had no
+    /// plan installed; deterministic for a fixed seed + plan, so it survives
+    /// [`RunManifest::deterministic`].
+    pub faults_injected: Option<u64>,
+    /// Why the run was cut short by a budget guard ("sim_time", "events",
+    /// or "wall_clock"), if it was. Truncated runs are excluded from sweep
+    /// aggregates. Deterministic for the sim-side causes, so it survives
+    /// [`RunManifest::deterministic`] (wall-clock truncation makes the whole
+    /// run nondeterministic anyway — such runs should never be compared).
+    pub truncated: Option<String>,
+    /// Pre-rendered JSON of supervised-sweep coverage counts
+    /// (ran/failed/truncated/retried). Retry counts depend on transient IO,
+    /// so like `cache_json` it is omitted when `None` and cleared by
+    /// [`RunManifest::deterministic`].
+    pub coverage_json: Option<String>,
 }
 
 impl RunManifest {
@@ -108,6 +123,12 @@ impl RunManifest {
         if let Some(v) = self.invariant_violations {
             o.u64("invariant_violations", v);
         }
+        if let Some(f) = self.faults_injected {
+            o.u64("faults_injected", f);
+        }
+        if let Some(cause) = &self.truncated {
+            o.str("truncated", cause);
+        }
         if let Some(us) = self.wall_clock_us {
             o.u64("wall_clock_us", us);
         }
@@ -116,6 +137,9 @@ impl RunManifest {
         }
         if let Some(cache) = &self.cache_json {
             o.raw("cache", cache);
+        }
+        if let Some(cov) = &self.coverage_json {
+            o.raw("coverage", cov);
         }
         o.finish();
         out
@@ -128,6 +152,7 @@ impl RunManifest {
         m.wall_clock_us = None;
         m.events_per_sec = None;
         m.cache_json = None;
+        m.coverage_json = None;
         m
     }
 }
@@ -201,6 +226,33 @@ mod tests {
             .deterministic()
             .to_json()
             .contains(r#""invariant_violations":0"#));
+    }
+
+    #[test]
+    fn faults_and_truncation_render_and_survive_deterministic() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("faults_injected"));
+        assert!(!m.to_json().contains("truncated"));
+        m.faults_injected = Some(6);
+        m.truncated = Some("events".to_string());
+        assert!(m.to_json().contains(r#""faults_injected":6"#));
+        assert!(m.to_json().contains(r#""truncated":"events""#));
+        // Both are functions of the run's inputs, so the determinism view
+        // keeps them.
+        let det = m.deterministic();
+        assert_eq!(det.faults_injected, Some(6));
+        assert_eq!(det.truncated.as_deref(), Some("events"));
+    }
+
+    #[test]
+    fn coverage_json_is_omitted_when_none_and_cleared_by_deterministic() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("coverage"));
+        m.coverage_json = Some(r#"{"total":4,"ran":3,"failed":1}"#.to_string());
+        assert!(m
+            .to_json()
+            .ends_with(r#""coverage":{"total":4,"ran":3,"failed":1}}"#));
+        assert!(!m.deterministic().to_json().contains("coverage"));
     }
 
     #[test]

@@ -16,12 +16,14 @@ pub struct EventTallies {
     pub delivery: u64,
     /// Endpoint timers.
     pub timer: u64,
+    /// Scheduled fault-plan events.
+    pub fault: u64,
 }
 
 impl EventTallies {
     /// Total events across kinds.
     pub fn total(&self) -> u64 {
-        self.tx_complete + self.delivery + self.timer
+        self.tx_complete + self.delivery + self.timer + self.fault
     }
 }
 
@@ -60,6 +62,7 @@ impl LoopProfile {
         self.tallies.tx_complete += other.tallies.tx_complete;
         self.tallies.delivery += other.tallies.delivery;
         self.tallies.timer += other.tallies.timer;
+        self.tallies.fault += other.tallies.fault;
         self.wall += other.wall;
     }
 
@@ -96,8 +99,9 @@ mod tests {
             tx_complete: 1,
             delivery: 2,
             timer: 3,
+            fault: 4,
         };
-        assert_eq!(t.total(), 6);
+        assert_eq!(t.total(), 10);
     }
 
     #[test]
@@ -108,7 +112,7 @@ mod tests {
             tallies: EventTallies {
                 tx_complete: 500,
                 delivery: 500,
-                timer: 0,
+                ..Default::default()
             },
             wall: Duration::from_millis(500),
         };
@@ -122,6 +126,7 @@ mod tests {
                 tx_complete: 1,
                 delivery: 2,
                 timer: 3,
+                fault: 1,
             },
             wall: Duration::from_millis(10),
         };
@@ -130,11 +135,12 @@ mod tests {
                 tx_complete: 10,
                 delivery: 20,
                 timer: 30,
+                fault: 2,
             },
             wall: Duration::from_millis(90),
         };
         a.merge(&b);
-        assert_eq!(a.events(), 66);
+        assert_eq!(a.events(), 69);
         assert_eq!(a.wall, Duration::from_millis(100));
     }
 
@@ -143,8 +149,7 @@ mod tests {
         let mk = |events: u64, ms: u64| LoopProfile {
             tallies: EventTallies {
                 tx_complete: events,
-                delivery: 0,
-                timer: 0,
+                ..Default::default()
             },
             wall: Duration::from_millis(ms),
         };

@@ -12,7 +12,7 @@
 //! - consecutive unanswered RTOs back off exponentially (the sender's
 //!   `on_rto` path), each firing exactly once at its backed-off deadline.
 
-use simnet::{build_dumbbell, FlowId, NodeId, Packet, PacketKind, Shared, SimTime};
+use simnet::{build_dumbbell, FaultPlan, FlowId, NodeId, Packet, PacketKind, Shared, SimTime};
 use transport::{DelayedAckConfig, TcpApi, TcpApp, TcpConfig, TcpHost};
 
 const MSS: u64 = 1446;
@@ -304,6 +304,102 @@ fn two_dup_acks_stay_below_the_fast_retransmit_threshold() {
         s.stats().timeouts,
         1,
         "below the dupACK threshold, only the RTO can repair the hole"
+    );
+}
+
+/// Trunk blackholed by a scheduled fault while the transfer is mid-flight:
+/// the ACK clock stops and consecutive RTOs back off from the 200 ms floor
+/// but never past `max_rto` — the gap sequence doubles then *caps*. The
+/// congestion window must hold its one-segment floor through every reset.
+#[test]
+fn blackhole_rto_backoff_caps_at_max_rto_and_cwnd_floor_holds() {
+    let cfg = TcpConfig {
+        max_rto: SimTime::from_ms(800),
+        ..TcpConfig::default()
+    };
+    let (mut f, tx, _rx) = one_flow_fabric_cfg(cfg, 4000 * MSS, 41);
+    // Cut the trunk 1 ms in (mid-flight, RTT samples exist so the base
+    // RTO sits on the 200 ms floor); restore it at 5 s.
+    f.sim.set_fault_plan(FaultPlan::new().blackhole(
+        f.trunk,
+        SimTime::from_ms(1),
+        SimTime::from_secs(5),
+    ));
+
+    let mut fires = Vec::new();
+    let mut last = 0u64;
+    for ms in 1..=4999 {
+        f.sim.run_until(SimTime::from_ms(ms));
+        let host = tx.borrow();
+        let (_, s) = host.core().senders().next().expect("sender exists");
+        assert!(
+            s.cwnd() >= MSS,
+            "cwnd fell below the one-segment floor at {ms} ms: {s:?}"
+        );
+        let t = s.stats().timeouts;
+        assert!(
+            t <= last + 1,
+            "two RTO fires within one 1 ms step at {ms} ms"
+        );
+        if t > last {
+            fires.push(ms);
+            last = t;
+        }
+    }
+    assert!(
+        fires.len() >= 4,
+        "expected a capped backoff train during the 5 s outage: {fires:?}"
+    );
+    let gaps: Vec<u64> = fires.windows(2).map(|w| w[1] - w[0]).collect();
+    assert_eq!(gaps[0], 400, "first re-arm must double the 200 ms floor");
+    assert!(
+        gaps[1..].iter().all(|&g| g == 800),
+        "backoff must cap at max_rto (800 ms): gaps {gaps:?}"
+    );
+}
+
+/// The link comes back up and the connection *recovers*: the next RTO
+/// retransmission gets through, the ACK clock restarts, and the transfer
+/// completes — with the conformance oracle confirming no accounting
+/// invariant (packet conservation, queue/buffer shadows) broke across the
+/// outage. The blackholed packets themselves are visible as fault drops.
+#[test]
+fn transfer_recovers_after_blackhole_link_up_without_oracle_violations() {
+    simnet::check::reset();
+    // Big enough (~4.6 ms of wire time) to still be mid-flight at the cut.
+    let demand = 4000 * MSS;
+    let cfg = TcpConfig {
+        max_rto: SimTime::from_secs(2),
+        ..TcpConfig::default()
+    };
+    let (mut f, tx, _rx) = one_flow_fabric_cfg(cfg, demand, 43);
+    f.sim.set_fault_plan(FaultPlan::new().blackhole(
+        f.trunk,
+        SimTime::from_ms(1),
+        SimTime::from_ms(700),
+    ));
+    f.sim.run();
+
+    let host = tx.borrow();
+    let (_, s) = host.core().senders().next().expect("sender exists");
+    assert!(s.is_idle(), "transfer never recovered after link-up: {s:?}");
+    assert_eq!(s.stats().bytes_acked, demand);
+    assert!(s.stats().timeouts >= 1, "the outage never tripped the RTO");
+    assert!(!s.in_recovery());
+    assert!(
+        f.sim.counters().fault_drops > 0,
+        "the blackhole never dropped anything"
+    );
+    assert_eq!(
+        f.sim.counters().faults_applied,
+        2,
+        "down + up must both apply"
+    );
+    assert_eq!(
+        simnet::check::violation_count(),
+        0,
+        "conformance oracle violations across the outage: {:?}",
+        simnet::check::take()
     );
 }
 

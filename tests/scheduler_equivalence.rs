@@ -66,6 +66,55 @@ fn wheel_and_heap_emit_byte_identical_jsonl_for_seeded_configs() {
     assert!(compared >= 10, "need 10+ seeded configurations");
 }
 
+/// Scheduled faults are ordinary events and must not perturb scheduler
+/// equivalence: with a blackhole, a lossy window, an ECN outage, or a
+/// straggler pause in play, wheel and heap still emit byte-identical
+/// telemetry (fault events included), manifests, and completions.
+#[test]
+fn wheel_and_heap_agree_byte_for_byte_under_scheduled_faults() {
+    use incast_bursts::simnet::SimTime as T;
+    let mut faulted: Vec<ModesConfig> = Vec::new();
+    let base = |seed: u64| ModesConfig {
+        num_flows: 8,
+        burst_duration_ms: 0.5,
+        num_bursts: 2,
+        warmup_bursts: 0,
+        seed,
+        ..ModesConfig::default()
+    };
+    let mut c = base(3);
+    c.faults.blackhole = Some((T::from_us(100), T::from_ms(1)));
+    faulted.push(c);
+    let mut c = base(5);
+    c.faults.loss = Some((T::from_us(50), T::from_ms(2), 0.08));
+    faulted.push(c);
+    let mut c = base(7);
+    c.faults.ecn_off = Some((T::from_us(50), T::from_ms(2)));
+    faulted.push(c);
+    let mut c = base(11);
+    c.faults.straggler = Some((T::from_us(100), T::from_ms(5), 2));
+    faulted.push(c);
+
+    for cfg in &faulted {
+        let (stream_w, manifest_w, bcts_w) = run_with::<TimingWheel>(cfg);
+        let (stream_h, manifest_h, bcts_h) = run_with::<EventQueue>(cfg);
+        assert!(
+            stream_w.contains("\"fault\""),
+            "no fault events in the telemetry stream: {:?}",
+            cfg.faults
+        );
+        assert_eq!(stream_w, stream_h, "JSONL diverged for {:?}", cfg.faults);
+        assert_eq!(
+            manifest_w, manifest_h,
+            "manifests diverged for {:?}",
+            cfg.faults
+        );
+        assert_eq!(bcts_w, bcts_h, "completions diverged for {:?}", cfg.faults);
+        // The faults really applied (and are part of the compared bytes).
+        assert!(manifest_w.contains("\"faults_injected\":"), "{manifest_w}");
+    }
+}
+
 /// Full simnet-layer observables for a seeded random topology under
 /// scheduler `S`: the complete packet trace, the counters JSON, the event
 /// tallies, and the final simulated time.
