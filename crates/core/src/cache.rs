@@ -113,11 +113,23 @@ impl CacheStats {
         self.mem_hits + self.disk_hits
     }
 
+    /// Fraction of lookups served from either layer, in `[0, 1]`; `0.0`
+    /// before any lookup has happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits() + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
     /// Renders as a JSON object (for run manifests).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let mut o = Obj::new(&mut out);
         o.u64("hits", self.hits())
+            .f64("hit_rate", self.hit_rate())
             .u64("mem_hits", self.mem_hits)
             .u64("disk_hits", self.disk_hits)
             .u64("misses", self.misses)
@@ -707,6 +719,14 @@ mod tests {
         assert_eq!(s.disk_hits, 0);
         assert_eq!(s.entries, 1);
         assert!(s.summary().contains("hits=2"));
+        // 2 hits over 3 lookups.
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12, "{}", s.hit_rate());
+        let j = s.to_json();
+        assert!(
+            j.starts_with(r#"{"hits":2,"hit_rate":0.6666666666666666"#),
+            "{j}"
+        );
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use cache::RunCache;
 pub use modes::{
     run_incast, FaultSpec, IncastRunResult, ModesConfig, OperatingMode, RunBudget, TruncationCause,
 };
+pub use pool::PoolStats;
 pub use runner::{default_threads, par_map, par_reduce};
 pub use supervisor::{supervised_incast_sweep, RunOutcome, SupervisedSweep, SupervisorConfig};
 pub use sweep::{run_incast_cached, run_incast_sweep, IncastSweepAggregate};

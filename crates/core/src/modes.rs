@@ -360,6 +360,12 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     assert!(cfg.num_flows > 0);
     assert!(cfg.burst_duration_ms > 0.0);
 
+    // Each run owns this worker thread's flight-recorder ring: stale
+    // history (or a pending dump) from a previous run on the same thread
+    // must not leak into a dump captured here.
+    simnet::recorder::reset();
+    let t_setup = std::time::Instant::now();
+
     let fabric_cfg = FabricConfig {
         num_senders: cfg.num_flows,
         num_receivers: 1,
@@ -469,6 +475,9 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
         .and_then(|b| b.wall_clock)
         .map(|d| std::time::Instant::now() + d);
 
+    let setup_us = t_setup.elapsed().as_micros() as u64;
+    let t_sim = std::time::Instant::now();
+
     while !coord_handle.borrow().finished() && fabric.sim.now() < cfg.horizon {
         if let Some(b) = budget {
             // Deterministic guards first, so a run that trips both a sim
@@ -519,6 +528,14 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
                 }
             }
             warmup_counters = Some((drops, to, rx));
+        }
+    }
+
+    let sim_us = t_sim.elapsed().as_micros() as u64;
+    let t_aggregate = std::time::Instant::now();
+    if let Some(cause) = truncated {
+        if simnet::recorder::enabled() {
+            simnet::recorder::capture(&format!("run budget exceeded: {}", cause.label()));
         }
     }
 
@@ -583,8 +600,23 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
         // violations the per-event hooks recorded along the way. The caller
         // (e.g. the simcheck fuzzer) owns resetting/draining the log.
         fabric.sim.audit_conservation();
-        manifest.invariant_violations = Some(simnet::check::violation_count());
+        let violations = simnet::check::violation_count();
+        if violations > 0 && simnet::recorder::enabled() {
+            simnet::recorder::capture(&format!(
+                "simcheck: {violations} invariant violation(s) on record"
+            ));
+        }
+        manifest.invariant_violations = Some(violations);
     }
+    manifest.timing_json = Some({
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.u64("setup_us", setup_us)
+            .u64("sim_us", sim_us)
+            .u64("aggregate_us", t_aggregate.elapsed().as_micros() as u64);
+        o.finish();
+        out
+    });
 
     let result = IncastRunResult {
         bcts_ms,
@@ -727,6 +759,13 @@ mod tests {
         assert!(manifest.events_processed > 0);
         assert!(manifest.counters_json.contains("delivered_pkts"));
         assert!(manifest.wall_clock_us.is_some());
+        // Phase timing rides along (nondeterministic, so the determinism
+        // view drops it).
+        let timing = manifest.timing_json.as_deref().expect("timing breakdown");
+        assert!(timing.starts_with(r#"{"setup_us":"#), "{timing}");
+        assert!(timing.contains(r#""sim_us":"#), "{timing}");
+        assert!(timing.contains(r#""aggregate_us":"#), "{timing}");
+        assert!(manifest.deterministic().timing_json.is_none());
     }
 
     #[test]

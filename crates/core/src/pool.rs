@@ -34,8 +34,87 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Process-wide work-distribution counters, accumulated over every job the
+/// global pool has run. Readers take a [`PoolStats::snapshot`] before a
+/// sweep and [`PoolStats::delta`] after, so one sweep's share can be
+/// attributed in its manifest even though the pool is shared.
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static ITEMS: AtomicU64 = AtomicU64::new(0);
+static LOCAL_CLAIMS: AtomicU64 = AtomicU64::new(0);
+static STEAL_CLAIMS: AtomicU64 = AtomicU64::new(0);
+static PARTICIPANTS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool's cumulative work-distribution counters.
+///
+/// `local_claims` counts chunks a participant claimed from its own lane
+/// (the cache-friendly, contention-free path); `steal_claims` counts
+/// chunks taken from another participant's lane. `participants` counts
+/// lane occupancies: every worker admission plus the submitter, per job —
+/// together they describe how evenly a sweep's work spread across lanes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs submitted to the pool.
+    pub jobs: u64,
+    /// Items across all jobs.
+    pub items: u64,
+    /// Chunks claimed from the claimant's own lane.
+    pub local_claims: u64,
+    /// Chunks stolen from another lane.
+    pub steal_claims: u64,
+    /// Participants admitted across all jobs (workers + submitters).
+    pub participants: u64,
+}
+
+impl PoolStats {
+    /// Current cumulative counters.
+    pub fn snapshot() -> PoolStats {
+        PoolStats {
+            jobs: JOBS.load(Ordering::Relaxed),
+            items: ITEMS.load(Ordering::Relaxed),
+            local_claims: LOCAL_CLAIMS.load(Ordering::Relaxed),
+            steal_claims: STEAL_CLAIMS.load(Ordering::Relaxed),
+            participants: PARTICIPANTS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters accumulated since `earlier` (a prior snapshot).
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            jobs: self.jobs - earlier.jobs,
+            items: self.items - earlier.items,
+            local_claims: self.local_claims - earlier.local_claims,
+            steal_claims: self.steal_claims - earlier.steal_claims,
+            participants: self.participants - earlier.participants,
+        }
+    }
+
+    /// Fraction of claims that were steals, in `[0, 1]`.
+    pub fn steal_fraction(&self) -> f64 {
+        let claims = self.local_claims + self.steal_claims;
+        if claims == 0 {
+            0.0
+        } else {
+            self.steal_claims as f64 / claims as f64
+        }
+    }
+
+    /// Fixed-order JSON object for run manifests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.u64("jobs", self.jobs)
+            .u64("items", self.items)
+            .u64("local_claims", self.local_claims)
+            .u64("steal_claims", self.steal_claims)
+            .f64("steal_fraction", self.steal_fraction())
+            .u64("participants", self.participants);
+        o.finish();
+        out
+    }
+}
 
 /// Type-erased per-item entry point: `(ctx, item_index)`.
 ///
@@ -102,7 +181,10 @@ impl Job {
                 .tickets
                 .compare_exchange_weak(t, t - 1, Ordering::AcqRel, Ordering::Relaxed)
             {
-                Ok(_) => return Some(t),
+                Ok(_) => {
+                    PARTICIPANTS.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
                 Err(cur) => t = cur,
             }
         }
@@ -122,6 +204,7 @@ impl Job {
     /// with the most remaining work, rescanning on races until all dry.
     fn claim(&self, preferred: usize) -> Option<(usize, usize)> {
         if let Some(c) = self.claim_from(preferred) {
+            LOCAL_CLAIMS.fetch_add(1, Ordering::Relaxed);
             return Some(c);
         }
         loop {
@@ -130,6 +213,7 @@ impl Job {
                 .max_by_key(|&i| self.lanes[i].remaining())
                 .filter(|&i| self.lanes[i].remaining() > 0)?;
             if let Some(c) = self.claim_from(victim) {
+                STEAL_CLAIMS.fetch_add(1, Ordering::Relaxed);
                 return Some(c);
             }
         }
@@ -188,6 +272,7 @@ impl JobHandle {
     pub(crate) fn participate(&self) {
         // Ordinal 0: tickets count down from `workers`, so lane 0 is the
         // one no worker prefers first.
+        PARTICIPANTS.fetch_add(1, Ordering::Relaxed);
         self.job.participate(0);
     }
 
@@ -260,6 +345,8 @@ impl SweepPool {
         participants: usize,
     ) -> JobHandle {
         debug_assert!(n > 0 && participants > 0);
+        JOBS.fetch_add(1, Ordering::Relaxed);
+        ITEMS.fetch_add(n as u64, Ordering::Relaxed);
         let lanes = participants.min(n);
         let per = n / lanes;
         let extra = n % lanes;
@@ -327,5 +414,41 @@ fn worker_loop(inner: Arc<PoolInner>) {
             }
         };
         job.participate(ordinal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_jobs_claims_and_participants() {
+        // Counters are process-global and other tests run par_map
+        // concurrently, so assert only this job's guaranteed contribution.
+        let before = PoolStats::snapshot();
+        let out = crate::runner::par_map(vec![1u64, 2, 3, 4, 5], 4, |x| x * 2);
+        assert_eq!(out, vec![2, 4, 6, 8, 10]);
+        let d = PoolStats::snapshot().delta(&before);
+        assert!(d.jobs >= 1, "{d:?}");
+        assert!(d.items >= 5, "{d:?}");
+        assert!(d.local_claims + d.steal_claims >= 1, "{d:?}");
+        assert!(d.participants >= 1, "{d:?}");
+        assert!((0.0..=1.0).contains(&d.steal_fraction()), "{d:?}");
+    }
+
+    #[test]
+    fn stats_render_fixed_order_json() {
+        let s = PoolStats {
+            jobs: 2,
+            items: 10,
+            local_claims: 3,
+            steal_claims: 1,
+            participants: 4,
+        };
+        assert_eq!(
+            s.to_json(),
+            r#"{"jobs":2,"items":10,"local_claims":3,"steal_claims":1,"steal_fraction":0.25,"participants":4}"#
+        );
+        assert_eq!(PoolStats::default().steal_fraction(), 0.0);
     }
 }

@@ -34,6 +34,7 @@ use crate::cache::{fnv1a64, incast_key, RunCache};
 use crate::modes::{
     run_incast_budgeted_with, IncastRunResult, ModesConfig, RunBudget, TruncationCause,
 };
+use crate::pool::PoolStats;
 use crate::runner::{panic_message, par_map};
 use crate::sweep::{sweep_manifest, IncastSweepAggregate};
 use millisampler::RunCoverage;
@@ -95,6 +96,10 @@ pub struct SupervisedSweep {
     pub coverage: RunCoverage,
     /// Reproducer files written for failed/truncated runs.
     pub quarantined: Vec<PathBuf>,
+    /// Pool work-distribution counters this sweep accumulated (delta over
+    /// the process-global pool, so concurrent sweeps each see their own
+    /// share plus any overlap).
+    pub pool: PoolStats,
 }
 
 impl SupervisedSweep {
@@ -109,6 +114,7 @@ impl SupervisedSweep {
             self.coverage.ran, self.coverage.total
         );
         m.coverage_json = Some(self.coverage.to_json());
+        m.pool_json = Some(self.pool.to_json());
         m.truncated = self.outcomes.iter().find_map(|o| match o {
             RunOutcome::Truncated(cause, _) => Some(cause.label().to_string()),
             _ => None,
@@ -126,10 +132,12 @@ pub fn supervised_incast_sweep(
     cache: &RunCache,
 ) -> SupervisedSweep {
     let retries_before = cache.stats().disk_retries;
+    let pool_before = PoolStats::snapshot();
     let budget = (!sup.budget.is_unlimited()).then_some(&sup.budget);
-    let outcomes = par_map(cfgs.to_vec(), sup.threads, |cfg| {
+    let results = par_map(cfgs.to_vec(), sup.threads, |cfg| {
         supervised_run(cfg, cache, budget)
     });
+    let pool = PoolStats::snapshot().delta(&pool_before);
 
     let mut aggregate = IncastSweepAggregate::new();
     let mut coverage = RunCoverage {
@@ -137,7 +145,7 @@ pub fn supervised_incast_sweep(
         ..RunCoverage::default()
     };
     let mut quarantined = Vec::new();
-    for (cfg, outcome) in cfgs.iter().zip(&outcomes) {
+    for (cfg, (outcome, flight_dump)) in cfgs.iter().zip(&results) {
         let cause = match outcome {
             RunOutcome::Completed(r) => {
                 aggregate.absorb(r);
@@ -154,36 +162,58 @@ pub fn supervised_incast_sweep(
             }
         };
         if let (Some(cause), Some(dir)) = (cause, sup.quarantine_dir.as_deref()) {
-            if let Some(path) = quarantine(dir, cfg, &cause) {
+            if let Some(path) = quarantine(dir, cfg, &cause, flight_dump.as_deref()) {
                 quarantined.push(path);
             }
         }
     }
     coverage.retried = cache.stats().disk_retries - retries_before;
+    let outcomes = results.into_iter().map(|(o, _)| o).collect();
     SupervisedSweep {
         aggregate,
         outcomes,
         coverage,
         quarantined,
+        pool,
     }
 }
 
 /// One supervised run: cache probe, then a budgeted run under
 /// `catch_unwind`. Only complete runs enter the cache.
-fn supervised_run(cfg: &ModesConfig, cache: &RunCache, budget: Option<&RunBudget>) -> RunOutcome {
+///
+/// The second element is the flight-recorder dump, if the run captured one
+/// (fault applied, budget truncation, invariant violation, or panic; always
+/// `None` without the `recorder` feature). The recorder's state is
+/// thread-local and survives the unwind, so the dump must be taken here —
+/// on the worker thread that ran the simulation — before the outcome
+/// crosses to the submitter.
+fn supervised_run(
+    cfg: &ModesConfig,
+    cache: &RunCache,
+    budget: Option<&RunBudget>,
+) -> (RunOutcome, Option<String>) {
     let key = incast_key(cfg);
     if let Some(hit) = cache.get::<IncastRunResult>(&key) {
-        return RunOutcome::Completed(hit);
+        return (RunOutcome::Completed(hit), None);
     }
-    match catch_unwind(AssertUnwindSafe(|| {
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
         run_incast_budgeted_with::<TimingWheel>(cfg, None, budget).0
     })) {
         Ok(r) => match r.truncated {
             Some(cause) => RunOutcome::Truncated(cause, Box::new(r)),
             None => RunOutcome::Completed(cache.get_or_compute(&key, move || r)),
         },
-        Err(p) => RunOutcome::Failed(panic_message(&*p)),
-    }
+        Err(p) => {
+            let msg = panic_message(&*p);
+            // The ring still holds the events leading up to the panic;
+            // capture them before the payload leaves the thread.
+            if simnet::recorder::enabled() {
+                simnet::recorder::capture(&format!("worker panic: {msg}"));
+            }
+            RunOutcome::Failed(msg)
+        }
+    };
+    (outcome, simnet::recorder::take_dump())
 }
 
 /// Renders a failed run as a ready-to-paste `#[test]` that replays the
@@ -215,9 +245,16 @@ fn {test_name}() {{
     )
 }
 
-/// Writes the reproducer for one failed/truncated run; best effort (an
-/// unwritable quarantine dir must not fail the sweep).
-fn quarantine(dir: &Path, cfg: &ModesConfig, cause: &str) -> Option<PathBuf> {
+/// Writes the reproducer for one failed/truncated run, plus — when the
+/// flight recorder captured one — a sibling `<name>.flight.txt` with the
+/// causal dump; best effort (an unwritable quarantine dir must not fail
+/// the sweep).
+fn quarantine(
+    dir: &Path,
+    cfg: &ModesConfig,
+    cause: &str,
+    flight_dump: Option<&str>,
+) -> Option<PathBuf> {
     let hash = fnv1a64(&incast_key(cfg));
     let name = format!("quarantine_run_{hash:016x}");
     let src = reproducer_source(&name, cfg, cause);
@@ -227,7 +264,11 @@ fn quarantine(dir: &Path, cfg: &ModesConfig, cause: &str) -> Option<PathBuf> {
         std::time::Duration::from_millis(5),
         || -> std::io::Result<()> {
             std::fs::create_dir_all(dir)?;
-            std::fs::write(&path, &src)
+            std::fs::write(&path, &src)?;
+            if let Some(dump) = flight_dump {
+                std::fs::write(dir.join(format!("{name}.flight.txt")), dump)?;
+            }
+            Ok(())
         },
     );
     outcome.ok().map(|_| path)
@@ -333,10 +374,50 @@ mod tests {
             j.contains(r#""coverage":{"total":2,"ran":1,"failed":1"#),
             "{j}"
         );
+        // Pool work-distribution counters ride along for introspection.
+        assert!(j.contains(r#""pool":{"jobs":"#), "{j}");
+        assert!(sweep.pool.jobs >= 1, "{:?}", sweep.pool);
+        assert!(sweep.pool.items >= 2, "{:?}", sweep.pool);
         // No truncated runs here, so no truncation marker.
         assert!(m.truncated.is_none());
-        // Coverage depends on cache/IO state; the determinism view drops it.
-        assert!(!m.deterministic().to_json().contains("coverage"));
+        // Coverage and pool counters depend on cache/IO/scheduling state;
+        // the determinism view drops both.
+        let det = m.deterministic().to_json();
+        assert!(!det.contains("coverage"));
+        assert!(!det.contains("pool"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "recorder")]
+    #[test]
+    fn quarantined_truncation_carries_a_flight_dump() {
+        let dir = tmp_quarantine("flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfgs = vec![ModesConfig {
+            num_bursts: 2000,
+            ..tiny(11)
+        }];
+        let sup = SupervisorConfig {
+            threads: 1,
+            budget: RunBudget {
+                max_events: Some(20_000),
+                ..RunBudget::default()
+            },
+            quarantine_dir: Some(dir.clone()),
+        };
+        let cache = RunCache::in_memory();
+        let sweep = supervised_incast_sweep(&cfgs, &sup, &cache);
+        assert_eq!(sweep.coverage.truncated, 1);
+        assert_eq!(sweep.quarantined.len(), 1);
+        let flight = sweep.quarantined[0].with_extension("flight.txt");
+        let dump = std::fs::read_to_string(&flight).expect("flight dump beside reproducer");
+        assert!(
+            dump.starts_with("flight recorder: run budget exceeded: events"),
+            "{dump}"
+        );
+        // The causal history is non-empty: ring lines render as
+        // "<t> ps  <tag> ...".
+        assert!(dump.contains(" ps  "), "dump has no events: {dump}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -71,13 +71,16 @@ pub fn detect_bursts(trace: &MsTrace) -> Vec<Burst> {
     detect_bursts_with_threshold(trace, BURST_THRESHOLD_FRACTION)
 }
 
-/// Burst detection with an explicit utilization threshold.
+/// Burst detection with an explicit utilization threshold. A flagged
+/// partial final bucket (see [`MsTrace::partial_last`]) is excluded: it
+/// observed less than a full interval, so comparing its byte count against
+/// a full-interval floor would misclassify it.
 pub fn detect_bursts_with_threshold(trace: &MsTrace, threshold: f64) -> Vec<Burst> {
     assert!(threshold > 0.0, "non-positive burst threshold");
     let floor = trace.line_rate_bytes_per_bucket() * threshold;
     let mut bursts = Vec::new();
     let mut active: Option<Burst> = None;
-    for (i, b) in trace.buckets.iter().enumerate() {
+    for (i, b) in trace.full_buckets().iter().enumerate() {
         let hot = b.bytes as f64 > floor;
         match (&mut active, hot) {
             (None, true) => {
@@ -144,6 +147,7 @@ mod tests {
                     pkts: 1,
                 })
                 .collect(),
+            partial_last: false,
         }
     }
 
@@ -211,6 +215,7 @@ mod tests {
                     pkts: 800,
                 },
             ],
+            partial_last: false,
         };
         let bursts = detect_bursts(&t);
         assert_eq!(bursts.len(), 1);
@@ -239,6 +244,29 @@ mod tests {
             ..b
         };
         assert!(b.is_incast());
+    }
+
+    #[test]
+    fn partial_final_bucket_is_excluded_from_detection() {
+        // A hot final bucket that only observed part of its interval must
+        // not open (or extend) a burst...
+        let mut t = trace_from_util(&[0.1, 0.9, 0.9]);
+        t.partial_last = true;
+        let bursts = detect_bursts(&t);
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].start_bucket, 1);
+        assert_eq!(bursts[0].len_buckets, 1, "partial bucket extended a burst");
+        assert_eq!(t.full_buckets().len(), 2);
+
+        // ...while the identical unflagged trace counts it.
+        let t = trace_from_util(&[0.1, 0.9, 0.9]);
+        assert_eq!(detect_bursts(&t)[0].len_buckets, 2);
+
+        // An empty flagged trace stays well-defined.
+        let mut empty = trace_from_util(&[]);
+        empty.partial_last = true;
+        assert!(empty.full_buckets().is_empty());
+        assert!(detect_bursts(&empty).is_empty());
     }
 
     #[test]

@@ -207,6 +207,7 @@ mod tests {
             interval: SimTime::from_ms(1),
             line_rate,
             buckets: vec![mk(0.1, 2), mk(0.9, 100), mk(0.9, 120), mk(0.1, 1)],
+            partial_last: false,
         };
         let bursts = crate::burst::detect_bursts(&trace);
         (trace, bursts)
@@ -317,6 +318,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            partial_last: false,
         };
         let bursts = crate::burst::detect_bursts(&trace);
         let mut acc = FleetAccumulator::new();

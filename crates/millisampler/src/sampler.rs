@@ -38,9 +38,24 @@ pub struct MsTrace {
     pub line_rate: Rate,
     /// The buckets, index 0 starting at time zero.
     pub buckets: Vec<MsBucket>,
+    /// True when the trace ended mid-bucket: the final bucket observed less
+    /// than a full interval, so its byte count undercounts the interval it
+    /// nominally covers. It is kept (its traffic is real) but flagged, and
+    /// burst detection excludes it.
+    pub partial_last: bool,
 }
 
 impl MsTrace {
+    /// The buckets that observed a full interval — everything except a
+    /// flagged partial final bucket. Rate-threshold analyses (burst
+    /// detection) run over these.
+    pub fn full_buckets(&self) -> &[MsBucket] {
+        match (self.partial_last, self.buckets.len()) {
+            (true, n) if n > 0 => &self.buckets[..n - 1],
+            _ => &self.buckets,
+        }
+    }
+
     /// Bytes a fully utilized link delivers per bucket.
     pub fn line_rate_bytes_per_bucket(&self) -> f64 {
         self.line_rate.bytes_per_sec() * self.interval.as_secs_f64()
@@ -115,7 +130,10 @@ impl Millisampler {
         }
     }
 
-    /// Finalizes the trace, padding with empty buckets out to `end`.
+    /// Finalizes the trace, padding with empty buckets out to `end`. An
+    /// `end` that falls mid-bucket still emits that final bucket — its
+    /// traffic is real — but flags it partial so rate-threshold consumers
+    /// (burst detection) can exclude it.
     pub fn finish(mut self, end: SimTime) -> MsTrace {
         let last = (end.as_ps().div_ceil(self.interval.as_ps())) as usize;
         self.roll_to(last);
@@ -123,6 +141,7 @@ impl Millisampler {
             interval: self.interval,
             line_rate: self.line_rate,
             buckets: self.buckets,
+            partial_last: !end.as_ps().is_multiple_of(self.interval.as_ps()),
         }
     }
 
@@ -269,5 +288,23 @@ mod tests {
         assert_eq!(t.buckets.len(), 2000);
         assert_eq!(t.duration(), SimTime::from_secs(2));
         assert_eq!(t.mean_utilization(), 0.0);
+        assert!(!t.partial_last, "aligned end must not be flagged partial");
+    }
+
+    #[test]
+    fn mid_bucket_end_emits_flagged_partial_bucket() {
+        // Regression: traffic in a final partial bucket must not vanish at
+        // `finish` — it is emitted, flagged, and excluded from
+        // `full_buckets()`.
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        ms.on_packet(SimTime::from_us(100), &data(0, 0, 1446, false));
+        ms.on_packet(SimTime::from_us(2300), &data(0, 1446, 1446, false));
+        let t = ms.finish(SimTime::from_us(2500));
+        assert!(t.partial_last);
+        assert_eq!(t.buckets.len(), 3);
+        assert_eq!(t.buckets[2].bytes, 1500, "partial-bucket traffic dropped");
+        assert_eq!(t.buckets[2].flows, 1);
+        assert_eq!(t.full_buckets().len(), 2);
+        assert_eq!(t.full_buckets()[0].bytes, 1500);
     }
 }

@@ -51,6 +51,7 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod queue;
+pub mod recorder;
 pub mod sim;
 pub mod time;
 pub mod topology;

@@ -1,0 +1,242 @@
+//! Flight recorder (real under the `recorder` feature, no-op stubs
+//! otherwise).
+//!
+//! A fixed-size, zero-allocation ring buffer of the most recent packet-level
+//! events, kept by the simulator as it runs. Nothing is formatted or stored
+//! beyond [`CAPACITY`] copies of a small fixed-size record, so the hot-path
+//! cost is a thread-local index bump and a struct copy. When something goes
+//! wrong — a simcheck invariant fires, a fault is applied, a `RunBudget`
+//! truncates the run, or a supervised worker panics — the cold
+//! [`capture`] path formats the ring into a human-readable *flight dump*:
+//! the last-N causal history leading up to the failure. The supervisor
+//! attaches that dump to the `target/quarantine/` reproducer artifacts, so
+//! a quarantined failure arrives with its story, not just a counter.
+//!
+//! Feature gating follows [`crate::check`]: the module is always present so
+//! callers can invoke it unconditionally, but without `--features recorder`
+//! every hot-path hook is an empty `#[inline(always)]` function the
+//! optimizer erases — release binaries and the perf benchmarks pay zero
+//! cost.
+//!
+//! State is thread-local (simulations are single-threaded; sweeps
+//! parallelize whole runs across workers) and survives panics, which is
+//! what lets the supervisor capture a dump *after* catching an unwind from
+//! the same thread.
+
+/// Ring capacity: how many events of history a dump can replay.
+pub const CAPACITY: usize = 256;
+
+/// One fixed-size flight record. Interpretation of `a`/`b`/`c` depends on
+/// `tag`: packet events use (link, flow, packet id); faults use
+/// (target, plan index, 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRec {
+    /// Simulated time in picoseconds.
+    pub t_ps: u64,
+    /// Static event tag ("enq", "tx", "rx", "drop_full", "fault", …).
+    pub tag: &'static str,
+    /// First operand (usually the link or fault target).
+    pub a: u64,
+    /// Second operand (usually the flow).
+    pub b: u64,
+    /// Third operand (usually the engine-assigned packet id).
+    pub c: u64,
+}
+
+impl FlightRec {
+    /// The all-zero record filling unused ring slots.
+    pub const EMPTY: FlightRec = FlightRec {
+        t_ps: 0,
+        tag: "",
+        a: 0,
+        b: 0,
+        c: 0,
+    };
+}
+
+impl std::fmt::Display for FlightRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>16} ps  {:<12} link/target={} flow={} pkt={}",
+            self.t_ps, self.tag, self.a, self.b, self.c
+        )
+    }
+}
+
+#[cfg(feature = "recorder")]
+mod imp {
+    use super::{FlightRec, CAPACITY};
+    use std::cell::{Cell, RefCell};
+
+    // The masked-index fast path needs a power-of-two capacity.
+    const _: () = assert!(CAPACITY.is_power_of_two());
+    const MASK: usize = CAPACITY - 1;
+
+    /// The whole recorder state is derived from one counter: the write
+    /// head is `total & MASK` and the held count is `min(total, CAPACITY)`
+    /// (both start at zero on [`reset`]), so the hot path is a single
+    /// thread-local access, one masked slot store, and a counter bump —
+    /// no `RefCell` borrow flags.
+    struct Ring {
+        buf: [Cell<FlightRec>; CAPACITY],
+        /// Events recorded since the last reset, including overwritten ones.
+        total: Cell<u64>,
+    }
+
+    thread_local! {
+        static RING: Ring = const {
+            Ring {
+                buf: [const { Cell::new(FlightRec::EMPTY) }; CAPACITY],
+                total: Cell::new(0),
+            }
+        };
+        static DUMP: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// True when the recorder is compiled in.
+    pub fn enabled() -> bool {
+        true
+    }
+
+    /// Clears this thread's ring and any pending dump. Call before a run.
+    /// (Stale slots need no wiping: [`capture`] only reads the
+    /// `min(total, CAPACITY)` live ones.)
+    pub fn reset() {
+        RING.with(|r| r.total.set(0));
+        DUMP.with(|d| *d.borrow_mut() = None);
+    }
+
+    /// Records one event (hot path: a ring-slot copy, no allocation).
+    #[inline]
+    pub fn note(tag: &'static str, t_ps: u64, a: u64, b: u64, c: u64) {
+        RING.with(|r| {
+            let total = r.total.get();
+            r.buf[total as usize & MASK].set(FlightRec { t_ps, tag, a, b, c });
+            r.total.set(total + 1);
+        });
+    }
+
+    /// Total events recorded on this thread since the last [`reset`],
+    /// including those overwritten in the ring.
+    pub fn recorded() -> u64 {
+        RING.with(|r| r.total.get())
+    }
+
+    /// Cold path: formats the ring (oldest first) into a pending dump
+    /// tagged with `reason`, replacing any earlier pending dump — the
+    /// capture closest to the failure wins.
+    #[cold]
+    #[inline(never)]
+    pub fn capture(reason: &str) {
+        let (body, total, held) = RING.with(|r| {
+            let total = r.total.get();
+            let held = (total as usize).min(CAPACITY);
+            let start = if held == CAPACITY {
+                total as usize & MASK
+            } else {
+                0
+            };
+            let mut out = String::new();
+            for i in 0..held {
+                let rec = r.buf[(start + i) & MASK].get();
+                out.push_str(&rec.to_string());
+                out.push('\n');
+            }
+            (out, total, held)
+        });
+        let dump = format!(
+            "flight recorder: {reason}\nlast {held} of {total} recorded events (capacity {CAPACITY}):\n{body}"
+        );
+        DUMP.with(|d| *d.borrow_mut() = Some(dump));
+    }
+
+    /// Takes this thread's pending dump, if a capture happened.
+    pub fn take_dump() -> Option<String> {
+        DUMP.with(|d| d.borrow_mut().take())
+    }
+}
+
+#[cfg(not(feature = "recorder"))]
+mod imp {
+    /// Always false without the `recorder` feature.
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `recorder` feature.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// No-op without the `recorder` feature (compiles to nothing).
+    #[inline(always)]
+    pub fn note(_tag: &'static str, _t_ps: u64, _a: u64, _b: u64, _c: u64) {}
+
+    /// Always zero without the `recorder` feature.
+    #[inline(always)]
+    pub fn recorded() -> u64 {
+        0
+    }
+
+    /// No-op without the `recorder` feature.
+    #[inline(always)]
+    pub fn capture(_reason: &str) {}
+
+    /// Always `None` without the `recorder` feature.
+    #[inline(always)]
+    pub fn take_dump() -> Option<String> {
+        None
+    }
+}
+
+pub use imp::*;
+
+#[cfg(all(test, feature = "recorder"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        reset();
+        for i in 0..(CAPACITY as u64 + 10) {
+            note("enq", i, 1, 2, i);
+        }
+        assert_eq!(recorded(), CAPACITY as u64 + 10);
+        capture("test");
+        let dump = take_dump().expect("capture produced a dump");
+        assert!(dump.starts_with("flight recorder: test"), "{dump}");
+        // The oldest surviving record is number 10; 0..10 were overwritten.
+        assert!(!dump.contains("pkt=9\n"), "{dump}");
+        assert!(dump.contains("pkt=10"), "{dump}");
+        assert!(
+            dump.contains(&format!("pkt={}", CAPACITY as u64 + 9)),
+            "{dump}"
+        );
+        assert_eq!(dump.matches("enq").count(), CAPACITY, "{dump}");
+    }
+
+    #[test]
+    fn take_dump_is_one_shot_and_reset_clears() {
+        reset();
+        note("rx", 7, 0, 0, 0);
+        capture("first");
+        assert!(take_dump().is_some());
+        assert!(take_dump().is_none(), "dump must be taken at most once");
+        capture("second");
+        reset();
+        assert!(take_dump().is_none(), "reset discards pending dumps");
+        assert_eq!(recorded(), 0);
+    }
+
+    #[test]
+    fn latest_capture_wins() {
+        reset();
+        note("tx", 1, 0, 0, 0);
+        capture("early");
+        note("drop_full", 2, 0, 0, 0);
+        capture("late");
+        let dump = take_dump().unwrap();
+        assert!(dump.contains("late"), "{dump}");
+        assert!(dump.contains("drop_full"), "{dump}");
+    }
+}

@@ -495,6 +495,17 @@ impl<S: Scheduler> Simulator<S> {
     fn apply_fault(&mut self, index: u32) {
         let ev = self.fault_plan.events[index as usize];
         self.counters.faults_applied += 1;
+        crate::recorder::note("fault", self.now.as_ps(), ev.kind.target(), index as u64, 0);
+        // A landing fault is one of the recorder's dump triggers: snapshot
+        // the history that led up to it (cold path; faults are rare).
+        if crate::recorder::enabled() {
+            crate::recorder::capture(&format!(
+                "fault applied: {} (target {}, plan index {})",
+                ev.kind.label(),
+                ev.kind.target(),
+                index
+            ));
+        }
         match ev.kind {
             FaultKind::LinkDown { link } => self.links[link.index()].down = true,
             FaultKind::LinkUp { link } => self.links[link.index()].down = false,
@@ -567,6 +578,13 @@ impl<S: Scheduler> Simulator<S> {
                 link.queue.note_shared_drop(&pkt);
                 self.counters.queue_drops += 1;
                 self.counters.shared_buffer_drops += 1;
+                crate::recorder::note(
+                    "drop_shared",
+                    now.as_ps(),
+                    link_id.0 as u64,
+                    pkt.flow.0 as u64,
+                    pkt.id,
+                );
                 self.trace(
                     TraceEventKind::Drop(crate::queue::DropReason::SharedBuffer),
                     link_id,
@@ -587,6 +605,13 @@ impl<S: Scheduler> Simulator<S> {
                 }
                 #[cfg(feature = "check")]
                 self.audit_enqueue(link_id, shared, pkt.wire_size as u64);
+                crate::recorder::note(
+                    if marked { "enq_mark" } else { "enq" },
+                    now.as_ps(),
+                    link_id.0 as u64,
+                    pkt.flow.0 as u64,
+                    pkt.id,
+                );
                 self.trace(TraceEventKind::Enqueue { marked }, link_id, &pkt);
                 self.emit_queue_depth(link_id);
                 if let Some(bid) = shared {
@@ -598,6 +623,16 @@ impl<S: Scheduler> Simulator<S> {
             }
             EnqueueOutcome::Dropped(reason) => {
                 self.counters.queue_drops += 1;
+                crate::recorder::note(
+                    match reason {
+                        crate::queue::DropReason::QueueFull => "drop_full",
+                        crate::queue::DropReason::SharedBuffer => "drop_shared",
+                    },
+                    now.as_ps(),
+                    link_id.0 as u64,
+                    pkt.flow.0 as u64,
+                    pkt.id,
+                );
                 self.trace(TraceEventKind::Drop(reason), link_id, &pkt);
             }
         }
@@ -657,6 +692,17 @@ impl<S: Scheduler> Simulator<S> {
             if !(down && crate::check::inject_fault_drop_miscount()) {
                 self.counters.fault_drops += 1;
             }
+            crate::recorder::note(
+                if corrupt {
+                    "drop_corrupt"
+                } else {
+                    "drop_fault"
+                },
+                self.now.as_ps(),
+                link_id.0 as u64,
+                pkt.flow.0 as u64,
+                pkt.id,
+            );
             if self.sink_packets {
                 if let Some(s) = &self.sink {
                     s.emit(&telemetry::Event {
@@ -690,6 +736,13 @@ impl<S: Scheduler> Simulator<S> {
     }
 
     fn on_delivery(&mut self, link_id: LinkId, pkt: Packet) {
+        crate::recorder::note(
+            "rx",
+            self.now.as_ps(),
+            link_id.0 as u64,
+            pkt.flow.0 as u64,
+            pkt.id,
+        );
         self.trace(TraceEventKind::Deliver, link_id, &pkt);
         let dst = self.links[link_id.index()].dst;
         match &self.nodes[dst.index()] {

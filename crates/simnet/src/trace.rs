@@ -194,6 +194,11 @@ impl TextTracer {
                 pkt,
                 reason: DropCause::Fault,
             } => ("DROP(fault)", *link, pkt),
+            EventKind::PktDrop {
+                link,
+                pkt,
+                reason: DropCause::Corrupt,
+            } => ("DROP(corrupt)", *link, pkt),
             EventKind::PktTxStart { link, pkt } => ("tx", *link, pkt),
             EventKind::PktDeliver { link, pkt } => ("rx", *link, pkt),
             _ => return,
@@ -313,6 +318,30 @@ mod tests {
         let log = t.render();
         assert!(log.contains("DROP(full)"));
         assert!(log.contains("DROP(shared)"));
+    }
+
+    #[test]
+    fn wire_drop_reasons_rendered() {
+        // Fault and corrupt drops arrive only via the telemetry-event path
+        // (the simulator emits them directly, bypassing `TraceEvent`).
+        let mut t = TextTracer::new(4);
+        let p = packet_info(&data(0));
+        for reason in [DropCause::Fault, DropCause::Corrupt] {
+            EventSink::on_event(
+                &mut t,
+                &Event {
+                    t_ps: 0,
+                    kind: EventKind::PktDrop {
+                        link: 1,
+                        pkt: p,
+                        reason,
+                    },
+                },
+            );
+        }
+        let log = t.render();
+        assert!(log.contains("DROP(fault)"), "{log}");
+        assert!(log.contains("DROP(corrupt)"), "{log}");
     }
 
     #[test]

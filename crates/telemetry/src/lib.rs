@@ -11,6 +11,9 @@
 //!   transport, and workload into pluggable sinks;
 //! - [`JsonlSink`] — a deterministic JSONL renderer of the event stream
 //!   (one JSON object per line, byte-identical across same-seed runs);
+//! - [`PerfettoSink`] — a causal Chrome trace-event / Perfetto exporter
+//!   (packet-hop spans, drop→retransmit and CE→ECE arrows, cwnd/queue
+//!   counter tracks) whose output opens directly in a trace viewer;
 //! - [`RunManifest`] — a replayable description of a run (seed, topology,
 //!   config, git describe, counters);
 //! - [`LoopProfile`] — wall-clock profiling of the simulator hot loop
@@ -25,6 +28,7 @@
 pub mod event;
 pub mod json;
 pub mod manifest;
+pub mod perfetto;
 pub mod profile;
 pub mod registry;
 pub mod sink;
@@ -33,6 +37,7 @@ pub use event::{
     DropCause, Event, EventClass, EventKind, FlowState, PktDetail, PktInfo, WindowTrigger,
 };
 pub use manifest::{git_describe, RunManifest};
+pub use perfetto::PerfettoSink;
 pub use profile::{EventTallies, LoopProfile};
 pub use registry::{MetricKey, MetricsRegistry};
 pub use sink::{EventSink, JsonlSink, NullSink, SinkRef};

@@ -68,6 +68,16 @@ pub struct RunManifest {
     /// so like `cache_json` it is omitted when `None` and cleared by
     /// [`RunManifest::deterministic`].
     pub coverage_json: Option<String>,
+    /// Pre-rendered JSON of the run's wall-clock phase breakdown
+    /// (setup/sim/aggregate microseconds). Nondeterministic like
+    /// `wall_clock_us`; omitted when `None` and cleared by
+    /// [`RunManifest::deterministic`].
+    pub timing_json: Option<String>,
+    /// Pre-rendered JSON of the sweep pool's work-distribution counters
+    /// (local claims, steals, lane occupancy). Depends on thread
+    /// scheduling, so it is omitted when `None` and cleared by
+    /// [`RunManifest::deterministic`].
+    pub pool_json: Option<String>,
 }
 
 impl RunManifest {
@@ -141,6 +151,12 @@ impl RunManifest {
         if let Some(cov) = &self.coverage_json {
             o.raw("coverage", cov);
         }
+        if let Some(t) = &self.timing_json {
+            o.raw("timing", t);
+        }
+        if let Some(p) = &self.pool_json {
+            o.raw("pool", p);
+        }
         o.finish();
         out
     }
@@ -153,6 +169,8 @@ impl RunManifest {
         m.events_per_sec = None;
         m.cache_json = None;
         m.coverage_json = None;
+        m.timing_json = None;
+        m.pool_json = None;
         m
     }
 }
@@ -253,6 +271,21 @@ mod tests {
             .to_json()
             .ends_with(r#""coverage":{"total":4,"ran":3,"failed":1}}"#));
         assert!(!m.deterministic().to_json().contains("coverage"));
+    }
+
+    #[test]
+    fn timing_and_pool_are_omitted_when_none_and_cleared_by_deterministic() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("timing"));
+        assert!(!m.to_json().contains("pool"));
+        m.timing_json = Some(r#"{"setup_us":10,"sim_us":90,"aggregate_us":5}"#.to_string());
+        m.pool_json = Some(r#"{"jobs":1,"steal_claims":0}"#.to_string());
+        let j = m.to_json();
+        assert!(j.contains(r#""timing":{"setup_us":10,"sim_us":90,"aggregate_us":5}"#));
+        assert!(j.ends_with(r#""pool":{"jobs":1,"steal_claims":0}}"#));
+        let det = m.deterministic().to_json();
+        assert!(!det.contains("timing"));
+        assert!(!det.contains("pool"));
     }
 
     #[test]

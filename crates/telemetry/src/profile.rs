@@ -67,7 +67,7 @@ impl LoopProfile {
     }
 
     /// One-line human summary, e.g.
-    /// `"1234567 events in 0.41s (3.0M ev/s; tx 400000, rx 800000, timer 34567)"`.
+    /// `"1234567 events in 0.41s (3.0M ev/s; tx 400000, rx 800000, timer 34567, fault 0)"`.
     pub fn summary(&self) -> String {
         let eps = self.events_per_sec();
         let eps_str = if eps >= 1e6 {
@@ -78,13 +78,14 @@ impl LoopProfile {
             format!("{eps:.0} ev/s")
         };
         format!(
-            "{} events in {:.2}s ({}; tx {}, rx {}, timer {})",
+            "{} events in {:.2}s ({}; tx {}, rx {}, timer {}, fault {})",
             self.events(),
             self.wall.as_secs_f64(),
             eps_str,
             self.tallies.tx_complete,
             self.tallies.delivery,
             self.tallies.timer,
+            self.tallies.fault,
         )
     }
 }
@@ -156,5 +157,23 @@ mod tests {
         assert!(mk(5_000_000, 1000).summary().contains("M ev/s"));
         assert!(mk(5_000, 1000).summary().contains("k ev/s"));
         assert!(mk(50, 1000).summary().contains("50 ev/s"));
+    }
+
+    #[test]
+    fn summary_reports_fault_tally() {
+        let p = LoopProfile {
+            tallies: EventTallies {
+                tx_complete: 1,
+                delivery: 2,
+                timer: 3,
+                fault: 4,
+            },
+            wall: Duration::from_millis(10),
+        };
+        assert!(
+            p.summary().contains("tx 1, rx 2, timer 3, fault 4"),
+            "{}",
+            p.summary()
+        );
     }
 }

@@ -12,7 +12,7 @@ use incast_bursts::simnet::{
     TimingWheel,
 };
 use incast_bursts::stats::Rng;
-use incast_bursts::telemetry::JsonlSink;
+use incast_bursts::telemetry::{JsonlSink, PerfettoSink};
 use incast_bursts::transport::{TcpConfig, TcpHost};
 use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
 
@@ -113,6 +113,58 @@ fn wheel_and_heap_agree_byte_for_byte_under_scheduled_faults() {
         // The faults really applied (and are part of the compared bytes).
         assert!(manifest_w.contains("\"faults_injected\":"), "{manifest_w}");
     }
+}
+
+/// One instrumented incast run rendered as a Chrome trace-event document
+/// under scheduler `S`.
+fn perfetto_with<S: Scheduler>(cfg: &ModesConfig) -> String {
+    let (pf, sref) = PerfettoSink::new().shared();
+    let _ = run_incast_with::<S>(cfg, Some(&sref));
+    let out = pf.borrow().render();
+    out
+}
+
+/// The Perfetto export is a pure function of the (already byte-identical)
+/// event stream, so wheel and heap must render byte-identical trace
+/// documents.
+#[test]
+fn wheel_and_heap_render_byte_identical_perfetto_traces() {
+    for seed in [1u64, 7, 42] {
+        let cfg = ModesConfig {
+            num_flows: 6,
+            burst_duration_ms: 0.5,
+            num_bursts: 2,
+            warmup_bursts: 1,
+            seed,
+            ..ModesConfig::default()
+        };
+        let w = perfetto_with::<TimingWheel>(&cfg);
+        let h = perfetto_with::<EventQueue>(&cfg);
+        assert!(w.contains(r#""ph":"b""#), "empty trace for seed {seed}");
+        assert_eq!(w, h, "perfetto traces diverged for seed {seed}");
+    }
+}
+
+/// Rendering inside pool workers must not perturb the traces either: the
+/// same configs produce the same documents whether the sweep runs on one
+/// thread or four.
+#[test]
+fn perfetto_traces_are_identical_across_thread_counts() {
+    let cfgs: Vec<ModesConfig> = [1u64, 7, 42, 9]
+        .iter()
+        .map(|&seed| ModesConfig {
+            num_flows: 4,
+            burst_duration_ms: 0.25,
+            num_bursts: 2,
+            warmup_bursts: 1,
+            seed,
+            ..ModesConfig::default()
+        })
+        .collect();
+    let serial = incast_bursts::core_api::par_map(cfgs.clone(), 1, perfetto_with::<TimingWheel>);
+    let parallel = incast_bursts::core_api::par_map(cfgs.clone(), 4, perfetto_with::<TimingWheel>);
+    assert_eq!(serial, parallel, "thread count perturbed the traces");
+    assert!(serial.iter().all(|s| s.contains(r#""ph":"b""#)));
 }
 
 /// Full simnet-layer observables for a seeded random topology under

@@ -5,7 +5,7 @@ use incast_bursts::core_api::modes::{run_incast_instrumented, ModesConfig};
 use incast_bursts::simnet::FlowId;
 use incast_bursts::simnet::{build_dumbbell, Shared, SimTime, TextTracer};
 use incast_bursts::stats::Rng;
-use incast_bursts::telemetry::JsonlSink;
+use incast_bursts::telemetry::{JsonlSink, PerfettoSink};
 use incast_bursts::transport::{TcpConfig, TcpHost};
 use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
 
@@ -80,15 +80,19 @@ fn tracing_does_not_change_outcomes() {
     assert_eq!(log_a, log_b);
 }
 
-fn instrumented(seed: u64) -> (String, String) {
-    let cfg = ModesConfig {
+fn small_cfg(seed: u64) -> ModesConfig {
+    ModesConfig {
         num_flows: 6,
         burst_duration_ms: 0.5,
         num_bursts: 2,
         warmup_bursts: 1,
         seed,
         ..ModesConfig::default()
-    };
+    }
+}
+
+fn instrumented(seed: u64) -> (String, String) {
+    let cfg = small_cfg(seed);
     let (jsonl, sref) = JsonlSink::new().shared();
     let (_, manifest) = run_incast_instrumented(&cfg, Some(&sref));
     let stream = jsonl.borrow().render().to_string();
@@ -126,4 +130,51 @@ fn jsonl_export_differs_across_seeds() {
         stream_a, stream_b,
         "different seeds should perturb the trace"
     );
+}
+
+fn perfetto_instrumented(cfg: &ModesConfig) -> String {
+    let (pf, sref) = PerfettoSink::new().shared();
+    let _ = run_incast_instrumented(cfg, Some(&sref));
+    let out = pf.borrow().render();
+    out
+}
+
+#[test]
+fn perfetto_export_is_byte_identical_and_viewer_ready() {
+    let cfg = small_cfg(42);
+    let a = perfetto_instrumented(&cfg);
+    let b = perfetto_instrumented(&cfg);
+    assert_eq!(a, b, "same seed must render byte-identically");
+    // A complete Chrome trace-event document a viewer opens as-is.
+    assert!(a.starts_with(r#"{"traceEvents":["#), "not a trace document");
+    assert!(a.ends_with(r#"],"displayTimeUnit":"ms"}"#), "unterminated");
+    for needle in [
+        r#""ph":"b""#,              // async span opens (packet hops, bursts)
+        r#""ph":"e""#,              // span closes
+        r#""ph":"C""#,              // counters (queue depth, flow windows)
+        r#""name":"process_name""#, // pid metadata
+        r#""cat":"burst""#,         // app-level burst spans
+        r#" window""#,              // per-flow cwnd/inflight track
+    ] {
+        assert!(a.contains(needle), "missing {needle} in trace");
+    }
+}
+
+#[test]
+fn perfetto_links_drops_to_retransmissions_under_loss() {
+    // A 30 % loss window forces drops and the retransmissions they cause;
+    // the trace must carry both ends of the causal arrows plus the fault
+    // and drop instants.
+    let mut cfg = small_cfg(42);
+    cfg.num_flows = 15;
+    cfg.burst_duration_ms = 1.0;
+    cfg.num_bursts = 3;
+    cfg.faults.loss = Some((SimTime::from_ms(1), SimTime::from_ms(4), 0.3));
+    let out = perfetto_instrumented(&cfg);
+    assert!(out.contains(r#""name":"drop""#), "no drop instants");
+    assert!(out.contains(r#""name":"fault:"#), "no fault instants");
+    assert!(out.contains(r#""cat":"cause""#), "no causal arrows");
+    assert!(out.contains(r#""ph":"s""#), "no arrow starts");
+    assert!(out.contains(r#""bp":"e""#), "no arrow ends");
+    assert!(out.contains(r#" retx "#), "no retransmission spans");
 }
