@@ -25,18 +25,24 @@ fn main() {
     );
 
     let num_bursts = if full_scale() { 11 } else { 6 };
+    let transport = bench::transport_arg();
+    println!("transport: {transport:?}");
     // 80 flows is this reproduction's Mode-1 exemplar: the degenerate
     // point sits where N x 1 MSS > K + BDP (~90 packets in flight, as the
     // paper itself computes), so N=100 already pins the queue here.
     let flow_counts = [80usize, 100, 500, 1000];
     let cfgs: Vec<ModesConfig> = flow_counts
         .iter()
-        .map(|&flows| ModesConfig {
-            num_flows: flows,
-            burst_duration_ms: 15.0,
-            num_bursts,
-            seed: 5,
-            ..ModesConfig::default()
+        .map(|&flows| {
+            let mut cfg = ModesConfig {
+                num_flows: flows,
+                burst_duration_ms: 15.0,
+                num_bursts,
+                seed: 5,
+                ..ModesConfig::default()
+            };
+            cfg.tcp.transport = transport;
+            cfg
         })
         .collect();
 

@@ -20,15 +20,21 @@ fn main() {
     );
 
     let num_bursts = if full_scale() { 11 } else { 6 };
+    let transport = bench::transport_arg();
+    println!("transport: {transport:?}");
     let flow_counts = [50usize, 100, 200, 500];
     let cfgs: Vec<ModesConfig> = flow_counts
         .iter()
-        .map(|&flows| ModesConfig {
-            num_flows: flows,
-            burst_duration_ms: 2.0,
-            num_bursts,
-            seed: 3,
-            ..ModesConfig::default()
+        .map(|&flows| {
+            let mut cfg = ModesConfig {
+                num_flows: flows,
+                burst_duration_ms: 2.0,
+                num_bursts,
+                seed: 3,
+                ..ModesConfig::default()
+            };
+            cfg.tcp.transport = transport;
+            cfg
         })
         .collect();
 

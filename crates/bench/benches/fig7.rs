@@ -38,9 +38,15 @@ fn main() {
         (80usize, 65u32, "80 flows @ K=65"),
         (100, 89, "100 flows @ K=89 (production)"),
     ];
+    let transport = bench::transport_arg();
+    println!("transport: {transport:?}");
     let cfgs: Vec<_> = variants
         .iter()
-        .map(|&(flows, k, _)| straggler_config(flows, k, bursts, 11))
+        .map(|&(flows, k, _)| {
+            let mut cfg = straggler_config(flows, k, bursts, 11);
+            cfg.tcp.transport = transport;
+            cfg
+        })
         .collect();
     let cache = RunCache::global();
     let t0 = std::time::Instant::now();

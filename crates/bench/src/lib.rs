@@ -21,6 +21,31 @@ pub fn banner(id: &str, what: &str, paper_claim: &str) {
     println!("================================================================");
 }
 
+/// Loss-recovery stack selection for the figure harnesses: `--transport
+/// tcp|quic` on the command line (after `--` under `cargo bench`), or the
+/// `INCAST_TRANSPORT` environment variable; defaults to TCP, the paper's
+/// stack. Lets every figure re-run under the QUIC-style engine to ask
+/// which findings are TCP artifacts (see EXPERIMENTS.md).
+pub fn transport_arg() -> transport::TransportKind {
+    let mut it = std::env::args().skip(1);
+    let mut choice = std::env::var("INCAST_TRANSPORT").ok();
+    while let Some(flag) = it.next() {
+        if flag == "--transport" {
+            choice = it.next();
+        } else if let Some(v) = flag.strip_prefix("--transport=") {
+            choice = Some(v.to_string());
+        }
+    }
+    match choice.as_deref() {
+        None | Some("tcp") => transport::TransportKind::Tcp,
+        Some("quic") => transport::TransportKind::Quic,
+        Some(other) => {
+            eprintln!("unknown transport {other:?} (tcp|quic); using tcp");
+            transport::TransportKind::Tcp
+        }
+    }
+}
+
 /// Formats a float tersely.
 pub fn f(x: f64) -> String {
     if x.abs() >= 100.0 {

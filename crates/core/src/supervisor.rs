@@ -235,7 +235,7 @@ fn {test_name}() {{
     #[allow(unused_imports)]
     use simnet::{{BufferPolicy::*, QueueConfig, SimTime}};
     #[allow(unused_imports)]
-    use transport::{{CcaKind::*, DelayedAckConfig, PacingConfig, TcpConfig}};
+    use transport::{{CcaKind::*, DelayedAckConfig, PacingConfig, TcpConfig, TransportKind::*}};
     #[allow(unused_imports)]
     use workload::{{BurstSchedule::*, Grouping}};
     let cfg = {cfg:?};

@@ -169,8 +169,15 @@ impl IngressTap for Millisampler {
         if pkt.is_ce() {
             self.cur.marked_bytes += pkt.wire_size as u64;
         }
-        if let PacketKind::Data { seq, payload, .. } = pkt.kind {
-            self.on_data(pkt.flow, seq, payload);
+        match pkt.kind {
+            PacketKind::Data { seq, payload, .. } => self.on_data(pkt.flow, seq, payload),
+            // QUIC retransmissions reuse the stream offset under a fresh
+            // packet number, so the offset drives retx-byte accounting
+            // exactly like a TCP sequence number.
+            PacketKind::QuicData {
+                offset, payload, ..
+            } => self.on_data(pkt.flow, offset, payload),
+            _ => {}
         }
     }
 }
@@ -218,6 +225,30 @@ mod tests {
         let t = ms.finish(SimTime::from_ms(1));
         assert_eq!(t.buckets[0].marked_bytes, 1500);
         assert_eq!(t.buckets[0].bytes, 3000);
+    }
+
+    #[test]
+    fn quic_retx_bytes_counted_by_stream_offset() {
+        let mut ms = Millisampler::new(Rate::gbps(10));
+        let qd = |pn, off, retx| {
+            Packet::quic_data(
+                FlowId(0),
+                NodeId(0),
+                NodeId(1),
+                pn,
+                off,
+                1000,
+                retx,
+                SimTime::ZERO,
+            )
+        };
+        ms.on_packet(SimTime::ZERO, &qd(0, 0, false));
+        ms.on_packet(SimTime::ZERO, &qd(1, 1000, false));
+        // Fresh packet number, previously sent offset: counts as retx bytes.
+        ms.on_packet(SimTime::ZERO, &qd(2, 0, true));
+        let t = ms.finish(SimTime::from_ms(1));
+        assert_eq!(t.buckets[0].retx_bytes, 1000);
+        assert_eq!(t.buckets[0].pkts, 3);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use incast_core::{FaultSpec, ModesConfig};
 use simnet::check::Violation;
 use simnet::{BufferPolicy, EventQueue, QueueConfig, SimTime, TimingWheel};
 use stats::Rng;
-use transport::{DelayedAckConfig, TcpConfig};
+use transport::{DelayedAckConfig, TcpConfig, TransportKind};
 use workload::{BurstSchedule, Grouping};
 
 /// Shared-buffer part of a [`Scenario`].
@@ -103,6 +103,8 @@ pub struct Scenario {
     pub periodic: bool,
     /// Scheduled fault, if any (blackhole, lossy window, or straggler).
     pub fault: FaultScenario,
+    /// Run the QUIC-style loss-recovery stack instead of TCP NewReno.
+    pub quic: bool,
 }
 
 impl Scenario {
@@ -141,6 +143,7 @@ impl Scenario {
             grouping: rng.chance(0.2),
             periodic: rng.chance(0.3),
             fault: FaultScenario::default(),
+            quic: false,
         };
         // Fault draws come LAST so adding them did not reshuffle the
         // scenarios older seeds generate.
@@ -162,12 +165,21 @@ impl Scenario {
                 },
             };
         }
+        // The transport draw also comes after everything older, for the
+        // same seed-stability reason: seeds that predate the QUIC stack
+        // still generate the same TCP scenarios they always did.
+        sc.quic = rng.chance(0.4);
         sc
     }
 
     /// The [`ModesConfig`] this scenario runs as.
     pub fn to_config(&self) -> ModesConfig {
         let tcp = TcpConfig {
+            transport: if self.quic {
+                TransportKind::Quic
+            } else {
+                TransportKind::Tcp
+            },
             delayed_ack: if self.delayed_ack {
                 Some(DelayedAckConfig::default())
             } else {
@@ -384,6 +396,11 @@ fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
             ..*sc
         });
     }
+    if sc.quic {
+        // Shrink toward the TCP baseline: a failure that persists without
+        // the QUIC stack is not a QUIC bug.
+        out.push(Scenario { quic: false, ..*sc });
+    }
     if sc.ecn_threshold_pkts.is_some() {
         out.push(Scenario {
             ecn_threshold_pkts: None,
@@ -466,13 +483,23 @@ pub enum SeedOutcome {
     Fail(Box<Failure>),
 }
 
-/// Fuzzes one seed: generate, run, check.
-pub fn fuzz_seed(seed: u64) -> SeedOutcome {
-    let scenario = Scenario::generate(seed);
+/// Fuzzes one seed: generate, run, check. `force_quic` pins the transport
+/// for the whole sweep (`Some(true)` = QUIC-only, `Some(false)` =
+/// TCP-only); `None` keeps the per-seed sample from [`Scenario::generate`].
+pub fn fuzz_seed_with(seed: u64, force_quic: Option<bool>) -> SeedOutcome {
+    let mut scenario = Scenario::generate(seed);
+    if let Some(quic) = force_quic {
+        scenario.quic = quic;
+    }
     match check_scenario(&scenario) {
         None => SeedOutcome::Pass,
         Some(f) => SeedOutcome::Fail(Box::new(f)),
     }
+}
+
+/// Fuzzes one seed with the per-seed transport sample.
+pub fn fuzz_seed(seed: u64) -> SeedOutcome {
+    fuzz_seed_with(seed, None)
 }
 
 #[cfg(test)]
@@ -498,6 +525,12 @@ mod tests {
         assert!(scs.iter().any(|s| s.fault.blackhole_us.is_some()));
         assert!(scs.iter().any(|s| s.fault.loss_pm.is_some()));
         assert!(scs.iter().any(|s| s.fault.straggler_us.is_some()));
+        assert!(scs.iter().any(|s| s.quic));
+        assert!(scs.iter().any(|s| !s.quic));
+        assert!(
+            scs.iter().any(|s| s.quic && !s.fault.is_empty()),
+            "no faulted QUIC scenario in the sample"
+        );
         for s in &scs {
             assert!((2..=40).contains(&s.num_flows));
             assert!((5..=40).contains(&s.burst_ms_x10));
@@ -528,6 +561,7 @@ mod tests {
                 + s.ecn_threshold_pkts.is_some() as u64
                 + (!s.fault.is_empty()) as u64
                 + s.fault.window_us()
+                + s.quic as u64
         };
         // Cover both fault-free and faulted starting points.
         let mut faulted = 0;

@@ -10,7 +10,7 @@
 //! paste-able `#[test]`s; the process exits nonzero if anything failed.
 
 use incast_core::{default_threads, par_map};
-use simcheck::{fuzz_seed, reproducer, shrink, SeedOutcome};
+use simcheck::{fuzz_seed_with, reproducer, shrink, SeedOutcome};
 use std::io::Write;
 
 struct Args {
@@ -18,6 +18,9 @@ struct Args {
     start: u64,
     threads: usize,
     report: Option<String>,
+    /// `None` = per-seed sample; `Some(true)` = QUIC only; `Some(false)` =
+    /// TCP only.
+    force_quic: Option<bool>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         start: 0,
         threads: default_threads(),
         report: None,
+        force_quic: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -37,11 +41,18 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
             }
             "--report" => args.report = Some(value("--report")?),
+            "--transport" => {
+                args.force_quic = match value("--transport")?.as_str() {
+                    "mix" => None,
+                    "tcp" => Some(false),
+                    "quic" => Some(true),
+                    other => return Err(format!("unknown transport {other} (tcp|quic|mix)")),
+                }
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: simcheck [--seeds N] [--start S] [--threads T] [--report FILE]"
-                        .to_string(),
-                )
+                return Err("usage: simcheck [--seeds N] [--start S] [--threads T] \
+                     [--transport tcp|quic|mix] [--report FILE]"
+                    .to_string())
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -59,15 +70,23 @@ fn main() {
     };
     let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
     println!(
-        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on",
+        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on, transport {}",
         args.start,
         args.start + args.seeds,
-        args.threads
+        args.threads,
+        match args.force_quic {
+            None => "mix",
+            Some(true) => "quic",
+            Some(false) => "tcp",
+        }
     );
     let t0 = std::time::Instant::now();
-    let outcomes = par_map(seeds.clone(), args.threads, |&seed| match fuzz_seed(seed) {
-        SeedOutcome::Pass => None,
-        SeedOutcome::Fail(f) => Some((seed, f)),
+    let force_quic = args.force_quic;
+    let outcomes = par_map(seeds.clone(), args.threads, |&seed| {
+        match fuzz_seed_with(seed, force_quic) {
+            SeedOutcome::Pass => None,
+            SeedOutcome::Fail(f) => Some((seed, f)),
+        }
     });
     let failures: Vec<_> = outcomes.into_iter().flatten().collect();
     let elapsed = t0.elapsed();

@@ -68,7 +68,8 @@ pub use ids::{BufferId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig};
 pub use node::Node;
 pub use packet::{
-    Ecn, Packet, PacketKind, PacketPool, PacketSlot, DEFAULT_MSS, HEADER_BYTES, MIN_FRAME_BYTES,
+    AckBlocks, Ecn, Packet, PacketKind, PacketPool, PacketSlot, DEFAULT_MSS, HEADER_BYTES,
+    MAX_ACK_BLOCKS, MIN_FRAME_BYTES,
 };
 pub use queue::{DropReason, EcnQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use sim::{SimCounters, Simulator};

@@ -35,6 +35,57 @@ impl Ecn {
     }
 }
 
+/// Maximum ACK ranges carried by one QUIC-style acknowledgment frame.
+pub const MAX_ACK_BLOCKS: usize = 3;
+
+/// The packet-number ranges carried by a QUIC-style ACK: inclusive
+/// `(lo, hi)` wire packet numbers, **descending and disjoint**, so
+/// `ranges()[0].1` is the largest acknowledged packet number. Fixed-size
+/// and `Copy` so packets keep parking in the [`PacketPool`] slab without
+/// heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckBlocks {
+    ranges: [(u32, u32); MAX_ACK_BLOCKS],
+    len: u8,
+}
+
+impl AckBlocks {
+    /// Builds a block set from up to [`MAX_ACK_BLOCKS`] inclusive wire
+    /// ranges in descending order. Panics on overflow or a malformed range
+    /// (`lo > hi` under wrapping is not detectable here; callers pass
+    /// already-wrapped values from a sorted range set).
+    pub fn new(ranges: &[(u32, u32)]) -> Self {
+        assert!(ranges.len() <= MAX_ACK_BLOCKS, "too many ACK blocks");
+        assert!(!ranges.is_empty(), "empty ACK frame");
+        let mut fixed = [(0u32, 0u32); MAX_ACK_BLOCKS];
+        fixed[..ranges.len()].copy_from_slice(ranges);
+        AckBlocks {
+            ranges: fixed,
+            len: ranges.len() as u8,
+        }
+    }
+
+    /// Largest acknowledged wire packet number.
+    pub fn largest(&self) -> u32 {
+        self.ranges[0].1
+    }
+
+    /// The inclusive wire ranges, descending.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges[..self.len as usize]
+    }
+
+    /// Number of ranges carried.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no ranges are carried (never constructed by `new`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// The transport-visible contents of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
@@ -58,6 +109,31 @@ pub enum PacketKind {
         /// ECN-Echo: the receiver saw Congestion Experienced.
         ece: bool,
         /// Echo of the newest acknowledged segment's `ts` (zero if unknown).
+        ts_echo: SimTime,
+    },
+    /// A QUIC-style data packet: every transmission — including a
+    /// retransmission of previously sent stream bytes — carries a fresh
+    /// monotonic packet number, and the stream offset locates the payload.
+    QuicData {
+        /// Wire packet number (wrapping u32; never reused within a flow).
+        pn: u32,
+        /// Wire stream offset of the first payload byte (wrapping u32).
+        offset: u32,
+        /// Payload bytes carried.
+        payload: u32,
+        /// True if the stream bytes were sent before under another packet
+        /// number (diagnostic only).
+        retx: bool,
+        /// Send timestamp, echoed by the ACK for RTT sampling.
+        ts: SimTime,
+    },
+    /// A QUIC-style acknowledgment carrying packet-number ranges.
+    QuicAck {
+        /// Acknowledged packet-number ranges, descending.
+        blocks: AckBlocks,
+        /// ECN-Echo: the receiver saw Congestion Experienced.
+        ece: bool,
+        /// Echo of the triggering packet's `ts` (zero if unknown).
         ts_echo: SimTime,
     },
     /// An application control message: the coordinator's request to a worker,
@@ -139,6 +215,59 @@ impl Packet {
         }
     }
 
+    /// Builds a QUIC-style data packet with the conventional wire size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn quic_data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        pn: u32,
+        offset: u32,
+        payload: u32,
+        retx: bool,
+        ts: SimTime,
+    ) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: (payload + HEADER_BYTES).max(MIN_FRAME_BYTES),
+            ecn: Ecn::Ect0,
+            kind: PacketKind::QuicData {
+                pn,
+                offset,
+                payload,
+                retx,
+                ts,
+            },
+        }
+    }
+
+    /// Builds a QUIC-style ACK (minimum frame size, not ECN-capable).
+    pub fn quic_ack(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        blocks: AckBlocks,
+        ece: bool,
+        ts_echo: SimTime,
+    ) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: MIN_FRAME_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::QuicAck {
+                blocks,
+                ece,
+                ts_echo,
+            },
+        }
+    }
+
     /// Builds a control (request) message.
     pub fn ctrl(flow: FlowId, src: NodeId, dst: NodeId, demand: u64, burst: u64) -> Self {
         Packet {
@@ -152,17 +281,20 @@ impl Packet {
         }
     }
 
-    /// Payload bytes if this is a data segment, else 0.
+    /// Payload bytes if this is a data segment (either stack), else 0.
     pub fn payload_bytes(&self) -> u32 {
         match self.kind {
-            PacketKind::Data { payload, .. } => payload,
+            PacketKind::Data { payload, .. } | PacketKind::QuicData { payload, .. } => payload,
             _ => 0,
         }
     }
 
-    /// True for data segments.
+    /// True for data segments of either transport stack.
     pub fn is_data(&self) -> bool {
-        matches!(self.kind, PacketKind::Data { .. })
+        matches!(
+            self.kind,
+            PacketKind::Data { .. } | PacketKind::QuicData { .. }
+        )
     }
 
     /// True if marked Congestion Experienced.
@@ -323,6 +455,31 @@ mod tests {
         let sent = Packet::ctrl(f, s, d, 187_500, 7);
         let slot = pool.insert(sent);
         assert_eq!(pool.take(slot), sent);
+    }
+
+    #[test]
+    fn quic_data_wire_size_matches_tcp_framing() {
+        let (f, s, d) = ids();
+        let p = Packet::quic_data(f, s, d, 3, 0, DEFAULT_MSS, false, SimTime::ZERO);
+        assert_eq!(p.wire_size, 1500);
+        assert_eq!(p.payload_bytes(), DEFAULT_MSS);
+        assert!(p.is_data());
+        assert_eq!(p.ecn, Ecn::Ect0);
+    }
+
+    #[test]
+    fn quic_ack_is_min_frame_and_carries_descending_blocks() {
+        let (f, s, d) = ids();
+        let blocks = AckBlocks::new(&[(9, 12), (2, 5)]);
+        assert_eq!(blocks.largest(), 12);
+        assert_eq!(blocks.len(), 2);
+        assert!(!blocks.is_empty());
+        assert_eq!(blocks.ranges(), &[(9, 12), (2, 5)]);
+        let p = Packet::quic_ack(f, s, d, blocks, true, SimTime::from_us(3));
+        assert_eq!(p.wire_size, MIN_FRAME_BYTES);
+        assert!(!p.ecn.is_capable());
+        assert!(!p.is_data());
+        assert_eq!(p.payload_bytes(), 0);
     }
 
     #[test]

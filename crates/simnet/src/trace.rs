@@ -69,6 +69,23 @@ pub fn packet_info(pkt: &Packet) -> PktInfo {
                 seq, payload, retx, ..
             } => PktDetail::Data { seq, payload, retx },
             PacketKind::Ack { ack, ece, .. } => PktDetail::Ack { ack, ece },
+            PacketKind::QuicData {
+                pn,
+                offset,
+                payload,
+                retx,
+                ..
+            } => PktDetail::QuicData {
+                pn,
+                offset,
+                payload,
+                retx,
+            },
+            PacketKind::QuicAck { blocks, ece, .. } => PktDetail::QuicAck {
+                largest: blocks.largest(),
+                ranges: blocks.len() as u32,
+                ece,
+            },
             PacketKind::Ctrl { demand, burst } => PktDetail::Ctrl { demand, burst },
         },
     }
@@ -159,6 +176,24 @@ impl TextTracer {
             PktDetail::Ack { ack, ece } => {
                 format!("ACK ack={ack}{}", if ece { " ECE" } else { "" })
             }
+            PktDetail::QuicData {
+                pn,
+                offset,
+                payload,
+                retx,
+            } => format!(
+                "QDATA pn={pn} off={offset} len={payload}{}{}",
+                if retx { " retx" } else { "" },
+                if pkt.ce { " CE" } else { "" }
+            ),
+            PktDetail::QuicAck {
+                largest,
+                ranges,
+                ece,
+            } => format!(
+                "QACK largest={largest} ranges={ranges}{}",
+                if ece { " ECE" } else { "" }
+            ),
             PktDetail::Ctrl { demand, burst } => {
                 format!("CTRL demand={demand} burst={burst}")
             }
@@ -354,6 +389,34 @@ mod tests {
         let log = t.render();
         assert!(log.contains("ACK ack=777 ECE"));
         assert!(log.contains("CTRL demand=9000 burst=3"));
+    }
+
+    #[test]
+    fn quic_descriptions() {
+        let mut t = TextTracer::new(4);
+        let qd = Packet::quic_data(
+            FlowId(1),
+            NodeId(0),
+            NodeId(2),
+            17,
+            4096,
+            1446,
+            true,
+            SimTime::ZERO,
+        );
+        let qa = Packet::quic_ack(
+            FlowId(1),
+            NodeId(2),
+            NodeId(0),
+            crate::packet::AckBlocks::new(&[(15, 17), (3, 9)]),
+            true,
+            SimTime::ZERO,
+        );
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Deliver, &qd));
+        PacketTracer::on_event(&mut t, &ev(TraceEventKind::Deliver, &qa));
+        let log = t.render();
+        assert!(log.contains("QDATA pn=17 off=4096 len=1446 retx"), "{log}");
+        assert!(log.contains("QACK largest=17 ranges=2 ECE"), "{log}");
     }
 
     #[test]

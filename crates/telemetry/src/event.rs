@@ -49,6 +49,26 @@ pub enum PktDetail {
         /// ECN-Echo flag.
         ece: bool,
     },
+    /// A QUIC-style data packet (fresh packet number per transmission).
+    QuicData {
+        /// Wire packet number.
+        pn: u32,
+        /// Wire stream offset of the payload.
+        offset: u32,
+        /// Payload bytes.
+        payload: u32,
+        /// True if the stream bytes were previously transmitted.
+        retx: bool,
+    },
+    /// A QUIC-style acknowledgment carrying packet-number ranges.
+    QuicAck {
+        /// Largest acknowledged wire packet number.
+        largest: u32,
+        /// Number of ACK ranges carried.
+        ranges: u32,
+        /// ECN-Echo flag.
+        ece: bool,
+    },
     /// An application control message.
     Ctrl {
         /// Demand bytes requested.
@@ -315,6 +335,28 @@ impl Event {
             PktDetail::Ack { ack, ece } => {
                 o.str("pkt", "ack").u64("ack", ack as u64).bool("ece", ece);
             }
+            PktDetail::QuicData {
+                pn,
+                offset,
+                payload,
+                retx,
+            } => {
+                o.str("pkt", "qdata")
+                    .u64("pn", pn as u64)
+                    .u64("off", offset as u64)
+                    .u64("len", payload as u64)
+                    .bool("retx", retx);
+            }
+            PktDetail::QuicAck {
+                largest,
+                ranges,
+                ece,
+            } => {
+                o.str("pkt", "qack")
+                    .u64("largest", largest as u64)
+                    .u64("ranges", ranges as u64)
+                    .bool("ece", ece);
+            }
             PktDetail::Ctrl { demand, burst } => {
                 o.str("pkt", "ctrl")
                     .u64("demand", demand)
@@ -532,6 +574,59 @@ mod tests {
         assert_eq!(DropCause::Corrupt.label(), "corrupt");
         assert_eq!(FlowState::Backoff.label(), "backoff");
         assert_eq!(WindowTrigger::FastRetransmit.label(), "fast_retx");
+    }
+
+    #[test]
+    fn quic_details_serialize() {
+        let qd = Event {
+            t_ps: 1,
+            kind: EventKind::PktDeliver {
+                link: 3,
+                pkt: PktInfo {
+                    flow: 1,
+                    src: 0,
+                    dst: 2,
+                    bytes: 1500,
+                    ce: false,
+                    detail: PktDetail::QuicData {
+                        pn: 17,
+                        offset: 4096,
+                        payload: 1446,
+                        retx: true,
+                    },
+                },
+            },
+        };
+        assert!(
+            qd.to_json()
+                .contains(r#""pkt":"qdata","pn":17,"off":4096,"len":1446,"retx":true"#),
+            "{}",
+            qd.to_json()
+        );
+        let qa = Event {
+            t_ps: 2,
+            kind: EventKind::PktDeliver {
+                link: 3,
+                pkt: PktInfo {
+                    flow: 1,
+                    src: 2,
+                    dst: 0,
+                    bytes: 64,
+                    ce: false,
+                    detail: PktDetail::QuicAck {
+                        largest: 17,
+                        ranges: 2,
+                        ece: true,
+                    },
+                },
+            },
+        };
+        assert!(
+            qa.to_json()
+                .contains(r#""pkt":"qack","largest":17,"ranges":2,"ece":true"#),
+            "{}",
+            qa.to_json()
+        );
     }
 
     #[test]

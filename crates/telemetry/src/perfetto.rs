@@ -164,6 +164,10 @@ impl PerfettoSink {
         match pkt.detail {
             PktDetail::Data { seq, .. } => format!("d{}.{}.{}", pkt.flow, seq, link),
             PktDetail::Ack { ack, .. } => format!("a{}.{}.{}", pkt.flow, ack, link),
+            // QUIC packet numbers are unique per transmission, so the
+            // packet number alone disambiguates hops of the same bytes.
+            PktDetail::QuicData { pn, .. } => format!("qd{}.{}.{}", pkt.flow, pn, link),
+            PktDetail::QuicAck { largest, .. } => format!("qa{}.{}.{}", pkt.flow, largest, link),
             PktDetail::Ctrl { burst, .. } => format!("c{}.{}.{}", pkt.flow, burst, link),
         }
     }
@@ -183,6 +187,22 @@ impl PerfettoSink {
                     format!("f{} ack {} ece", pkt.flow, ack)
                 } else {
                     format!("f{} ack {}", pkt.flow, ack)
+                }
+            }
+            PktDetail::QuicData {
+                pn, offset, retx, ..
+            } => {
+                if retx {
+                    format!("f{} qretx {pn}@{offset}", pkt.flow)
+                } else {
+                    format!("f{} qdata {pn}@{offset}", pkt.flow)
+                }
+            }
+            PktDetail::QuicAck { largest, ece, .. } => {
+                if ece {
+                    format!("f{} qack {largest} ece", pkt.flow)
+                } else {
+                    format!("f{} qack {largest}", pkt.flow)
                 }
             }
             PktDetail::Ctrl { burst, .. } => format!("f{} ctrl b{}", pkt.flow, burst),
@@ -267,9 +287,23 @@ impl EventSink for PerfettoSink {
                             &format!("retx{}.{}", pkt.flow, seq),
                         );
                     }
+                    // A QUIC retransmission carries a fresh packet number,
+                    // so the causal key is the stream offset instead.
+                    PktDetail::QuicData {
+                        offset, retx: true, ..
+                    } => {
+                        self.arrow(
+                            "f",
+                            "retx",
+                            t,
+                            PID_NET,
+                            *link as u64,
+                            &format!("qretx{}.{}", pkt.flow, offset),
+                        );
+                    }
                     // An ECN-Echo ack is the effect of a CE-marked delivery
                     // on the same flow.
-                    PktDetail::Ack { ece: true, .. } => {
+                    PktDetail::Ack { ece: true, .. } | PktDetail::QuicAck { ece: true, .. } => {
                         self.arrow(
                             "f",
                             "ece",
@@ -296,16 +330,29 @@ impl EventSink for PerfettoSink {
                     self.hop_event("e", t, *link, pkt, &args);
                 }
                 // The drop is the cause of any retransmission of this
-                // sequence: start the arrow.
-                if let PktDetail::Data { seq, .. } = pkt.detail {
-                    self.arrow(
-                        "s",
-                        "retx",
-                        t,
-                        PID_NET,
-                        *link as u64,
-                        &format!("retx{}.{}", pkt.flow, seq),
-                    );
+                // sequence (TCP) or stream offset (QUIC): start the arrow.
+                match pkt.detail {
+                    PktDetail::Data { seq, .. } => {
+                        self.arrow(
+                            "s",
+                            "retx",
+                            t,
+                            PID_NET,
+                            *link as u64,
+                            &format!("retx{}.{}", pkt.flow, seq),
+                        );
+                    }
+                    PktDetail::QuicData { offset, .. } => {
+                        self.arrow(
+                            "s",
+                            "retx",
+                            t,
+                            PID_NET,
+                            *link as u64,
+                            &format!("qretx{}.{}", pkt.flow, offset),
+                        );
+                    }
+                    _ => {}
                 }
             }
             EventKind::PktTxStart { link, pkt } => {
@@ -318,7 +365,7 @@ impl EventSink for PerfettoSink {
                 // A CE-marked data delivery causes the receiver's next
                 // ECN-Echo ack: start the arrow.
                 if pkt.ce {
-                    if let PktDetail::Data { .. } = pkt.detail {
+                    if let PktDetail::Data { .. } | PktDetail::QuicData { .. } = pkt.detail {
                         self.arrow(
                             "s",
                             "ece",

@@ -26,9 +26,47 @@ impl Default for DelayedAckConfig {
     }
 }
 
+/// Which loss-recovery stack a host's connections run. Both stacks share
+/// the congestion controllers in `cca/`; only the recovery machinery
+/// behind the `Recovery` trait differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// TCP NewReno: cumulative ACKs, dupACK-threshold fast retransmit,
+    /// RTO with a 200 ms-style floor.
+    #[default]
+    Tcp,
+    /// QUIC-style: monotonic packet numbers, ACK ranges, packet-threshold
+    /// loss detection, PTO with exponential backoff, PRR-style window
+    /// reduction (RFC 9002 semantics; see `specs/`).
+    Quic,
+}
+
+impl TransportKind {
+    /// Stable wire label (CLI flags, manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Quic => "quic",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tcp" => Some(TransportKind::Tcp),
+            "quic" => Some(TransportKind::Quic),
+            _ => None,
+        }
+    }
+}
+
 /// Static configuration shared by every connection on a host.
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
+    /// Loss-recovery stack. Despite the struct's name, a host configured
+    /// with [`TransportKind::Quic`] runs the QUIC-style engine; the rest of
+    /// the fields apply to both stacks except where noted.
+    pub transport: TransportKind,
     /// Maximum segment size in payload bytes (1446 → 1500 B frames).
     pub mss: u32,
     /// Initial congestion window in segments (RFC 6928's 10).
@@ -45,7 +83,12 @@ pub struct TcpConfig {
     pub min_rto: SimTime,
     /// RTO ceiling.
     pub max_rto: SimTime,
+    /// Timer granularity for the QUIC-style probe timeout (RFC 9002's
+    /// kGranularity; 1 ms recommended). Ignored by the TCP stack.
+    pub pto_granularity: SimTime,
     /// Delayed ACKs; `None` acknowledges every data segment immediately.
+    /// The QUIC-style stack ignores this: its receiver acknowledges every
+    /// packet immediately (max_ack_delay = 0).
     pub delayed_ack: Option<DelayedAckConfig>,
     /// If set, each sender records its in-flight bytes into fixed-interval
     /// buckets (drives the paper's Fig. 7).
@@ -71,6 +114,7 @@ impl Default for TcpConfig {
     /// CWND floor of 1 MSS, delayed ACKs off, 200 ms minimum RTO.
     fn default() -> Self {
         TcpConfig {
+            transport: TransportKind::Tcp,
             mss: DEFAULT_MSS,
             init_cwnd_segs: 10,
             min_cwnd_segs: 1,
@@ -78,6 +122,7 @@ impl Default for TcpConfig {
             initial_rto: SimTime::from_secs(1),
             min_rto: SimTime::from_ms(200),
             max_rto: SimTime::from_secs(60),
+            pto_granularity: SimTime::from_ms(1),
             delayed_ack: None,
             flight_sample_interval: None,
             pacing: None,
@@ -124,13 +169,15 @@ impl TcpConfig {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let mut o = telemetry::json::Obj::new(&mut out);
-        o.u64("mss", self.mss as u64)
+        o.str("transport", self.transport.name())
+            .u64("mss", self.mss as u64)
             .u64("init_cwnd_segs", self.init_cwnd_segs as u64)
             .u64("min_cwnd_segs", self.min_cwnd_segs as u64)
             .str("cca", self.cca.name())
             .u64("initial_rto_ps", self.initial_rto.as_ps())
             .u64("min_rto_ps", self.min_rto.as_ps())
             .u64("max_rto_ps", self.max_rto.as_ps())
+            .u64("pto_granularity_ps", self.pto_granularity.as_ps())
             .bool("delayed_ack", self.delayed_ack.is_some());
         match self.flight_sample_interval {
             Some(iv) => o.u64("flight_sample_interval_ps", iv.as_ps()),
@@ -162,6 +209,12 @@ impl TcpConfig {
         }
         if self.min_rto > self.max_rto {
             return Err("min_rto exceeds max_rto".into());
+        }
+        if self.transport == TransportKind::Quic && self.pacing.is_some() {
+            return Err("sub-MSS pacing mode requires the tcp transport".into());
+        }
+        if self.transport == TransportKind::Quic && self.pto_granularity == SimTime::ZERO {
+            return Err("pto_granularity must be positive".into());
         }
         Ok(())
     }
@@ -225,13 +278,49 @@ mod tests {
     }
 
     #[test]
+    fn transport_kind_labels_round_trip() {
+        for k in [TransportKind::Tcp, TransportKind::Quic] {
+            assert_eq!(TransportKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(TransportKind::parse("sctp"), None);
+        assert_eq!(TransportKind::default(), TransportKind::Tcp);
+    }
+
+    #[test]
+    fn quic_rejects_pacing_mode() {
+        let c = TcpConfig {
+            transport: TransportKind::Quic,
+            pacing: Some(PacingConfig::default()),
+            ..TcpConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = TcpConfig {
+            transport: TransportKind::Quic,
+            ..TcpConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = TcpConfig {
+            transport: TransportKind::Quic,
+            pto_granularity: SimTime::ZERO,
+            ..TcpConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn to_json_is_deterministic_and_names_cca() {
         let c = TcpConfig::default();
         let js = c.to_json();
         assert_eq!(js, c.clone().to_json());
         assert!(js.contains(r#""cca":"dctcp""#), "{js}");
+        assert!(js.contains(r#""transport":"tcp""#), "{js}");
         assert!(js.contains(r#""mss":1446"#));
         assert!(js.contains(r#""pacing_min_cwnd_fraction":null"#));
+        let q = TcpConfig {
+            transport: TransportKind::Quic,
+            ..TcpConfig::default()
+        };
+        assert!(q.to_json().contains(r#""transport":"quic""#));
 
         let c = TcpConfig {
             pacing: Some(PacingConfig::default()),

@@ -254,6 +254,37 @@ impl Endpoint for TcpHost {
                 }
                 None => self.core.stray_packets += 1,
             },
+            PacketKind::QuicData {
+                pn,
+                offset,
+                payload,
+                ts,
+                ..
+            } => {
+                let cfg = &self.core.cfg;
+                let rx = self
+                    .core
+                    .receivers
+                    .entry(pkt.flow)
+                    .or_insert_with(|| Receiver::new(pkt.flow, pkt.src, cfg));
+                let newly = rx.on_quic_data(ctx, pn, offset, payload, pkt.is_ce(), ts);
+                let total = rx.delivered();
+                if newly > 0 {
+                    self.with_app(ctx, |app, api| app.on_receive(api, pkt.flow, newly, total));
+                }
+            }
+            PacketKind::QuicAck {
+                blocks,
+                ece,
+                ts_echo,
+            } => match self.core.senders.get_mut(&pkt.flow) {
+                Some(tx) => {
+                    if tx.on_quic_ack(ctx, blocks, ece, ts_echo) == AckOutcome::AllAcked {
+                        self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
+                    }
+                }
+                None => self.core.stray_packets += 1,
+            },
             PacketKind::Ctrl { demand, burst } => {
                 self.with_app(ctx, |app, api| {
                     app.on_ctrl(api, pkt.src, pkt.flow, demand, burst)
@@ -264,7 +295,7 @@ impl Endpoint for TcpHost {
 
     fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
         match keys::decode(key) {
-            TimerKind::Rto(flow) => {
+            TimerKind::Rto(flow) | TimerKind::Pto(flow) => {
                 if let Some(tx) = self.core.senders.get_mut(&flow) {
                     tx.on_rto(ctx);
                 }

@@ -10,6 +10,7 @@ use simnet::FlowId;
 const KIND_RTO: u64 = 0;
 const KIND_DELACK: u64 = 1;
 const KIND_PACE: u64 = 2;
+const KIND_PTO: u64 = 3;
 const KIND_BITS: u64 = 2;
 
 /// Application timers live above this base.
@@ -30,6 +31,11 @@ pub fn pace_key(flow: FlowId) -> u64 {
     ((flow.0 as u64) << KIND_BITS) | KIND_PACE
 }
 
+/// Probe-timeout timer key for a flow (QUIC-style stack).
+pub fn pto_key(flow: FlowId) -> u64 {
+    ((flow.0 as u64) << KIND_BITS) | KIND_PTO
+}
+
 /// Key for application timer `id`.
 pub fn app_key(id: u64) -> u64 {
     assert!(id < APP_KEY_BASE, "app timer id too large");
@@ -45,6 +51,8 @@ pub enum TimerKind {
     Delack(FlowId),
     /// A flow's pacing timer.
     Pace(FlowId),
+    /// A flow's probe timeout (QUIC-style stack).
+    Pto(FlowId),
     /// An application timer with its id.
     App(u64),
 }
@@ -59,6 +67,7 @@ pub fn decode(key: u64) -> TimerKind {
         KIND_RTO => TimerKind::Rto(flow),
         KIND_DELACK => TimerKind::Delack(flow),
         KIND_PACE => TimerKind::Pace(flow),
+        KIND_PTO => TimerKind::Pto(flow),
         other => panic!("unknown timer kind {other}"),
     }
 }
@@ -72,6 +81,7 @@ mod tests {
         assert_eq!(decode(rto_key(FlowId(7))), TimerKind::Rto(FlowId(7)));
         assert_eq!(decode(delack_key(FlowId(7))), TimerKind::Delack(FlowId(7)));
         assert_eq!(decode(pace_key(FlowId(7))), TimerKind::Pace(FlowId(7)));
+        assert_eq!(decode(pto_key(FlowId(7))), TimerKind::Pto(FlowId(7)));
         assert_eq!(decode(app_key(99)), TimerKind::App(99));
     }
 
@@ -81,9 +91,11 @@ mod tests {
             rto_key(FlowId(0)),
             delack_key(FlowId(0)),
             pace_key(FlowId(0)),
+            pto_key(FlowId(0)),
             rto_key(FlowId(1)),
             delack_key(FlowId(1)),
             pace_key(FlowId(1)),
+            pto_key(FlowId(1)),
             app_key(0),
             app_key(1),
         ];

@@ -1,11 +1,19 @@
-//! # transport — TCP endpoints for the incast simulator
+//! # transport — TCP and QUIC-style endpoints for the incast simulator
 //!
-//! A window-based TCP implementation faithful to the mechanisms the paper's
-//! analysis rests on:
+//! A window-based transport implementation faithful to the mechanisms the
+//! paper's analysis rests on. Loss recovery sits behind the [`Recovery`]
+//! trait with two engines selected by [`config::TransportKind`]:
 //!
-//! - **Reliability**: cumulative ACKs, out-of-order reassembly, fast
-//!   retransmit on triple duplicate ACKs with NewReno partial-ACK recovery,
-//!   and RFC 6298 retransmission timeouts with exponential backoff.
+//! - **Reliability (TCP, default)**: cumulative ACKs, out-of-order
+//!   reassembly, fast retransmit on triple duplicate ACKs with NewReno
+//!   partial-ACK recovery, and RFC 6298 retransmission timeouts with
+//!   exponential backoff (200 ms floor — the origin of the paper's Mode 3).
+//! - **Reliability (QUIC-style)**: RFC 9002 recovery — monotonic packet
+//!   numbers, ACK ranges, packet-threshold loss detection, probe timeouts
+//!   with no minimum floor, PRR during recovery — answering whether the
+//!   paper's findings are TCP artifacts (see EXPERIMENTS.md). Conformance
+//!   is pinned by RFC quotes in `specs/` wired to `check`-feature
+//!   invariants ([`spec`]).
 //! - **Congestion control** ([`cca`]): DCTCP (the paper's deployed CCA, with
 //!   the `g`-gain alpha estimator and once-per-window CWR reductions), Reno
 //!   and CUBIC baselines, and two Section-5 mitigation prototypes
@@ -23,17 +31,22 @@ pub mod cca;
 pub mod config;
 pub mod host;
 pub mod keys;
+pub mod ranges;
 pub mod receiver;
+pub mod recovery;
 pub mod rtt;
 pub mod sender;
 pub mod seq;
+pub mod spec;
 pub mod stats;
 
 pub use cca::{Cca, CcaCtx, CcaKind};
 pub use config::PacingConfig;
-pub use config::{DelayedAckConfig, TcpConfig};
+pub use config::{DelayedAckConfig, TcpConfig, TransportKind};
 pub use host::{HostCore, TcpApi, TcpApp, TcpHost};
+pub use ranges::AckRanges;
 pub use receiver::Receiver;
+pub use recovery::Recovery;
 pub use rtt::RttEstimator;
 pub use sender::{AckOutcome, FlowProbe, Sender};
 pub use stats::{FlightRecorder, ReceiverStats, SenderStats};

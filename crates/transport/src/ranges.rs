@@ -1,0 +1,295 @@
+//! Sorted, disjoint half-open ranges over a `u64` space.
+//!
+//! [`AckRanges`] is the arithmetic core of the QUIC-style stack: receivers
+//! track received packet numbers in one (capped, so the ACK frame stays
+//! bounded like a real one), senders track acknowledged stream bytes and
+//! pending retransmission bytes in others. A packet number `n` is stored as
+//! the byte range `[n, n+1)`.
+//!
+//! Invariants (checked by the property suite in
+//! `tests/ranges_properties.rs` against a `BTreeSet` model):
+//! - ranges are sorted ascending, non-empty, and pairwise disjoint;
+//! - adjacent ranges are merged (`[0,3)` + `[3,5)` becomes `[0,5)`);
+//! - a capped set only ever forgets its *lowest* ranges, so the largest
+//!   element is exact and monotone.
+
+use simnet::packet::{AckBlocks, MAX_ACK_BLOCKS};
+
+use crate::seq;
+
+/// A set of `u64` values stored as sorted, disjoint, half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AckRanges {
+    /// Sorted ascending; each `(lo, hi)` is non-empty (`lo < hi`), and
+    /// consecutive ranges neither overlap nor touch.
+    ranges: Vec<(u64, u64)>,
+    /// Maximum ranges retained (0 = unbounded). On overflow the lowest
+    /// range is dropped, mirroring a receiver that forgets old gaps.
+    cap: usize,
+}
+
+impl AckRanges {
+    /// An unbounded empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set that retains at most `cap` ranges.
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap > 0, "zero-capacity range set");
+        AckRanges {
+            ranges: Vec::new(),
+            cap,
+        }
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of stored ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The stored ranges, ascending.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Total values covered.
+    pub fn covered(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| hi - lo).sum()
+    }
+
+    /// One past the largest stored value (0 if empty).
+    pub fn end(&self) -> u64 {
+        self.ranges.last().map_or(0, |&(_, hi)| hi)
+    }
+
+    /// Largest stored value.
+    pub fn largest(&self) -> Option<u64> {
+        self.ranges.last().map(|&(_, hi)| hi - 1)
+    }
+
+    /// End of the contiguous prefix starting at 0 (0 if the set does not
+    /// contain 0). For a sender's acked-bytes set this is the delivered
+    /// prefix — the QUIC analogue of `SND.UNA`.
+    pub fn prefix_end(&self) -> u64 {
+        match self.ranges.first() {
+            Some(&(0, hi)) => hi,
+            _ => 0,
+        }
+    }
+
+    /// True if `v` is stored.
+    pub fn contains(&self, v: u64) -> bool {
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v >= hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Inserts `[lo, hi)`, merging with overlapping or touching neighbours.
+    /// Returns true if any value was newly added.
+    pub fn insert(&mut self, lo: u64, hi: u64) -> bool {
+        assert!(lo < hi, "empty or inverted range [{lo}, {hi})");
+        // First range whose end reaches our start (a candidate to merge).
+        let i = self.ranges.partition_point(|&(_, h)| h < lo);
+        // Ranges [i, j) overlap or touch [lo, hi).
+        let j = i + self.ranges[i..].partition_point(|&(l, _)| l <= hi);
+        if i == j {
+            self.ranges.insert(i, (lo, hi));
+            self.enforce_cap();
+            return true;
+        }
+        let merged_lo = self.ranges[i].0.min(lo);
+        let merged_hi = self.ranges[j - 1].1.max(hi);
+        let had: u64 = self.ranges[i..j].iter().map(|&(l, h)| h - l).sum();
+        self.ranges[i] = (merged_lo, merged_hi);
+        self.ranges.drain(i + 1..j);
+        self.enforce_cap();
+        merged_hi - merged_lo > had
+    }
+
+    /// Inserts the single value `v`.
+    pub fn insert_one(&mut self, v: u64) -> bool {
+        self.insert(v, v + 1)
+    }
+
+    /// Removes `[lo, hi)` from the set (values outside are untouched).
+    pub fn remove(&mut self, lo: u64, hi: u64) {
+        assert!(lo < hi, "empty or inverted range [{lo}, {hi})");
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for &(l, h) in &self.ranges {
+            if h <= lo || l >= hi {
+                out.push((l, h));
+                continue;
+            }
+            if l < lo {
+                out.push((l, lo));
+            }
+            if h > hi {
+                out.push((hi, h));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Removes and returns up to `max` values from the lowest range, as
+    /// `(lo, len)`. Drives retransmission: pending byte ranges are pulled
+    /// off in MSS-sized chunks, lowest offset first.
+    pub fn take_prefix(&mut self, max: u64) -> Option<(u64, u64)> {
+        assert!(max > 0, "zero take");
+        let &(lo, hi) = self.ranges.first()?;
+        let len = (hi - lo).min(max);
+        if lo + len == hi {
+            self.ranges.remove(0);
+        } else {
+            self.ranges[0].0 = lo + len;
+        }
+        Some((lo, len))
+    }
+
+    /// Appends the sub-ranges of `[lo, hi)` *not* stored in the set to
+    /// `out`. Used to find the still-unacknowledged bytes of a lost packet.
+    pub fn missing_in(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        assert!(lo <= hi, "inverted range [{lo}, {hi})");
+        let mut cursor = lo;
+        let start = self.ranges.partition_point(|&(_, h)| h <= lo);
+        for &(l, h) in &self.ranges[start..] {
+            if l >= hi {
+                break;
+            }
+            if l > cursor {
+                out.push((cursor, l));
+            }
+            cursor = cursor.max(h);
+        }
+        if cursor < hi {
+            out.push((cursor, hi));
+        }
+    }
+
+    /// The highest [`MAX_ACK_BLOCKS`] ranges as a descending wire ACK
+    /// frame of inclusive, wrapped packet numbers. Panics if empty.
+    pub fn to_blocks(&self) -> AckBlocks {
+        let mut blocks = [(0u32, 0u32); MAX_ACK_BLOCKS];
+        let n = self.ranges.len().min(MAX_ACK_BLOCKS);
+        for (b, &(lo, hi)) in blocks.iter_mut().zip(self.ranges.iter().rev().take(n)) {
+            *b = (seq::wrap(lo), seq::wrap(hi - 1));
+        }
+        AckBlocks::new(&blocks[..n])
+    }
+
+    fn enforce_cap(&mut self) {
+        if self.cap > 0 {
+            while self.ranges.len() > self.cap {
+                self.ranges.remove(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlapping_and_touching() {
+        let mut r = AckRanges::new();
+        assert!(r.insert(10, 20));
+        assert!(r.insert(30, 40));
+        assert_eq!(r.ranges(), &[(10, 20), (30, 40)]);
+        // Touching on the left, overlapping on the right: one range left.
+        assert!(r.insert(20, 35));
+        assert_eq!(r.ranges(), &[(10, 40)]);
+        // Fully covered insert adds nothing.
+        assert!(!r.insert(12, 18));
+        assert_eq!(r.covered(), 30);
+    }
+
+    #[test]
+    fn contains_and_prefix() {
+        let mut r = AckRanges::new();
+        r.insert(0, 5);
+        r.insert(8, 10);
+        assert!(r.contains(0) && r.contains(4) && !r.contains(5));
+        assert!(r.contains(9) && !r.contains(10));
+        assert_eq!(r.prefix_end(), 5);
+        assert_eq!(r.end(), 10);
+        assert_eq!(r.largest(), Some(9));
+        r.insert(5, 8);
+        assert_eq!(r.prefix_end(), 10);
+    }
+
+    #[test]
+    fn prefix_is_zero_without_zero() {
+        let mut r = AckRanges::new();
+        r.insert(3, 9);
+        assert_eq!(r.prefix_end(), 0);
+    }
+
+    #[test]
+    fn remove_splits_ranges() {
+        let mut r = AckRanges::new();
+        r.insert(0, 10);
+        r.remove(3, 6);
+        assert_eq!(r.ranges(), &[(0, 3), (6, 10)]);
+        r.remove(0, 100);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn take_prefix_chunks_lowest_first() {
+        let mut r = AckRanges::new();
+        r.insert(10, 15);
+        r.insert(20, 22);
+        assert_eq!(r.take_prefix(3), Some((10, 3)));
+        assert_eq!(r.take_prefix(100), Some((13, 2)));
+        assert_eq!(r.take_prefix(100), Some((20, 2)));
+        assert_eq!(r.take_prefix(1), None);
+    }
+
+    #[test]
+    fn missing_in_finds_holes() {
+        let mut r = AckRanges::new();
+        r.insert(5, 10);
+        r.insert(15, 20);
+        let mut holes = Vec::new();
+        r.missing_in(0, 25, &mut holes);
+        assert_eq!(holes, vec![(0, 5), (10, 15), (20, 25)]);
+        holes.clear();
+        r.missing_in(6, 9, &mut holes);
+        assert!(holes.is_empty());
+    }
+
+    #[test]
+    fn cap_drops_lowest_ranges_only() {
+        let mut r = AckRanges::with_cap(2);
+        r.insert_one(1);
+        r.insert_one(5);
+        r.insert_one(9);
+        assert_eq!(r.ranges(), &[(5, 6), (9, 10)]);
+        assert_eq!(r.largest(), Some(9));
+    }
+
+    #[test]
+    fn to_blocks_descends_and_caps() {
+        let mut r = AckRanges::new();
+        for lo in [0u64, 10, 20, 30] {
+            r.insert(lo, lo + 2);
+        }
+        let b = r.to_blocks();
+        assert_eq!(b.largest(), 31);
+        assert_eq!(b.ranges(), &[(30, 31), (20, 21), (10, 11)]);
+    }
+}

@@ -8,10 +8,16 @@
 
 use crate::config::{DelayedAckConfig, TcpConfig};
 use crate::keys;
+use crate::ranges::AckRanges;
 use crate::seq;
 use crate::stats::ReceiverStats;
 use simnet::{Ctx, FlowId, NodeId, Packet, SimTime};
 use std::collections::BTreeMap;
+
+/// Ranges of received packet numbers a QUIC-mode receiver remembers.
+/// Old gaps beyond this are forgotten, keeping the state (and the wire
+/// frame built from its top ranges) bounded like a real implementation.
+const PN_RANGE_CAP: usize = 64;
 
 /// Receiver-side connection state.
 #[derive(Debug)]
@@ -23,6 +29,8 @@ pub struct Receiver {
     rcv_nxt: u64,
     /// Out-of-order ranges, disjoint and above `rcv_nxt`: start -> end.
     ooo: BTreeMap<u64, u64>,
+    /// Received packet numbers (QUIC mode only; stays empty under TCP).
+    pns: AckRanges,
     delack: Option<DelayedAckConfig>,
     /// DCTCP delayed-ACK state: the CE value of the accumulation run.
     ce_state: bool,
@@ -41,6 +49,7 @@ impl Receiver {
             peer,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
+            pns: AckRanges::with_cap(PN_RANGE_CAP),
             delack: cfg.delayed_ack,
             ce_state: false,
             pending_segs: 0,
@@ -79,7 +88,7 @@ impl Receiver {
             // was reassembled, and ECE may only echo an actual CE mark.
             if ack_abs > self.rcv_nxt {
                 simnet::check::violated(
-                    "ack_beyond_rcv_nxt",
+                    crate::spec::keys::ACK_BEYOND_RCV_NXT,
                     format_args!(
                         "flow {}: acking {} with rcv_nxt {}",
                         self.flow.0, ack_abs, self.rcv_nxt
@@ -88,7 +97,7 @@ impl Receiver {
             }
             if ece && self.stats.ce_segs == 0 {
                 simnet::check::violated(
-                    "ece_without_ce",
+                    crate::spec::keys::ECE_WITHOUT_CE,
                     format_args!(
                         "flow {}: ECE set but no CE segment ever received",
                         self.flow.0
@@ -151,7 +160,7 @@ impl Receiver {
             #[cfg(feature = "check")]
             if self.rcv_nxt < before {
                 simnet::check::violated(
-                    "rcv_nxt_monotonic",
+                    crate::spec::keys::RCV_NXT_MONOTONIC,
                     format_args!(
                         "flow {}: rcv_nxt moved backwards {} -> {}",
                         self.flow.0, before, self.rcv_nxt
@@ -180,6 +189,106 @@ impl Receiver {
             Some(dcfg) => self.delayed_ack_on_data(ctx, ce, dcfg, before),
         }
         newly
+    }
+
+    /// Handles an arriving QUIC-style data packet: records the packet
+    /// number, reassembles the stream by offset (the same machinery as
+    /// TCP), and acknowledges *immediately* with the top received
+    /// packet-number ranges — QUIC mode ignores delayed ACKs
+    /// (`max_ack_delay = 0`), echoing this packet's CE. Returns the bytes
+    /// newly delivered in order.
+    pub fn on_quic_data(
+        &mut self,
+        ctx: &mut Ctx,
+        pn_wire: u32,
+        offset_wire: u32,
+        payload: u32,
+        ce: bool,
+        ts: SimTime,
+    ) -> u64 {
+        debug_assert!(payload > 0, "empty data packet");
+        self.stats.segs_received += 1;
+        if ce {
+            self.stats.ce_segs += 1;
+        }
+        self.last_ts = ts;
+
+        let pn = seq::unwrap(pn_wire, self.pns.end());
+        let s = seq::unwrap(offset_wire, self.rcv_nxt);
+        let e = s + payload as u64;
+
+        // A packet number arriving twice means the network duplicated the
+        // frame; stream-byte overlap (retransmitted data racing delivery)
+        // is the interesting duplicate measure, same as TCP.
+        self.stats.dup_bytes += self.overlap_bytes(s, e);
+        self.pns.insert_one(pn);
+
+        let before = self.rcv_nxt;
+        if e <= self.rcv_nxt {
+            // Stale stream bytes under a fresh packet number: the ACK
+            // below still reports the pn so the sender can retire it.
+        } else if s <= self.rcv_nxt {
+            self.rcv_nxt = e;
+            self.absorb_contiguous();
+            #[cfg(feature = "check")]
+            if self.rcv_nxt < before {
+                simnet::check::violated(
+                    crate::spec::keys::RCV_NXT_MONOTONIC,
+                    format_args!(
+                        "flow {}: rcv_nxt moved backwards {} -> {}",
+                        self.flow.0, before, self.rcv_nxt
+                    ),
+                );
+            }
+        } else {
+            self.stats.ooo_segs += 1;
+            self.insert_ooo(s, e);
+        }
+        let newly = self.rcv_nxt - before;
+        self.stats.bytes_delivered += newly;
+        self.send_quic_ack(ctx, ce);
+        newly
+    }
+
+    /// Emits an ACK frame carrying the highest received packet-number
+    /// ranges (RFC 9000 §13.1: every ack-eliciting packet is acknowledged;
+    /// §19.3.1: ranges are descending and disjoint).
+    fn send_quic_ack(&mut self, ctx: &mut Ctx, ece: bool) {
+        let blocks = self.pns.to_blocks();
+        #[cfg(feature = "check")]
+        {
+            // Conformance oracle: wire ranges must descend without
+            // overlap or touch, and ECE may only echo an actual CE mark.
+            let r = blocks.ranges();
+            for w in r.windows(2) {
+                if w[1].1 >= w[0].0 || w[1].0 > w[1].1 {
+                    simnet::check::violated(
+                        crate::spec::keys::QUIC_ACK_BLOCKS_SOUND,
+                        format_args!("flow {}: malformed ACK ranges {r:?}", self.flow.0),
+                    );
+                }
+            }
+            if let Some(&(lo, hi)) = r.first() {
+                if lo > hi {
+                    simnet::check::violated(
+                        crate::spec::keys::QUIC_ACK_BLOCKS_SOUND,
+                        format_args!("flow {}: inverted ACK range {lo}..{hi}", self.flow.0),
+                    );
+                }
+            }
+            if ece && self.stats.ce_segs == 0 {
+                simnet::check::violated(
+                    crate::spec::keys::ECE_WITHOUT_CE,
+                    format_args!(
+                        "flow {}: ECE set but no CE packet ever received",
+                        self.flow.0
+                    ),
+                );
+            }
+        }
+        let ack = Packet::quic_ack(self.flow, ctx.node(), self.peer, blocks, ece, self.last_ts);
+        ctx.send(ack);
+        self.stats.acks_sent += 1;
     }
 
     /// DCTCP's delayed-ACK state machine (DCTCP paper, Fig. 8): on a CE
@@ -434,6 +543,79 @@ mod tests {
         // CE flips back: the CE run is acked with ece = true.
         h.data(3 * MSS as u64, MSS, false);
         assert_eq!(h.acks(), vec![(3 * MSS, true)]);
+    }
+
+    // ---- QUIC mode ----
+
+    impl Harness {
+        fn quic_data(&mut self, pn: u64, offset: u64, len: u32, ce: bool) -> u64 {
+            let mut ctx = Ctx::new(SimTime::from_us(pn), NodeId(5), &mut self.cmds);
+            self.rx.on_quic_data(
+                &mut ctx,
+                seq::wrap(pn),
+                seq::wrap(offset),
+                len,
+                ce,
+                SimTime::from_us(1),
+            )
+        }
+
+        /// Drains (largest_pn, num_ranges, ece) for every QUIC ACK sent.
+        fn quic_acks(&mut self) -> Vec<(u32, usize, bool)> {
+            let out = self
+                .cmds
+                .iter()
+                .filter_map(|c| match c {
+                    Cmd::Send(p) => match p.kind {
+                        PacketKind::QuicAck { blocks, ece, .. } => {
+                            Some((blocks.largest(), blocks.len(), ece))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            self.cmds.clear();
+            out
+        }
+    }
+
+    #[test]
+    fn quic_every_packet_acked_immediately() {
+        // Delayed-ACK config is ignored in QUIC mode: one ACK per packet.
+        let mut h = Harness::new(Some(DelayedAckConfig::default()));
+        assert_eq!(h.quic_data(0, 0, MSS, false), MSS as u64);
+        assert_eq!(h.quic_data(1, MSS as u64, MSS, true), MSS as u64);
+        let acks = h.quic_acks();
+        assert_eq!(acks, vec![(0, 1, false), (1, 1, true)]);
+        assert_eq!(h.rx.delivered(), 2 * MSS as u64);
+    }
+
+    #[test]
+    fn quic_gap_reports_ranges() {
+        let mut h = Harness::new(None);
+        h.quic_data(0, 0, MSS, false);
+        h.quic_acks();
+        // pn 2 arrives before pn 1: two ranges {2}, {0}.
+        assert_eq!(h.quic_data(2, 2 * MSS as u64, MSS, false), 0);
+        assert_eq!(h.quic_acks(), vec![(2, 2, false)]);
+        assert_eq!(h.rx.stats().ooo_segs, 1);
+        // The hole fills: back to one range, stream catches up.
+        assert_eq!(h.quic_data(1, MSS as u64, MSS, false), 2 * MSS as u64);
+        assert_eq!(h.quic_acks(), vec![(2, 1, false)]);
+        assert_eq!(h.rx.ooo_ranges().count(), 0);
+    }
+
+    #[test]
+    fn quic_retransmitted_bytes_under_fresh_pn_counted_dup() {
+        let mut h = Harness::new(None);
+        h.quic_data(0, 0, MSS, false);
+        h.quic_acks();
+        // Same stream bytes again, new packet number (a spurious retx).
+        assert_eq!(h.quic_data(1, 0, MSS, false), 0);
+        assert_eq!(h.rx.stats().dup_bytes, MSS as u64);
+        // Still acked — the sender needs pn 1 retired.
+        assert_eq!(h.quic_acks(), vec![(1, 1, false)]);
     }
 
     #[test]

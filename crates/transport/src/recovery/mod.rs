@@ -1,0 +1,223 @@
+//! Loss-recovery engines behind the [`Recovery`] trait.
+//!
+//! The [`crate::sender::Sender`] owns everything both stacks share — the
+//! congestion controller, the RTT estimator, counters, probes, demand — and
+//! delegates the loss-recovery machinery (what is outstanding, what is
+//! lost, what to (re)transmit, which timer to arm) to a `Recovery` engine:
+//!
+//! - [`tcp::TcpRecovery`] — the original NewReno machinery: cumulative
+//!   ACKs, triple-duplicate-ACK fast retransmit, RFC 6298 RTO with the
+//!   200 ms-style floor that produces the paper's Mode 3.
+//! - [`quic::QuicRecovery`] — QUIC-style semantics per RFC 9002: monotonic
+//!   packet numbers, ACK ranges, packet-threshold loss detection, a probe
+//!   timeout (PTO) with exponential backoff and *no* 200 ms floor, and a
+//!   PRR-style proportional window reduction during recovery.
+//!
+//! Both engines drive the same [`crate::cca`] congestion controllers
+//! unchanged; the engine only decides *when* the controller's hooks fire.
+//! RFC requirements each engine implements are quoted in `specs/` and keyed
+//! to runtime invariants via [`crate::spec::keys`].
+
+pub mod quic;
+pub mod tcp;
+
+use crate::cca::{Cca, CcaCtx};
+use crate::config::{TcpConfig, TransportKind};
+use crate::rtt::RttEstimator;
+use crate::sender::FlowProbe;
+use crate::seq;
+use crate::stats::{FlightRecorder, SenderStats};
+use simnet::{AckBlocks, Ctx, FlowId, NodeId, Packet, SimTime};
+use telemetry::{FlowState, WindowTrigger};
+
+/// An acknowledgment as seen on the wire, before engine interpretation.
+#[derive(Debug, Clone, Copy)]
+pub enum AckView {
+    /// A cumulative TCP ACK.
+    Tcp {
+        /// Wrapped cumulative acknowledgment number.
+        ack_wire: u32,
+        /// ECN-Echo.
+        ece: bool,
+        /// Echoed data timestamp (zero = no sample).
+        ts_echo: SimTime,
+    },
+    /// A QUIC-style ACK frame.
+    Quic {
+        /// Acknowledged packet-number ranges, descending.
+        blocks: AckBlocks,
+        /// ECN-Echo.
+        ece: bool,
+        /// Echoed data timestamp (zero = no sample).
+        ts_echo: SimTime,
+    },
+}
+
+impl AckView {
+    /// The ECN-Echo bit, common to both forms.
+    pub fn ece(&self) -> bool {
+        match *self {
+            AckView::Tcp { ece, .. } | AckView::Quic { ece, .. } => ece,
+        }
+    }
+}
+
+/// The sender-owned machinery an engine borrows for one event.
+///
+/// Everything here is shared between stacks: the engine mutates the CCA and
+/// RTT estimator through it, emits packets, arms timers, and reports window
+/// transitions. Scalar fields are copies — [`TxCtx`] is rebuilt per event by
+/// [`crate::sender::Sender`], after demand updates.
+pub struct TxCtx<'a, 'c> {
+    /// Simulator context (time, timers, packet egress).
+    pub ctx: &'a mut Ctx<'c>,
+    /// The connection's flow id.
+    pub flow: FlowId,
+    /// The receiving host.
+    pub peer: NodeId,
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Congestion-window floor in bytes.
+    pub min_cwnd: u64,
+    /// Absolute end of the application's byte stream so far.
+    pub demand_end: u64,
+    /// The congestion controller (shared by both stacks).
+    pub cca: &'a mut dyn Cca,
+    /// The RTT estimator (RTO and PTO base).
+    pub rtt: &'a mut RttEstimator,
+    /// Counter sink.
+    pub stats: &'a mut SenderStats,
+    /// Fixed-interval in-flight recorder, if enabled.
+    pub flight: &'a mut Option<FlightRecorder>,
+    /// Window-transition probe, if attached.
+    pub probe: &'a Option<FlowProbe>,
+}
+
+impl TxCtx<'_, '_> {
+    /// Effective congestion window in bytes (floor applied).
+    pub fn cwnd(&self) -> u64 {
+        self.cca.cwnd().max(self.min_cwnd)
+    }
+
+    /// Builds a [`CcaCtx`] around the engine's current sequence state.
+    pub fn cca_ctx(&self, snd_una: u64, snd_nxt: u64, in_recovery: bool) -> CcaCtx {
+        CcaCtx {
+            now: self.ctx.now(),
+            mss: self.mss,
+            min_cwnd: self.min_cwnd,
+            snd_nxt,
+            snd_una,
+            in_recovery,
+        }
+    }
+
+    /// Emits a TCP data segment and updates the send counters.
+    pub fn emit_data(&mut self, at: u64, len: u32, retx: bool) {
+        let pkt = Packet::data(
+            self.flow,
+            self.ctx.node(),
+            self.peer,
+            seq::wrap(at),
+            len,
+            retx,
+            self.ctx.now(),
+        );
+        self.ctx.send(pkt);
+        self.count_sent(len, retx);
+    }
+
+    /// Emits a QUIC data packet and updates the send counters.
+    pub fn emit_quic(&mut self, pn: u64, offset: u64, len: u32, retx: bool) {
+        let pkt = Packet::quic_data(
+            self.flow,
+            self.ctx.node(),
+            self.peer,
+            seq::wrap(pn),
+            seq::wrap(offset),
+            len,
+            retx,
+            self.ctx.now(),
+        );
+        self.ctx.send(pkt);
+        self.count_sent(len, retx);
+    }
+
+    fn count_sent(&mut self, len: u32, retx: bool) {
+        self.stats.segs_sent += 1;
+        self.stats.bytes_sent += len as u64;
+        if retx {
+            self.stats.bytes_retx += len as u64;
+        }
+    }
+
+    /// Records an in-flight sample, if the recorder is enabled.
+    pub fn record_flight(&mut self, inflight: u64) {
+        if let Some(rec) = self.flight {
+            rec.record(self.ctx.now().as_ps(), inflight);
+        }
+    }
+
+    /// Emits a window-transition event, if a probe is attached.
+    pub fn probe_window(&self, trigger: WindowTrigger, state: FlowState, inflight: u64) {
+        if let Some(p) = self.probe {
+            p.emit_window(
+                self.ctx.now(),
+                self.flow,
+                self.cwnd(),
+                self.cca.ssthresh(),
+                inflight,
+                state,
+                trigger,
+            );
+        }
+    }
+}
+
+/// A loss-recovery engine: owns the sequence/packet-number space, decides
+/// what to transmit, interprets acknowledgments, and reacts to its
+/// retransmission-or-probe timer.
+pub trait Recovery: std::fmt::Debug {
+    /// Which stack this engine implements.
+    fn kind(&self) -> TransportKind;
+
+    /// Bytes delivered contiguously from the start of the stream — the
+    /// `SND.UNA` analogue. Drives idle/`AllAcked` detection.
+    fn acked_prefix(&self) -> u64;
+
+    /// Highest stream byte handed to the wire at least once (`SND.NXT`).
+    fn sent_end(&self) -> u64;
+
+    /// Bytes currently considered outstanding.
+    fn in_flight(&self) -> u64;
+
+    /// True while in a loss-recovery episode.
+    fn in_recovery(&self) -> bool;
+
+    /// True between a timeout and the next acknowledgment.
+    fn backing_off(&self) -> bool;
+
+    /// A fresh burst is starting after idle (pacing clocks re-seed here).
+    fn on_burst_start(&mut self, tx: &mut TxCtx);
+
+    /// Transmits while the window (and any recovery rate limit) allows.
+    fn fill(&mut self, tx: &mut TxCtx);
+
+    /// Processes an acknowledgment.
+    fn on_ack(&mut self, tx: &mut TxCtx, ack: AckView);
+
+    /// The retransmission (TCP RTO) or probe (QUIC PTO) timer fired.
+    fn on_retx_timer(&mut self, tx: &mut TxCtx);
+
+    /// The pacing timer fired (sub-MSS window mode; TCP only).
+    fn on_pace_timer(&mut self, tx: &mut TxCtx) {
+        let _ = tx;
+    }
+}
+
+/// Builds the engine selected by `cfg.transport`.
+pub fn build(cfg: &TcpConfig, flow: FlowId) -> Box<dyn Recovery> {
+    match cfg.transport {
+        TransportKind::Tcp => Box::new(tcp::TcpRecovery::new(cfg, flow)),
+        TransportKind::Quic => Box::new(quic::QuicRecovery::new(cfg)),
+    }
+}

@@ -1,26 +1,25 @@
 //! The sending half of a connection.
 //!
-//! Window-based transmission with NewReno-style loss recovery:
+//! [`Sender`] owns what both transport stacks share — the pluggable
+//! congestion controller ([`Cca`]), the RTT estimator, demand bookkeeping,
+//! counters, and telemetry probes — and delegates loss recovery to a
+//! [`Recovery`] engine selected by [`TcpConfig::transport`]:
 //!
-//! - transmit while `in_flight < cwnd` (plus transient fast-recovery
-//!   inflation per RFC 5681),
-//! - triple duplicate ACK → fast retransmit and recovery; partial ACKs
-//!   retransmit the next hole (NewReno, RFC 6582),
-//! - retransmission timeout per RFC 6298 with exponential backoff → window
-//!   collapse to the floor and slow-start restart,
-//! - congestion window owned by a pluggable [`Cca`].
+//! - `tcp`: NewReno — cumulative ACKs, triple-duplicate-ACK fast
+//!   retransmit (RFC 5681/6582), RFC 6298 RTO with exponential backoff,
+//! - `quic`: RFC 9002 semantics — monotonic packet numbers, ACK ranges,
+//!   packet-threshold loss detection, PTO backoff, PRR-style reduction.
 //!
 //! Connections are persistent: the application adds demand per burst and the
 //! congestion state carries over — exactly the behavior behind the paper's
 //! §4.3 cross-burst divergence findings.
 
 use crate::cca::{Cca, CcaCtx};
-use crate::config::TcpConfig;
-use crate::keys;
+use crate::config::{TcpConfig, TransportKind};
+use crate::recovery::{self, AckView, Recovery, TxCtx};
 use crate::rtt::RttEstimator;
-use crate::seq;
 use crate::stats::{FlightRecorder, SenderStats};
-use simnet::{Ctx, FlowId, NodeId, Packet, SimTime};
+use simnet::{AckBlocks, Ctx, FlowId, NodeId, SimTime};
 use telemetry::{Event, EventClass, EventKind, FlowState, SinkRef, WindowTrigger};
 
 /// Streams per-flow congestion-window transitions to a telemetry sink.
@@ -40,6 +39,31 @@ impl FlowProbe {
     /// A probe reporting transitions of flows on `node` to `sink`.
     pub fn new(sink: SinkRef, node: NodeId) -> Self {
         FlowProbe { sink, node: node.0 }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_window(
+        &self,
+        now: SimTime,
+        flow: FlowId,
+        cwnd: u64,
+        ssthresh: u64,
+        inflight: u64,
+        state: FlowState,
+        trigger: WindowTrigger,
+    ) {
+        self.sink.emit(&Event {
+            t_ps: now.as_ps(),
+            kind: EventKind::FlowWindow {
+                node: self.node,
+                flow: flow.0,
+                cwnd,
+                ssthresh,
+                inflight,
+                state,
+                trigger,
+            },
+        });
     }
 }
 
@@ -63,20 +87,8 @@ pub struct Sender {
     rtt: RttEstimator,
     /// Application demand: absolute end of the byte stream to deliver.
     demand_end: u64,
-    /// Oldest unacknowledged byte.
-    snd_una: u64,
-    /// Next byte to transmit.
-    snd_nxt: u64,
-    dup_acks: u32,
-    in_recovery: bool,
-    /// `snd_nxt` at recovery entry; recovery ends when `snd_una` passes it.
-    recover: u64,
-    /// Fast-recovery window inflation in bytes (RFC 5681 §3.2 style).
-    recovery_extra: u64,
-    rto_armed: bool,
-    /// True between an RTO and the next cumulative ACK (exponential
-    /// backoff territory — the paper's Mode 3 stragglers live here).
-    backing_off: bool,
+    /// The loss-recovery engine (sequence space, retransmission, timers).
+    recovery: Box<dyn Recovery>,
     stats: SenderStats,
     flight: Option<FlightRecorder>,
     probe: Option<FlowProbe>,
@@ -85,14 +97,6 @@ pub struct Sender {
     idle_restart: Option<(SimTime, u64, crate::cca::CcaKind)>,
     /// Last time this connection sent or received anything.
     last_activity: SimTime,
-    /// Swift-style pacing: enabled when the config allows sub-MSS windows.
-    pacing: bool,
-    /// Earliest time the next paced packet may leave.
-    next_pace_at: SimTime,
-    /// Flow-specific phase used to re-seed a stale pacing clock: without
-    /// it, every flow of a synchronized burst would fire its "paced" first
-    /// packet at the same instant, defeating the point of pacing.
-    pace_phase: u64,
 }
 
 impl Sender {
@@ -118,14 +122,7 @@ impl Sender {
             cca: cfg.cca.build(cfg.init_cwnd_bytes(), cfg.mss_bytes()),
             rtt: RttEstimator::new(cfg.initial_rto, cfg.min_rto, cfg.max_rto),
             demand_end: 0,
-            snd_una: 0,
-            snd_nxt: 0,
-            dup_acks: 0,
-            in_recovery: false,
-            recover: 0,
-            recovery_extra: 0,
-            rto_armed: false,
-            backing_off: false,
+            recovery: recovery::build(cfg, flow),
             stats: SenderStats::default(),
             probe: None,
             flight: cfg
@@ -135,15 +132,39 @@ impl Sender {
                 .idle_restart_after
                 .map(|t| (t, cfg.init_cwnd_bytes(), cfg.cca)),
             last_activity: SimTime::ZERO,
-            pacing: cfg.pacing.is_some(),
-            next_pace_at: SimTime::ZERO,
-            pace_phase: (flow.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }
     }
 
-    /// Bytes in flight (sent, not yet cumulatively acknowledged).
+    /// Splits the sender into its recovery engine and the context the
+    /// engine acts through. Rebuilt per event so scalar copies (like
+    /// `demand_end`) are current.
+    fn split<'a, 'c>(&'a mut self, ctx: &'a mut Ctx<'c>) -> (&'a mut dyn Recovery, TxCtx<'a, 'c>) {
+        (
+            &mut *self.recovery,
+            TxCtx {
+                ctx,
+                flow: self.flow,
+                peer: self.peer,
+                mss: self.mss,
+                min_cwnd: self.min_cwnd,
+                demand_end: self.demand_end,
+                cca: &mut *self.cca,
+                rtt: &mut self.rtt,
+                stats: &mut self.stats,
+                flight: &mut self.flight,
+                probe: &self.probe,
+            },
+        )
+    }
+
+    /// Which loss-recovery stack this connection runs.
+    pub fn transport(&self) -> TransportKind {
+        self.recovery.kind()
+    }
+
+    /// Bytes in flight (sent and not yet acknowledged).
     pub fn in_flight(&self) -> u64 {
-        self.snd_nxt - self.snd_una
+        self.recovery.in_flight()
     }
 
     /// Current congestion window in bytes (floor applied).
@@ -153,12 +174,12 @@ impl Sender {
 
     /// True when all demand so far has been sent and acknowledged.
     pub fn is_idle(&self) -> bool {
-        self.snd_una == self.demand_end
+        self.recovery.acked_prefix() == self.demand_end
     }
 
-    /// True while the sender is in NewReno fast recovery (diagnostic).
+    /// True while the sender is in loss recovery (diagnostic).
     pub fn in_recovery(&self) -> bool {
-        self.in_recovery
+        self.recovery.in_recovery()
     }
 
     /// Counter snapshot.
@@ -188,25 +209,22 @@ impl Sender {
     /// Emits a [`EventKind::FlowWindow`] transition if a probe is attached.
     fn probe_window(&self, now: SimTime, trigger: WindowTrigger) {
         let Some(p) = &self.probe else { return };
-        let state = if self.backing_off {
+        let state = if self.recovery.backing_off() {
             FlowState::Backoff
-        } else if self.in_recovery {
+        } else if self.recovery.in_recovery() {
             FlowState::Recovery
         } else {
             FlowState::Open
         };
-        p.sink.emit(&Event {
-            t_ps: now.as_ps(),
-            kind: EventKind::FlowWindow {
-                node: p.node,
-                flow: self.flow.0,
-                cwnd: self.cwnd(),
-                ssthresh: self.cca.ssthresh(),
-                inflight: self.in_flight(),
-                state,
-                trigger,
-            },
-        });
+        p.emit_window(
+            now,
+            self.flow,
+            self.cwnd(),
+            self.cca.ssthresh(),
+            self.recovery.in_flight(),
+            state,
+            trigger,
+        );
     }
 
     /// Smoothed RTT estimate, if any.
@@ -219,16 +237,9 @@ impl Sender {
             now,
             mss: self.mss,
             min_cwnd: self.min_cwnd,
-            snd_nxt: self.snd_nxt,
-            snd_una: self.snd_una,
-            in_recovery: self.in_recovery,
-        }
-    }
-
-    fn record_flight(&mut self, now: SimTime) {
-        let inflight = self.snd_nxt - self.snd_una;
-        if let Some(rec) = &mut self.flight {
-            rec.record(now.as_ps(), inflight);
+            snd_nxt: self.recovery.sent_end(),
+            snd_una: self.recovery.acked_prefix(),
+            in_recovery: self.recovery.in_recovery(),
         }
     }
 
@@ -244,127 +255,29 @@ impl Sender {
                 }
             }
             // A fresh burst is starting after idle: let mitigation CCAs
-            // restore their remembered window.
+            // restore their remembered window, and pacing clocks re-seed.
             let cctx = self.cca_ctx(ctx.now());
             self.cca.on_burst_start(&cctx);
-            // Pacing mode: the pacer's clock free-runs at the floor rate;
-            // a flow whose tick passed while idle waits for its next
-            // phase-aligned tick before transmitting. This is what spreads
-            // a synchronized burst start across the pool.
-            if self.pacing && ctx.now() > self.next_pace_at {
-                let rtt = self.rtt.srtt().unwrap_or(SimTime::from_ms(1));
-                let floor_gap = rtt.mul_f64(self.mss as f64 / self.min_cwnd.max(1) as f64);
-                let offset = SimTime::from_ps(self.pace_phase % floor_gap.as_ps().max(1));
-                self.next_pace_at = ctx.now() + offset;
+            {
+                let (rec, mut tx) = self.split(ctx);
+                rec.on_burst_start(&mut tx);
             }
             self.probe_window(ctx.now(), WindowTrigger::BurstStart);
         }
         self.demand_end += bytes;
         self.stats.demand_bytes += bytes;
         self.last_activity = ctx.now();
-        self.try_send(ctx);
-    }
-
-    /// Transmits new segments while the window allows.
-    fn try_send(&mut self, ctx: &mut Ctx) {
-        // Pacing gate: nothing (new) leaves before the pacer's next tick.
-        if self.pacing && ctx.now() < self.next_pace_at && self.snd_nxt < self.demand_end {
-            let at = self.next_pace_at;
-            ctx.set_timer(keys::pace_key(self.flow), at);
-            return;
-        }
-        let wnd = self.cwnd() + self.recovery_extra;
-        while self.snd_nxt < self.demand_end {
-            // Whole segments only (the final segment of demand may be short);
-            // a segment that does not fully fit in the window waits.
-            let len = self.mss.min(self.demand_end - self.snd_nxt);
-            if self.snd_nxt - self.snd_una + len > wnd {
-                // Sub-MSS window: pacing mode sends one packet per
-                // MSS/cwnd RTTs instead of stalling at the floor.
-                if self.pacing && wnd < self.mss && self.in_flight() == 0 {
-                    self.pace_one(ctx, wnd, len as u32);
-                }
-                break;
-            }
-            self.emit_segment(ctx, self.snd_nxt, len as u32, false);
-            self.snd_nxt += len;
-        }
-        if self.in_flight() > 0 && !self.rto_armed {
-            self.arm_rto(ctx);
-        }
-        self.record_flight(ctx.now());
-        #[cfg(feature = "check")]
-        self.oracle_state();
-    }
-
-    /// Pacing-mode transmission: emit one segment if the pacing clock
-    /// allows, else arm the pacing timer (Swift's "one packet every
-    /// several RTTs", paper §5.2).
-    fn pace_one(&mut self, ctx: &mut Ctx, wnd: u64, len: u32) {
-        // Inter-packet gap: RTT x MSS / cwnd (so average rate stays cwnd
-        // per RTT even below one packet per RTT).
-        let rtt = self.rtt.srtt().unwrap_or(SimTime::from_ms(1));
-        let gap = rtt.mul_f64(self.mss as f64 / wnd.max(1) as f64);
-        let now = ctx.now();
-        if now >= self.next_pace_at {
-            self.emit_segment(ctx, self.snd_nxt, len, false);
-            self.snd_nxt += len as u64;
-            self.next_pace_at = now + gap;
-            if !self.rto_armed {
-                self.arm_rto(ctx);
-            }
-        } else {
-            let at = self.next_pace_at;
-            ctx.set_timer(keys::pace_key(self.flow), at);
-        }
+        let (rec, mut tx) = self.split(ctx);
+        rec.fill(&mut tx);
     }
 
     /// The pacing timer fired: try to release the next paced packet.
     pub fn on_pace(&mut self, ctx: &mut Ctx) {
-        self.try_send(ctx);
+        let (rec, mut tx) = self.split(ctx);
+        rec.on_pace_timer(&mut tx);
     }
 
-    fn emit_segment(&mut self, ctx: &mut Ctx, at: u64, len: u32, retx: bool) {
-        let pkt = Packet::data(
-            self.flow,
-            ctx.node(),
-            self.peer,
-            seq::wrap(at),
-            len,
-            retx,
-            ctx.now(),
-        );
-        ctx.send(pkt);
-        self.stats.segs_sent += 1;
-        self.stats.bytes_sent += len as u64;
-        if retx {
-            self.stats.bytes_retx += len as u64;
-        }
-    }
-
-    fn retransmit_head(&mut self, ctx: &mut Ctx) {
-        debug_assert!(self.snd_una < self.demand_end, "retransmit with no data");
-        let len = self.mss.min(self.demand_end - self.snd_una) as u32;
-        // Never resend beyond what was originally transmitted.
-        let len = len.min((self.snd_nxt - self.snd_una) as u32);
-        if len == 0 {
-            return;
-        }
-        self.emit_segment(ctx, self.snd_una, len, true);
-        self.arm_rto(ctx);
-    }
-
-    fn arm_rto(&mut self, ctx: &mut Ctx) {
-        ctx.set_timer_after(keys::rto_key(self.flow), self.rtt.rto());
-        self.rto_armed = true;
-    }
-
-    fn cancel_rto(&mut self, ctx: &mut Ctx) {
-        ctx.cancel_timer(keys::rto_key(self.flow));
-        self.rto_armed = false;
-    }
-
-    /// Handles an arriving acknowledgment.
+    /// Handles an arriving cumulative (TCP) acknowledgment.
     pub fn on_ack(
         &mut self,
         ctx: &mut Ctx,
@@ -372,169 +285,56 @@ impl Sender {
         ece: bool,
         ts_echo: SimTime,
     ) -> AckOutcome {
+        self.handle_ack(
+            ctx,
+            AckView::Tcp {
+                ack_wire,
+                ece,
+                ts_echo,
+            },
+        )
+    }
+
+    /// Handles an arriving QUIC-style ACK frame.
+    pub fn on_quic_ack(
+        &mut self,
+        ctx: &mut Ctx,
+        blocks: AckBlocks,
+        ece: bool,
+        ts_echo: SimTime,
+    ) -> AckOutcome {
+        self.handle_ack(
+            ctx,
+            AckView::Quic {
+                blocks,
+                ece,
+                ts_echo,
+            },
+        )
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Ctx, ack: AckView) -> AckOutcome {
         self.stats.acks += 1;
-        if ece {
+        if ack.ece() {
             self.stats.ece_acks += 1;
         }
-        let ack = seq::unwrap(ack_wire, self.snd_una);
         self.last_activity = ctx.now();
-        #[cfg(feature = "check")]
-        if ack > self.snd_nxt {
-            simnet::check::violated(
-                "ack_of_unsent",
-                format_args!(
-                    "flow {}: ack {} beyond snd_nxt {}",
-                    self.flow.0, ack, self.snd_nxt
-                ),
-            );
-        }
-
-        if ack > self.snd_una && ack <= self.snd_nxt {
-            let newly = ack - self.snd_una;
-            self.snd_una = ack;
-            self.stats.bytes_acked += newly;
-            self.dup_acks = 0;
-
-            // RTT sample from the timestamp echo.
-            let sample = if ts_echo > SimTime::ZERO && ctx.now() > ts_echo {
-                let s = ctx.now() - ts_echo;
-                self.rtt.on_sample(s);
-                Some(s)
-            } else {
-                None
-            };
-
-            let cctx = self.cca_ctx(ctx.now());
-            self.cca.on_ack(&cctx, newly, ece, sample);
-
-            if self.in_recovery {
-                if self.snd_una >= self.recover {
-                    // Full ACK: recovery complete.
-                    self.in_recovery = false;
-                    self.recovery_extra = 0;
-                } else {
-                    // Partial ACK: the next hole is lost too (NewReno).
-                    self.recovery_extra = self.recovery_extra.saturating_sub(newly);
-                    self.retransmit_head(ctx);
-                }
-            }
-
-            // Restart (or clear) the retransmission timer.
-            if self.in_flight() > 0 {
-                self.arm_rto(ctx);
-            } else {
-                self.cancel_rto(ctx);
-            }
-
-            self.backing_off = false;
-            self.probe_window(
-                ctx.now(),
-                if ece {
-                    WindowTrigger::Ece
-                } else {
-                    WindowTrigger::Ack
-                },
-            );
-            self.try_send(ctx);
-            self.record_flight(ctx.now());
-            if self.is_idle() && self.demand_end > 0 {
-                return AckOutcome::AllAcked;
-            }
-            return AckOutcome::Progress;
-        }
-
-        if ack == self.snd_una && self.in_flight() > 0 {
-            // Duplicate ACK.
-            self.dup_acks += 1;
-            let cctx = self.cca_ctx(ctx.now());
-            // Zero-byte "ack": lets DCTCP latch CWR from ECE on dupacks.
-            self.cca.on_ack(&cctx, 0, ece, None);
-
-            if !self.in_recovery && self.dup_acks == 3 {
-                self.in_recovery = true;
-                self.recover = self.snd_nxt;
-                self.recovery_extra = 0;
-                self.stats.fast_retransmits += 1;
-                let cctx = self.cca_ctx(ctx.now());
-                self.cca.on_enter_recovery(&cctx);
-                self.retransmit_head(ctx);
-                self.probe_window(ctx.now(), WindowTrigger::FastRetransmit);
-            } else if self.in_recovery {
-                // Each further dup ACK signals a departure: inflate.
-                self.recovery_extra += self.mss;
-                self.try_send(ctx);
-            }
-        }
-        AckOutcome::Progress
-    }
-
-    /// The retransmission timer fired.
-    pub fn on_rto(&mut self, ctx: &mut Ctx) {
-        self.rto_armed = false;
-        if self.in_flight() == 0 {
-            return; // stale
-        }
-        self.stats.timeouts += 1;
-        #[cfg(feature = "check")]
-        let rto_before = self.rtt.rto();
-        self.rtt.on_timeout();
-        #[cfg(feature = "check")]
+        let before = self.recovery.acked_prefix();
         {
-            let rto_after = self.rtt.rto();
-            // RFC 6298 backoff: each timeout at most doubles the timer and
-            // never shortens it (equality happens at the max-RTO cap).
-            if rto_after < rto_before || rto_after.as_ps() > rto_before.as_ps().saturating_mul(2) {
-                simnet::check::violated(
-                    "rto_backoff",
-                    format_args!(
-                        "flow {}: RTO went {} -> {} ps on timeout",
-                        self.flow.0,
-                        rto_before.as_ps(),
-                        rto_after.as_ps()
-                    ),
-                );
-            }
+            let (rec, mut tx) = self.split(ctx);
+            rec.on_ack(&mut tx, ack);
         }
-        self.in_recovery = false;
-        self.recovery_extra = 0;
-        self.dup_acks = 0;
-        let cctx = self.cca_ctx(ctx.now());
-        self.cca.on_timeout(&cctx);
-        self.backing_off = true;
-        self.retransmit_head(ctx);
-        self.record_flight(ctx.now());
-        self.probe_window(ctx.now(), WindowTrigger::Rto);
-        #[cfg(feature = "check")]
-        self.oracle_state();
+        if self.recovery.acked_prefix() > before && self.is_idle() && self.demand_end > 0 {
+            AckOutcome::AllAcked
+        } else {
+            AckOutcome::Progress
+        }
     }
 
-    /// Structural invariants of the sequence-space state machine, part of
-    /// the `check` feature's TCP conformance oracle. Violations are
-    /// recorded, not panicked, so the `simcheck` fuzzer can shrink them.
-    #[cfg(feature = "check")]
-    #[inline]
-    fn oracle_state(&self) {
-        if self.snd_una > self.snd_nxt || self.snd_nxt > self.demand_end {
-            simnet::check::violated(
-                "seq_space",
-                format_args!(
-                    "flow {}: snd_una {} / snd_nxt {} / demand_end {} out of order",
-                    self.flow.0, self.snd_una, self.snd_nxt, self.demand_end
-                ),
-            );
-        }
-        // `cwnd()` clamps to the floor by construction; this defends against
-        // a refactor removing the clamp. Read once — it is a dyn call.
-        let w = self.cwnd();
-        if w < self.min_cwnd {
-            simnet::check::violated(
-                "cwnd_floor",
-                format_args!(
-                    "flow {}: effective cwnd {} below floor {}",
-                    self.flow.0, w, self.min_cwnd
-                ),
-            );
-        }
+    /// The retransmission (TCP) or probe (QUIC) timer fired.
+    pub fn on_rto(&mut self, ctx: &mut Ctx) {
+        let (rec, mut tx) = self.split(ctx);
+        rec.on_retx_timer(&mut tx);
     }
 }
 
@@ -542,11 +342,11 @@ impl std::fmt::Debug for Sender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sender")
             .field("flow", &self.flow)
-            .field("snd_una", &self.snd_una)
-            .field("snd_nxt", &self.snd_nxt)
+            .field("acked_prefix", &self.recovery.acked_prefix())
+            .field("sent_end", &self.recovery.sent_end())
             .field("demand_end", &self.demand_end)
             .field("cwnd", &self.cwnd())
-            .field("in_recovery", &self.in_recovery)
+            .field("in_recovery", &self.recovery.in_recovery())
             .finish()
     }
 }
@@ -554,6 +354,7 @@ impl std::fmt::Debug for Sender {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::seq;
     use simnet::{Cmd, PacketKind};
 
     const MSS: u64 = 1446;
@@ -577,6 +378,13 @@ mod tests {
             Self::new(&TcpConfig::default())
         }
 
+        fn quic() -> Self {
+            Self::new(&TcpConfig {
+                transport: TransportKind::Quic,
+                ..TcpConfig::default()
+            })
+        }
+
         fn demand(&mut self, bytes: u64) {
             let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
             self.tx.add_demand(&mut ctx, bytes);
@@ -585,6 +393,18 @@ mod tests {
         fn ack(&mut self, abs: u64, ece: bool) -> AckOutcome {
             let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
             self.tx.on_ack(&mut ctx, seq::wrap(abs), ece, SimTime::ZERO)
+        }
+
+        /// Acknowledges QUIC packet-number ranges (absolute, inclusive,
+        /// descending).
+        fn quic_ack(&mut self, ranges: &[(u64, u64)], ece: bool) -> AckOutcome {
+            let wire: Vec<(u32, u32)> = ranges
+                .iter()
+                .map(|&(lo, hi)| (seq::wrap(lo), seq::wrap(hi)))
+                .collect();
+            let blocks = AckBlocks::new(&wire);
+            let mut ctx = Ctx::new(self.now, NodeId(0), &mut self.cmds);
+            self.tx.on_quic_ack(&mut ctx, blocks, ece, SimTime::ZERO)
         }
 
         fn rto(&mut self) {
@@ -602,6 +422,29 @@ mod tests {
                         PacketKind::Data {
                             seq, payload, retx, ..
                         } => Some((seq, payload, retx)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            self.cmds.clear();
+            out
+        }
+
+        /// Drains emitted QUIC packets as (pn, offset, len, retx).
+        fn quic_sent(&mut self) -> Vec<(u32, u32, u32, bool)> {
+            let out = self
+                .cmds
+                .iter()
+                .filter_map(|c| match c {
+                    Cmd::Send(p) => match p.kind {
+                        PacketKind::QuicData {
+                            pn,
+                            offset,
+                            payload,
+                            retx,
+                            ..
+                        } => Some((pn, offset, payload, retx)),
                         _ => None,
                     },
                     _ => None,
@@ -691,7 +534,7 @@ mod tests {
         );
         // Full ack at the recovery point exits recovery.
         h.ack(10 * MSS, false);
-        assert!(!h.tx.in_recovery);
+        assert!(!h.tx.in_recovery());
     }
 
     #[test]
@@ -829,5 +672,116 @@ mod tests {
         let mut h = Harness::default();
         h.tx.set_probe(FlowProbe::new(sref, NodeId(0)));
         assert!(h.tx.probe.is_none(), "non-Flow sink must not attach");
+    }
+
+    // ---- QUIC engine ----
+
+    #[test]
+    fn quic_first_burst_uses_fresh_packet_numbers() {
+        let mut h = Harness::quic();
+        assert_eq!(h.tx.transport(), TransportKind::Quic);
+        h.demand(100 * MSS);
+        let sent = h.quic_sent();
+        assert_eq!(sent.len(), 10, "init cwnd of 10 segments");
+        for (i, &(pn, off, len, retx)) in sent.iter().enumerate() {
+            assert_eq!(pn as u64, i as u64, "monotonic packet numbers");
+            assert_eq!(off as u64, i as u64 * MSS);
+            assert_eq!(len as u64, MSS);
+            assert!(!retx);
+        }
+        assert_eq!(h.tx.in_flight(), 10 * MSS);
+    }
+
+    #[test]
+    fn quic_ack_ranges_release_more_data() {
+        let mut h = Harness::quic();
+        h.demand(100 * MSS);
+        h.quic_sent();
+        assert_eq!(h.quic_ack(&[(0, 1)], false), AckOutcome::Progress);
+        let sent = h.quic_sent();
+        // 2 MSS acked: slow start grows cwnd to 12, 8 in flight -> send 4.
+        assert_eq!(sent.len(), 4);
+        assert_eq!(sent[0].0, 10, "packet numbers continue");
+        assert_eq!(h.tx.in_flight(), 12 * MSS);
+    }
+
+    #[test]
+    fn quic_packet_threshold_declares_loss_and_retransmits() {
+        let mut h = Harness::quic();
+        h.demand(10 * MSS);
+        h.quic_sent();
+        // Packet 0 lost; 1..=4 acked. pn 0 + 3 <= 4 -> lost.
+        h.quic_ack(&[(1, 4)], false);
+        let sent = h.quic_sent();
+        let retx: Vec<_> = sent.iter().filter(|s| s.3).collect();
+        assert_eq!(retx.len(), 1, "head retransmitted once: {sent:?}");
+        assert_eq!(retx[0].1, 0, "offset 0 resent");
+        assert!(retx[0].0 >= 10, "retransmission rides a fresh pn");
+        assert!(h.tx.in_recovery());
+        assert_eq!(h.tx.stats().fast_retransmits, 1);
+        // Acking everything (incl. the retransmission's pn) completes.
+        let last_pn = retx[0].0 as u64;
+        for s in &sent {
+            assert!(s.0 as u64 <= last_pn);
+        }
+        assert_eq!(h.quic_ack(&[(0, last_pn)], false), AckOutcome::AllAcked);
+        assert!(!h.tx.in_recovery(), "post-entry pn acked ends recovery");
+        assert_eq!(h.tx.stats().bytes_acked, 10 * MSS);
+    }
+
+    #[test]
+    fn quic_reorder_below_threshold_is_not_loss() {
+        let mut h = Harness::quic();
+        h.demand(10 * MSS);
+        h.quic_sent();
+        // Packets 1..=2 acked, 0 outstanding: 0 + 3 > 2, not yet lost.
+        h.quic_ack(&[(1, 2)], false);
+        let sent = h.quic_sent();
+        assert!(sent.iter().all(|s| !s.3), "no retransmission: {sent:?}");
+        assert!(!h.tx.in_recovery());
+        // The straggler arrives: everything acked, nothing resent.
+        h.quic_ack(&[(0, 2)], false);
+        assert!(h.quic_sent().iter().all(|s| !s.3));
+        assert_eq!(h.tx.stats().bytes_retx, 0);
+    }
+
+    #[test]
+    fn quic_pto_sends_probe_and_doubles() {
+        let mut h = Harness::quic();
+        h.demand(5 * MSS);
+        h.quic_sent();
+        h.rto(); // PTO expiry
+        let sent = h.quic_sent();
+        assert_eq!(sent.len(), 1, "exactly one probe: {sent:?}");
+        assert_eq!(sent[0].1, 0, "probe carries the oldest bytes");
+        assert!(sent[0].3);
+        assert_eq!(h.tx.stats().timeouts, 1);
+        // Second expiry: persistent congestion collapses the window.
+        h.rto();
+        assert_eq!(h.tx.cwnd(), MSS, "window collapsed to floor");
+        assert_eq!(h.quic_sent().len(), 1);
+    }
+
+    #[test]
+    fn quic_completes_demand_and_reports_all_acked() {
+        let mut h = Harness::quic();
+        h.demand(3 * MSS + 100);
+        let sent = h.quic_sent();
+        assert_eq!(sent.len(), 4);
+        assert_eq!(sent[3].2, 100, "short tail segment");
+        assert_eq!(h.quic_ack(&[(0, 3)], false), AckOutcome::AllAcked);
+        assert!(h.tx.is_idle());
+        assert_eq!(h.tx.stats().bytes_acked, 3 * MSS + 100);
+    }
+
+    #[test]
+    fn quic_stale_pto_with_nothing_outstanding_is_noop() {
+        let mut h = Harness::quic();
+        h.demand(MSS);
+        h.quic_sent();
+        h.quic_ack(&[(0, 0)], false);
+        h.rto();
+        assert!(h.quic_sent().is_empty());
+        assert_eq!(h.tx.stats().timeouts, 0);
     }
 }

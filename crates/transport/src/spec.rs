@@ -1,0 +1,129 @@
+//! Spec-conformance registry: RFC quotes ↔ runtime invariants.
+//!
+//! The `specs/` directory at the repository root holds verbatim RFC
+//! requirement quotes in TOML (the s2n-quic compliance format, extended
+//! with one field): each `[[spec]]` block carries a `level`
+//! (`MUST`/`SHOULD`/`MAY`/`INFO`), the `quote` itself, and an `invariant`
+//! naming the runtime check that enforces it. Those checks run under the
+//! `check` feature at the `simnet::check::violated` call sites scattered
+//! through this crate, using the key constants below — so every quote is
+//! wired to code, not prose.
+//!
+//! `tests/spec_registry.rs` closes the loop in both directions: every
+//! checked-in quote must name a key from [`keys::ALL`], and every key in
+//! [`keys::SPEC_BACKED`] must be quoted by at least one spec file. Adding
+//! a quote without a check (or deleting a check that a quote relies on)
+//! fails the registry test.
+
+/// Invariant keys, exactly as passed to `simnet::check::violated`. One
+/// constant per distinct oracle condition; the string doubles as the
+/// `invariant = "..."` value in `specs/` TOML files.
+pub mod keys {
+    // ---- shared / TCP sender ----
+    /// An ACK acknowledged data beyond `SND.NXT` (RFC 9293 §3.10.7.4).
+    pub const ACK_OF_UNSENT: &str = "ack_of_unsent";
+    /// Sequence-space ordering `SND.UNA ≤ SND.NXT ≤ demand` broke.
+    pub const SEQ_SPACE: &str = "seq_space";
+    /// Effective congestion window fell below the 1-MSS floor.
+    pub const CWND_FLOOR: &str = "cwnd_floor";
+    /// RTO failed to double on a backed-off retransmission (RFC 6298 §5.5).
+    pub const RTO_BACKOFF: &str = "rto_backoff";
+    /// Computed RTO left the `[min_rto, max_rto]` clamp (RFC 6298 §2.4/2.5;
+    /// this repo deliberately floors at 200 ms, not the RFC's 1 s SHOULD).
+    pub const RTO_CLAMPED: &str = "rto_clamped";
+    /// Fast retransmit entered at a duplicate-ACK count other than 3
+    /// (RFC 5681 §3.2).
+    pub const FAST_RETX_THRESHOLD: &str = "fast_retx_threshold";
+
+    // ---- receiver ----
+    /// Receiver emitted an ACK beyond its own `RCV.NXT`.
+    pub const ACK_BEYOND_RCV_NXT: &str = "ack_beyond_rcv_nxt";
+    /// Receiver set ECN-Echo without having seen a CE mark (RFC 3168).
+    pub const ECE_WITHOUT_CE: &str = "ece_without_ce";
+    /// `RCV.NXT` moved backwards.
+    pub const RCV_NXT_MONOTONIC: &str = "rcv_nxt_monotonic";
+
+    // ---- QUIC-style stack ----
+    /// A packet number was reused within a flow (RFC 9000 §12.3).
+    pub const PN_MONOTONIC: &str = "pn_monotonic";
+    /// An ACK acknowledged a packet number that was never sent
+    /// (RFC 9000 §13.1).
+    pub const QUIC_ACK_UNSENT: &str = "quic_ack_unsent";
+    /// An emitted ACK frame's ranges were not descending and disjoint
+    /// (RFC 9000 §19.3.1).
+    pub const QUIC_ACK_BLOCKS_SOUND: &str = "quic_ack_blocks_sound";
+    /// The PTO period more than doubled — or failed to grow — across a
+    /// probe timeout (RFC 9002 §6.2.1).
+    pub const PTO_BACKOFF: &str = "pto_backoff";
+    /// The armed PTO was below the RFC 9002 §6.2.1 formula's lower bound
+    /// `smoothed_rtt + max(4·rttvar, kGranularity)`.
+    pub const PTO_FORMULA: &str = "pto_formula";
+    /// A probe timeout fired with data outstanding but sent no probe
+    /// (RFC 9002 §6.2.4).
+    pub const PTO_PROBE_SENT: &str = "pto_probe_sent";
+    /// PRR emitted more during a recovery period than its allowance
+    /// (RFC 9002 §7.3.2 via RFC 6937).
+    pub const PRR_BOUND: &str = "prr_bound";
+    /// The congestion window was reduced more than once within a single
+    /// recovery period (RFC 9002 §7.3.2).
+    pub const RECOVERY_NO_REENTER: &str = "recovery_no_reenter";
+    /// Entering recovery failed to cut ssthresh below the prior window
+    /// (RFC 9002 §7.3.2).
+    pub const RECOVERY_SSTHRESH_CUT: &str = "recovery_ssthresh_cut";
+    /// Persistent congestion did not collapse the window to the minimum
+    /// (RFC 9002 §7.6.2).
+    pub const PERSISTENT_CONGESTION_COLLAPSE: &str = "persistent_congestion_collapse";
+
+    /// Every invariant key the runtime oracle can report. `specs/` quotes
+    /// may only reference keys listed here.
+    pub const ALL: &[&str] = &[
+        ACK_OF_UNSENT,
+        SEQ_SPACE,
+        CWND_FLOOR,
+        RTO_BACKOFF,
+        RTO_CLAMPED,
+        FAST_RETX_THRESHOLD,
+        ACK_BEYOND_RCV_NXT,
+        ECE_WITHOUT_CE,
+        RCV_NXT_MONOTONIC,
+        PN_MONOTONIC,
+        QUIC_ACK_UNSENT,
+        QUIC_ACK_BLOCKS_SOUND,
+        PTO_BACKOFF,
+        PTO_FORMULA,
+        PTO_PROBE_SENT,
+        PRR_BOUND,
+        RECOVERY_NO_REENTER,
+        RECOVERY_SSTHRESH_CUT,
+        PERSISTENT_CONGESTION_COLLAPSE,
+    ];
+
+    /// Keys that must be backed by at least one `specs/` quote. `SEQ_SPACE`
+    /// and `CWND_FLOOR` are also paper-derived oracle conditions, but every
+    /// key currently has an RFC (or paper) citation checked in.
+    pub const SPEC_BACKED: &[&str] = ALL;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::keys;
+
+    #[test]
+    fn registry_keys_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in keys::ALL {
+            assert!(seen.insert(*k), "duplicate invariant key {k}");
+            assert!(
+                k.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "key {k} is not snake_case"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_backed_is_subset_of_all() {
+        for k in keys::SPEC_BACKED {
+            assert!(keys::ALL.contains(k), "{k} not in ALL");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Bidirectional registry check for the `specs/` conformance suite.
+//!
+//! Parses every `specs/*.toml` file with a purpose-built reader for the
+//! subset of TOML the suite uses (top-level `key = "value"`, `[[spec]]`
+//! array-of-tables, `'''` multi-line literal strings, `#` comments) and
+//! asserts:
+//!
+//! 1. every `invariant` names a key in `transport::spec::keys::ALL`
+//!    (no quote dangles on a deleted check), and
+//! 2. every key in `transport::spec::keys::SPEC_BACKED` is cited by at
+//!    least one quote (no check ships without its RFC citation).
+//!
+//! Structural rules ride along: each file has a `target`, each block has
+//! a valid `level` and a non-empty `quote`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Default)]
+struct SpecBlock {
+    level: Option<String>,
+    quote: Option<String>,
+    invariant: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct SpecFile {
+    target: Option<String>,
+    blocks: Vec<SpecBlock>,
+}
+
+/// Parses the TOML subset used by `specs/`. Lines outside a `'''` body
+/// are comments (`#`), blank, `[[spec]]` headers, or `key = value`
+/// pairs whose value is a `"..."` string or opens a `'''` literal.
+fn parse(name: &str, text: &str) -> SpecFile {
+    let mut file = SpecFile::default();
+    let mut lines = text.lines().enumerate();
+    while let Some((n, raw)) = lines.next() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[spec]]" {
+            file.blocks.push(SpecBlock::default());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{name}:{}: expected `key = value`, got {line:?}", n + 1));
+        let (key, value) = (key.trim(), value.trim());
+        let value = if let Some(rest) = value.strip_prefix("'''") {
+            // Multi-line literal: runs to the line that closes with '''.
+            assert!(
+                rest.is_empty(),
+                "{name}:{}: text after opening ''' unsupported",
+                n + 1
+            );
+            let mut body = String::new();
+            loop {
+                let (_, raw) = lines
+                    .next()
+                    .unwrap_or_else(|| panic!("{name}: unterminated ''' for key {key}"));
+                if raw.trim_end() == "'''" {
+                    break;
+                }
+                body.push_str(raw);
+                body.push('\n');
+            }
+            body
+        } else {
+            let v = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .unwrap_or_else(|| panic!("{name}:{}: expected quoted value", n + 1));
+            v.to_string()
+        };
+        match key {
+            "target" => {
+                assert!(
+                    file.blocks.is_empty(),
+                    "{name}: target must precede [[spec]]"
+                );
+                file.target = Some(value);
+            }
+            "level" | "quote" | "invariant" => {
+                let block = file
+                    .blocks
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("{name}:{}: {key} outside [[spec]]", n + 1));
+                let slot = match key {
+                    "level" => &mut block.level,
+                    "quote" => &mut block.quote,
+                    _ => &mut block.invariant,
+                };
+                assert!(slot.is_none(), "{name}:{}: duplicate {key}", n + 1);
+                *slot = Some(value);
+            }
+            other => panic!("{name}:{}: unknown key {other:?}", n + 1),
+        }
+    }
+    file
+}
+
+fn spec_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+fn load_all() -> Vec<(String, SpecFile)> {
+    let dir = spec_dir();
+    let mut files: Vec<(String, SpecFile)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).unwrap();
+            let parsed = parse(&name, &text);
+            (name, parsed)
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(
+        !files.is_empty(),
+        "no spec files found in {}",
+        dir.display()
+    );
+    files
+}
+
+#[test]
+fn every_quote_names_a_checked_invariant() {
+    for (name, file) in load_all() {
+        assert!(
+            file.target.as_deref().is_some_and(|t| !t.is_empty()),
+            "{name}: missing target"
+        );
+        assert!(!file.blocks.is_empty(), "{name}: no [[spec]] blocks");
+        for (i, block) in file.blocks.iter().enumerate() {
+            let level = block
+                .level
+                .as_deref()
+                .unwrap_or_else(|| panic!("{name}: block {i} missing level"));
+            assert!(
+                matches!(level, "MUST" | "SHOULD" | "MAY" | "INFO"),
+                "{name}: block {i} has invalid level {level:?}"
+            );
+            let quote = block
+                .quote
+                .as_deref()
+                .unwrap_or_else(|| panic!("{name}: block {i} missing quote"));
+            assert!(
+                !quote.trim().is_empty(),
+                "{name}: block {i} has an empty quote"
+            );
+            let invariant = block
+                .invariant
+                .as_deref()
+                .unwrap_or_else(|| panic!("{name}: block {i} missing invariant"));
+            assert!(
+                transport::spec::keys::ALL.contains(&invariant),
+                "{name}: block {i} cites unknown invariant {invariant:?} — \
+                 add it to transport::spec::keys or fix the typo"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_checked_invariant_is_quoted() {
+    let mut citations: BTreeMap<&str, usize> = BTreeMap::new();
+    let files = load_all();
+    for (_, file) in &files {
+        for block in &file.blocks {
+            if let Some(inv) = block.invariant.as_deref() {
+                if let Some(key) = transport::spec::keys::ALL.iter().find(|k| **k == inv) {
+                    *citations.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let missing: Vec<&str> = transport::spec::keys::SPEC_BACKED
+        .iter()
+        .filter(|k| !citations.contains_key(**k))
+        .copied()
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "invariant keys with no specs/ citation: {missing:?} — \
+         add a [[spec]] quote block or drop the key from SPEC_BACKED"
+    );
+}
+
+#[test]
+fn parser_round_trips_the_exemplar_shapes() {
+    let text = r#"
+# file comment
+target = "https://example.invalid/rfc0000"
+
+[[spec]]
+level = "MUST"
+quote = '''
+Line one.
+Line two.
+'''
+invariant = "seq_space"
+
+# trailing comment between blocks
+[[spec]]
+level = "INFO"
+quote = '''
+Single line.
+'''
+invariant = "cwnd_floor"
+"#;
+    let parsed = parse("exemplar", text);
+    assert_eq!(
+        parsed.target.as_deref(),
+        Some("https://example.invalid/rfc0000")
+    );
+    assert_eq!(parsed.blocks.len(), 2);
+    assert_eq!(
+        parsed.blocks[0].quote.as_deref(),
+        Some("Line one.\nLine two.\n")
+    );
+    assert_eq!(parsed.blocks[1].level.as_deref(), Some("INFO"));
+    assert_eq!(parsed.blocks[1].invariant.as_deref(), Some("cwnd_floor"));
+}

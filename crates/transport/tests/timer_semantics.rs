@@ -13,7 +13,7 @@
 //!   `on_rto` path), each firing exactly once at its backed-off deadline.
 
 use simnet::{build_dumbbell, FaultPlan, FlowId, NodeId, Packet, PacketKind, Shared, SimTime};
-use transport::{DelayedAckConfig, TcpApi, TcpApp, TcpConfig, TcpHost};
+use transport::{DelayedAckConfig, TcpApi, TcpApp, TcpConfig, TcpHost, TransportKind};
 
 const MSS: u64 = 1446;
 
@@ -400,6 +400,209 @@ fn transfer_recovers_after_blackhole_link_up_without_oracle_violations() {
         0,
         "conformance oracle violations across the outage: {:?}",
         simnet::check::take()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// PTO suite: the same timer contracts, driven through the QUIC-style
+// engine's probe timeout instead of the TCP RTO. The structural promises
+// match (fires once per deadline, exponential backoff, stale generations
+// dropped); the *values* differ where RFC 9002 differs from RFC 6298 —
+// most importantly, the PTO has no 200 ms minimum floor, only the
+// configurable `pto_granularity`.
+// ---------------------------------------------------------------------------
+
+/// QUIC-style endpoint config with a timer granularity coarse enough to
+/// observe at 1 ms test resolution, and a low RTO cap to see the backoff
+/// train hit it inside a short outage.
+fn quic_cfg(granularity_ms: u64, max_rto_ms: u64) -> TcpConfig {
+    TcpConfig {
+        transport: TransportKind::Quic,
+        pto_granularity: SimTime::from_ms(granularity_ms),
+        max_rto: SimTime::from_ms(max_rto_ms),
+        ..TcpConfig::default()
+    }
+}
+
+/// With every data packet lost and no RTT sample ever arriving, the PTO
+/// arms from `initial_rto` (RFC 9002's initial 1 s, same as TCP here) and
+/// each unanswered probe doubles the period: fires near 1 s, 3 s, 7 s,
+/// 15 s — exactly once per deadline, with every probe actually sent.
+#[test]
+fn unanswered_pto_backs_off_exponentially_firing_once_per_deadline() {
+    let cfg = quic_cfg(1, 60_000);
+    let (mut f, handle, _rx) = one_flow_fabric_cfg(cfg, 20 * MSS, 7);
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+
+    let fires = fire_times_ms(&mut f.sim, &handle, 16_000);
+    assert_eq!(
+        fires.len(),
+        4,
+        "expected PTO fires near 1 s, 3 s, 7 s, 15 s; saw {fires:?}"
+    );
+    assert!(
+        (1000..=1001).contains(&fires[0]),
+        "first PTO not at the initial 1 s deadline: {fires:?}"
+    );
+    let gaps: Vec<u64> = fires.windows(2).map(|w| w[1] - w[0]).collect();
+    assert_eq!(gaps, vec![2000, 4000, 8000], "fires at {fires:?}");
+
+    let host = handle.borrow();
+    let (_, tx) = host.core().senders().next().expect("sender exists");
+    assert_eq!(tx.stats().timeouts, 4);
+    // Each fire must send a probe. Unsent demand remains (20 segments of
+    // demand, 10-segment initial window), so per RFC 9002 §6.2.4 the
+    // probes carry *new* data rather than retransmissions.
+    assert!(
+        tx.stats().segs_sent >= 10 + 4,
+        "a PTO fire sent no probe: {:?}",
+        tx.stats()
+    );
+    assert_eq!(tx.stats().bytes_acked, 0);
+}
+
+/// A clean ACK-clocked QUIC transfer re-arms the PTO on every ACK (same
+/// timer key, new generation); the transfer must complete with zero
+/// timeouts while the queue pops and discards every stale generation.
+#[test]
+fn quic_acked_transfer_drops_every_stale_pto_generation() {
+    let demand = 200 * MSS;
+    let cfg = quic_cfg(1, 60_000);
+    let (mut f, handle, _rx) = one_flow_fabric_cfg(cfg, demand, 11);
+    f.sim.run();
+
+    let host = handle.borrow();
+    let (_, tx) = host.core().senders().next().expect("sender exists");
+    assert!(tx.is_idle(), "transfer never finished: {tx:?}");
+    assert_eq!(tx.stats().bytes_acked, demand);
+    assert_eq!(
+        tx.stats().timeouts,
+        0,
+        "a stale PTO generation reached the sender"
+    );
+    let tallies = f.sim.profile().tallies;
+    assert!(
+        tallies.timer > 0,
+        "no timer events popped — the PTO was never armed through the \
+         scheduler, so this test no longer covers lazy cancellation"
+    );
+}
+
+/// Cutting the link mid-transfer: with RTT samples in hand the PTO base is
+/// `srtt + max(4·rttvar, granularity)` ≈ the 100 ms granularity — there is
+/// **no 200 ms minimum floor** (the defining contrast with the TCP stack's
+/// Mode 3). The backoff then at-most-doubles per fire and caps at
+/// `max_rto`: gaps of ~200, ~400, then exactly 800 ms.
+#[test]
+fn pto_has_no_min_rto_floor_and_backoff_caps_at_max_rto() {
+    let cfg = quic_cfg(100, 800);
+    let (mut f, handle, _rx) = one_flow_fabric_cfg(cfg, 4000 * MSS, 23);
+    f.sim.run_until(SimTime::from_ms(1));
+    {
+        let host = handle.borrow();
+        let (_, tx) = host.core().senders().next().expect("sender exists");
+        assert!(tx.in_flight() > 0, "transfer finished before the cut");
+        assert!(tx.stats().bytes_acked > 0, "ACK clock never started");
+        assert!(tx.srtt().is_some(), "no RTT sample before the cut");
+    }
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+
+    let fires = fire_times_ms(&mut f.sim, &handle, 3000);
+    assert!(
+        fires.len() >= 4,
+        "expected a capped PTO backoff train; saw {fires:?}"
+    );
+    // First fire one PTO base (~granularity, srtt adds microseconds) after
+    // the last ACK re-armed the timer — well under TCP's 200 ms floor.
+    assert!(
+        (100..=110).contains(&fires[0]),
+        "first PTO fire must sit at the ~100 ms granularity, not a \
+         200 ms min-RTO floor: {fires:?}"
+    );
+    let gaps: Vec<u64> = fires.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        (200..=210).contains(&gaps[0]),
+        "first re-arm must double the PTO base: {gaps:?}"
+    );
+    assert!(
+        (400..=410).contains(&gaps[1]),
+        "second re-arm must double again: {gaps:?}"
+    );
+    assert!(
+        gaps[2..].iter().all(|&g| (795..=805).contains(&g)),
+        "backoff must cap at max_rto (800 ms): gaps {gaps:?}"
+    );
+    // Persistent congestion (two unanswered PTOs) collapsed the window to
+    // its floor — and no lower.
+    let host = handle.borrow();
+    let (_, tx) = host.core().senders().next().expect("sender exists");
+    assert_eq!(
+        tx.cwnd(),
+        MSS,
+        "persistent congestion must pin cwnd at the floor"
+    );
+}
+
+/// The backoff collapses once an ACK arrives: after a backed-off outage
+/// heals and the ACK clock restarts, a *second* cut must see the first
+/// PTO fire one base period later — not the previously backed-off 400 or
+/// 800 ms — proving `pto_count` reset on the ACK.
+#[test]
+fn pto_backoff_collapses_after_an_ack() {
+    let cfg = quic_cfg(100, 800);
+    let (mut f, handle, _rx) = one_flow_fabric_cfg(cfg, 20_000 * MSS, 29);
+    f.sim.run_until(SimTime::from_ms(1));
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+
+    // Let the backoff build up: two fires (~101 ms, ~301 ms).
+    let mut ms = 1;
+    while timeouts(&handle) < 2 {
+        ms += 1;
+        assert!(ms < 1000, "backoff train never reached two PTO fires");
+        f.sim.run_until(SimTime::from_ms(ms));
+    }
+    let acked_at_heal = {
+        let host = handle.borrow();
+        let (_, tx) = host.core().senders().next().expect("sender exists");
+        tx.stats().bytes_acked
+    };
+    // Heal. The next probe (at most one capped period out) gets through
+    // and restarts the ACK clock, which must reset the backoff.
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 0.0;
+    loop {
+        ms += 1;
+        assert!(ms < 3000, "ACK clock never restarted after the heal");
+        f.sim.run_until(SimTime::from_ms(ms));
+        let host = handle.borrow();
+        let (_, tx) = host.core().senders().next().expect("sender exists");
+        if tx.stats().bytes_acked > acked_at_heal {
+            break;
+        }
+    }
+    // Cut again immediately. The re-armed deadline came from the last ACK
+    // (pto_count = 0), so the next fire is one ~100 ms base away — not
+    // the 400/800 ms a surviving backoff would give.
+    {
+        let host = handle.borrow();
+        let (_, tx) = host.core().senders().next().expect("sender exists");
+        assert!(tx.in_flight() > 0, "nothing in flight at the second cut");
+    }
+    f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;
+    let cut_ms = ms;
+    let before = timeouts(&handle);
+    loop {
+        ms += 1;
+        assert!(ms < cut_ms + 1000, "no PTO fire after the second cut");
+        f.sim.run_until(SimTime::from_ms(ms));
+        if timeouts(&handle) > before {
+            break;
+        }
+    }
+    let gap = ms - cut_ms;
+    assert!(
+        (95..=115).contains(&gap),
+        "PTO after an ACK must re-arm from the base period (~100 ms), \
+         got {gap} ms — backoff survived the ACK"
     );
 }
 

@@ -3,12 +3,28 @@
 //!
 //! ```sh
 //! cargo run --release --example dctcp_modes
+//! cargo run --release --example dctcp_modes -- --transport quic
 //! ```
+//!
+//! `--transport quic` swaps in the QUIC-style loss-recovery stack (packet
+//! numbers, PTO, no 200 ms min-RTO) — the quickest way to see that Mode 3
+//! is largely a TCP min-RTO artifact.
 
 use incast_bursts::core_api::modes::{run_incast, ModesConfig};
 use incast_bursts::core_api::report::ascii_plot;
+use incast_bursts::transport::TransportKind;
 
 fn main() {
+    let transport = if std::env::args().any(|a| a == "--transport=quic")
+        || std::env::args()
+            .zip(std::env::args().skip(1))
+            .any(|(a, b)| a == "--transport" && b == "quic")
+    {
+        TransportKind::Quic
+    } else {
+        TransportKind::Tcp
+    };
+    println!("transport: {transport:?}");
     for (flows, label) in [
         (
             80usize,
@@ -17,13 +33,14 @@ fn main() {
         (500, "Mode 2: degenerate point, queue pinned at ~N - BDP"),
         (1000, "Mode 3: overflow, timeouts, BCT at RTO scale"),
     ] {
-        let cfg = ModesConfig {
+        let mut cfg = ModesConfig {
             num_flows: flows,
             burst_duration_ms: 15.0,
             num_bursts: 5,
             seed: 7,
             ..ModesConfig::default()
         };
+        cfg.tcp.transport = transport;
         let r = run_incast(&cfg);
         println!("=== {flows} flows — {label}");
         println!(

@@ -13,7 +13,7 @@ use incast_bursts::simnet::{
 };
 use incast_bursts::stats::Rng;
 use incast_bursts::telemetry::{JsonlSink, PerfettoSink};
-use incast_bursts::transport::{TcpConfig, TcpHost};
+use incast_bursts::transport::{TcpConfig, TcpHost, TransportKind};
 use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
 
 /// One instrumented incast run under scheduler `S`: the JSONL stream, the
@@ -113,6 +113,61 @@ fn wheel_and_heap_agree_byte_for_byte_under_scheduled_faults() {
         // The faults really applied (and are part of the compared bytes).
         assert!(manifest_w.contains("\"faults_injected\":"), "{manifest_w}");
     }
+}
+
+/// The QUIC-style stack rides the same event loop, so it owes the same
+/// contract: clean and faulted QUIC incasts emit byte-identical telemetry,
+/// manifests, and completions on both schedulers. The faulted config
+/// exercises packet-number loss detection and PTO probing under a lossy
+/// window — the paths with the most QUIC-specific event scheduling.
+#[test]
+fn wheel_and_heap_agree_byte_for_byte_for_quic_transport() {
+    use incast_bursts::simnet::SimTime as T;
+    let quic = |seed: u64| {
+        let mut cfg = ModesConfig {
+            num_flows: 8,
+            burst_duration_ms: 0.5,
+            num_bursts: 2,
+            warmup_bursts: 0,
+            seed,
+            ..ModesConfig::default()
+        };
+        cfg.tcp.transport = TransportKind::Quic;
+        cfg
+    };
+    let clean_a = quic(3);
+    let clean_b = {
+        let mut c = quic(42);
+        c.num_flows = 16;
+        c
+    };
+    let faulted = {
+        let mut c = quic(5);
+        c.faults.loss = Some((T::from_us(50), T::from_ms(2), 0.08));
+        c
+    };
+
+    for cfg in [&clean_a, &clean_b, &faulted] {
+        let (stream_w, manifest_w, bcts_w) = run_with::<TimingWheel>(cfg);
+        let (stream_h, manifest_h, bcts_h) = run_with::<EventQueue>(cfg);
+        assert!(
+            !stream_w.is_empty(),
+            "no telemetry captured (seed {})",
+            cfg.seed
+        );
+        assert_eq!(stream_w, stream_h, "JSONL diverged (seed {})", cfg.seed);
+        assert_eq!(
+            manifest_w, manifest_h,
+            "manifests diverged (seed {})",
+            cfg.seed
+        );
+        assert_eq!(bcts_w, bcts_h, "completions diverged (seed {})", cfg.seed);
+    }
+    let (stream_w, ..) = run_with::<TimingWheel>(&faulted);
+    assert!(
+        stream_w.contains("\"fault\""),
+        "no fault events in the faulted QUIC run"
+    );
 }
 
 /// One instrumented incast run rendered as a Chrome trace-event document
