@@ -80,12 +80,40 @@ pub trait Scheduler: Default {
     /// number as the deterministic same-time tie-break.
     fn schedule(&mut self, time: SimTime, kind: EventKind);
 
+    /// Consumes and returns the next sequence number without scheduling
+    /// anything. A logical event held outside the scheduler (the
+    /// simulator's per-link delivery FIFOs) still claims its tie-break seq
+    /// at "schedule" time, so the global `(time, seq)` order is identical
+    /// to the order an unbatched scheduler would have produced.
+    fn reserve_seq(&mut self) -> u64;
+
+    /// Schedules `kind` at `time` under a seq from [`Scheduler::reserve_seq`]
+    /// instead of assigning a fresh one.
+    fn schedule_reserved(&mut self, time: SimTime, seq: u64, kind: EventKind);
+
     /// Removes and returns the earliest event.
     fn pop(&mut self) -> Option<Event>;
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `deadline`. One scheduler touch instead of the `peek_time` + `pop`
+    /// pair the bounded run loop would otherwise pay per event;
+    /// implementations override this to share the "find the minimum" work
+    /// between the check and the removal.
+    fn pop_due(&mut self, deadline: SimTime) -> Option<Event> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
 
     /// Time of the earliest pending event. Takes `&mut self` because lazy
     /// implementations (the timing wheel) advance internal state to find it.
     fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// `(time, seq)` key of the earliest pending event. The coalescing
+    /// fast path compares this against deferred deliveries to decide
+    /// whether one can run inline without perturbing pop order.
+    fn peek_key(&mut self) -> Option<(SimTime, u64)>;
 
     /// Number of pending events.
     fn len(&self) -> usize;
@@ -122,6 +150,18 @@ impl EventQueue {
         self.heap.push(Event { time, seq, kind });
     }
 
+    /// Claims the next sequence number without scheduling.
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Schedules `kind` at `time` under an already-reserved seq.
+    pub fn schedule_reserved(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        self.heap.push(Event { time, seq, kind });
+    }
+
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
@@ -130,6 +170,11 @@ impl EventQueue {
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// `(time, seq)` key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
     }
 
     /// Number of pending events.
@@ -155,12 +200,31 @@ impl Scheduler for EventQueue {
         EventQueue::schedule(self, time, kind);
     }
 
+    fn reserve_seq(&mut self) -> u64 {
+        EventQueue::reserve_seq(self)
+    }
+
+    fn schedule_reserved(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        EventQueue::schedule_reserved(self, time, seq, kind);
+    }
+
     fn pop(&mut self) -> Option<Event> {
         EventQueue::pop(self)
     }
 
+    fn pop_due(&mut self, deadline: SimTime) -> Option<Event> {
+        if self.heap.peek()?.time > deadline {
+            return None;
+        }
+        self.heap.pop()
+    }
+
     fn peek_time(&mut self) -> Option<SimTime> {
         EventQueue::peek_time(self)
+    }
+
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::peek_key(self)
     }
 
     fn len(&self) -> usize {

@@ -46,6 +46,7 @@ pub mod check;
 pub mod endpoint;
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -64,6 +65,7 @@ pub use builder::NetworkBuilder;
 pub use endpoint::{Cmd, Ctx, Endpoint, IngressTap, Shared};
 pub use event::{Event, EventKind, EventQueue, Scheduler};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use hash::{FxHashMap, FxHasher};
 pub use ids::{BufferId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig};
 pub use node::Node;

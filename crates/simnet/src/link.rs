@@ -6,7 +6,7 @@
 //! cables are modeled as two independent `Link`s.
 
 use crate::ids::{BufferId, NodeId};
-use crate::packet::Packet;
+use crate::packet::QueuedFrame;
 use crate::queue::{EcnQueue, QueueConfig};
 use crate::time::SimTime;
 use crate::units::Rate;
@@ -46,12 +46,13 @@ pub struct Link {
     pub dst: NodeId,
     /// Static configuration.
     pub cfg: LinkConfig,
-    /// The egress queue feeding this link.
-    pub queue: EcnQueue,
+    /// The egress queue feeding this link. Holds 12-byte residence cards;
+    /// the packets themselves stay parked in the simulator's packet pool.
+    pub queue: EcnQueue<QueuedFrame>,
     /// Shared buffer this queue charges, if the source switch has one.
     pub shared: Option<BufferId>,
     /// Frame currently being serialized, if any.
-    pub serializing: Option<Packet>,
+    pub serializing: Option<QueuedFrame>,
     /// Frames lost to fault injection.
     pub fault_drops: u64,
     /// Fault state: link is administratively down (frames finishing
@@ -63,6 +64,10 @@ pub struct Link {
     /// Fault state: per-frame corruption probability injected by the
     /// active `FaultPlan` (0.0 when healthy).
     pub fault_corrupt: f64,
+    /// Memo of the last [`Link::serialize_time`] query. Traffic is almost
+    /// entirely two frame sizes (full data segments and bare ACKs), so the
+    /// division behind each `TxComplete` is usually a repeat.
+    ser_memo: (u64, SimTime),
 }
 
 impl Link {
@@ -84,6 +89,7 @@ impl Link {
             down: false,
             fault_loss: 0.0,
             fault_corrupt: 0.0,
+            ser_memo: (u64::MAX, SimTime::ZERO),
         }
     }
 
@@ -92,9 +98,12 @@ impl Link {
         self.serializing.is_some()
     }
 
-    /// Serialization time for a frame of `bytes`.
-    pub fn serialize_time(&self, bytes: u64) -> SimTime {
-        self.cfg.rate.serialize_time(bytes)
+    /// Serialization time for a frame of `bytes`, memoizing the last query.
+    pub fn serialize_time(&mut self, bytes: u64) -> SimTime {
+        if self.ser_memo.0 != bytes {
+            self.ser_memo = (bytes, self.cfg.rate.serialize_time(bytes));
+        }
+        self.ser_memo.1
     }
 }
 
@@ -105,10 +114,13 @@ mod tests {
     #[test]
     fn new_link_is_idle() {
         let cfg = LinkConfig::new(Rate::gbps(10), SimTime::from_us(1), QueueConfig::host_nic());
-        let l = Link::new(NodeId(0), NodeId(1), cfg, None);
+        let mut l = Link::new(NodeId(0), NodeId(1), cfg, None);
         assert!(!l.busy());
         assert!(l.queue.is_empty());
         assert_eq!(l.serialize_time(1500), SimTime::from_ns(1200));
+        // Memo hit returns the same answer; a different size recomputes.
+        assert_eq!(l.serialize_time(1500), SimTime::from_ns(1200));
+        assert_eq!(l.serialize_time(60), SimTime::from_ns(48));
     }
 
     #[test]

@@ -308,6 +308,25 @@ impl Packet {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketSlot(pub u32);
 
+/// A queued packet's residence card: the pool slot plus the only fields an
+/// egress queue reads (wire size, ECN capability). Link FIFOs move these
+/// 12-byte cards instead of full packets, so queue occupancy is split away
+/// from packet contents (struct-of-arrays) and a packet is written into the
+/// pool exactly once per send, not copied per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedFrame {
+    /// Where the packet itself is parked.
+    pub slot: PacketSlot,
+    /// Total bytes on the wire (headers included); mirrors the pooled
+    /// packet's `wire_size` so byte accounting needs no pool lookup.
+    pub wire: u32,
+    /// Mirrors the pooled packet's ECN capability at enqueue time.
+    pub ecn_capable: bool,
+    /// Set when the queue CE-marked this frame (the simulator applies the
+    /// mark to the pooled packet; this records the queue's own decision).
+    pub ce: bool,
+}
+
 /// A slab of in-flight packets with a LIFO free list.
 ///
 /// Every packet propagating on a wire parks here between `TxComplete` and
@@ -348,6 +367,29 @@ impl PacketPool {
                 PacketSlot(i)
             }
         }
+    }
+
+    /// Read access to the packet parked in `slot`.
+    #[inline]
+    pub fn get(&self, slot: PacketSlot) -> &Packet {
+        debug_assert!(
+            !self.free.contains(&slot.0),
+            "get of freed packet slot {}",
+            slot.0
+        );
+        &self.slots[slot.0 as usize]
+    }
+
+    /// Mutable access to the packet parked in `slot` (e.g. to apply a CE
+    /// mark decided by a queue while the packet stays pooled).
+    #[inline]
+    pub fn get_mut(&mut self, slot: PacketSlot) -> &mut Packet {
+        debug_assert!(
+            !self.free.contains(&slot.0),
+            "get_mut of freed packet slot {}",
+            slot.0
+        );
+        &mut self.slots[slot.0 as usize]
     }
 
     /// Removes and returns the packet parked in `slot`, freeing it for

@@ -7,10 +7,48 @@
 //! in their production ToRs). Marking is decided at enqueue time against the
 //! occupancy the arriving packet observes.
 
-use crate::packet::{Ecn, Packet};
+use crate::packet::{Ecn, Packet, QueuedFrame};
 use crate::time::SimTime;
 use stats::TimeSeries;
 use std::collections::VecDeque;
+
+/// An entry an [`EcnQueue`] can hold. The queue only ever reads an entry's
+/// wire size and ECN capability and (on threshold crossing) stamps a CE
+/// mark, so the simulator's links queue 8-byte [`QueuedFrame`] residence
+/// cards instead of full packets — the packet itself stays parked in the
+/// [`crate::packet::PacketPool`] until it reaches a host.
+pub trait QueueItem {
+    /// Bytes this entry occupies on the wire (headers included).
+    fn wire_bytes(&self) -> u32;
+    /// True if a switch may CE-mark this entry instead of dropping it.
+    fn ecn_capable(&self) -> bool;
+    /// Records a CE mark on the entry.
+    fn mark_ce(&mut self);
+}
+
+impl QueueItem for Packet {
+    fn wire_bytes(&self) -> u32 {
+        self.wire_size
+    }
+    fn ecn_capable(&self) -> bool {
+        self.ecn.is_capable()
+    }
+    fn mark_ce(&mut self) {
+        self.ecn = Ecn::Ce;
+    }
+}
+
+impl QueueItem for QueuedFrame {
+    fn wire_bytes(&self) -> u32 {
+        self.wire
+    }
+    fn ecn_capable(&self) -> bool {
+        self.ecn_capable
+    }
+    fn mark_ce(&mut self) {
+        self.ce = true;
+    }
+}
 
 /// Configuration of one egress queue.
 #[derive(Debug, Clone)]
@@ -98,16 +136,20 @@ pub struct QueueStats {
 
 /// A FIFO drop-tail queue with threshold ECN marking and optional
 /// fixed-interval depth recording.
+///
+/// Generic over its entry type: standalone uses hold full [`Packet`]s, the
+/// simulator's links hold [`QueuedFrame`]s (slot + wire size) so queue
+/// occupancy is a struct-of-arrays split away from the packet contents.
 #[derive(Debug)]
-pub struct EcnQueue {
+pub struct EcnQueue<T: QueueItem = Packet> {
     cfg: QueueConfig,
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<T>,
     bytes: u64,
     stats: QueueStats,
     monitor: Option<TimeSeries>,
 }
 
-impl EcnQueue {
+impl<T: QueueItem> EcnQueue<T> {
     /// Creates an empty queue.
     pub fn new(cfg: QueueConfig) -> Self {
         assert!(cfg.capacity_bytes > 0, "zero-capacity queue");
@@ -164,8 +206,8 @@ impl EcnQueue {
         self.cfg.ecn_threshold_bytes = bytes;
     }
 
-    fn would_overflow(&self, pkt: &Packet) -> bool {
-        if self.bytes + pkt.wire_size as u64 > self.cfg.capacity_bytes {
+    fn would_overflow(&self, pkt: &T) -> bool {
+        if self.bytes + pkt.wire_bytes() as u64 > self.cfg.capacity_bytes {
             return true;
         }
         if let Some(cap) = self.cfg.capacity_pkts {
@@ -198,29 +240,30 @@ impl EcnQueue {
     }
 
     /// Records a drop decided outside the queue (shared-buffer refusal).
-    pub fn note_shared_drop(&mut self, pkt: &Packet) {
+    pub fn note_shared_drop(&mut self, wire_bytes: u64) {
         self.stats.dropped_pkts += 1;
-        self.stats.dropped_bytes += pkt.wire_size as u64;
+        self.stats.dropped_bytes += wire_bytes;
         self.stats.shared_buffer_drops += 1;
     }
 
     /// Offers a packet. On acceptance the packet (possibly CE-marked) joins
     /// the FIFO tail; on overflow it is dropped and counted.
-    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> EnqueueOutcome {
+    pub fn enqueue(&mut self, now: SimTime, mut pkt: T) -> EnqueueOutcome {
         if self.would_overflow(&pkt) {
             self.stats.dropped_pkts += 1;
-            self.stats.dropped_bytes += pkt.wire_size as u64;
+            self.stats.dropped_bytes += pkt.wire_bytes() as u64;
             return EnqueueOutcome::Dropped(DropReason::QueueFull);
         }
-        let marked = pkt.ecn.is_capable() && self.should_mark();
+        let wire = pkt.wire_bytes() as u64;
+        let marked = pkt.ecn_capable() && self.should_mark();
         if marked {
-            pkt.ecn = Ecn::Ce;
+            pkt.mark_ce();
             self.stats.marked_pkts += 1;
         }
-        self.bytes += pkt.wire_size as u64;
+        self.bytes += wire;
         self.fifo.push_back(pkt);
         self.stats.enqueued_pkts += 1;
-        self.stats.enqueued_bytes += pkt.wire_size as u64;
+        self.stats.enqueued_bytes += wire;
         self.stats.watermark_bytes = self.stats.watermark_bytes.max(self.bytes);
         self.stats.watermark_pkts = self.stats.watermark_pkts.max(self.fifo.len() as u32);
         self.record_depth(now);
@@ -228,11 +271,11 @@ impl EcnQueue {
     }
 
     /// Removes the head-of-line packet.
-    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    pub fn dequeue(&mut self, now: SimTime) -> Option<T> {
         let pkt = self.fifo.pop_front()?;
-        self.bytes -= pkt.wire_size as u64;
+        self.bytes -= pkt.wire_bytes() as u64;
         self.stats.dequeued_pkts += 1;
-        self.stats.dequeued_bytes += pkt.wire_size as u64;
+        self.stats.dequeued_bytes += pkt.wire_bytes() as u64;
         self.record_depth(now);
         Some(pkt)
     }

@@ -34,13 +34,21 @@ impl Rate {
 
     /// Exact time to serialize `bytes` onto the wire at this rate.
     ///
-    /// Computed in u128 to avoid overflow; result is rounded up to a whole
-    /// picosecond so a packet never finishes "early".
+    /// Rounded up to a whole picosecond so a packet never finishes "early".
+    /// The numerator `bytes * 8 * PS_PER_SEC` fits u64 for any frame under
+    /// ~2.3 MB — every packet this simulator ships — so the hot path is one
+    /// u64 division; larger byte counts fall back to u128 with the same
+    /// result.
     pub fn serialize_time(self, bytes: u64) -> SimTime {
         assert!(self.0 > 0, "zero-rate link");
-        let bits = bytes as u128 * 8;
-        let ps = (bits * PS_PER_SEC as u128).div_ceil(self.0 as u128);
-        SimTime(ps as u64)
+        match bytes.checked_mul(8 * PS_PER_SEC) {
+            Some(num) => SimTime(num.div_ceil(self.0)),
+            None => {
+                let bits = bytes as u128 * 8;
+                let ps = (bits * PS_PER_SEC as u128).div_ceil(self.0 as u128);
+                SimTime(ps as u64)
+            }
+        }
     }
 
     /// Bytes that can be transmitted in `dur` at this rate (truncating).

@@ -6,11 +6,13 @@
 //! heap pays `O(log n)` and a cache-hostile sift for every one of them. The
 //! wheel instead hashes each event into a slot by its due time:
 //!
-//! - Time is bucketed into **ticks** of `2^16` ps (≈ 65.5 ns, well under one
-//!   minimum-frame serialization time, so the bucketing never coarsens event
-//!   ordering that matters — and ordering within a tick is exact anyway, see
-//!   below).
-//! - Four **levels** of 64 slots each cover `64^4` ticks ≈ 1.1 s of future:
+//! - Time is bucketed into **ticks** of `2^18` ps (≈ 262 ns). Ordering
+//!   within a tick is exact — due events are kept `(time, seq)`-sorted in
+//!   the ready buffer — so tick size trades refill frequency against
+//!   ready-buffer length, not correctness. 262 ns spans a couple of events
+//!   of an incast run's steady state, which measured fastest: one refill
+//!   amortizes over a small batch without the ready inserts getting long.
+//! - Four **levels** of 64 slots each cover `64^4` ticks ≈ 4.4 s of future:
 //!   level 0 resolves single ticks, each higher level resolves 64× coarser.
 //!   Insertion is O(1): pick the level whose resolution still separates the
 //!   event from the cursor, index by the tick's digits.
@@ -19,8 +21,14 @@
 //!   into the wheel when the cursor gets within range.
 //! - A per-level **occupancy bitmap** lets the cursor jump over empty time
 //!   in a few `trailing_zeros` instructions instead of stepping slot by
-//!   slot, which matters because simulated time is almost entirely empty at
-//!   65 ns resolution.
+//!   slot, which matters because simulated time is mostly empty even at
+//!   262 ns resolution.
+//! - A one-slot **front cache** catches the hottest schedule of all: an
+//!   event that is provably the next pop (sub-tick serialization and
+//!   propagation hops — an ACK crossing a 100 Gbps link schedules its next
+//!   hop a few ns out, ahead of everything pending). Roughly a third of a
+//!   fig5 run's schedules would otherwise sort-insert at the very *front*
+//!   of the ready buffer, the position that memmoves the whole live tail.
 //!
 //! Events whose tick has come due sit in a small `ready` heap ordered by
 //! `(time, seq)` — exactly the reference [`EventQueue`] order — so the wheel
@@ -37,17 +45,138 @@
 //! [`EventQueue`]: crate::event::EventQueue
 
 use crate::event::{Event, EventKind, Scheduler};
+use crate::ids::{LinkId, NodeId};
+use crate::packet::PacketSlot;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
+/// A wheel-internal compressed event: 24 bytes against [`Event`]'s 40.
+///
+/// Slot vectors, the ready buffer, and the overflow heap all move events
+/// around constantly — every byte shows up in the insert/refill profile.
+/// The kind tag is stolen from the two low bits of the sequence number
+/// (`st = seq << 2 | tag`; seq stays unique, so `(time, st)` orders
+/// exactly like `(time, seq)`), and the variant payloads all fit one u64:
+/// link and pool slot are u32 ids, and the rare `Timer` (hundreds per run
+/// against hundreds of thousands of packet events) parks its
+/// `(node, key, gen)` triple in a side table and carries the index.
+/// Packing and unpacking happen only at the schedule/pop boundary, so the
+/// public [`Event`] API and the reference heap are untouched.
+#[derive(Debug, Clone, Copy)]
+struct Packed {
+    time: SimTime,
+    /// `seq << 2 | tag`.
+    st: u64,
+    payload: u64,
+}
+
+const TAG_TX: u64 = 0;
+const TAG_DELIVERY: u64 = 1;
+const TAG_FAULT: u64 = 2;
+const TAG_TIMER: u64 = 3;
+
+impl Packed {
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.st >> 2
+    }
+}
+
+impl PartialEq for Packed {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.st == other.st
+    }
+}
+impl Eq for Packed {}
+
+impl Ord for Packed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed, matching `Event`: min-first through a max-heap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.st.cmp(&self.st))
+    }
+}
+
+impl PartialOrd for Packed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The due-event staging buffer: a vector in ascending `(time, seq)` pop
+/// order with a consuming head cursor.
+///
+/// Storing pop order front-to-back makes the hot due-insert cheap: a
+/// freshly scheduled due event almost always pops *after* everything
+/// already staged (its time is ≥ now and its seq is the newest), so the
+/// binary search lands at the end and the insert is an O(1) push. Back-
+/// to-front storage would put that same event at index 0 and memmove the
+/// whole buffer every time. Popping advances `head` instead of shifting;
+/// the vector is cleared (capacity kept) once drained. A heap here costs a
+/// cache-hostile sift on every one of the run's million-plus pops; sorting
+/// each refill's bulk drain once is measurably cheaper on the fig5 mix.
+#[derive(Debug, Default)]
+struct ReadyVec {
+    v: Vec<Packed>,
+    head: usize,
+}
+
+impl ReadyVec {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head >= self.v.len()
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Packed> {
+        let ev = *self.v.get(self.head)?;
+        self.head += 1;
+        if self.head == self.v.len() {
+            self.v.clear();
+            self.head = 0;
+        }
+        Some(ev)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&Packed> {
+        self.v.get(self.head)
+    }
+
+    /// Inserts `ev` keeping pop order; O(log n) search plus a memmove of
+    /// everything later-popping than `ev`. The worst case — an event
+    /// beating the head, which would move the entire live tail — is
+    /// siphoned off by the wheel's front cache before it gets here.
+    #[inline]
+    fn push(&mut self, ev: Packed) {
+        let key = (ev.time, ev.st);
+        let i = self.v[self.head..].partition_point(|e| (e.time, e.st) < key);
+        self.v.insert(self.head + i, ev);
+    }
+
+    /// Appends without ordering; the caller must [`ReadyVec::sort`] before
+    /// the next pop/peek/push.
+    #[inline]
+    fn append_unsorted(&mut self, events: std::vec::Drain<'_, Packed>) {
+        self.v.extend(events);
+    }
+
+    #[inline]
+    fn sort(&mut self) {
+        self.v[self.head..].sort_unstable_by_key(|e| (e.time, e.st));
+    }
+}
+
 /// log2 of the tick length in picoseconds.
-const TICK_BITS: u32 = 16;
+const TICK_BITS: u32 = 18;
 /// log2 of the slot count per level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.
 const SLOTS: usize = 1 << SLOT_BITS;
 const SLOT_MASK: u64 = SLOTS as u64 - 1;
-/// Wheel levels. Four levels cover `64^4` ticks ≈ 1.1 s; anything farther
+/// Wheel levels. Four levels cover `64^4` ticks ≈ 4.4 s; anything farther
 /// out (RTO backoffs up to 60 s) overflows to a heap.
 const LEVELS: usize = 4;
 /// Ticks covered by the wheel before the overflow heap takes over.
@@ -70,21 +199,36 @@ enum Cand {
 pub struct TimingWheel {
     /// Current tick: no pending event's tick is below it.
     cursor: u64,
+    /// One-slot front cache: a freshly scheduled event that provably
+    /// precedes everything pending (its `(time, seq)` beats the ready
+    /// head, which is the global minimum whenever `ready` is non-empty)
+    /// parks here instead of sort-inserting at the very front of the
+    /// ready buffer — the most expensive position, a memmove of the whole
+    /// live tail. Incast hot loops hit this constantly: an event chain
+    /// hopping ns-scale links schedules its own continuation as the next
+    /// global event. While occupied, the cache is the pop source and the
+    /// cursor never advances, so parked events re-insert safely on
+    /// demotion.
+    front: Option<Packed>,
     /// Events of the tick the cursor sits on, in `(time, seq)` pop order.
-    ready: BinaryHeap<Event>,
+    ready: ReadyVec,
     /// `LEVELS x SLOTS` buckets, level-major. Slot vectors keep their
     /// capacity across reuse, so the steady state allocates nothing.
-    slots: Vec<Vec<Event>>,
+    slots: Vec<Vec<Packed>>,
     /// One occupancy bit per slot, per level.
     occ: [u64; LEVELS],
     /// Per level, the cursor prefix (`cursor >> (6·level)`) whose slot was
     /// already partitioned by [`TimingWheel::cascade_entered_slots`].
     entered: [u64; LEVELS],
     /// Events beyond the wheel's span, min-first by `(time, seq)`.
-    overflow: BinaryHeap<Event>,
+    overflow: BinaryHeap<Packed>,
     /// Spare vector swapped in during cascades to avoid re-entrancy on the
     /// slot being drained.
-    scratch: Vec<Event>,
+    scratch: Vec<Packed>,
+    /// `(node, key, gen)` of pending `Timer` events, indexed by the packed
+    /// payload; entries recycle through `timer_free` when the timer pops.
+    timers: Vec<(NodeId, u64, u64)>,
+    timer_free: Vec<u32>,
     len: usize,
     next_seq: u64,
     cascades: u64,
@@ -94,12 +238,22 @@ impl Default for TimingWheel {
     fn default() -> Self {
         TimingWheel {
             cursor: 0,
-            ready: BinaryHeap::new(),
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            front: None,
+            ready: ReadyVec::default(),
+            // Pre-size every slot past the typical steady-state population
+            // (lazily cancelled timer re-arms pile ~15 deep per slot on
+            // ACK-clocked workloads, right at a Vec growth boundary).
+            // ~200 KiB up front buys an allocation-free steady state: a
+            // slot that never outgrows this never touches the allocator.
+            slots: (0..LEVELS * SLOTS)
+                .map(|_| Vec::with_capacity(32))
+                .collect(),
             occ: [0; LEVELS],
             entered: [u64::MAX; LEVELS],
             overflow: BinaryHeap::new(),
             scratch: Vec::new(),
+            timers: Vec::new(),
+            timer_free: Vec::new(),
             len: 0,
             next_seq: 0,
             cascades: 0,
@@ -119,10 +273,103 @@ impl TimingWheel {
         self.cascades
     }
 
+    /// Compresses a freshly scheduled event into the wheel's internal
+    /// 24-byte form; `Timer` payloads park in the side table.
+    #[inline]
+    fn pack(&mut self, time: SimTime, seq: u64, kind: EventKind) -> Packed {
+        debug_assert!(seq < 1 << 62, "sequence number overflows the tag bits");
+        let (tag, payload) = match kind {
+            EventKind::TxComplete { link } => (TAG_TX, link.0 as u64),
+            EventKind::Delivery { link, slot } => {
+                (TAG_DELIVERY, link.0 as u64 | ((slot.0 as u64) << 32))
+            }
+            EventKind::Fault { index } => (TAG_FAULT, index as u64),
+            EventKind::Timer { node, key, gen } => {
+                let idx = match self.timer_free.pop() {
+                    Some(i) => {
+                        self.timers[i as usize] = (node, key, gen);
+                        i
+                    }
+                    None => {
+                        self.timers.push((node, key, gen));
+                        (self.timers.len() - 1) as u32
+                    }
+                };
+                (TAG_TIMER, idx as u64)
+            }
+        };
+        Packed {
+            time,
+            st: (seq << 2) | tag,
+            payload,
+        }
+    }
+
+    /// Expands a popped event back to the public form, releasing any
+    /// `Timer` side-table entry.
+    #[inline]
+    fn unpack(&mut self, p: Packed) -> Event {
+        let kind = match p.st & 3 {
+            TAG_TX => EventKind::TxComplete {
+                link: LinkId(p.payload as u32),
+            },
+            TAG_DELIVERY => EventKind::Delivery {
+                link: LinkId(p.payload as u32),
+                slot: PacketSlot((p.payload >> 32) as u32),
+            },
+            TAG_FAULT => EventKind::Fault {
+                index: p.payload as u32,
+            },
+            _ => {
+                let idx = p.payload as u32;
+                let (node, key, gen) = self.timers[idx as usize];
+                self.timer_free.push(idx);
+                EventKind::Timer { node, key, gen }
+            }
+        };
+        Event {
+            time: p.time,
+            seq: p.seq(),
+            kind,
+        }
+    }
+
+    /// Routes a freshly scheduled event through the front cache: an event
+    /// that provably pops before everything pending parks in the one-slot
+    /// register, everything else takes the ordinary [`TimingWheel::insert`]
+    /// path. Only schedule-time entry points come through here — internal
+    /// re-hashes (cascades, overflow pull-ins) bypass the cache, their
+    /// events are never the global minimum mid-refill.
+    ///
+    /// Safety of the demotion (`insert(f)` below): while the cache is
+    /// occupied every pop/peek path serves it first and never calls
+    /// `refill`, so the cursor cannot have advanced since `f` parked and
+    /// `f` still hashes at or ahead of the cursor.
+    #[inline]
+    fn front_or_insert(&mut self, p: Packed) {
+        match self.front {
+            Some(f) => {
+                if (p.time, p.st) < (f.time, f.st) {
+                    self.front = Some(p);
+                    self.insert(f);
+                } else {
+                    self.insert(p);
+                }
+            }
+            // The ready head is the global minimum whenever it exists (the
+            // cursor sits on the earliest pending tick); with ready empty
+            // there is no O(1) bound to beat, so don't park.
+            None => match self.ready.peek() {
+                Some(h) if (p.time, p.st) < (h.time, h.st) => self.front = Some(p),
+                _ => self.insert(p),
+            },
+        }
+    }
+
     /// Places `ev` relative to the cursor: due ticks go to `ready`, the
     /// near future into the finest level that still separates it from the
     /// cursor, the far future into the overflow heap.
-    fn insert(&mut self, ev: Event) {
+    fn insert(&mut self, ev: Packed) {
         let tick = tick_of(ev.time);
         if tick <= self.cursor {
             self.ready.push(ev);
@@ -179,10 +426,13 @@ impl TimingWheel {
                 }
                 self.entered[l] = prefix;
                 self.cascades += 1;
-                let mut tmp = std::mem::replace(
-                    &mut self.slots[l * SLOTS + il],
-                    std::mem::take(&mut self.scratch),
-                );
+                // Copy the slot out and clear it in place: the slot vector
+                // keeps its high-water capacity (steady state must not
+                // re-grow slots it has already seen full), and `scratch`
+                // gives `insert` a free hand on `self` during the re-hash.
+                let mut tmp = std::mem::take(&mut self.scratch);
+                tmp.extend_from_slice(&self.slots[l * SLOTS + il]);
+                self.slots[l * SLOTS + il].clear();
                 let mut kept = false;
                 for ev in tmp.drain(..) {
                     if tick_of(ev.time) >> shift == prefix {
@@ -285,14 +535,20 @@ impl TimingWheel {
                     break;
                 }
                 self.occ[0] &= !(1u64 << idx);
-                for ev in self.slots[idx as usize].drain(..) {
-                    self.ready.push(ev);
-                }
+                self.ready
+                    .append_unsorted(self.slots[idx as usize].drain(..));
                 ahead0 &= ahead0 - 1;
+                // The cursor lands on the last *occupied* tick drained, not
+                // `limit - 1`: ticks between the two are proven clear, but
+                // keeping the cursor low routes later inserts into level-0
+                // slots (a plain push) instead of the ready buffer (a
+                // binary insert paying a memmove), and the occupancy bitmap
+                // makes rescanning the cleared gap free.
+                self.cursor = tick;
                 drained = true;
             }
             if drained {
-                self.cursor = limit - 1;
+                self.ready.sort();
                 return true;
             }
 
@@ -335,10 +591,13 @@ impl TimingWheel {
                 // Draining a level-0 slot moves events straight to
                 // `ready`; only coarser slots are true cascades.
                 self.cascades += (level > 0) as u64;
-                let mut tmp = std::mem::replace(
-                    &mut self.slots[level * SLOTS + idx],
-                    std::mem::take(&mut self.scratch),
-                );
+                // Same capacity-preserving copy-out as the cascade above;
+                // `insert` may legitimately push back into this very slot
+                // (an event a full revolution out re-hashes to the same
+                // index), which is why the iteration runs over `scratch`.
+                let mut tmp = std::mem::take(&mut self.scratch);
+                tmp.extend_from_slice(&self.slots[level * SLOTS + idx]);
+                self.slots[level * SLOTS + idx].clear();
                 for ev in tmp.drain(..) {
                     self.insert(ev);
                 }
@@ -367,22 +626,75 @@ impl Scheduler for TimingWheel {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
-        self.insert(Event { time, seq, kind });
+        let p = self.pack(time, seq, kind);
+        self.front_or_insert(p);
+    }
+
+    fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn schedule_reserved(&mut self, time: SimTime, seq: u64, kind: EventKind) {
+        self.len += 1;
+        let p = self.pack(time, seq, kind);
+        self.front_or_insert(p);
     }
 
     fn pop(&mut self) -> Option<Event> {
+        if let Some(p) = self.front.take() {
+            self.len -= 1;
+            return Some(self.unpack(p));
+        }
         if self.ready.is_empty() && !self.refill() {
             return None;
         }
         self.len -= 1;
-        self.ready.pop()
+        let p = self.ready.pop()?;
+        Some(self.unpack(p))
+    }
+
+    fn pop_due(&mut self, deadline: SimTime) -> Option<Event> {
+        // The front cache, when occupied, is the global minimum: past the
+        // deadline means nothing else is due either.
+        if let Some(p) = self.front {
+            if p.time > deadline {
+                return None;
+            }
+            self.front = None;
+            self.len -= 1;
+            return Some(self.unpack(p));
+        }
+        if self.ready.is_empty() && !self.refill() {
+            return None;
+        }
+        if self.ready.peek()?.time > deadline {
+            return None;
+        }
+        self.len -= 1;
+        let p = self.ready.pop()?;
+        Some(self.unpack(p))
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
+        if let Some(p) = &self.front {
+            return Some(p.time);
+        }
         if self.ready.is_empty() && !self.refill() {
             return None;
         }
         self.ready.peek().map(|e| e.time)
+    }
+
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if let Some(p) = &self.front {
+            return Some((p.time, p.seq()));
+        }
+        if self.ready.is_empty() && !self.refill() {
+            return None;
+        }
+        self.ready.peek().map(|e| (e.time, e.seq()))
     }
 
     fn len(&self) -> usize {
@@ -508,7 +820,7 @@ mod tests {
 
     #[test]
     fn same_tick_orders_by_time_then_seq() {
-        // Many events inside one 65.5 ns tick, scheduled in shuffled time
+        // Many events inside one tick, scheduled in shuffled time
         // order: pops must come back sorted by (time, seq), not insertion.
         let mut wheel = TimingWheel::new();
         let offsets = [9u64, 3, 3, 65_535, 0, 17, 3, 9, 0];

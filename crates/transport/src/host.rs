@@ -12,15 +12,76 @@ use crate::keys::{self, TimerKind};
 use crate::receiver::Receiver;
 use crate::sender::{AckOutcome, FlowProbe, Sender};
 use simnet::{Ctx, Endpoint, FlowId, NodeId, Packet, PacketKind, SimTime};
-use std::collections::HashMap;
 use telemetry::SinkRef;
+
+/// Dense connection table indexed directly by flow id.
+///
+/// Workloads assign flows small consecutive ids, so the per-packet demux
+/// is an array index instead of a hash-map probe. Iteration runs in
+/// ascending flow-id order — deterministic, unlike the `HashMap` this
+/// replaced (no caller depended on that order, but determinism by
+/// construction beats determinism by accident).
+#[derive(Debug)]
+pub struct FlowTable<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> FlowTable<T> {
+    fn new() -> Self {
+        FlowTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of open connections.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no connection is open.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The connection for `flow`, if open.
+    pub fn get(&self, flow: FlowId) -> Option<&T> {
+        self.slots.get(flow.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, flow: FlowId) -> Option<&mut T> {
+        self.slots.get_mut(flow.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn get_or_insert_with(&mut self, flow: FlowId, make: impl FnOnce() -> T) -> &mut T {
+        let i = flow.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.len += 1;
+        }
+        slot.as_mut().expect("slot just filled")
+    }
+
+    /// Iterates open connections in ascending flow-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (FlowId(i as u32), t)))
+    }
+}
 
 /// Connection tables and configuration for one host.
 #[derive(Debug)]
 pub struct HostCore {
     cfg: TcpConfig,
-    senders: HashMap<FlowId, Sender>,
-    receivers: HashMap<FlowId, Receiver>,
+    senders: FlowTable<Sender>,
+    receivers: FlowTable<Receiver>,
     /// Telemetry sink handed to every sender opened on this host.
     sink: Option<SinkRef>,
     /// Packets for unknown flows (should stay zero in healthy runs).
@@ -32,8 +93,8 @@ impl HostCore {
         cfg.validate().expect("invalid TcpConfig");
         HostCore {
             cfg,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: FlowTable::new(),
+            receivers: FlowTable::new(),
             sink: None,
             stray_packets: 0,
         }
@@ -46,21 +107,21 @@ impl HostCore {
 
     /// A sending connection, if open.
     pub fn sender(&self, flow: FlowId) -> Option<&Sender> {
-        self.senders.get(&flow)
+        self.senders.get(flow)
     }
 
     /// A receiving connection, if open.
     pub fn receiver(&self, flow: FlowId) -> Option<&Receiver> {
-        self.receivers.get(&flow)
+        self.receivers.get(flow)
     }
 
-    /// Iterates all sending connections.
-    pub fn senders(&self) -> impl Iterator<Item = (&FlowId, &Sender)> {
+    /// Iterates all sending connections, ascending by flow id.
+    pub fn senders(&self) -> impl Iterator<Item = (FlowId, &Sender)> {
         self.senders.iter()
     }
 
-    /// Iterates all receiving connections.
-    pub fn receivers(&self) -> impl Iterator<Item = (&FlowId, &Receiver)> {
+    /// Iterates all receiving connections, ascending by flow id.
+    pub fn receivers(&self) -> impl Iterator<Item = (FlowId, &Receiver)> {
         self.receivers.iter()
     }
 }
@@ -118,7 +179,7 @@ impl<'a, 'c> TcpApi<'a, 'c> {
         let cfg = &self.core.cfg;
         let sink = &self.core.sink;
         let node = self.ctx.node();
-        self.core.senders.entry(flow).or_insert_with(|| {
+        self.core.senders.get_or_insert_with(flow, || {
             let mut tx = Sender::new(flow, peer, cfg);
             if let Some(s) = sink {
                 tx.set_probe(FlowProbe::new(s.clone(), node));
@@ -134,7 +195,7 @@ impl<'a, 'c> TcpApi<'a, 'c> {
         let tx = self
             .core
             .senders
-            .get_mut(&flow)
+            .get_mut(flow)
             .unwrap_or_else(|| panic!("add_demand on unopened flow {flow}"));
         tx.add_demand(self.ctx, bytes);
     }
@@ -238,15 +299,14 @@ impl Endpoint for TcpHost {
                 let rx = self
                     .core
                     .receivers
-                    .entry(pkt.flow)
-                    .or_insert_with(|| Receiver::new(pkt.flow, pkt.src, cfg));
+                    .get_or_insert_with(pkt.flow, || Receiver::new(pkt.flow, pkt.src, cfg));
                 let newly = rx.on_data(ctx, seq, payload, pkt.is_ce(), ts);
                 let total = rx.delivered();
                 if newly > 0 {
                     self.with_app(ctx, |app, api| app.on_receive(api, pkt.flow, newly, total));
                 }
             }
-            PacketKind::Ack { ack, ece, ts_echo } => match self.core.senders.get_mut(&pkt.flow) {
+            PacketKind::Ack { ack, ece, ts_echo } => match self.core.senders.get_mut(pkt.flow) {
                 Some(tx) => {
                     if tx.on_ack(ctx, ack, ece, ts_echo) == AckOutcome::AllAcked {
                         self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
@@ -265,8 +325,7 @@ impl Endpoint for TcpHost {
                 let rx = self
                     .core
                     .receivers
-                    .entry(pkt.flow)
-                    .or_insert_with(|| Receiver::new(pkt.flow, pkt.src, cfg));
+                    .get_or_insert_with(pkt.flow, || Receiver::new(pkt.flow, pkt.src, cfg));
                 let newly = rx.on_quic_data(ctx, pn, offset, payload, pkt.is_ce(), ts);
                 let total = rx.delivered();
                 if newly > 0 {
@@ -277,7 +336,7 @@ impl Endpoint for TcpHost {
                 blocks,
                 ece,
                 ts_echo,
-            } => match self.core.senders.get_mut(&pkt.flow) {
+            } => match self.core.senders.get_mut(pkt.flow) {
                 Some(tx) => {
                     if tx.on_quic_ack(ctx, blocks, ece, ts_echo) == AckOutcome::AllAcked {
                         self.with_app(ctx, |app, api| app.on_all_acked(api, pkt.flow));
@@ -296,17 +355,17 @@ impl Endpoint for TcpHost {
     fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
         match keys::decode(key) {
             TimerKind::Rto(flow) | TimerKind::Pto(flow) => {
-                if let Some(tx) = self.core.senders.get_mut(&flow) {
+                if let Some(tx) = self.core.senders.get_mut(flow) {
                     tx.on_rto(ctx);
                 }
             }
             TimerKind::Delack(flow) => {
-                if let Some(rx) = self.core.receivers.get_mut(&flow) {
+                if let Some(rx) = self.core.receivers.get_mut(flow) {
                     rx.on_delack_timer(ctx);
                 }
             }
             TimerKind::Pace(flow) => {
-                if let Some(tx) = self.core.senders.get_mut(&flow) {
+                if let Some(tx) = self.core.senders.get_mut(flow) {
                     tx.on_pace(ctx);
                 }
             }
@@ -331,6 +390,7 @@ mod tests {
     use super::*;
     use simnet::{build_dumbbell, Shared};
     use std::cell::RefCell;
+    use std::collections::HashMap;
     use std::rc::Rc;
 
     /// Worker: on ctrl, opens a sender back to the coordinator and sends.

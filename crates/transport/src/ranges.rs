@@ -48,6 +48,11 @@ impl AckRanges {
         self.ranges.is_empty()
     }
 
+    /// Empties the set, keeping its allocation (for scratch reuse).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
     /// Number of stored ranges.
     pub fn num_ranges(&self) -> usize {
         self.ranges.len()
@@ -126,22 +131,45 @@ impl AckRanges {
     }
 
     /// Removes `[lo, hi)` from the set (values outside are untouched).
+    ///
+    /// In place: the overlapped ranges form one contiguous run, which
+    /// shrinks to at most a left and a right remnant. The ACK hot path
+    /// calls this per acknowledged packet, so the no-overlap and
+    /// single-range cases must not touch the heap (only a mid-range split
+    /// can grow the vector, and then only past its retained capacity).
     pub fn remove(&mut self, lo: u64, hi: u64) {
         assert!(lo < hi, "empty or inverted range [{lo}, {hi})");
-        let mut out = Vec::with_capacity(self.ranges.len() + 1);
-        for &(l, h) in &self.ranges {
-            if h <= lo || l >= hi {
-                out.push((l, h));
-                continue;
+        // Ranges entirely below `lo` keep; the run [i, j) overlaps [lo, hi).
+        let i = self.ranges.partition_point(|&(_, h)| h <= lo);
+        let j = i + self.ranges[i..].partition_point(|&(l, _)| l < hi);
+        if i == j {
+            return;
+        }
+        let left = self.ranges[i].0 < lo;
+        let right = self.ranges[j - 1].1 > hi;
+        match (left, right) {
+            (true, true) => {
+                let r = (hi, self.ranges[j - 1].1);
+                self.ranges[i].1 = lo;
+                if j - i == 1 {
+                    self.ranges.insert(i + 1, r);
+                } else {
+                    self.ranges[i + 1] = r;
+                    self.ranges.drain(i + 2..j);
+                }
             }
-            if l < lo {
-                out.push((l, lo));
+            (true, false) => {
+                self.ranges[i].1 = lo;
+                self.ranges.drain(i + 1..j);
             }
-            if h > hi {
-                out.push((hi, h));
+            (false, true) => {
+                self.ranges[j - 1].0 = hi;
+                self.ranges.drain(i..j - 1);
+            }
+            (false, false) => {
+                self.ranges.drain(i..j);
             }
         }
-        self.ranges = out;
     }
 
     /// Removes and returns up to `max` values from the lowest range, as

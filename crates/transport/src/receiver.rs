@@ -352,15 +352,11 @@ impl Receiver {
     fn insert_ooo(&mut self, s: u64, e: u64) {
         let mut new_s = s;
         let mut new_e = e;
-        // Merge every range that overlaps or touches [s, e).
-        let overlapping: Vec<u64> = self
-            .ooo
-            .range(..=new_e)
-            .filter(|(_, &re)| re >= new_s)
-            .map(|(&rs, _)| rs)
-            .collect();
-        for rs in overlapping {
-            let re = self.ooo.remove(&rs).expect("key just seen");
+        // Merge every range that overlaps or touches [s, e), one at a time
+        // (stored ranges are disjoint, so each removal strictly widens the
+        // merged range and the scan converges without a scratch list).
+        while let Some((&rs, &re)) = self.ooo.range(..=new_e).find(|(_, &re)| re >= new_s) {
+            self.ooo.remove(&rs);
             new_s = new_s.min(rs);
             new_e = new_e.max(re);
         }

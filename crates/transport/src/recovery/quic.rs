@@ -79,6 +79,8 @@ pub struct QuicRecovery {
     granularity: SimTime,
     /// Scratch buffer for hole computation (avoids per-ack allocation).
     holes: Vec<(u64, u64)>,
+    /// Scratch set for unwrapped ack blocks (avoids per-ack allocation).
+    acked_pns: AckRanges,
 }
 
 impl QuicRecovery {
@@ -102,6 +104,7 @@ impl QuicRecovery {
             backing_off: false,
             granularity: cfg.pto_granularity,
             holes: Vec::new(),
+            acked_pns: AckRanges::new(),
         }
     }
 
@@ -389,12 +392,12 @@ impl Recovery for QuicRecovery {
                 ),
             );
         }
-        let mut acked_pns = AckRanges::new();
+        self.acked_pns.clear();
         for &(lo_w, hi_w) in blocks.ranges() {
             let hi = seq::unwrap(hi_w, reference);
             let span = hi_w.wrapping_sub(lo_w) as u64;
             let lo = hi.saturating_sub(span);
-            acked_pns.insert(lo, hi + 1);
+            self.acked_pns.insert(lo, hi + 1);
         }
         self.largest_acked = Some(self.largest_acked.map_or(largest, |l| l.max(largest)));
 
@@ -409,7 +412,7 @@ impl Recovery for QuicRecovery {
             if p.pn > largest {
                 break;
             }
-            if acked_pns.contains(p.pn) {
+            if self.acked_pns.contains(p.pn) {
                 self.sent.remove(i);
                 self.bytes_in_flight -= p.len as u64;
                 newly += p.len as u64;

@@ -219,11 +219,11 @@ fn drop_exactly_one_data_seg(f: &mut simnet::IncastFabric, seq: u32) {
             continue;
         }
         let on_wire = matches!(
-            f.sim.link(f.trunk).serializing,
+            f.sim.serializing_packet(f.trunk),
             Some(Packet {
                 kind: PacketKind::Data { seq: s, .. },
                 ..
-            }) if s == seq
+            }) if *s == seq
         );
         if on_wire {
             f.sim.link_mut(f.trunk).cfg.loss_probability = 1.0;

@@ -1,0 +1,185 @@
+//! Differential testing of per-(link, tick) delivery coalescing: with
+//! batching enabled (the default), every observable — the full packet
+//! trace, the counters JSON, the event tallies, and the final simulated
+//! time — must be byte-identical to the unbatched shadow model
+//! (`Simulator::set_delivery_coalescing(false)`), where every delivery
+//! pays its own schedule+pop round trip. On top of the cross-mode
+//! equality, the trace is checked for the property the coalescer could
+//! most plausibly break: per-(link, flow) FIFO order from transmission
+//! to delivery.
+
+use incast_bursts::simnet::{
+    build_fabric_with, FabricConfig, Scheduler, Shared, SimTime, TextTracer, TimingWheel,
+};
+use incast_bursts::simnet::{EventQueue, IncastFabric};
+use incast_bursts::stats::Rng;
+use incast_bursts::transport::{TcpConfig, TcpHost};
+use incast_bursts::workload::{CyclicCoordinator, IncastConfig, Worker};
+
+/// Builds a seeded random incast fabric: fan-in, burst length, and link
+/// loss all derive from `seed` so every configuration differs.
+fn build_seeded<S: Scheduler>(seed: u64, lossy: bool) -> IncastFabric<S> {
+    let mut rng = Rng::new(seed);
+    let num_senders = 2 + rng.below(12) as usize;
+    let fabric_cfg = FabricConfig {
+        num_senders,
+        seed: rng.next_u64(),
+        ..FabricConfig::default()
+    };
+    let burst_ms = 0.1 + 0.1 * rng.below(4) as f64;
+
+    let mut f = build_fabric_with::<S>(&fabric_cfg);
+    if lossy && rng.chance(0.5) {
+        f.sim.link_mut(f.trunk).cfg.loss_probability = 0.01;
+    }
+    for (i, &s) in f.senders.iter().enumerate() {
+        f.sim.set_endpoint(
+            s,
+            Box::new(TcpHost::new(
+                TcpConfig::default(),
+                Box::new(Worker::new(Rng::new(seed ^ i as u64))),
+            )),
+        );
+    }
+    f.sim.set_endpoint(
+        f.receivers[0],
+        Box::new(TcpHost::new(
+            TcpConfig::default(),
+            Box::new(CyclicCoordinator::new(IncastConfig::paper(
+                f.senders.clone(),
+                burst_ms,
+                2,
+                rng.next_u64(),
+            ))),
+        )),
+    );
+    f
+}
+
+/// All scheduler-visible observables of one seeded run, plus the count of
+/// deliveries that rode a batch inline (the one number that is *supposed*
+/// to differ between the modes).
+fn observables<S: Scheduler>(
+    seed: u64,
+    lossy: bool,
+    coalesce: bool,
+) -> (String, String, u64, u64, u64) {
+    let mut f = build_seeded::<S>(seed, lossy);
+    f.sim.set_delivery_coalescing(coalesce);
+    let tracer = Shared::new(TextTracer::new(2_000_000));
+    let handle = tracer.handle();
+    f.sim.set_tracer(Box::new(tracer));
+    f.sim.run_until(SimTime::from_ms(10));
+    let trace = handle.borrow().render();
+    (
+        trace,
+        f.sim.counters().to_json(),
+        f.sim.profile().tallies.total(),
+        f.sim.now().as_ps(),
+        f.sim.batched_deliveries(),
+    )
+}
+
+#[test]
+fn batched_and_unbatched_delivery_agree_byte_for_byte() {
+    let mut batches_seen = 0u64;
+    for seed in 200..212u64 {
+        let (trace_b, counters_b, tallies_b, now_b, batched) =
+            observables::<TimingWheel>(seed, true, true);
+        let (trace_u, counters_u, tallies_u, now_u, unbatched) =
+            observables::<TimingWheel>(seed, true, false);
+        assert!(!trace_b.is_empty(), "empty trace for seed {seed}");
+        assert_eq!(trace_b, trace_u, "packet traces diverged (seed {seed})");
+        assert_eq!(counters_b, counters_u, "counters diverged (seed {seed})");
+        assert_eq!(tallies_b, tallies_u, "tallies diverged (seed {seed})");
+        assert_eq!(now_b, now_u, "final time diverged (seed {seed})");
+        // The shadow model must really be the shadow model.
+        assert_eq!(unbatched, 0, "unbatched run batched (seed {seed})");
+        batches_seen += batched;
+    }
+    // And the default mode must really batch, or this test compares a
+    // mechanism against itself.
+    assert!(
+        batches_seen > 0,
+        "no delivery ever rode a batch across 12 seeded incast runs"
+    );
+}
+
+/// The coalescing toggle is scheduler-agnostic: the binary-heap reference
+/// scheduler owes the same batched == unbatched equality.
+#[test]
+fn batched_and_unbatched_agree_on_the_reference_scheduler() {
+    for seed in [301u64, 302, 303] {
+        let b = observables::<EventQueue>(seed, true, true);
+        let u = observables::<EventQueue>(seed, true, false);
+        assert_eq!(
+            (&b.0, &b.1, b.2, b.3),
+            (&u.0, &u.1, u.2, u.3),
+            "heap scheduler diverged across modes (seed {seed})"
+        );
+    }
+}
+
+/// Extracts, per (link, what, flow), the sequence of packet descriptors in
+/// trace order. Trace lines look like:
+/// `   123.456us L3 tx          F2 N0->N5 DATA seq=1446 len=1446`.
+fn per_link_flow_sequences(
+    trace: &str,
+    what: &str,
+) -> std::collections::BTreeMap<(String, String), Vec<String>> {
+    let mut seqs: std::collections::BTreeMap<(String, String), Vec<String>> =
+        std::collections::BTreeMap::new();
+    for line in trace.lines() {
+        let mut it = line.split_whitespace();
+        let _time = it.next();
+        let (Some(link), Some(kind), Some(flow)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        if kind != what {
+            continue;
+        }
+        let rest: Vec<&str> = it.collect();
+        seqs.entry((link.to_string(), flow.to_string()))
+            .or_default()
+            .push(rest.join(" "));
+    }
+    seqs
+}
+
+/// On a lossless topology, a link delivers exactly the frames it
+/// transmits, in transmission order; only frames still in flight when the
+/// run cuts off may be missing. So per (link, flow), the delivered packet
+/// sequence must be a prefix of the transmitted one — this is the FIFO
+/// property delivery batching must preserve, and a reordered, duplicated,
+/// or dropped batch member breaks the prefix.
+#[test]
+fn batched_delivery_preserves_per_link_fifo_order() {
+    for seed in [210u64, 47, 1009] {
+        let (trace, ..) = observables::<TimingWheel>(seed, false, true);
+        let tx = per_link_flow_sequences(&trace, "tx");
+        let rx = per_link_flow_sequences(&trace, "rx");
+        assert!(!tx.is_empty(), "no transmissions traced (seed {seed})");
+        let mut delivered = 0usize;
+        for (key, tx_seq) in &tx {
+            static EMPTY: Vec<String> = Vec::new();
+            let rx_seq = rx.get(key).unwrap_or(&EMPTY);
+            assert!(
+                rx_seq.len() <= tx_seq.len() && tx_seq[..rx_seq.len()] == rx_seq[..],
+                "per-link delivery order diverged from transmission order \
+                 for {key:?} (seed {seed}):\n tx: {tx_seq:?}\n rx: {rx_seq:?}"
+            );
+            delivered += rx_seq.len();
+        }
+        // Nothing rx'd that was never tx'd on that link either.
+        for key in rx.keys() {
+            assert!(
+                tx.contains_key(key),
+                "{key:?} delivered frames it never transmitted (seed {seed})"
+            );
+        }
+        assert!(
+            delivered > 100,
+            "too little traffic to be meaningful (seed {seed})"
+        );
+    }
+}
