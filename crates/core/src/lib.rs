@@ -4,6 +4,8 @@
 //! function, so the bench targets are thin wrappers:
 //!
 //! - [`modes`]: the Section-4 cyclic-incast engine (Figures 5–7, ablations),
+//! - [`contention`]: simultaneous cross-rack incasts sharing a Clos spine
+//!   tier (the §3.4 rack-level contention observation),
 //! - [`production`]: the Section-3 fleet study (Figures 1, 2, 4; Table 1),
 //! - [`stability`]: flow-count stability over time and hosts (Figure 3),
 //! - [`straggler`]: per-flow in-flight skew (Figure 7),
@@ -17,6 +19,7 @@
 //! - [`report`]: ASCII tables/plots for bench output.
 
 pub mod cache;
+pub mod contention;
 pub mod mitigation;
 pub mod modes;
 pub mod pool;
@@ -29,8 +32,10 @@ pub mod supervisor;
 pub mod sweep;
 
 pub use cache::RunCache;
+pub use contention::{run_contention, ContentionConfig, ContentionResult};
 pub use modes::{
-    run_incast, FaultSpec, IncastRunResult, ModesConfig, OperatingMode, RunBudget, TruncationCause,
+    run_incast, FaultSpec, IncastRunResult, ModesConfig, OperatingMode, RunBudget, TopologySpec,
+    TruncationCause,
 };
 pub use pool::PoolStats;
 pub use runner::{default_threads, par_map, par_reduce};

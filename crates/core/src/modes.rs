@@ -6,8 +6,8 @@
 //! configuration struct in, one [`IncastRunResult`] out.
 
 use simnet::{
-    build_fabric_with, BufferPolicy, FabricConfig, FaultPlan, QueueConfig, Scheduler, Shared,
-    SimTime, TimingWheel,
+    build_clos_with, BufferPolicy, ClosConfig, FaultPlan, QueueConfig, Scheduler, Shared, SimTime,
+    TimingWheel,
 };
 use stats::{Rng, TimeSeries};
 use telemetry::{LoopProfile, RunManifest, SinkRef};
@@ -37,6 +37,17 @@ pub struct FaultSpec {
     /// Straggler window: `(from, until, sender_index)` pauses that
     /// sender's host software.
     pub straggler: Option<(SimTime, SimTime, u32)>,
+    /// Spine blackhole: `(from, until, spine_index)` downs every rack's
+    /// uplink into spine `spine_index % spines`, forcing each leaf's ECMP
+    /// to deterministically re-hash the affected flows onto the surviving
+    /// spines. On the dumbbell (or a 1-rack Clos) this downs the
+    /// corresponding parallel trunk — the only trunk when `spines == 1`,
+    /// where it behaves like `blackhole`.
+    pub spine_blackhole: Option<(SimTime, SimTime, u32)>,
+    /// Extra random loss on one spine uplink:
+    /// `(from, until, spine_index, p)`, applied to rack 0's uplink into
+    /// spine `spine_index % spines`.
+    pub spine_loss: Option<(SimTime, SimTime, u32, f64)>,
 }
 
 impl FaultSpec {
@@ -109,11 +120,35 @@ impl RunBudget {
     }
 }
 
+/// Which fabric a cyclic-incast run is built on.
+///
+/// `Dumbbell` is the paper's Section-4 two-ToR topology and the historical
+/// default; `Clos` spreads the same `num_flows` senders round-robin over
+/// `racks` leaf switches whose uplinks are ECMP-balanced across `spines`
+/// spine switches (see `simnet::ClosConfig`). A `Clos` with one rack and
+/// one spine builds the exact same simulator as `Dumbbell`, byte for byte
+/// (`tests/fabric_equivalence.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologySpec {
+    /// The paper's two-ToR dumbbell: every sender in one rack.
+    #[default]
+    Dumbbell,
+    /// A leaf/spine Clos fabric.
+    Clos {
+        /// Sender racks (leaf switches); senders are assigned round-robin.
+        racks: usize,
+        /// Spine switches every leaf uplinks to (the ECMP fan-out).
+        spines: usize,
+    },
+}
+
 /// Configuration of one cyclic-incast run.
 #[derive(Debug, Clone)]
 pub struct ModesConfig {
     /// Number of incast flows (N senders).
     pub num_flows: usize,
+    /// Fabric the flows converge across.
+    pub topology: TopologySpec,
     /// Nominal burst duration: demand = duration x 10 Gbps / N per flow.
     pub burst_duration_ms: f64,
     /// Bursts to run (the paper uses 11 and discards the first).
@@ -154,6 +189,7 @@ impl Default for ModesConfig {
     fn default() -> Self {
         ModesConfig {
             num_flows: 100,
+            topology: TopologySpec::Dumbbell,
             burst_duration_ms: 15.0,
             num_bursts: 11,
             warmup_bursts: 2,
@@ -366,15 +402,36 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     simnet::recorder::reset();
     let t_setup = std::time::Instant::now();
 
-    let fabric_cfg = FabricConfig {
-        num_senders: cfg.num_flows,
+    // Every run builds through the Clos builder: the dumbbell is its
+    // degenerate 1-rack / 1-spine form, which `build_clos_with` constructs
+    // with the exact historical builder-call sequence — node ids, link
+    // ids, and the whole event stream are byte-identical to the old
+    // `build_fabric` path (`tests/fabric_equivalence.rs` pins this).
+    let (racks, spines) = match cfg.topology {
+        TopologySpec::Dumbbell => (1, 1),
+        TopologySpec::Clos { racks, spines } => (racks, spines),
+    };
+    let is_clos = matches!(cfg.topology, TopologySpec::Clos { .. });
+    let clos_cfg = ClosConfig {
+        racks,
+        hosts_per_rack: cfg.num_flows.div_ceil(racks.max(1)),
+        spines,
         num_receivers: 1,
         tor_queue: cfg.tor_queue.clone(),
         receiver_tor_buffer: cfg.receiver_tor_buffer,
         seed: cfg.seed,
-        ..FabricConfig::default()
+        ..ClosConfig::default()
     };
-    let mut fabric = build_fabric_with::<S>(&fabric_cfg);
+    let mut fabric = match build_clos_with::<S>(&clos_cfg) {
+        Ok(f) => f,
+        Err(e) => panic!("invalid topology spec {:?}: {e}", cfg.topology),
+    };
+    // Flow i sends from `host_for_flow(i)`: round-robin across racks, so
+    // an M-rack run converges senders from M racks onto the one receiver.
+    // With one rack this is exactly the dumbbell's sender order.
+    let senders: Vec<_> = (0..cfg.num_flows)
+        .map(|i| fabric.host_for_flow(i))
+        .collect();
     let bottleneck = fabric.downlinks[0];
     fabric
         .sim
@@ -384,15 +441,38 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     if let Some(s) = sink {
         fabric.sim.set_sink(s.clone());
         fabric.sim.enable_depth_probe(bottleneck);
+        if is_clos {
+            // Per-tier depth telemetry: every rack uplink and spine
+            // downlink streams queue_depth samples alongside the
+            // bottleneck's.
+            for ups in &fabric.rack_uplinks {
+                for &l in ups {
+                    fabric.sim.enable_depth_probe(l);
+                }
+            }
+            for &l in &fabric.spine_downlinks {
+                fabric.sim.enable_depth_probe(l);
+            }
+        }
     }
 
     // Compile the fault spec into a concrete plan against this fabric:
-    // blackholes hit the trunk, loss/corruption/ECN outages hit the
+    // blackholes hit the trunk (the first rack uplink), spine faults hit
+    // rack-to-spine uplinks, loss/corruption/ECN outages hit the
     // bottleneck downlink, squeezes hit the shared receiver-ToR buffer,
     // stragglers pause individual sender hosts.
     let mut plan = FaultPlan::new();
     if let Some((from, until)) = cfg.faults.blackhole {
-        plan = plan.blackhole(fabric.trunk, from, until);
+        plan = plan.blackhole(fabric.rack_uplinks[0][0], from, until);
+    }
+    if let Some((from, until, k)) = cfg.faults.spine_blackhole {
+        for ups in &fabric.rack_uplinks {
+            plan = plan.blackhole(ups[k as usize % ups.len()], from, until);
+        }
+    }
+    if let Some((from, until, k, p)) = cfg.faults.spine_loss {
+        let ups = &fabric.rack_uplinks[0];
+        plan = plan.lossy_window(ups[k as usize % ups.len()], from, until, p);
     }
     if let Some((from, until, p)) = cfg.faults.loss {
         plan = plan.lossy_window(bottleneck, from, until, p);
@@ -415,7 +495,7 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
         }
     }
     if let Some((from, until, idx)) = cfg.faults.straggler {
-        let node = fabric.senders[idx as usize % fabric.senders.len()];
+        let node = senders[idx as usize % senders.len()];
         plan = plan.straggler(node, from, until);
     }
     let has_faults = !plan.is_empty();
@@ -426,7 +506,7 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     // Workers.
     let root = Rng::new(cfg.seed);
     let mut worker_handles = Vec::with_capacity(cfg.num_flows);
-    for (i, &s) in fabric.senders.iter().enumerate() {
+    for (i, &s) in senders.iter().enumerate() {
         let worker = Worker::new(root.fork(1000 + i as u64));
         let mut host = TcpHost::new(cfg.tcp.clone(), Box::new(worker));
         if let Some(sk) = sink {
@@ -439,7 +519,7 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
 
     // Coordinator.
     let mut icfg = IncastConfig::paper(
-        fabric.senders.clone(),
+        senders.clone(),
         cfg.burst_duration_ms,
         cfg.num_bursts,
         cfg.seed,
@@ -573,18 +653,51 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     let (d0, t0, r0) = warmup_counters.unwrap_or((0, 0, 0));
     let profile = fabric.sim.profile();
 
-    let mut manifest = RunManifest::new(
-        "incast",
-        cfg.seed,
-        &format!("dumbbell:senders={},receivers=1", cfg.num_flows),
-    )
-    .with_git_describe();
+    let topology_label = match cfg.topology {
+        TopologySpec::Dumbbell => format!("dumbbell:senders={},receivers=1", cfg.num_flows),
+        TopologySpec::Clos { racks, spines } => format!(
+            "clos:racks={racks},hosts_per_rack={},spines={spines},senders={},receivers=1",
+            clos_cfg.hosts_per_rack, cfg.num_flows
+        ),
+    };
+    let mut manifest = RunManifest::new("incast", cfg.seed, &topology_label).with_git_describe();
     manifest.config_json = cfg.tcp.to_json();
     manifest.event_count = sink.map(|s| s.event_count()).unwrap_or(0);
     manifest.events_processed = fabric.sim.counters().events_processed;
     manifest.sim_time_ps = fabric.sim.now().as_ps();
     manifest.counters_json = fabric.sim.counters().to_json();
     manifest.scheduler = fabric.sim.scheduler_name().to_string();
+    if is_clos {
+        // Per-tier queue statistics, aggregated over the rack-uplink tier,
+        // the spine-downlink tier, and the receiver downlinks. All derived
+        // from seeded queue counters, so the field is deterministic and
+        // survives `RunManifest::deterministic()`.
+        let tier = |links: &[simnet::LinkId]| {
+            let (mut wm, mut drops, mut marks) = (0u32, 0u64, 0u64);
+            for &l in links {
+                let s = fabric.sim.link(l).queue.stats();
+                wm = wm.max(s.watermark_pkts);
+                drops += s.dropped_pkts;
+                marks += s.marked_pkts;
+            }
+            let mut out = String::new();
+            let mut o = telemetry::json::Obj::new(&mut out);
+            o.u64("links", links.len() as u64)
+                .u64("watermark_pkts", wm as u64)
+                .u64("dropped_pkts", drops)
+                .u64("marked_pkts", marks);
+            o.finish();
+            out
+        };
+        let uplinks: Vec<_> = fabric.rack_uplinks.iter().flatten().copied().collect();
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.raw("uplink", &tier(&uplinks))
+            .raw("spine", &tier(&fabric.spine_downlinks))
+            .raw("downlink", &tier(&fabric.downlinks));
+        o.finish();
+        manifest.tiers_json = Some(out);
+    }
     if has_faults {
         manifest.faults_injected = Some(fabric.sim.counters().faults_applied);
     }
@@ -850,6 +963,99 @@ mod tests {
         assert_eq!(r.truncated, Some(TruncationCause::SimTime));
         assert!(r.finished_at >= SimTime::from_ms(3));
         assert!(r.finished_at < SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn cross_rack_clos_run_completes_with_tier_telemetry() {
+        let mut cfg = quick(12, 0.5, 2);
+        cfg.topology = TopologySpec::Clos {
+            racks: 3,
+            spines: 2,
+        };
+        let (r, m) = run_incast_instrumented(&cfg, None);
+        assert_eq!(r.bcts_ms.len(), 2);
+        assert!(r.enqueued_pkts > 0);
+        assert_eq!(
+            m.topology,
+            "clos:racks=3,hosts_per_rack=4,spines=2,senders=12,receivers=1"
+        );
+        let tiers = m.tiers_json.as_deref().expect("clos runs report tiers");
+        assert!(tiers.contains(r#""uplink":{"links":6"#), "{tiers}");
+        assert!(tiers.contains(r#""spine":{"links":2"#), "{tiers}");
+        assert!(tiers.contains(r#""downlink":{"links":1"#), "{tiers}");
+        // The fan-in actually crossed the spine tier.
+        assert!(tiers.contains(r#""watermark_pkts":"#));
+        // Dumbbell runs stay tier-free (and keep their manifest label).
+        let (_, md) = run_incast_instrumented(&quick(12, 0.5, 2), None);
+        assert_eq!(md.topology, "dumbbell:senders=12,receivers=1");
+        assert!(md.tiers_json.is_none());
+    }
+
+    #[test]
+    fn clos_run_is_deterministic_given_seed() {
+        let mut cfg = quick(10, 0.5, 2);
+        cfg.topology = TopologySpec::Clos {
+            racks: 2,
+            spines: 3,
+        };
+        let (a, ma) = run_incast_instrumented(&cfg, None);
+        let (b, mb) = run_incast_instrumented(&cfg, None);
+        assert_eq!(a.bcts_ms, b.bcts_ms);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(ma.deterministic(), mb.deterministic());
+    }
+
+    #[test]
+    fn spine_blackhole_injects_faults_and_recovers() {
+        let mut cfg = quick(12, 0.5, 3);
+        cfg.topology = TopologySpec::Clos {
+            racks: 3,
+            spines: 2,
+        };
+        // No warmup: the default two warmup bursts (excluded from every
+        // measured observable) would put all measured traffic after the
+        // fault window.
+        cfg.warmup_bursts = 0;
+        let (healthy_jsonl, healthy_sink) = telemetry::JsonlSink::new().shared();
+        let (healthy, _) = run_incast_instrumented(&cfg, Some(&healthy_sink));
+        cfg.faults.spine_blackhole = Some((SimTime::from_us(200), SimTime::from_ms(2), 1));
+        let (jsonl, sink) = telemetry::JsonlSink::new().shared();
+        let (r, m) = run_incast_instrumented(&cfg, Some(&sink));
+        // One down + one restore event per rack uplink into spine 1.
+        assert_eq!(m.faults_injected, Some(6));
+        // Surviving spine keeps the run alive: every burst completes with
+        // the same completion times — the spine tier is non-blocking at
+        // this scale, so ECMP re-hash moves flows without delaying them.
+        assert_eq!(r.bcts_ms.len(), 3);
+        assert_eq!(r.bcts_ms, healthy.bcts_ms);
+        // But the re-hash is visible in the fabric: the per-link depth
+        // probes on the rack uplinks record a different traffic pattern
+        // once spine 1 is unreachable.
+        let healthy_out = healthy_jsonl.borrow().render().to_string();
+        let out = jsonl.borrow().render().to_string();
+        assert!(out.contains(r#""ev":"fault""#), "fault events not streamed");
+        let depths = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains(r#""ev":"queue_depth""#))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_ne!(
+            depths(&healthy_out),
+            depths(&out),
+            "spine blackhole left no trace in uplink depth probes"
+        );
+    }
+
+    #[test]
+    fn spine_loss_on_dumbbell_hits_the_trunk() {
+        // On the degenerate topology the "spine uplink" is the single
+        // trunk, so spine-targeted loss behaves like trunk loss.
+        let mut cfg = quick(10, 0.5, 2);
+        cfg.faults.spine_loss = Some((SimTime::from_us(100), SimTime::from_ms(3), 0, 0.3));
+        let (r, m) = run_incast_instrumented(&cfg, None);
+        assert_eq!(m.faults_injected, Some(2));
+        assert!(r.retx_bytes > 0, "0.3 trunk loss must force retransmits");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use incast_core::cache::CacheValue;
 use incast_core::modes::run_incast_with;
-use incast_core::{FaultSpec, ModesConfig};
+use incast_core::{FaultSpec, ModesConfig, TopologySpec};
 use simnet::check::Violation;
 use simnet::{BufferPolicy, EventQueue, QueueConfig, SimTime, TimingWheel};
 use stats::Rng;
@@ -105,6 +105,10 @@ pub struct Scenario {
     pub fault: FaultScenario,
     /// Run the QUIC-style loss-recovery stack instead of TCP NewReno.
     pub quic: bool,
+    /// Multi-rack Clos fabric as `(racks, spines)`, or `None` for the
+    /// single-rack dumbbell. Senders round-robin across racks, so the same
+    /// fan-in exercises ECMP across the spine tier.
+    pub clos: Option<(u8, u8)>,
 }
 
 impl Scenario {
@@ -144,6 +148,7 @@ impl Scenario {
             periodic: rng.chance(0.3),
             fault: FaultScenario::default(),
             quic: false,
+            clos: None,
         };
         // Fault draws come LAST so adding them did not reshuffle the
         // scenarios older seeds generate.
@@ -169,6 +174,12 @@ impl Scenario {
         // same seed-stability reason: seeds that predate the QUIC stack
         // still generate the same TCP scenarios they always did.
         sc.quic = rng.chance(0.4);
+        // The topology draw is the newest of all, appended last like the
+        // two above it: seeds that predate multi-rack fabrics still
+        // generate the same single-rack scenarios they always did.
+        if rng.chance(0.25) {
+            sc.clos = Some((rng.range_u64(2, 4) as u8, rng.range_u64(1, 4) as u8));
+        }
         sc
     }
 
@@ -204,6 +215,13 @@ impl Scenario {
         });
         ModesConfig {
             num_flows: self.num_flows,
+            topology: match self.clos {
+                Some((racks, spines)) => TopologySpec::Clos {
+                    racks: racks as usize,
+                    spines: spines as usize,
+                },
+                None => TopologySpec::Dumbbell,
+            },
             burst_duration_ms: self.burst_ms_x10 as f64 / 10.0,
             num_bursts: self.num_bursts,
             warmup_bursts: 0,
@@ -401,6 +419,24 @@ fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
         // the QUIC stack is not a QUIC bug.
         out.push(Scenario { quic: false, ..*sc });
     }
+    if let Some((racks, spines)) = sc.clos {
+        // Shrink toward the dumbbell: drop the multi-rack fabric entirely...
+        out.push(Scenario { clos: None, ..*sc });
+        // ...or walk racks, then spines, down toward the 1x1 degenerate
+        // form (which is byte-identical to the dumbbell build).
+        if racks > 1 {
+            out.push(Scenario {
+                clos: Some((racks - 1, spines)),
+                ..*sc
+            });
+        }
+        if spines > 1 {
+            out.push(Scenario {
+                clos: Some((racks, spines - 1)),
+                ..*sc
+            });
+        }
+    }
     if sc.ecn_threshold_pkts.is_some() {
         out.push(Scenario {
             ecn_threshold_pkts: None,
@@ -485,11 +521,24 @@ pub enum SeedOutcome {
 
 /// Fuzzes one seed: generate, run, check. `force_quic` pins the transport
 /// for the whole sweep (`Some(true)` = QUIC-only, `Some(false)` =
-/// TCP-only); `None` keeps the per-seed sample from [`Scenario::generate`].
-pub fn fuzz_seed_with(seed: u64, force_quic: Option<bool>) -> SeedOutcome {
+/// TCP-only); `force_clos` pins the topology the same way (`Some(true)` =
+/// a seed-derived multi-rack Clos, `Some(false)` = dumbbell-only); `None`
+/// keeps the per-seed samples from [`Scenario::generate`].
+pub fn fuzz_seed_with(
+    seed: u64,
+    force_quic: Option<bool>,
+    force_clos: Option<bool>,
+) -> SeedOutcome {
     let mut scenario = Scenario::generate(seed);
     if let Some(quic) = force_quic {
         scenario.quic = quic;
+    }
+    match force_clos {
+        Some(true) => {
+            scenario.clos = Some((2 + (seed % 3) as u8, 1 + (seed % 4) as u8));
+        }
+        Some(false) => scenario.clos = None,
+        None => {}
     }
     match check_scenario(&scenario) {
         None => SeedOutcome::Pass,
@@ -499,7 +548,7 @@ pub fn fuzz_seed_with(seed: u64, force_quic: Option<bool>) -> SeedOutcome {
 
 /// Fuzzes one seed with the per-seed transport sample.
 pub fn fuzz_seed(seed: u64) -> SeedOutcome {
-    fuzz_seed_with(seed, None)
+    fuzz_seed_with(seed, None, None)
 }
 
 #[cfg(test)]
@@ -531,11 +580,22 @@ mod tests {
             scs.iter().any(|s| s.quic && !s.fault.is_empty()),
             "no faulted QUIC scenario in the sample"
         );
+        assert!(scs.iter().any(|s| s.clos.is_some()));
+        assert!(scs.iter().any(|s| s.clos.is_none()));
+        assert!(
+            scs.iter()
+                .any(|s| matches!(s.clos, Some((_, sp)) if sp > 1)),
+            "no multi-spine Clos scenario in the sample"
+        );
         for s in &scs {
             assert!((2..=40).contains(&s.num_flows));
             assert!((5..=40).contains(&s.burst_ms_x10));
             if let Some(k) = s.ecn_threshold_pkts {
                 assert!(k < s.queue_capacity_pkts, "K below capacity");
+            }
+            if let Some((r, sp)) = s.clos {
+                assert!((2..=4).contains(&r), "racks in range");
+                assert!((1..=4).contains(&sp), "spines in range");
             }
         }
     }
@@ -562,6 +622,7 @@ mod tests {
                 + (!s.fault.is_empty()) as u64
                 + s.fault.window_us()
                 + s.quic as u64
+                + s.clos.map(|(r, sp)| 1 + r as u64 + sp as u64).unwrap_or(0)
         };
         // Cover both fault-free and faulted starting points.
         let mut faulted = 0;

@@ -21,6 +21,9 @@ struct Args {
     /// `None` = per-seed sample; `Some(true)` = QUIC only; `Some(false)` =
     /// TCP only.
     force_quic: Option<bool>,
+    /// `None` = per-seed sample; `Some(true)` = multi-rack Clos only;
+    /// `Some(false)` = dumbbell only.
+    force_clos: Option<bool>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         threads: default_threads(),
         report: None,
         force_quic: None,
+        force_clos: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,9 +53,17 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown transport {other} (tcp|quic|mix)")),
                 }
             }
+            "--topology" => {
+                args.force_clos = match value("--topology")?.as_str() {
+                    "mix" => None,
+                    "dumbbell" => Some(false),
+                    "clos" => Some(true),
+                    other => return Err(format!("unknown topology {other} (dumbbell|clos|mix)")),
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: simcheck [--seeds N] [--start S] [--threads T] \
-                     [--transport tcp|quic|mix] [--report FILE]"
+                     [--transport tcp|quic|mix] [--topology dumbbell|clos|mix] [--report FILE]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -70,7 +82,7 @@ fn main() {
     };
     let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
     println!(
-        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on, transport {}",
+        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on, transport {}, topology {}",
         args.start,
         args.start + args.seeds,
         args.threads,
@@ -78,12 +90,18 @@ fn main() {
             None => "mix",
             Some(true) => "quic",
             Some(false) => "tcp",
+        },
+        match args.force_clos {
+            None => "mix",
+            Some(true) => "clos",
+            Some(false) => "dumbbell",
         }
     );
     let t0 = std::time::Instant::now();
     let force_quic = args.force_quic;
+    let force_clos = args.force_clos;
     let outcomes = par_map(seeds.clone(), args.threads, |&seed| {
-        match fuzz_seed_with(seed, force_quic) {
+        match fuzz_seed_with(seed, force_quic, force_clos) {
             SeedOutcome::Pass => None,
             SeedOutcome::Fail(f) => Some((seed, f)),
         }

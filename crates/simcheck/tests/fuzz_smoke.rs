@@ -2,7 +2,9 @@
 //! cleanly, and a deliberately injected accounting bug must be caught and
 //! shrunk to a small reproducer.
 
-use simcheck::{check_scenario, fuzz_seed, reproducer, shrink, Scenario, SeedOutcome};
+use simcheck::{
+    check_scenario, fuzz_seed, fuzz_seed_with, reproducer, shrink, Scenario, SeedOutcome,
+};
 
 /// A fixed seed range runs with every invariant on and zero violations.
 /// (CI runs a larger range in release via the `simcheck` binary.)
@@ -12,6 +14,20 @@ fn pinned_seed_range_is_clean() {
         match fuzz_seed(seed) {
             SeedOutcome::Pass => {}
             SeedOutcome::Fail(f) => panic!("seed {seed} failed: {}", f.summary()),
+        }
+    }
+}
+
+/// Forced multi-rack topologies hold the same invariants: a pinned seed
+/// range re-run with a seed-derived Clos fabric (2-4 racks, 1-4 spines)
+/// stays clean on both schedulers. (CI runs a larger range in release via
+/// `simcheck --topology clos`.)
+#[test]
+fn pinned_clos_seed_range_is_clean() {
+    for seed in 0..6 {
+        match fuzz_seed_with(seed, None, Some(true)) {
+            SeedOutcome::Pass => {}
+            SeedOutcome::Fail(f) => panic!("clos seed {seed} failed: {}", f.summary()),
         }
     }
 }

@@ -131,23 +131,41 @@ impl NetworkBuilder {
             incoming[spec.dst.index()].push(LinkId(i as u32));
         }
 
-        // Forwarding: for each destination *host*, BFS backwards from it.
-        let mut fwd: Vec<Vec<Option<LinkId>>> = vec![vec![None; n]; n];
+        // Forwarding: for each destination *host*, BFS backwards from it to
+        // get hop distances, then collect *every* link that starts a
+        // shortest path as an equal-cost candidate. Iterating links in id
+        // order keeps each candidate set ascending, which is what makes the
+        // primary route (set member 0) and ECMP tie-breaks deterministic.
+        let mut fwd: Vec<Vec<Vec<LinkId>>> = vec![Vec::new(); n];
+        for (i, spec) in self.nodes.iter().enumerate() {
+            if matches!(spec, NodeSpec::Switch { .. }) {
+                fwd[i] = vec![Vec::new(); n];
+            }
+        }
+        let mut dist = vec![u32::MAX; n];
         for (d, spec) in self.nodes.iter().enumerate() {
             if !matches!(spec, NodeSpec::Host { .. }) {
                 continue;
             }
-            let mut visited = vec![false; n];
-            visited[d] = true;
+            dist.fill(u32::MAX);
+            dist[d] = 0;
             let mut frontier = std::collections::VecDeque::from([d]);
             while let Some(cur) = frontier.pop_front() {
                 for &lid in &incoming[cur] {
                     let s = self.links[lid.index()].src.index();
-                    if !visited[s] {
-                        visited[s] = true;
-                        fwd[s][d] = Some(lid);
+                    if dist[s] == u32::MAX {
+                        dist[s] = dist[cur] + 1;
                         frontier.push_back(s);
                     }
+                }
+            }
+            for (i, spec) in self.links.iter().enumerate() {
+                let s = spec.src.index();
+                if !fwd[s].is_empty()
+                    && dist[s] != u32::MAX
+                    && dist[spec.dst.index()].wrapping_add(1) == dist[s]
+                {
+                    fwd[s][d].push(LinkId(i as u32));
                 }
             }
         }
@@ -169,10 +187,19 @@ impl NetworkBuilder {
                     });
                 }
                 NodeSpec::Switch { name, spec } => {
+                    // Flatten this switch's candidate sets into CSR form.
+                    let sets = std::mem::take(&mut fwd[i]);
+                    let mut fwd_index = Vec::with_capacity(sets.len());
+                    let mut fwd_links = Vec::new();
+                    for set in sets {
+                        fwd_index.push((fwd_links.len() as u32, set.len() as u32));
+                        fwd_links.extend(set);
+                    }
                     nodes.push(Node::Switch {
                         name,
                         ports: uplinks[i].clone(),
-                        fwd: std::mem::take(&mut fwd[i]),
+                        fwd_index,
+                        fwd_links,
                         buffer: spec.buffer,
                     });
                 }
@@ -254,6 +281,46 @@ mod tests {
         let sim = b.build(0);
         let hop = sim.node(s0).next_hop(h1).unwrap();
         assert_eq!(sim.link(hop).dst, s2, "must take the shortcut port");
+    }
+
+    #[test]
+    fn parallel_equal_cost_paths_all_become_candidates() {
+        // h0 - s0 = s1 - h1 with two parallel s0-s1 cables: both forward
+        // links are equal-cost candidates, in ascending link-id order, and
+        // the primary route is the lower id.
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let s0 = b.add_switch("s0");
+        let s1 = b.add_switch("s1");
+        let h1 = b.add_host("h1");
+        b.connect(h0, s0, cfg(), cfg());
+        let (t0, _) = b.connect(s0, s1, cfg(), cfg());
+        let (t1, _) = b.connect(s0, s1, cfg(), cfg());
+        b.connect(s1, h1, cfg(), cfg());
+        let sim = b.build(0);
+        assert_eq!(sim.node(s0).next_hops(h1), &[t0, t1]);
+        assert_eq!(sim.node(s0).next_hop(h1), Some(t0));
+        // Toward h0 there is a single candidate (the h0 cable).
+        assert_eq!(sim.node(s0).next_hops(h0).len(), 1);
+    }
+
+    #[test]
+    fn longer_paths_are_not_candidates() {
+        // Two-hop alternative s0-s1-s2 must not join the one-hop s0-s2
+        // shortcut in the candidate set.
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let s0 = b.add_switch("s0");
+        let s1 = b.add_switch("s1");
+        let s2 = b.add_switch("s2");
+        let h1 = b.add_host("h1");
+        b.connect(h0, s0, cfg(), cfg());
+        b.connect(s0, s1, cfg(), cfg());
+        b.connect(s1, s2, cfg(), cfg());
+        b.connect(s2, h1, cfg(), cfg());
+        let (short, _) = b.connect(s0, s2, cfg(), cfg());
+        let sim = b.build(0);
+        assert_eq!(sim.node(s0).next_hops(h1), &[short]);
     }
 
     #[test]

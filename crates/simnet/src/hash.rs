@@ -83,6 +83,74 @@ impl Hasher for FxHasher {
 /// `HashMap` keyed through [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One word of FNV-1a-style folding. Word-at-a-time rather than
+/// byte-at-a-time: the inputs are fixed-width simulator ids, so there is
+/// no framing to preserve, and one multiply per word keeps the per-packet
+/// ECMP decision cheap.
+#[inline]
+fn fnv1a_word(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Finalizing avalanche (the splitmix64 mixer). FNV's low bits diffuse
+/// slowly for small integer inputs; ECMP compares full 64-bit scores, so
+/// every input bit must influence high bits too.
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Rendezvous (highest-random-weight) score of candidate egress link
+/// `link` for the flow identified by `(src, dst, flow)` under `seed`: an
+/// FNV fold of the flow tuple and the candidate, finalized with an
+/// avalanche mix.
+///
+/// Deterministic and platform-stable, so ECMP decisions are part of the
+/// reproducible simulation output. Scoring each *(flow, link)* pair
+/// independently and forwarding on the argmax gives the classic
+/// rendezvous-hashing locality property: removing one candidate only
+/// remaps the flows whose argmax it was — every other flow keeps its
+/// path (see `tests/ecmp_properties.rs`).
+#[inline]
+pub fn ecmp_score(seed: u64, src: u32, dst: u32, flow: u32, link: u32) -> u64 {
+    let mut h = fnv1a_word(FNV_OFFSET, seed);
+    h = fnv1a_word(h, ((src as u64) << 32) | dst as u64);
+    h = fnv1a_word(h, ((flow as u64) << 32) | link as u64);
+    avalanche(h)
+}
+
+/// The highest-scoring link among `candidates` for this flow tuple (ties
+/// break toward the lowest link id; `None` on an empty slate). This is
+/// the pure selection function behind the simulator's ECMP forwarding —
+/// the engine applies it to the live subset of a switch's equal-cost set.
+pub fn ecmp_pick(
+    seed: u64,
+    src: u32,
+    dst: u32,
+    flow: u32,
+    candidates: &[crate::ids::LinkId],
+) -> Option<crate::ids::LinkId> {
+    let mut best: Option<(u64, crate::ids::LinkId)> = None;
+    for &l in candidates {
+        let score = ecmp_score(seed, src, dst, flow, l.0);
+        // Strict `>` keeps the first (lowest-id, since candidate sets are
+        // built in ascending link-id order) of any tied pair.
+        if best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, l));
+        }
+    }
+    best.map(|(_, l)| l)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +185,27 @@ mod tests {
         let mut via_word = FxHasher::default();
         via_word.write_u64(7);
         assert_eq!(via_bytes.finish(), via_word.finish());
+    }
+
+    #[test]
+    fn ecmp_score_is_deterministic_and_input_sensitive() {
+        let base = ecmp_score(9, 1, 2, 3, 4);
+        assert_eq!(base, ecmp_score(9, 1, 2, 3, 4));
+        assert_ne!(base, ecmp_score(10, 1, 2, 3, 4), "seed ignored");
+        assert_ne!(base, ecmp_score(9, 5, 2, 3, 4), "src ignored");
+        assert_ne!(base, ecmp_score(9, 1, 5, 3, 4), "dst ignored");
+        assert_ne!(base, ecmp_score(9, 1, 2, 5, 4), "flow ignored");
+        assert_ne!(base, ecmp_score(9, 1, 2, 3, 5), "link ignored");
+    }
+
+    #[test]
+    fn ecmp_pick_returns_a_candidate_and_handles_empty() {
+        use crate::ids::LinkId;
+        let cands = [LinkId(3), LinkId(7), LinkId(9)];
+        let picked = ecmp_pick(1, 2, 3, 4, &cands).unwrap();
+        assert!(cands.contains(&picked));
+        assert_eq!(ecmp_pick(1, 2, 3, 4, &[]), None);
+        assert_eq!(ecmp_pick(1, 2, 3, 4, &[LinkId(5)]), Some(LinkId(5)));
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use builder::NetworkBuilder;
 pub use endpoint::{Cmd, Ctx, Endpoint, IngressTap, Shared};
 pub use event::{Event, EventKind, EventQueue, Scheduler};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use hash::{FxHashMap, FxHasher};
+pub use hash::{ecmp_pick, ecmp_score, FxHashMap, FxHasher};
 pub use ids::{BufferId, FlowId, LinkId, NodeId};
 pub use link::{Link, LinkConfig};
 pub use node::Node;
@@ -76,7 +76,10 @@ pub use packet::{
 pub use queue::{DropReason, EcnQueue, EnqueueOutcome, QueueConfig, QueueStats};
 pub use sim::{SimCounters, Simulator};
 pub use time::SimTime;
-pub use topology::{build_dumbbell, build_fabric, build_fabric_with, FabricConfig, IncastFabric};
+pub use topology::{
+    build_clos, build_clos_with, build_dumbbell, build_fabric, build_fabric_with, ClosConfig,
+    ClosError, ClosFabric, FabricConfig, IncastFabric,
+};
 pub use trace::{
     drop_cause, packet_info, to_telemetry, PacketTracer, TextTracer, TraceEvent, TraceEventKind,
 };

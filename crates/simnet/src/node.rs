@@ -23,8 +23,16 @@ pub enum Node {
         name: String,
         /// Egress links, one per cabled port.
         ports: Vec<LinkId>,
-        /// Next-hop egress link per destination node id (None = no route).
-        fwd: Vec<Option<LinkId>>,
+        /// Equal-cost forwarding table in CSR form: destination node id
+        /// `d` maps to the slice `fwd_links[off..off + len]` where
+        /// `(off, len) = fwd_index[d]`. Candidates are every egress link
+        /// on a shortest path toward `d`, in ascending link-id order; an
+        /// empty slice means no route. Single-candidate sets forward
+        /// directly, larger sets are resolved per flow by ECMP
+        /// rendezvous hashing (see [`crate::hash::ecmp_score`]).
+        fwd_index: Vec<(u32, u32)>,
+        /// Flat storage behind `fwd_index`.
+        fwd_links: Vec<LinkId>,
         /// Shared memory pool charged by all this switch's egress queues.
         buffer: Option<BufferId>,
     },
@@ -43,11 +51,25 @@ impl Node {
         matches!(self, Node::Host { .. })
     }
 
-    /// The forwarding entry toward `dst`, for switches.
+    /// The primary forwarding entry toward `dst` (the lowest-id member of
+    /// the equal-cost set), for switches.
     pub fn next_hop(&self, dst: NodeId) -> Option<LinkId> {
+        self.next_hops(dst).first().copied()
+    }
+
+    /// Every equal-cost next hop toward `dst`, in ascending link-id
+    /// order. Empty for hosts and for unreachable destinations.
+    pub fn next_hops(&self, dst: NodeId) -> &[LinkId] {
         match self {
-            Node::Switch { fwd, .. } => fwd.get(dst.index()).copied().flatten(),
-            Node::Host { .. } => None,
+            Node::Switch {
+                fwd_index,
+                fwd_links,
+                ..
+            } => match fwd_index.get(dst.index()) {
+                Some(&(off, len)) => &fwd_links[off as usize..off as usize + len as usize],
+                None => &[],
+            },
+            Node::Host { .. } => &[],
         }
     }
 }
@@ -69,10 +91,12 @@ mod tests {
 
     #[test]
     fn switch_forwarding_lookup() {
+        // dst 0 -> {link 0}, dst 1 -> no route, dst 2 -> {link 1}.
         let s = Node::Switch {
             name: "tor".into(),
             ports: vec![LinkId(0), LinkId(1)],
-            fwd: vec![Some(LinkId(0)), None, Some(LinkId(1))],
+            fwd_index: vec![(0, 1), (1, 0), (1, 1)],
+            fwd_links: vec![LinkId(0), LinkId(1)],
             buffer: None,
         };
         assert!(!s.is_host());
@@ -80,5 +104,26 @@ mod tests {
         assert_eq!(s.next_hop(NodeId(1)), None);
         assert_eq!(s.next_hop(NodeId(2)), Some(LinkId(1)));
         assert_eq!(s.next_hop(NodeId(99)), None); // out of table
+        assert_eq!(s.next_hops(NodeId(99)), &[] as &[LinkId]);
+    }
+
+    #[test]
+    fn equal_cost_sets_expose_every_candidate() {
+        // dst 0 -> {links 2, 5}; the primary is the lowest link id.
+        let s = Node::Switch {
+            name: "leaf".into(),
+            ports: vec![LinkId(2), LinkId(5)],
+            fwd_index: vec![(0, 2)],
+            fwd_links: vec![LinkId(2), LinkId(5)],
+            buffer: None,
+        };
+        assert_eq!(s.next_hops(NodeId(0)), &[LinkId(2), LinkId(5)]);
+        assert_eq!(s.next_hop(NodeId(0)), Some(LinkId(2)));
+        // Hosts never forward.
+        let h = Node::Host {
+            name: "h".into(),
+            uplink: None,
+        };
+        assert_eq!(h.next_hops(NodeId(0)), &[] as &[LinkId]);
     }
 }

@@ -128,6 +128,10 @@ pub struct Simulator<S: Scheduler = TimingWheel> {
     batched_deliveries: u64,
     next_pkt_id: u64,
     cmd_buf: Vec<Cmd>,
+    /// Seed for flow-level ECMP rendezvous hashing at switches with
+    /// equal-cost candidate sets. Taken from the build seed, so one seed
+    /// pins both fault randomness and path placement.
+    ecmp_seed: u64,
     rng: Rng,
     counters: SimCounters,
     tallies: EventTallies,
@@ -176,6 +180,7 @@ impl<S: Scheduler> Simulator<S> {
             batched_deliveries: 0,
             next_pkt_id: 0,
             cmd_buf: Vec::with_capacity(64),
+            ecmp_seed: seed,
             rng: Rng::new(seed),
             counters: SimCounters::default(),
             tallies: EventTallies::default(),
@@ -897,19 +902,55 @@ impl<S: Scheduler> Simulator<S> {
         }
     }
 
+    /// Resolves the egress link at switch `at` for a packet of `flow`
+    /// travelling `src -> dst`. Single-candidate sets (every pre-Clos
+    /// topology) forward directly with zero hashing cost; equal-cost sets
+    /// are resolved by rendezvous hashing over the candidates whose links
+    /// are up, so a spine blackhole deterministically re-hashes exactly
+    /// the flows that were pinned to it. If every candidate is down the
+    /// flow keeps its nominal (all-candidate) pick and blackholes there,
+    /// matching single-path semantics under the same fault.
+    #[inline]
+    fn select_next_hop(&self, at: NodeId, src: NodeId, dst: NodeId, flow: u32) -> Option<LinkId> {
+        match self.nodes[at.index()].next_hops(dst) {
+            [] => None,
+            &[only] => Some(only),
+            many => {
+                let mut best: Option<(u64, LinkId)> = None;
+                let mut best_any: Option<(u64, LinkId)> = None;
+                for &l in many {
+                    let score = crate::hash::ecmp_score(self.ecmp_seed, src.0, dst.0, flow, l.0);
+                    if best_any.is_none_or(|(s, _)| score > s) {
+                        best_any = Some((score, l));
+                    }
+                    if !self.links[l.index()].down && best.is_none_or(|(s, _)| score > s) {
+                        best = Some((score, l));
+                    }
+                }
+                best.or(best_any).map(|(_, l)| l)
+            }
+        }
+    }
+
     fn on_delivery(&mut self, link_id: LinkId, slot: PacketSlot) {
-        let (flow, pkt_id, pkt_dst) = {
+        let (flow, pkt_id, pkt_src, pkt_dst) = {
             let pkt = self.pool.get(slot);
-            (pkt.flow.0 as u64, pkt.id, pkt.dst)
+            (pkt.flow.0, pkt.id, pkt.src, pkt.dst)
         };
-        crate::recorder::note("rx", self.now.as_ps(), link_id.0 as u64, flow, pkt_id);
+        crate::recorder::note(
+            "rx",
+            self.now.as_ps(),
+            link_id.0 as u64,
+            flow as u64,
+            pkt_id,
+        );
         self.trace_slot(TraceEventKind::Deliver, link_id, slot);
         let dst = self.links[link_id.index()].dst;
         match &self.nodes[dst.index()] {
             Node::Switch { .. } => {
                 // The packet stays parked in the pool across the hop; only
                 // its slot moves into the next egress queue.
-                let next = match self.nodes[dst.index()].next_hop(pkt_dst) {
+                let next = match self.select_next_hop(dst, pkt_src, pkt_dst, flow) {
                     Some(next) => next,
                     None => panic!(
                         "switch {} has no route to {} (packet {:?})",

@@ -1,0 +1,246 @@
+//! Properties of the flow-level ECMP layer: rendezvous hashing must be
+//! deterministic (same flow, same path — across runs and schedulers),
+//! reasonably uniform across equal-cost candidates, and *local* under
+//! candidate removal (only flows whose link vanished move, the HRW
+//! guarantee that makes link failures cheap). The end-to-end tests pin the
+//! same behavior through a live Clos fabric, including the fault-driven
+//! re-hash onto surviving spines.
+
+use simnet::{
+    build_clos, build_clos_with, ecmp_pick, ecmp_score, ClosConfig, Ctx, Endpoint, EventQueue,
+    FaultPlan, FlowId, LinkId, NodeId, Packet, Scheduler, SimTime, TimingWheel,
+};
+
+#[test]
+fn pick_is_a_pure_function_of_its_inputs() {
+    let candidates = [LinkId(10), LinkId(11), LinkId(12), LinkId(13)];
+    for flow in 0..256u32 {
+        let a = ecmp_pick(7, 3, 99, flow, &candidates);
+        let b = ecmp_pick(7, 3, 99, flow, &candidates);
+        assert_eq!(a, b, "same inputs, same path (flow {flow})");
+        // Candidate order must not matter: the argmax is over scores, not
+        // positions.
+        let reversed: Vec<LinkId> = candidates.iter().rev().copied().collect();
+        assert_eq!(
+            a,
+            ecmp_pick(7, 3, 99, flow, &reversed),
+            "candidate order changed the pick (flow {flow})"
+        );
+    }
+    // The seed, the endpoints, and the flow id all matter.
+    let spread = |f: &dyn Fn(u32) -> Option<LinkId>| {
+        let picks: Vec<_> = (0..64).map(f).collect();
+        picks.windows(2).any(|w| w[0] != w[1])
+    };
+    assert!(spread(&|f| ecmp_pick(7, 3, 99, f, &candidates)));
+    assert!(spread(&|s| ecmp_pick(s as u64, 3, 99, 5, &candidates)));
+    assert!(spread(&|src| ecmp_pick(7, src, 99, 5, &candidates)));
+}
+
+#[test]
+fn hashing_is_reasonably_uniform_over_a_thousand_flows() {
+    let candidates = [LinkId(0), LinkId(1), LinkId(2), LinkId(3)];
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let mut counts = [0u64; 4];
+        let flows = 2000u32;
+        for flow in 0..flows {
+            // Vary the endpoints too, as a real fabric would.
+            let src = 100 + (flow % 16);
+            let pick = ecmp_pick(seed, src, 7, flow, &candidates).unwrap();
+            counts[candidates.iter().position(|&l| l == pick).unwrap()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(
+            max < 2 * min,
+            "seed {seed}: buckets too skewed over {flows} flows: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn removing_one_candidate_only_moves_the_flows_that_used_it() {
+    let full = [LinkId(20), LinkId(21), LinkId(22), LinkId(23)];
+    let lost = LinkId(22);
+    let survivors: Vec<LinkId> = full.iter().copied().filter(|&l| l != lost).collect();
+    let mut moved = 0u32;
+    for flow in 0..1000u32 {
+        let before = ecmp_pick(11, 5, 6, flow, &full).unwrap();
+        let after = ecmp_pick(11, 5, 6, flow, &survivors).unwrap();
+        if before == lost {
+            moved += 1;
+            assert_ne!(after, lost);
+        } else {
+            // The HRW property: flows whose link survived keep their path.
+            assert_eq!(
+                before, after,
+                "flow {flow} moved although its link survived"
+            );
+        }
+    }
+    assert!(moved > 0, "no flow used the removed link");
+}
+
+#[test]
+fn scores_break_ties_toward_the_lowest_link_id() {
+    // Duplicate candidates force exact score ties; the argmax must keep
+    // the first (lowest-id, since candidate slices are sorted) entry.
+    let dup = [LinkId(4), LinkId(4)];
+    assert_eq!(ecmp_pick(1, 2, 3, 9, &dup), Some(LinkId(4)));
+    assert_eq!(ecmp_pick(1, 2, 3, 9, &[]), None);
+    // And scores really are 64-bit avalanche outputs, not tiny counters.
+    let s = ecmp_score(1, 2, 3, 9, 4);
+    assert_ne!(s, ecmp_score(2, 2, 3, 9, 4));
+}
+
+/// Open-loop sender used by the end-to-end tests: a stream of data packets
+/// on one flow, spaced so part of the stream falls inside a fault window.
+struct Blaster {
+    to: NodeId,
+    flow: u32,
+    n: u32,
+}
+
+impl Endpoint for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for k in 0..self.n {
+            ctx.set_timer(k as u64, SimTime::from_us(100 * k as u64));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, key: u64) {
+        let pkt = Packet::data(
+            FlowId(self.flow),
+            ctx.node(),
+            self.to,
+            (key as u32) * 1446,
+            1446,
+            false,
+            ctx.now(),
+        );
+        ctx.send(pkt);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+}
+
+/// Per-uplink enqueue counts for rack 0 after streaming `flows` one-flow
+/// senders from rack 0's hosts to the receiver.
+fn rack0_uplink_spread<S: Scheduler>(spines: usize, flows: usize, seed: u64) -> Vec<u64> {
+    let cfg = ClosConfig {
+        racks: 2,
+        hosts_per_rack: flows.max(2),
+        spines,
+        seed,
+        ..ClosConfig::default()
+    };
+    let mut f = build_clos_with::<S>(&cfg).unwrap();
+    let rx = f.receivers[0];
+    for i in 0..flows {
+        let tx = f.rack_hosts[0][i];
+        f.sim.set_endpoint(
+            tx,
+            Box::new(Blaster {
+                to: rx,
+                flow: i as u32,
+                n: 10,
+            }),
+        );
+    }
+    f.sim.run();
+    f.rack_uplinks[0]
+        .iter()
+        .map(|&l| f.sim.link(l).queue.stats().enqueued_pkts)
+        .collect()
+}
+
+#[test]
+fn flows_spread_across_spines_and_identically_on_both_schedulers() {
+    let wheel = rack0_uplink_spread::<TimingWheel>(4, 16, 3);
+    let heap = rack0_uplink_spread::<EventQueue>(4, 16, 3);
+    assert_eq!(wheel, heap, "schedulers saw different ECMP placements");
+    assert_eq!(wheel, rack0_uplink_spread::<TimingWheel>(4, 16, 3));
+    let used = wheel.iter().filter(|&&c| c > 0).count();
+    assert!(used >= 2, "16 flows all hashed onto one spine: {wheel:?}");
+    assert_eq!(
+        wheel.iter().sum::<u64>(),
+        16 * 10,
+        "every packet crossed exactly one rack-0 uplink"
+    );
+}
+
+#[test]
+fn spine_blackhole_rehashes_flows_onto_surviving_uplinks() {
+    // Probe which uplink a lone flow uses, then blackhole exactly that
+    // uplink for the middle of the stream: packets sent during the window
+    // must re-hash to another spine, and none may be lost.
+    let cfg = ClosConfig {
+        racks: 2,
+        hosts_per_rack: 4,
+        spines: 2,
+        seed: 0,
+        ..ClosConfig::default()
+    };
+    let healthy = {
+        let mut f = build_clos(&cfg).unwrap();
+        let rx = f.receivers[0];
+        let tx = f.rack_hosts[0][0];
+        f.sim.set_endpoint(
+            tx,
+            Box::new(Blaster {
+                to: rx,
+                flow: 0,
+                n: 30,
+            }),
+        );
+        f.sim.run();
+        let counts: Vec<u64> = f.rack_uplinks[0]
+            .iter()
+            .map(|&l| f.sim.link(l).queue.stats().enqueued_pkts)
+            .collect();
+        assert_eq!(f.sim.counters().delivered_pkts, 30);
+        counts
+    };
+    let loaded = healthy.iter().position(|&c| c > 0).unwrap();
+    assert_eq!(
+        healthy.iter().sum::<u64>(),
+        30,
+        "single flow must stay on one uplink when healthy: {healthy:?}"
+    );
+
+    let mut f = build_clos(&cfg).unwrap();
+    let rx = f.receivers[0];
+    let tx = f.rack_hosts[0][0];
+    f.sim.set_fault_plan(FaultPlan::new().blackhole(
+        f.rack_uplinks[0][loaded],
+        SimTime::from_us(500),
+        SimTime::from_ms(2),
+    ));
+    f.sim.set_endpoint(
+        tx,
+        Box::new(Blaster {
+            to: rx,
+            flow: 0,
+            n: 30,
+        }),
+    );
+    f.sim.run();
+    let faulted: Vec<u64> = f.rack_uplinks[0]
+        .iter()
+        .map(|&l| f.sim.link(l).queue.stats().enqueued_pkts)
+        .collect();
+    assert!(
+        faulted[loaded] < healthy[loaded],
+        "downed uplink kept its full load: {faulted:?} vs {healthy:?}"
+    );
+    let other: u64 = faulted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != loaded)
+        .map(|(_, &c)| c)
+        .sum();
+    assert!(other > 0, "no packet re-hashed onto the surviving spine");
+    assert_eq!(
+        f.sim.counters().delivered_pkts,
+        30,
+        "re-hash must be lossless for packets sent inside the window"
+    );
+}

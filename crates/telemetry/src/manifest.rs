@@ -78,6 +78,11 @@ pub struct RunManifest {
     /// scheduling, so it is omitted when `None` and cleared by
     /// [`RunManifest::deterministic`].
     pub pool_json: Option<String>,
+    /// Pre-rendered JSON of per-tier queue statistics (uplink / spine /
+    /// downlink watermarks, drops, marks) for multi-tier fabrics. `None`
+    /// for single-rack topologies. Deterministic for a fixed seed, so it
+    /// survives [`RunManifest::deterministic`].
+    pub tiers_json: Option<String>,
 }
 
 impl RunManifest {
@@ -130,6 +135,9 @@ impl RunManifest {
                 },
             )
             .str("scheduler", &self.scheduler);
+        if let Some(t) = &self.tiers_json {
+            o.raw("tiers", t);
+        }
         if let Some(v) = self.invariant_violations {
             o.u64("invariant_violations", v);
         }
@@ -286,6 +294,18 @@ mod tests {
         let det = m.deterministic().to_json();
         assert!(!det.contains("timing"));
         assert!(!det.contains("pool"));
+    }
+
+    #[test]
+    fn tiers_json_renders_and_survives_deterministic() {
+        let mut m = RunManifest::new("x", 1, "clos:racks=2");
+        assert!(!m.to_json().contains("tiers"));
+        m.tiers_json = Some(r#"{"uplink":{"watermark_pkts":9}}"#.to_string());
+        assert!(m
+            .to_json()
+            .contains(r#""tiers":{"uplink":{"watermark_pkts":9}}"#));
+        // A function of the run's inputs, so the determinism view keeps it.
+        assert!(m.deterministic().to_json().contains(r#""tiers":"#));
     }
 
     #[test]

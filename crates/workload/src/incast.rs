@@ -49,6 +49,12 @@ pub struct IncastConfig {
     pub grouping: Option<Grouping>,
     /// RNG seed for the jitter.
     pub seed: u64,
+    /// Offset added to worker indices when minting [`FlowId`]s: worker `i`
+    /// talks on `FlowId(flow_base + i)`. Lets several coordinators coexist
+    /// in one fabric (the rack-contention sweep runs one incast group per
+    /// rack) with disjoint flow-id spaces, keeping traces and the ECMP
+    /// flow hash unambiguous. Zero for the single-coordinator paper setup.
+    pub flow_base: u32,
 }
 
 /// Receiver-side incast scheduling parameters (§5.2 mitigation).
@@ -76,6 +82,7 @@ impl IncastConfig {
             },
             grouping: None,
             seed,
+            flow_base: 0,
         }
     }
 }
@@ -259,7 +266,7 @@ impl TcpApp for CyclicCoordinator {
             let worker = self.cfg.workers[req as usize];
             api.send_ctrl(
                 worker,
-                FlowId(req as u32),
+                FlowId(self.cfg.flow_base + req as u32),
                 self.cfg.per_flow_bytes,
                 self.burst_idx as u64,
             );
@@ -270,7 +277,10 @@ impl TcpApp for CyclicCoordinator {
     }
 
     fn on_receive(&mut self, api: &mut TcpApi, flow: FlowId, _newly: u64, total: u64) {
-        debug_assert!((flow.0 as usize) < self.cfg.workers.len());
+        debug_assert!(
+            flow.0 >= self.cfg.flow_base
+                && ((flow.0 - self.cfg.flow_base) as usize) < self.cfg.workers.len()
+        );
         // A flow is done with the current burst when its cumulative
         // delivery reaches the cumulative expectation.
         if total >= self.expected_total && total - _newly < self.expected_total {
@@ -327,6 +337,17 @@ mod tests {
         for w in c.outcomes.windows(2) {
             assert!(w[1].start >= w[0].end + SimTime::from_ms(2));
         }
+    }
+
+    #[test]
+    fn flow_base_offsets_flow_ids_without_changing_behavior() {
+        let (mut fabric, coord) = build(4, 0.5, 2, None);
+        {
+            coord.borrow_mut().cfg.flow_base = 700;
+        }
+        fabric.sim.run();
+        assert!(coord.borrow().finished());
+        assert_eq!(coord.borrow().outcomes.len(), 2);
     }
 
     #[test]

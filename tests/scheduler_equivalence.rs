@@ -6,7 +6,7 @@
 //! and, at the raw simnet layer, the full packet trace and counters of
 //! seeded random topologies.
 
-use incast_bursts::core_api::modes::{run_incast_with, ModesConfig};
+use incast_bursts::core_api::modes::{run_incast_with, ModesConfig, TopologySpec};
 use incast_bursts::simnet::{
     build_fabric_with, EventQueue, FabricConfig, Scheduler, Shared, SimTime, TextTracer,
     TimingWheel,
@@ -112,6 +112,47 @@ fn wheel_and_heap_agree_byte_for_byte_under_scheduled_faults() {
         assert_eq!(bcts_w, bcts_h, "completions diverged for {:?}", cfg.faults);
         // The faults really applied (and are part of the compared bytes).
         assert!(manifest_w.contains("\"faults_injected\":"), "{manifest_w}");
+    }
+}
+
+/// Multi-rack Clos fabrics ride the same event loop and the same ECMP
+/// hash on both schedulers: seeded cross-rack incasts — including one
+/// with a spine-link outage forcing a mid-burst re-hash — emit
+/// byte-identical telemetry, manifests, and completions.
+#[test]
+fn wheel_and_heap_agree_byte_for_byte_on_multirack_fabrics() {
+    use incast_bursts::simnet::SimTime as T;
+    let clos = |racks, spines, num_flows, seed| ModesConfig {
+        num_flows,
+        topology: TopologySpec::Clos { racks, spines },
+        burst_duration_ms: 0.5,
+        num_bursts: 2,
+        warmup_bursts: 0,
+        seed,
+        ..ModesConfig::default()
+    };
+    let mut cfgs = vec![
+        clos(2, 2, 8, 3),
+        clos(3, 2, 12, 7),
+        clos(4, 4, 16, 42),
+        clos(3, 1, 9, 11),
+    ];
+    let mut faulted = clos(3, 2, 12, 5);
+    faulted.faults.spine_blackhole = Some((T::from_us(200), T::from_ms(2), 0));
+    cfgs.push(faulted);
+
+    for cfg in &cfgs {
+        let label = format!("{:?} seed {}", cfg.topology, cfg.seed);
+        let (stream_w, manifest_w, bcts_w) = run_with::<TimingWheel>(cfg);
+        let (stream_h, manifest_h, bcts_h) = run_with::<EventQueue>(cfg);
+        assert!(!stream_w.is_empty(), "no telemetry captured ({label})");
+        assert_eq!(stream_w, stream_h, "JSONL diverged ({label})");
+        assert_eq!(manifest_w, manifest_h, "manifests diverged ({label})");
+        assert_eq!(bcts_w, bcts_h, "completions diverged ({label})");
+        assert!(
+            manifest_w.contains(r#""tiers":{"uplink""#),
+            "multi-rack manifest missing the per-tier rollup ({label})"
+        );
     }
 }
 
