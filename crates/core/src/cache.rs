@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::modes::{IncastRunResult, ModesConfig, TruncationCause};
 use crate::production::TraceConfig;
-use millisampler::{BurstRow, TraceSummary};
+use millisampler::{BurstRow, CtrlTallies, TraceSummary};
 use simnet::SimTime;
 use stats::TimeSeries;
 use telemetry::json::{write_f64, Obj};
@@ -46,7 +46,11 @@ use workload::SnapshotModel;
 ///
 /// v2: `ModesConfig` gained the `faults` spec (part of the `Debug` key) and
 /// `IncastRunResult` gained the truncation cause and fault tallies.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `ModesConfig` gained the `mitigation` spec (part of the `Debug`
+/// key), the profile tallies gained the `ctrl` event class, and
+/// `TraceSummary` gained the fault/notification tallies.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over the canonical key; names the on-disk entry file.
 pub fn fnv1a64(s: &str) -> u64 {
@@ -496,6 +500,7 @@ impl CacheValue for IncastRunResult {
             .u64("p_dl", self.profile.tallies.delivery)
             .u64("p_tm", self.profile.tallies.timer)
             .u64("p_ft", self.profile.tallies.fault)
+            .u64("p_ct", self.profile.tallies.ctrl)
             .u64("p_wall_ns", self.profile.wall.as_nanos() as u64);
         o.finish();
         out
@@ -559,6 +564,8 @@ impl CacheValue for IncastRunResult {
         let timer = sc.u64()?;
         sc.lit(",\"p_ft\":")?;
         let fault = sc.u64()?;
+        sc.lit(",\"p_ct\":")?;
+        let ctrl = sc.u64()?;
         sc.lit(",\"p_wall_ns\":")?;
         let wall_ns = sc.u64()?;
         sc.lit("}")?;
@@ -595,6 +602,7 @@ impl CacheValue for IncastRunResult {
                     delivery,
                     timer,
                     fault,
+                    ctrl,
                 },
                 wall: std::time::Duration::from_nanos(wall_ns),
             },
@@ -625,7 +633,12 @@ impl CacheValue for TraceSummary {
         let mut o = Obj::new(&mut out);
         o.f64("bps", self.bursts_per_sec)
             .f64("util", self.mean_utilization)
-            .raw("rows", &telemetry::json::array_of_raw(rows));
+            .raw("rows", &telemetry::json::array_of_raw(rows))
+            .u64("fa", self.tallies.faults_applied)
+            .u64("ns", self.tallies.notif_sent)
+            .u64("na", self.tallies.notif_acked)
+            .u64("nr", self.tallies.notif_retries)
+            .u64("nl", self.tallies.notif_lost);
         o.finish();
         out
     }
@@ -665,12 +678,29 @@ impl CacheValue for TraceSummary {
                 break;
             }
         }
+        sc.lit(",\"fa\":")?;
+        let faults_applied = sc.u64()?;
+        sc.lit(",\"ns\":")?;
+        let notif_sent = sc.u64()?;
+        sc.lit(",\"na\":")?;
+        let notif_acked = sc.u64()?;
+        sc.lit(",\"nr\":")?;
+        let notif_retries = sc.u64()?;
+        sc.lit(",\"nl\":")?;
+        let notif_lost = sc.u64()?;
         sc.lit("}")?;
         sc.end()?;
         Some(TraceSummary {
             bursts_per_sec,
             mean_utilization,
             per_burst,
+            tallies: CtrlTallies {
+                faults_applied,
+                notif_sent,
+                notif_acked,
+                notif_retries,
+                notif_lost,
+            },
         })
     }
 }
@@ -691,8 +721,9 @@ mod tests {
     fn keys_carry_kind_version_and_fields() {
         let cfg = ModesConfig::default();
         let k = incast_key(&cfg);
-        assert!(k.starts_with("incast/v2|ModesConfig"));
+        assert!(k.starts_with("incast/v3|ModesConfig"));
         assert!(k.contains("faults: FaultSpec"));
+        assert!(k.contains("mitigation: MitigationSpec"));
         assert!(k.contains("num_flows: 100"));
         assert!(k.contains("seed: 1"));
     }
@@ -708,6 +739,7 @@ mod tests {
                     bursts_per_sec: 1.5,
                     mean_utilization: 0.1,
                     per_burst: vec![],
+                    tallies: CtrlTallies::default(),
                 }
             });
             assert_eq!(v.bursts_per_sec, 1.5);
@@ -743,6 +775,7 @@ mod tests {
                 retx_fraction: 0.0,
                 queue_peak_fraction: None,
             }],
+            tallies: CtrlTallies::default(),
         };
         {
             let cache = RunCache::with_disk(&dir);
@@ -790,6 +823,13 @@ mod tests {
                     queue_peak_fraction: None,
                 },
             ],
+            tallies: CtrlTallies {
+                faults_applied: 3,
+                notif_sent: 41,
+                notif_acked: 40,
+                notif_retries: 5,
+                notif_lost: 1,
+            },
         };
         let d = TraceSummary::decode(&s.encode()).expect("decode");
         assert_eq!(d.bursts_per_sec.to_bits(), s.bursts_per_sec.to_bits());
@@ -799,6 +839,7 @@ mod tests {
             bursts_per_sec: 0.0,
             mean_utilization: 0.0,
             per_burst: vec![],
+            tallies: CtrlTallies::default(),
         };
         assert_eq!(TraceSummary::decode(&empty.encode()).unwrap(), empty);
     }

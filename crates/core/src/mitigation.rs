@@ -12,7 +12,7 @@
 //!    into staggered groups so only a manageable number of flows are
 //!    active at once ([`workload::Grouping`]).
 
-use crate::modes::{run_incast, IncastRunResult, ModesConfig};
+use crate::modes::{run_incast, IncastRunResult, MitigationKind, ModesConfig};
 use millisampler::peak_in_window;
 use simnet::SimTime;
 use transport::CcaKind;
@@ -40,6 +40,17 @@ pub enum Mitigation {
         /// Gap between groups' request waves.
         group_gap: SimTime,
     },
+    /// In-fabric pause notifications from the receiver-ToR downlinks
+    /// (explicit notification, Section-5 direction).
+    Pulser {
+        /// Emission-time notification loss probability.
+        notif_loss: f64,
+    },
+    /// In-fabric cwnd-cut notifications from every fabric tier.
+    Distributed {
+        /// Emission-time notification loss probability.
+        notif_loss: f64,
+    },
 }
 
 impl Mitigation {
@@ -55,6 +66,12 @@ impl Mitigation {
                 group_size,
                 group_gap,
             } => format!("group scheduling ({group_size} flows / {group_gap})"),
+            Mitigation::Pulser { notif_loss } => {
+                format!("pulser pause notifications (loss {notif_loss})")
+            }
+            Mitigation::Distributed { notif_loss } => {
+                format!("distributed cwnd-cut notifications (loss {notif_loss})")
+            }
         }
     }
 
@@ -80,6 +97,14 @@ impl Mitigation {
                     group_size,
                     group_gap,
                 });
+            }
+            Mitigation::Pulser { notif_loss } => {
+                cfg.mitigation.kind = MitigationKind::Pulser;
+                cfg.mitigation.notif_loss = notif_loss;
+            }
+            Mitigation::Distributed { notif_loss } => {
+                cfg.mitigation.kind = MitigationKind::Distributed;
+                cfg.mitigation.notif_loss = notif_loss;
             }
         }
         cfg
@@ -150,6 +175,8 @@ pub fn default_lineup() -> Vec<Mitigation> {
             group_size: 50,
             group_gap: SimTime::from_ms(1),
         },
+        Mitigation::Pulser { notif_loss: 0.0 },
+        Mitigation::Distributed { notif_loss: 0.0 },
     ]
 }
 

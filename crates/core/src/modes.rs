@@ -6,8 +6,8 @@
 //! configuration struct in, one [`IncastRunResult`] out.
 
 use simnet::{
-    build_clos_with, BufferPolicy, ClosConfig, FaultPlan, QueueConfig, Scheduler, Shared, SimTime,
-    TimingWheel,
+    build_clos_with, BufferPolicy, ClosConfig, ControlConfig, CtrlAction, FaultPlan, QueueConfig,
+    Scheduler, Shared, SimTime, TimingWheel,
 };
 use stats::{Rng, TimeSeries};
 use telemetry::{LoopProfile, RunManifest, SinkRef};
@@ -54,6 +54,78 @@ impl FaultSpec {
     /// True if no fault is configured (the run installs no plan).
     pub fn is_empty(&self) -> bool {
         *self == FaultSpec::default()
+    }
+}
+
+/// Which in-fabric incast control plane a run installs, if any.
+///
+/// `Pulser` monitors only the receiver-ToR downlinks (where the paper's
+/// incast converges) and multicasts *pause* notifications back to the
+/// contributing senders; `Distributed` additionally monitors every rack
+/// uplink and spine downlink and requests a *cwnd cut* instead. Both are
+/// fully fault-exposed: notification frames ride the same links and queues
+/// as data, and `notif_loss` drops them at emission. `Off` installs
+/// nothing — and so does `notif_loss >= 1`, byte-identically (graceful
+/// degradation; `tests/control_plane.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MitigationKind {
+    /// No control plane (the paper's status quo).
+    #[default]
+    Off,
+    /// Pause notifications from the receiver-ToR downlinks.
+    Pulser,
+    /// Cwnd-cut notifications from every fabric tier.
+    Distributed,
+}
+
+/// Configuration of the in-fabric incast control plane for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationSpec {
+    /// Which control plane to install.
+    pub kind: MitigationKind,
+    /// Emission-time notification loss probability (`>= 1` blackholes the
+    /// control plane entirely — byte-identical to `Off`).
+    pub notif_loss: f64,
+    /// Distinct data flows in the detection window required to trigger.
+    pub flow_threshold: u32,
+    /// Detection sliding-window length, µs.
+    pub window_us: u64,
+    /// Pause duration carried in notifications, µs (senders clamp to
+    /// their guard bound).
+    pub pause_us: u64,
+    /// Base re-fire timeout for unacknowledged notifications, µs.
+    pub retry_timeout_us: u64,
+    /// Re-fire budget per episode (0 = fire once, never retry).
+    pub max_retries: u32,
+}
+
+impl Default for MitigationSpec {
+    fn default() -> Self {
+        MitigationSpec {
+            kind: MitigationKind::Off,
+            notif_loss: 0.0,
+            flow_threshold: 8,
+            window_us: 100,
+            pause_us: 150,
+            retry_timeout_us: 100,
+            max_retries: 5,
+        }
+    }
+}
+
+impl MitigationSpec {
+    /// True when the run installs no control plane.
+    pub fn is_off(&self) -> bool {
+        self.kind == MitigationKind::Off
+    }
+
+    /// Stable label for manifests and reports.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            MitigationKind::Off => "off",
+            MitigationKind::Pulser => "pulser",
+            MitigationKind::Distributed => "distributed",
+        }
     }
 }
 
@@ -182,6 +254,8 @@ pub struct ModesConfig {
     pub horizon: SimTime,
     /// Deterministic infrastructure faults injected during the run.
     pub faults: FaultSpec,
+    /// In-fabric incast control plane (explicit notifications).
+    pub mitigation: MitigationSpec,
 }
 
 impl Default for ModesConfig {
@@ -206,6 +280,7 @@ impl Default for ModesConfig {
             seed: 1,
             horizon: SimTime::from_secs(30),
             faults: FaultSpec::default(),
+            mitigation: MitigationSpec::default(),
         }
     }
 }
@@ -503,6 +578,46 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
         fabric.sim.set_fault_plan(plan);
     }
 
+    // In-fabric incast control plane. Pulser watches only the receiver-ToR
+    // downlinks (where the incast converges); Distributed adds every rack
+    // uplink and spine downlink and asks for a cwnd cut instead of a pause.
+    // A fully blackholed plane (notif_loss >= 1) is still installed: the
+    // dead plane is byte-identical to no plane (graceful degradation), and
+    // installing it keeps that claim under test in every such run.
+    let mit = cfg.mitigation;
+    let ctrl_ports: Vec<simnet::LinkId> = match mit.kind {
+        MitigationKind::Off => Vec::new(),
+        MitigationKind::Pulser => fabric.downlinks.clone(),
+        MitigationKind::Distributed => fabric
+            .downlinks
+            .iter()
+            .chain(fabric.rack_uplinks.iter().flatten())
+            .chain(fabric.spine_downlinks.iter())
+            .copied()
+            .collect(),
+    };
+    if !mit.is_off() {
+        fabric.sim.set_control_plane(ControlConfig {
+            ports: ctrl_ports.clone(),
+            action: match mit.kind {
+                MitigationKind::Distributed => CtrlAction::CwndCut,
+                _ => CtrlAction::Pause,
+            },
+            flow_threshold: mit.flow_threshold,
+            window: SimTime::from_us(mit.window_us),
+            // Arrival-rate leg of the trigger: half the 10 Gbps port rate
+            // offered over the window.
+            window_bytes: (10_000_000_000 / 8 / 1_000_000) * mit.window_us / 2,
+            pause: SimTime::from_us(mit.pause_us),
+            cooldown: SimTime::from_us(2 * mit.pause_us),
+            retry_timeout: SimTime::from_us(mit.retry_timeout_us),
+            max_retries: mit.max_retries,
+            notif_loss: mit.notif_loss,
+            // Dedicated control RNG, decorrelated from workload draws.
+            seed: cfg.seed ^ 0x6374_726c,
+        });
+    }
+
     // Workers.
     let root = Rng::new(cfg.seed);
     let mut worker_handles = Vec::with_capacity(cfg.num_flows);
@@ -700,6 +815,22 @@ pub fn run_incast_budgeted_with<S: Scheduler>(
     }
     if has_faults {
         manifest.faults_injected = Some(fabric.sim.counters().faults_applied);
+    }
+    if !mit.is_off() {
+        // Control-plane lifecycle summary: configuration alongside the
+        // notification tallies, all deterministic for a fixed seed.
+        let c = fabric.sim.counters();
+        let mut out = String::new();
+        let mut o = telemetry::json::Obj::new(&mut out);
+        o.str("mitigation", mit.label())
+            .u64("ports", ctrl_ports.len() as u64)
+            .f64("notif_loss", mit.notif_loss)
+            .u64("notif_sent", c.notif_sent)
+            .u64("notif_acked", c.notif_acked)
+            .u64("notif_retries", c.notif_retries)
+            .u64("notif_lost", c.notif_lost);
+        o.finish();
+        manifest.control_json = Some(out);
     }
     manifest.truncated = truncated.map(|c| c.label().to_string());
     manifest.wall_clock_us = Some(profile.wall.as_micros() as u64);

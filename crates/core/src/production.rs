@@ -14,7 +14,7 @@
 //! buffer.
 
 use crate::cache::{trace_key, RunCache};
-use millisampler::{detect_bursts, Burst, Millisampler, MsTrace, TraceSummary};
+use millisampler::{detect_bursts, Burst, CtrlTallies, Millisampler, MsTrace, TraceSummary};
 use simnet::{build_fabric, BufferPolicy, FabricConfig, Shared, SimTime};
 use stats::{Rng, TimeSeries};
 use transport::{TcpConfig, TcpHost};
@@ -80,6 +80,10 @@ pub struct TraceResult {
     pub downlink_marks: u64,
     /// Diagnostics: CE marks at the trunk.
     pub trunk_marks: u64,
+    /// Fault/notification tallies from the simulator's counters (zero in
+    /// the stock production study, which runs fault-free without a control
+    /// plane — carried so pooled aggregates stay honest when either is on).
+    pub tallies: CtrlTallies,
 }
 
 /// Runs one host-trace, sampling the snapshot model from the seed.
@@ -201,6 +205,7 @@ pub fn run_trace_with_snapshot(cfg: &TraceConfig, snapshot: SnapshotModel) -> Tr
         0
     };
 
+    let c = fabric.sim.counters();
     TraceResult {
         downlink_drops: dstats.dropped_pkts,
         downlink_marks: dstats.marked_pkts,
@@ -212,6 +217,13 @@ pub fn run_trace_with_snapshot(cfg: &TraceConfig, snapshot: SnapshotModel) -> Tr
         queue_pkts,
         queue_capacity_pkts: capacity,
         snapshot,
+        tallies: CtrlTallies {
+            faults_applied: c.faults_applied,
+            notif_sent: c.notif_sent,
+            notif_acked: c.notif_acked,
+            notif_retries: c.notif_retries,
+            notif_lost: c.notif_lost,
+        },
     }
 }
 
@@ -293,6 +305,7 @@ pub fn run_trace_summary_cached(
             &r.bursts,
             Some((&r.queue_pkts, r.queue_capacity_pkts)),
         )
+        .with_tallies(r.tallies)
     })
 }
 

@@ -507,6 +507,7 @@ mod tests {
                 delivery: 20,
                 timer: 5,
                 fault: 0,
+                ctrl: 0,
             },
             wall: std::time::Duration::from_millis(100),
         };

@@ -195,7 +195,7 @@ pub fn run_stability_with(cfg: &StabilityConfig, cache: &RunCache) -> StabilityR
             };
             cache.get_or_compute(&trace_snapshot_key(&trace_cfg, snap), || {
                 let r = run_trace_with_snapshot(&trace_cfg, snap.clone());
-                TraceSummary::from_trace(&r.trace, &r.bursts, None)
+                TraceSummary::from_trace(&r.trace, &r.bursts, None).with_tallies(r.tallies)
             })
         },
         (by_time, by_host),

@@ -231,7 +231,7 @@ pub fn reproducer_source(test_name: &str, cfg: &ModesConfig, cause: &str) -> Str
 #[test]
 fn {test_name}() {{
     #[allow(unused_imports)]
-    use incast_core::modes::{{FaultSpec, ModesConfig, TopologySpec::*}};
+    use incast_core::modes::{{FaultSpec, MitigationKind::*, MitigationSpec, ModesConfig, TopologySpec::*}};
     #[allow(unused_imports)]
     use simnet::{{BufferPolicy::*, QueueConfig, SimTime}};
     #[allow(unused_imports)]

@@ -8,7 +8,7 @@
 //!    so warm aggregates cannot drift.
 
 use incast_core::cache::{fnv1a64, incast_key, trace_key, CacheValue, RunCache};
-use incast_core::modes::{run_incast, ModesConfig};
+use incast_core::modes::{run_incast, MitigationKind, ModesConfig};
 use incast_core::production::TraceConfig;
 use simnet::{BufferPolicy, SimTime};
 use workload::{BurstSchedule, Grouping, ServiceId};
@@ -106,6 +106,48 @@ fn one_field_variants() -> Vec<(&'static str, ModesConfig)> {
     v.push(("faults.blackhole", {
         let mut c = base();
         c.faults.blackhole = Some((SimTime::from_ms(1), SimTime::from_ms(5)));
+        c
+    }));
+    // Every control-plane field: flipping any one of them must produce a
+    // distinct run, so each must perturb the key on its own.
+    v.push(("mitigation.kind", {
+        let mut c = base();
+        c.mitigation.kind = MitigationKind::Pulser;
+        c
+    }));
+    v.push(("mitigation.kind (distributed)", {
+        let mut c = base();
+        c.mitigation.kind = MitigationKind::Distributed;
+        c
+    }));
+    v.push(("mitigation.notif_loss", {
+        let mut c = base();
+        c.mitigation.notif_loss = 0.5;
+        c
+    }));
+    v.push(("mitigation.flow_threshold", {
+        let mut c = base();
+        c.mitigation.flow_threshold += 1;
+        c
+    }));
+    v.push(("mitigation.window_us", {
+        let mut c = base();
+        c.mitigation.window_us += 50;
+        c
+    }));
+    v.push(("mitigation.pause_us", {
+        let mut c = base();
+        c.mitigation.pause_us += 50;
+        c
+    }));
+    v.push(("mitigation.retry_timeout_us", {
+        let mut c = base();
+        c.mitigation.retry_timeout_us += 50;
+        c
+    }));
+    v.push(("mitigation.max_retries", {
+        let mut c = base();
+        c.mitigation.max_retries += 1;
         c
     }));
     v

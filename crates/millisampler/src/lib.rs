@@ -19,7 +19,7 @@ pub use burst::{
     bursts_per_second, detect_bursts, detect_bursts_with_threshold, Burst,
     BURST_THRESHOLD_FRACTION, INCAST_FLOW_THRESHOLD,
 };
-pub use report::{BurstRow, FleetAccumulator, RunCoverage, TraceSummary};
+pub use report::{BurstRow, CtrlTallies, FleetAccumulator, RunCoverage, TraceSummary};
 pub use sampler::{Millisampler, MsBucket, MsTrace};
 pub use watermark::{peak_fraction, peak_in_window, watermark_series};
 

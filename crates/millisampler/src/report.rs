@@ -29,6 +29,42 @@ pub struct BurstRow {
     pub queue_peak_fraction: Option<f64>,
 }
 
+/// Fault and control-plane tallies carried alongside a trace's burst rows:
+/// how many fault actions the simulator applied during the run, and the
+/// notification lifecycle counts of the in-fabric control plane. All fields
+/// are totals, so merging is plain addition — which makes fleet pooling
+/// order-independent (see `merged_tallies_commute`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtrlTallies {
+    /// Fault-plan actions applied by the simulator.
+    pub faults_applied: u64,
+    /// Notification frames emitted by switches (first attempts + retries).
+    pub notif_sent: u64,
+    /// Notification acks consumed by switches.
+    pub notif_acked: u64,
+    /// Retry re-emissions (subset of `notif_sent`).
+    pub notif_retries: u64,
+    /// Emissions suppressed by injected control-path loss.
+    pub notif_lost: u64,
+}
+
+impl CtrlTallies {
+    /// Adds another tally set into this one. Addition is commutative and
+    /// associative, so any merge order yields the same totals.
+    pub fn merge(&mut self, other: &CtrlTallies) {
+        self.faults_applied += other.faults_applied;
+        self.notif_sent += other.notif_sent;
+        self.notif_acked += other.notif_acked;
+        self.notif_retries += other.notif_retries;
+        self.notif_lost += other.notif_lost;
+    }
+
+    /// True when any counter is nonzero (i.e. worth rendering).
+    pub fn any(&self) -> bool {
+        *self != CtrlTallies::default()
+    }
+}
+
 /// Everything [`FleetAccumulator`] needs from one host-trace: the two
 /// per-trace scalars plus one [`BurstRow`] per detected burst. This is the
 /// streaming (and cacheable) form of [`FleetAccumulator::add_trace`] — a
@@ -42,6 +78,11 @@ pub struct TraceSummary {
     pub mean_utilization: f64,
     /// Per-burst rows, in burst order.
     pub per_burst: Vec<BurstRow>,
+    /// Fault/notification tallies for the run behind this trace. Zero when
+    /// the run had no fault plan and no control plane (the trace itself
+    /// cannot reveal them, so [`TraceSummary::from_trace`] leaves them at
+    /// zero and the runner attaches the simulator counters).
+    pub tallies: CtrlTallies,
 }
 
 impl TraceSummary {
@@ -70,7 +111,14 @@ impl TraceSummary {
             bursts_per_sec: bursts_per_second(trace, bursts),
             mean_utilization: trace.mean_utilization(),
             per_burst,
+            tallies: CtrlTallies::default(),
         }
+    }
+
+    /// Attaches the run's fault/notification tallies (builder-style).
+    pub fn with_tallies(mut self, tallies: CtrlTallies) -> Self {
+        self.tallies = tallies;
+        self
     }
 }
 
@@ -133,6 +181,8 @@ pub struct FleetAccumulator {
     pub queue_peak_fraction: Cdf,
     /// Per-trace: mean utilization (diagnostic; the paper reports ~10 %).
     pub utilization: Cdf,
+    /// Pooled fault/notification tallies across the accumulated traces.
+    pub tallies: CtrlTallies,
     /// Traces accumulated.
     pub traces: usize,
 }
@@ -158,6 +208,7 @@ impl FleetAccumulator {
     /// on the summary's source trace, sample for sample.
     pub fn add_summary(&mut self, summary: &TraceSummary) {
         self.traces += 1;
+        self.tallies.merge(&summary.tallies);
         self.burst_frequency.add(summary.bursts_per_sec);
         self.utilization.add(summary.mean_utilization);
         for row in &summary.per_burst {
@@ -295,6 +346,39 @@ mod tests {
         assert_eq!(
             direct.burst_frequency.samples(),
             via_summary.burst_frequency.samples()
+        );
+    }
+
+    #[test]
+    fn merged_tallies_commute() {
+        let t = |f: u64, s: u64, a: u64, r: u64, l: u64| CtrlTallies {
+            faults_applied: f,
+            notif_sent: s,
+            notif_acked: a,
+            notif_retries: r,
+            notif_lost: l,
+        };
+        let (trace, bursts) = hot_trace();
+        let summaries: Vec<TraceSummary> = [t(1, 10, 9, 2, 1), t(0, 0, 0, 0, 0), t(7, 3, 3, 0, 0)]
+            .iter()
+            .map(|&tal| TraceSummary::from_trace(&trace, &bursts, None).with_tallies(tal))
+            .collect();
+        let mut fwd = FleetAccumulator::new();
+        let mut rev = FleetAccumulator::new();
+        for s in &summaries {
+            fwd.add_summary(s);
+        }
+        for s in summaries.iter().rev() {
+            rev.add_summary(s);
+        }
+        assert_eq!(fwd.tallies, rev.tallies);
+        assert_eq!(fwd.tallies, t(8, 13, 12, 2, 1));
+        assert!(fwd.tallies.any());
+        assert!(!CtrlTallies::default().any());
+        // from_trace alone never invents tallies.
+        assert_eq!(
+            TraceSummary::from_trace(&trace, &bursts, None).tallies,
+            CtrlTallies::default()
         );
     }
 

@@ -22,7 +22,7 @@
 //! `cargo run --release -p simcheck -- --seeds 500`.
 
 use incast_core::cache::CacheValue;
-use incast_core::modes::run_incast_with;
+use incast_core::modes::{run_incast_with, MitigationKind};
 use incast_core::{FaultSpec, ModesConfig, TopologySpec};
 use simnet::check::Violation;
 use simnet::{BufferPolicy, EventQueue, QueueConfig, SimTime, TimingWheel};
@@ -74,6 +74,18 @@ impl FaultScenario {
     }
 }
 
+/// Control-plane part of a [`Scenario`]: which notification plane runs and
+/// how lossy its control path is (per-mille, so scenarios stay `Eq`;
+/// 1000 = fully blackholed, which must degrade to exactly the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MitigationScenario {
+    /// `false` = Pulser pause plane on the receiver downlinks; `true` =
+    /// distributed cwnd-cut plane on every fabric tier.
+    pub distributed: bool,
+    /// Notification loss probability in per-mille.
+    pub loss_pm: u32,
+}
+
 /// One randomly generated incast scenario. The `Debug` rendering is valid
 /// construction syntax, which is what lets [`reproducer`] emit a paste-able
 /// test from a shrunk failure.
@@ -109,6 +121,8 @@ pub struct Scenario {
     /// single-rack dumbbell. Senders round-robin across racks, so the same
     /// fan-in exercises ECMP across the spine tier.
     pub clos: Option<(u8, u8)>,
+    /// In-fabric notification control plane, or `None` for mitigation-off.
+    pub mitigation: Option<MitigationScenario>,
 }
 
 impl Scenario {
@@ -149,6 +163,7 @@ impl Scenario {
             fault: FaultScenario::default(),
             quic: false,
             clos: None,
+            mitigation: None,
         };
         // Fault draws come LAST so adding them did not reshuffle the
         // scenarios older seeds generate.
@@ -179,6 +194,17 @@ impl Scenario {
         // generate the same single-rack scenarios they always did.
         if rng.chance(0.25) {
             sc.clos = Some((rng.range_u64(2, 4) as u8, rng.range_u64(1, 4) as u8));
+        }
+        // The control-plane draw is the newest, appended after every older
+        // draw for the same seed-stability reason. Loss spans the full
+        // 0..=1000 per-mille range so the sample covers lossless planes,
+        // partially-degraded ones, and the fully-dead plane (which must be
+        // byte-identical to mitigation-off).
+        if rng.chance(0.25) {
+            sc.mitigation = Some(MitigationScenario {
+                distributed: rng.chance(0.4),
+                loss_pm: rng.range_u64(0, 1000) as u32,
+            });
         }
         sc
     }
@@ -259,6 +285,18 @@ impl Scenario {
                     f.straggler = Some((SimTime::from_us(a), SimTime::from_us(b), idx));
                 }
                 f
+            },
+            mitigation: {
+                let mut m = incast_core::modes::MitigationSpec::default();
+                if let Some(mit) = self.mitigation {
+                    m.kind = if mit.distributed {
+                        MitigationKind::Distributed
+                    } else {
+                        MitigationKind::Pulser
+                    };
+                    m.notif_loss = mit.loss_pm as f64 / 1000.0;
+                }
+                m
             },
             ..ModesConfig::default()
         }
@@ -351,6 +389,65 @@ pub fn check_scenario(scenario: &Scenario) -> Option<Failure> {
         mismatch = Some("repeat run with identical seed diverged".to_string());
     }
 
+    // Graceful-degradation invariants: a control plane may pause or pace
+    // flows — in overloaded scenarios it legitimately completes bursts the
+    // baseline never finishes — but it can never *wedge* one, and it can
+    // never make a burst pathologically slower than the mitigation-off
+    // twin of the same scenario. Two checks:
+    //
+    // 1. No deadlock: if the mitigated run drains idle *before* the
+    //    horizon while the baseline proved more bursts were completable,
+    //    some flow wedged (every pause self-expires within the transport's
+    //    guard bound — that half is the `pause_guard` oracle, live in
+    //    every checked run — so this should be structurally impossible).
+    //    Running out of horizon with bursts outstanding is a slowdown,
+    //    not a wedge, and is judged by the envelope instead.
+    // 2. Degradation envelope, per burst over the commonly-completed
+    //    prefix: mitigated BCT within 10x baseline + 500 ms. Scoped to
+    //    the plane/transport pairs where bounded degradation is a design
+    //    guarantee: pause planes (the pause is clamped to the guard bound,
+    //    so the worst case is delay, never collapse) and cwnd-cut planes
+    //    over QUIC (PTO repairs small-window tail losses at RTT scale —
+    //    seed 109: cut+QUIC *improves* drops 139→19 at unchanged BCT).
+    //    Cut planes over min-RTO TCP are excluded by design, and that
+    //    exclusion is itself a finding this fuzzer produced: a cut at
+    //    burst start shrinks windows below what dup-ACK fast retransmit
+    //    needs (no RFC 3042 limited transmit, no TLP in the paper's
+    //    stack), so drops that the baseline repairs at RTT scale become
+    //    200 ms-floor RTO chains — 2 ms bursts regress to 1.2–2.8 s even
+    //    with a lossless control path. See EXPERIMENTS.md "Mitigations".
+    if let Some(mit) = scenario.mitigation.filter(|_| mismatch.is_none()) {
+        let enveloped = !mit.distributed || scenario.quic;
+        let off = Scenario {
+            mitigation: None,
+            ..*scenario
+        };
+        let (r_off, _) = run_incast_with::<TimingWheel>(&off.to_config(), None);
+        if r_wheel.bcts_ms.len() < r_off.bcts_ms.len() && m_wheel.sim_time_ps < cfg.horizon.as_ps()
+        {
+            mismatch = Some(format!(
+                "mitigated run went idle at {} ps with bursts outstanding \
+                 ({} completed vs baseline {}): guard-timer deadlock?",
+                m_wheel.sim_time_ps,
+                r_wheel.bcts_ms.len(),
+                r_off.bcts_ms.len()
+            ));
+        }
+        if enveloped && mismatch.is_none() {
+            for (i, (&on_ms, &off_ms)) in r_wheel.bcts_ms.iter().zip(&r_off.bcts_ms).enumerate() {
+                let envelope_ms = off_ms * 10.0 + 500.0;
+                if on_ms > envelope_ms {
+                    mismatch = Some(format!(
+                        "degradation envelope breached at burst {i}: mitigated BCT \
+                         {on_ms:.3} ms vs baseline {off_ms:.3} ms \
+                         (envelope {envelope_ms:.3} ms)"
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
     let violation_count = simnet::check::violation_count();
     let violations = simnet::check::take();
     if violation_count == 0 && mismatch.is_none() {
@@ -368,6 +465,15 @@ pub fn check_scenario(scenario: &Scenario) -> Option<Failure> {
 /// shrinking terminates).
 fn shrink_candidates(sc: &Scenario) -> Vec<Scenario> {
     let mut out = Vec::new();
+    // Mitigation off comes FIRST: a failure that persists without the
+    // control plane is not a control-plane bug, and ruling that out early
+    // keeps every later shrink step running on the cheaper baseline.
+    if sc.mitigation.is_some() {
+        out.push(Scenario {
+            mitigation: None,
+            ..*sc
+        });
+    }
     if sc.num_flows > 2 {
         out.push(Scenario {
             num_flows: (sc.num_flows / 2).max(2),
@@ -519,15 +625,49 @@ pub enum SeedOutcome {
     Fail(Box<Failure>),
 }
 
+/// Forced control-plane mode for a sweep (the `--mitigation` CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceMitigation {
+    /// Strip the per-seed mitigation draw: baseline-only.
+    Off,
+    /// Pin a Pulser pause plane with a seed-derived notification loss.
+    Pulser,
+    /// Pin a distributed cwnd-cut plane with a seed-derived loss.
+    Distributed,
+}
+
+impl ForceMitigation {
+    /// The scenario field this mode pins. Loss walks the full per-mille
+    /// range (including 1000 = dead plane) as the seed advances, so a
+    /// forced sweep still covers every degradation regime.
+    pub fn pin(&self, seed: u64) -> Option<MitigationScenario> {
+        let loss_pm = ((seed % 11) * 100) as u32;
+        match self {
+            ForceMitigation::Off => None,
+            ForceMitigation::Pulser => Some(MitigationScenario {
+                distributed: false,
+                loss_pm,
+            }),
+            ForceMitigation::Distributed => Some(MitigationScenario {
+                distributed: true,
+                loss_pm,
+            }),
+        }
+    }
+}
+
 /// Fuzzes one seed: generate, run, check. `force_quic` pins the transport
 /// for the whole sweep (`Some(true)` = QUIC-only, `Some(false)` =
 /// TCP-only); `force_clos` pins the topology the same way (`Some(true)` =
-/// a seed-derived multi-rack Clos, `Some(false)` = dumbbell-only); `None`
-/// keeps the per-seed samples from [`Scenario::generate`].
+/// a seed-derived multi-rack Clos, `Some(false)` = dumbbell-only);
+/// `force_mitigation` pins the control plane (off, or a seed-derived lossy
+/// plane of either kind); `None` keeps the per-seed samples from
+/// [`Scenario::generate`].
 pub fn fuzz_seed_with(
     seed: u64,
     force_quic: Option<bool>,
     force_clos: Option<bool>,
+    force_mitigation: Option<ForceMitigation>,
 ) -> SeedOutcome {
     let mut scenario = Scenario::generate(seed);
     if let Some(quic) = force_quic {
@@ -540,6 +680,9 @@ pub fn fuzz_seed_with(
         Some(false) => scenario.clos = None,
         None => {}
     }
+    if let Some(force) = force_mitigation {
+        scenario.mitigation = force.pin(seed);
+    }
     match check_scenario(&scenario) {
         None => SeedOutcome::Pass,
         Some(f) => SeedOutcome::Fail(Box::new(f)),
@@ -548,7 +691,7 @@ pub fn fuzz_seed_with(
 
 /// Fuzzes one seed with the per-seed transport sample.
 pub fn fuzz_seed(seed: u64) -> SeedOutcome {
-    fuzz_seed_with(seed, None, None)
+    fuzz_seed_with(seed, None, None, None)
 }
 
 #[cfg(test)]
@@ -587,6 +730,18 @@ mod tests {
                 .any(|s| matches!(s.clos, Some((_, sp)) if sp > 1)),
             "no multi-spine Clos scenario in the sample"
         );
+        assert!(scs.iter().any(|s| s.mitigation.is_some()));
+        assert!(scs.iter().any(|s| s.mitigation.is_none()));
+        assert!(
+            scs.iter()
+                .any(|s| matches!(s.mitigation, Some(m) if m.distributed)),
+            "no distributed control plane in the sample"
+        );
+        assert!(
+            scs.iter()
+                .any(|s| matches!(s.mitigation, Some(m) if !m.distributed && m.loss_pm > 0)),
+            "no lossy Pulser plane in the sample"
+        );
         for s in &scs {
             assert!((2..=40).contains(&s.num_flows));
             assert!((5..=40).contains(&s.burst_ms_x10));
@@ -597,7 +752,39 @@ mod tests {
                 assert!((2..=4).contains(&r), "racks in range");
                 assert!((1..=4).contains(&sp), "spines in range");
             }
+            if let Some(m) = s.mitigation {
+                assert!(m.loss_pm <= 1000, "loss in per-mille range");
+            }
         }
+    }
+
+    #[test]
+    fn mitigation_off_is_the_first_shrink_candidate() {
+        let sc = Scenario {
+            mitigation: Some(MitigationScenario {
+                distributed: true,
+                loss_pm: 300,
+            }),
+            ..Scenario::generate(1)
+        };
+        let cands = shrink_candidates(&sc);
+        assert_eq!(
+            cands.first().map(|c| c.mitigation),
+            Some(None),
+            "shrinker must try turning the mitigation off first"
+        );
+    }
+
+    #[test]
+    fn forced_mitigation_pins_cover_the_loss_range() {
+        let pins: Vec<_> = (0..11)
+            .map(|s| ForceMitigation::Pulser.pin(s).unwrap())
+            .collect();
+        assert!(pins.iter().any(|m| m.loss_pm == 0));
+        assert!(pins.iter().any(|m| m.loss_pm == 1000));
+        assert!(pins.iter().all(|m| !m.distributed));
+        assert!(ForceMitigation::Distributed.pin(3).unwrap().distributed);
+        assert_eq!(ForceMitigation::Off.pin(3), None);
     }
 
     #[test]
@@ -623,6 +810,7 @@ mod tests {
                 + s.fault.window_us()
                 + s.quic as u64
                 + s.clos.map(|(r, sp)| 1 + r as u64 + sp as u64).unwrap_or(0)
+                + s.mitigation.is_some() as u64
         };
         // Cover both fault-free and faulted starting points.
         let mut faulted = 0;

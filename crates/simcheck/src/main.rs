@@ -10,7 +10,7 @@
 //! paste-able `#[test]`s; the process exits nonzero if anything failed.
 
 use incast_core::{default_threads, par_map};
-use simcheck::{fuzz_seed_with, reproducer, shrink, SeedOutcome};
+use simcheck::{fuzz_seed_with, reproducer, shrink, ForceMitigation, SeedOutcome};
 use std::io::Write;
 
 struct Args {
@@ -24,6 +24,9 @@ struct Args {
     /// `None` = per-seed sample; `Some(true)` = multi-rack Clos only;
     /// `Some(false)` = dumbbell only.
     force_clos: Option<bool>,
+    /// `None` = per-seed sample; otherwise pin the control plane for the
+    /// whole sweep (off, or a seed-derived lossy plane of either kind).
+    force_mitigation: Option<ForceMitigation>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         report: None,
         force_quic: None,
         force_clos: None,
+        force_mitigation: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,9 +65,23 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown topology {other} (dumbbell|clos|mix)")),
                 }
             }
+            "--mitigation" => {
+                args.force_mitigation = match value("--mitigation")?.as_str() {
+                    "mix" => None,
+                    "off" => Some(ForceMitigation::Off),
+                    "pulser" => Some(ForceMitigation::Pulser),
+                    "distributed" => Some(ForceMitigation::Distributed),
+                    other => {
+                        return Err(format!(
+                            "unknown mitigation {other} (off|pulser|distributed|mix)"
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: simcheck [--seeds N] [--start S] [--threads T] \
-                     [--transport tcp|quic|mix] [--topology dumbbell|clos|mix] [--report FILE]"
+                     [--transport tcp|quic|mix] [--topology dumbbell|clos|mix] \
+                     [--mitigation off|pulser|distributed|mix] [--report FILE]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -82,7 +100,8 @@ fn main() {
     };
     let seeds: Vec<u64> = (args.start..args.start + args.seeds).collect();
     println!(
-        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on, transport {}, topology {}",
+        "simcheck: fuzzing seeds {}..{} on {} thread(s), invariants on, \
+         transport {}, topology {}, mitigation {}",
         args.start,
         args.start + args.seeds,
         args.threads,
@@ -95,13 +114,20 @@ fn main() {
             None => "mix",
             Some(true) => "clos",
             Some(false) => "dumbbell",
+        },
+        match args.force_mitigation {
+            None => "mix",
+            Some(ForceMitigation::Off) => "off",
+            Some(ForceMitigation::Pulser) => "pulser",
+            Some(ForceMitigation::Distributed) => "distributed",
         }
     );
     let t0 = std::time::Instant::now();
     let force_quic = args.force_quic;
     let force_clos = args.force_clos;
+    let force_mitigation = args.force_mitigation;
     let outcomes = par_map(seeds.clone(), args.threads, |&seed| {
-        match fuzz_seed_with(seed, force_quic, force_clos) {
+        match fuzz_seed_with(seed, force_quic, force_clos, force_mitigation) {
             SeedOutcome::Pass => None,
             SeedOutcome::Fail(f) => Some((seed, f)),
         }

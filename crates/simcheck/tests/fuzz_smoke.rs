@@ -3,7 +3,8 @@
 //! shrunk to a small reproducer.
 
 use simcheck::{
-    check_scenario, fuzz_seed, fuzz_seed_with, reproducer, shrink, Scenario, SeedOutcome,
+    check_scenario, fuzz_seed, fuzz_seed_with, reproducer, shrink, ForceMitigation, Scenario,
+    SeedOutcome,
 };
 
 /// A fixed seed range runs with every invariant on and zero violations.
@@ -25,9 +26,30 @@ fn pinned_seed_range_is_clean() {
 #[test]
 fn pinned_clos_seed_range_is_clean() {
     for seed in 0..6 {
-        match fuzz_seed_with(seed, None, Some(true)) {
+        match fuzz_seed_with(seed, None, Some(true), None) {
             SeedOutcome::Pass => {}
             SeedOutcome::Fail(f) => panic!("clos seed {seed} failed: {}", f.summary()),
+        }
+    }
+}
+
+/// Forced control planes hold the same invariants: pinned seed ranges
+/// re-run with a seed-derived Pulser pause plane and a distributed
+/// cwnd-cut plane (losses walking 0..=100 %) stay clean — no guard-timer
+/// deadlocks, no degradation-envelope breaches, schedulers agree. (CI runs
+/// a 100-seed range in release via `simcheck --mitigation pulser`.)
+#[test]
+fn pinned_forced_mitigation_seed_ranges_are_clean() {
+    for seed in 0..6 {
+        match fuzz_seed_with(seed, None, None, Some(ForceMitigation::Pulser)) {
+            SeedOutcome::Pass => {}
+            SeedOutcome::Fail(f) => panic!("pulser seed {seed} failed: {}", f.summary()),
+        }
+    }
+    for seed in 0..3 {
+        match fuzz_seed_with(seed, None, None, Some(ForceMitigation::Distributed)) {
+            SeedOutcome::Pass => {}
+            SeedOutcome::Fail(f) => panic!("distributed seed {seed} failed: {}", f.summary()),
         }
     }
 }

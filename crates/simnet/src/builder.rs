@@ -131,11 +131,16 @@ impl NetworkBuilder {
             incoming[spec.dst.index()].push(LinkId(i as u32));
         }
 
-        // Forwarding: for each destination *host*, BFS backwards from it to
+        // Forwarding: for each destination node, BFS backwards from it to
         // get hop distances, then collect *every* link that starts a
         // shortest path as an equal-cost candidate. Iterating links in id
         // order keeps each candidate set ascending, which is what makes the
         // primary route (set member 0) and ECMP tie-breaks deterministic.
+        // Switch destinations get routes too (control-plane acknowledgments
+        // are addressed to switches); host candidate sets are unchanged by
+        // their presence, so pre-control-plane traces stay byte-identical.
+        // Hosts never become transit: a host's only neighbor is its ToR, so
+        // a path through it is never shortest.
         let mut fwd: Vec<Vec<Vec<LinkId>>> = vec![Vec::new(); n];
         for (i, spec) in self.nodes.iter().enumerate() {
             if matches!(spec, NodeSpec::Switch { .. }) {
@@ -143,10 +148,7 @@ impl NetworkBuilder {
             }
         }
         let mut dist = vec![u32::MAX; n];
-        for (d, spec) in self.nodes.iter().enumerate() {
-            if !matches!(spec, NodeSpec::Host { .. }) {
-                continue;
-            }
+        for d in 0..n {
             dist.fill(u32::MAX);
             dist[d] = 0;
             let mut frontier = std::collections::VecDeque::from([d]);
@@ -321,6 +323,36 @@ mod tests {
         let (short, _) = b.connect(s0, s2, cfg(), cfg());
         let sim = b.build(0);
         assert_eq!(sim.node(s0).next_hops(h1), &[short]);
+    }
+
+    #[test]
+    fn switch_destinations_get_routes() {
+        // h0 - tor0 - spine - tor1 - h1: every switch can reach every other
+        // switch (control acknowledgments are addressed to switches), and
+        // host candidate sets are unaffected.
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let tor0 = b.add_switch("tor0");
+        let spine = b.add_switch("spine");
+        let tor1 = b.add_switch("tor1");
+        let h1 = b.add_host("h1");
+        b.connect(h0, tor0, cfg(), cfg());
+        b.connect(tor0, spine, cfg(), cfg());
+        b.connect(spine, tor1, cfg(), cfg());
+        b.connect(tor1, h1, cfg(), cfg());
+        let sim = b.build(0);
+        // tor0 reaches tor1 via the spine.
+        let hop = sim.node(tor0).next_hop(tor1).expect("route to tor1");
+        assert_eq!(sim.link(hop).dst, spine);
+        // spine reaches both ToRs directly.
+        assert_eq!(sim.link(sim.node(spine).next_hop(tor0).unwrap()).dst, tor0);
+        assert_eq!(sim.link(sim.node(spine).next_hop(tor1).unwrap()).dst, tor1);
+        // No switch ever forwards through a host: the route tor1 -> tor0
+        // goes via the spine, not via h1.
+        let back = sim.node(tor1).next_hop(tor0).unwrap();
+        assert_eq!(sim.link(back).dst, spine);
+        // A switch has no route to itself.
+        assert!(sim.node(spine).next_hop(spine).is_none());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod buffer;
 pub mod builder;
 pub mod check;
+pub mod control;
 pub mod endpoint;
 pub mod event;
 pub mod fault;
@@ -62,6 +63,7 @@ pub mod wheel;
 
 pub use buffer::{BufferPolicy, SharedBuffer};
 pub use builder::NetworkBuilder;
+pub use control::{ControlConfig, ControlPlane, CtrlAction, RetryPlan, CTRL_FLOW_BASE};
 pub use endpoint::{Cmd, Ctx, Endpoint, IngressTap, Shared};
 pub use event::{Event, EventKind, EventQueue, Scheduler};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};

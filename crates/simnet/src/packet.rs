@@ -146,6 +146,26 @@ pub enum PacketKind {
         /// Burst index, for bookkeeping at the worker.
         burst: u64,
     },
+    /// A switch-originated incast notification (Pulser-style): the detecting
+    /// switch asks a sender host to pause new transmissions (or cut its
+    /// congestion window) for the carried duration. Travels the ordinary
+    /// data path, so it is subject to every queue and fault a data frame is.
+    Notif {
+        /// Episode epoch at the detecting port. Senders ignore epochs they
+        /// have already acted on, making duplicated/reordered/stale
+        /// notifications idempotent.
+        epoch: u32,
+        /// Requested pause duration (senders clamp to their guard bound).
+        pause: SimTime,
+        /// True to cut the congestion window instead of pausing.
+        cut: bool,
+    },
+    /// A host's acknowledgment of a [`PacketKind::Notif`], addressed to the
+    /// detecting switch so it stops re-firing the episode at this sender.
+    NotifAck {
+        /// Epoch being acknowledged.
+        epoch: u32,
+    },
 }
 
 /// One frame in flight or queued.
@@ -278,6 +298,41 @@ impl Packet {
             wire_size: MIN_FRAME_BYTES * 2, // a small RPC request
             ecn: Ecn::NotEct,
             kind: PacketKind::Ctrl { demand, burst },
+        }
+    }
+
+    /// Builds an incast notification frame (minimum frame size, not
+    /// ECN-capable — control frames are never marked, only lost).
+    pub fn notif(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        epoch: u32,
+        pause: SimTime,
+        cut: bool,
+    ) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: MIN_FRAME_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::Notif { epoch, pause, cut },
+        }
+    }
+
+    /// Builds a notification acknowledgment (minimum frame size, not
+    /// ECN-capable), addressed back to the detecting switch.
+    pub fn notif_ack(flow: FlowId, src: NodeId, dst: NodeId, epoch: u32) -> Self {
+        Packet {
+            id: 0,
+            flow,
+            src,
+            dst,
+            wire_size: MIN_FRAME_BYTES,
+            ecn: Ecn::NotEct,
+            kind: PacketKind::NotifAck { epoch },
         }
     }
 
@@ -522,6 +577,27 @@ mod tests {
         assert!(!p.ecn.is_capable());
         assert!(!p.is_data());
         assert_eq!(p.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn notif_frames_are_min_frame_and_not_ect() {
+        let (f, s, d) = ids();
+        let n = Packet::notif(f, s, d, 3, SimTime::from_us(150), false);
+        assert_eq!(n.wire_size, MIN_FRAME_BYTES);
+        assert!(!n.ecn.is_capable());
+        assert!(!n.is_data());
+        match n.kind {
+            PacketKind::Notif { epoch, pause, cut } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(pause, SimTime::from_us(150));
+                assert!(!cut);
+            }
+            _ => panic!("wrong kind"),
+        }
+        let a = Packet::notif_ack(f, d, s, 3);
+        assert_eq!(a.wire_size, MIN_FRAME_BYTES);
+        assert!(!a.ecn.is_capable());
+        assert_eq!(a.kind, PacketKind::NotifAck { epoch: 3 });
     }
 
     #[test]

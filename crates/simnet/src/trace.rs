@@ -87,6 +87,12 @@ pub fn packet_info(pkt: &Packet) -> PktInfo {
                 ece,
             },
             PacketKind::Ctrl { demand, burst } => PktDetail::Ctrl { demand, burst },
+            PacketKind::Notif { epoch, pause, cut } => PktDetail::Notif {
+                epoch,
+                pause_ps: pause.as_ps(),
+                cut,
+            },
+            PacketKind::NotifAck { epoch } => PktDetail::NotifAck { epoch },
         },
     }
 }
@@ -197,6 +203,15 @@ impl TextTracer {
             PktDetail::Ctrl { demand, burst } => {
                 format!("CTRL demand={demand} burst={burst}")
             }
+            PktDetail::Notif {
+                epoch,
+                pause_ps,
+                cut,
+            } => format!(
+                "NOTIF epoch={epoch} pause={pause_ps}ps{}",
+                if cut { " cut" } else { "" }
+            ),
+            PktDetail::NotifAck { epoch } => format!("NACK epoch={epoch}"),
         }
     }
 

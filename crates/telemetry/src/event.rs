@@ -28,6 +28,9 @@ pub enum EventClass {
     /// Injected infrastructure faults (link flaps, buffer resizes, host
     /// pauses) from a simulation's fault plan.
     Fault,
+    /// Control-plane lifecycle (incast detection episodes: detect, retry,
+    /// completion).
+    Ctrl,
 }
 
 /// Payload details of a traced packet.
@@ -75,6 +78,20 @@ pub enum PktDetail {
         demand: u64,
         /// Burst index.
         burst: u64,
+    },
+    /// A switch-originated incast notification frame.
+    Notif {
+        /// Episode epoch at the detecting port.
+        epoch: u32,
+        /// Requested pause duration in picoseconds.
+        pause_ps: u64,
+        /// True if the notification requests a cwnd cut instead of a pause.
+        cut: bool,
+    },
+    /// A host's acknowledgment of a notification.
+    NotifAck {
+        /// Epoch being acknowledged.
+        epoch: u32,
     },
 }
 
@@ -257,6 +274,20 @@ pub enum EventKind {
         /// Burst completion time in milliseconds.
         bct_ms: f64,
     },
+    /// A control-plane episode transition at a detecting switch port
+    /// (incast detected, notifications re-fired, episode closed).
+    CtrlEpisode {
+        /// Detecting switch node index.
+        node: u32,
+        /// Monitored egress link index.
+        link: u32,
+        /// Episode epoch at that port.
+        epoch: u32,
+        /// Stable phase label: "detect", "emit", "retry", "done", "expire".
+        phase: &'static str,
+        /// Targets concerned (senders notified / still unacknowledged).
+        targets: u32,
+    },
     /// A scheduled infrastructure fault fired (see the simulator's
     /// `FaultPlan`).
     Fault {
@@ -301,6 +332,7 @@ impl Event {
             EventKind::BufferWatermark { .. } => EventClass::Buffer,
             EventKind::FlowWindow { .. } => EventClass::Flow,
             EventKind::BurstStart { .. } | EventKind::BurstEnd { .. } => EventClass::App,
+            EventKind::CtrlEpisode { .. } => EventClass::Ctrl,
             EventKind::Fault { .. } => EventClass::Fault,
             EventKind::Metric { .. } => EventClass::Metric,
         }
@@ -361,6 +393,19 @@ impl Event {
                 o.str("pkt", "ctrl")
                     .u64("demand", demand)
                     .u64("burst", burst);
+            }
+            PktDetail::Notif {
+                epoch,
+                pause_ps,
+                cut,
+            } => {
+                o.str("pkt", "notif")
+                    .u64("epoch", epoch as u64)
+                    .u64("pause_ps", pause_ps)
+                    .bool("cut", cut);
+            }
+            PktDetail::NotifAck { epoch } => {
+                o.str("pkt", "notif_ack").u64("epoch", epoch as u64);
             }
         }
     }
@@ -439,6 +484,20 @@ impl Event {
                 o.str("ev", "burst_end")
                     .u64("burst", *burst as u64)
                     .f64("bct_ms", *bct_ms);
+            }
+            EventKind::CtrlEpisode {
+                node,
+                link,
+                epoch,
+                phase,
+                targets,
+            } => {
+                o.str("ev", "ctrl")
+                    .u64("node", *node as u64)
+                    .u64("link", *link as u64)
+                    .u64("epoch", *epoch as u64)
+                    .str("phase", phase)
+                    .u64("targets", *targets as u64);
             }
             EventKind::Fault {
                 index,
@@ -626,6 +685,70 @@ mod tests {
                 .contains(r#""pkt":"qack","largest":17,"ranges":2,"ece":true"#),
             "{}",
             qa.to_json()
+        );
+    }
+
+    #[test]
+    fn notif_details_and_ctrl_episode_serialize() {
+        let notif = Event {
+            t_ps: 7,
+            kind: EventKind::PktDeliver {
+                link: 2,
+                pkt: PktInfo {
+                    flow: 0xC000_0000,
+                    src: 10,
+                    dst: 1,
+                    bytes: 64,
+                    ce: false,
+                    detail: PktDetail::Notif {
+                        epoch: 3,
+                        pause_ps: 150_000_000,
+                        cut: false,
+                    },
+                },
+            },
+        };
+        assert!(
+            notif
+                .to_json()
+                .contains(r#""pkt":"notif","epoch":3,"pause_ps":150000000,"cut":false"#),
+            "{}",
+            notif.to_json()
+        );
+        let ack = Event {
+            t_ps: 8,
+            kind: EventKind::PktDeliver {
+                link: 2,
+                pkt: PktInfo {
+                    flow: 0xC000_0000,
+                    src: 1,
+                    dst: 10,
+                    bytes: 64,
+                    ce: false,
+                    detail: PktDetail::NotifAck { epoch: 3 },
+                },
+            },
+        };
+        assert!(
+            ack.to_json().contains(r#""pkt":"notif_ack","epoch":3"#),
+            "{}",
+            ack.to_json()
+        );
+        let ep = Event {
+            t_ps: 9,
+            kind: EventKind::CtrlEpisode {
+                node: 10,
+                link: 2,
+                epoch: 3,
+                phase: "detect",
+                targets: 8,
+            },
+        };
+        assert_eq!(ep.class(), EventClass::Ctrl);
+        assert_eq!(ep.flow(), None);
+        assert_eq!(
+            ep.to_json(),
+            r#"{"t":9,"ev":"ctrl","node":10,"link":2,"epoch":3,"phase":"detect","targets":8}"#
         );
     }
 

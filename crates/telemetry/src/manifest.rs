@@ -83,6 +83,11 @@ pub struct RunManifest {
     /// for single-rack topologies. Deterministic for a fixed seed, so it
     /// survives [`RunManifest::deterministic`].
     pub tiers_json: Option<String>,
+    /// Pre-rendered JSON describing the run's in-fabric incast control
+    /// plane (mitigation kind, monitored ports, notification lifecycle
+    /// tallies). `None` when no control plane was installed. Deterministic
+    /// for a fixed seed, so it survives [`RunManifest::deterministic`].
+    pub control_json: Option<String>,
 }
 
 impl RunManifest {
@@ -137,6 +142,9 @@ impl RunManifest {
             .str("scheduler", &self.scheduler);
         if let Some(t) = &self.tiers_json {
             o.raw("tiers", t);
+        }
+        if let Some(c) = &self.control_json {
+            o.raw("control", c);
         }
         if let Some(v) = self.invariant_violations {
             o.u64("invariant_violations", v);
@@ -306,6 +314,18 @@ mod tests {
             .contains(r#""tiers":{"uplink":{"watermark_pkts":9}}"#));
         // A function of the run's inputs, so the determinism view keeps it.
         assert!(m.deterministic().to_json().contains(r#""tiers":"#));
+    }
+
+    #[test]
+    fn control_json_renders_and_survives_deterministic() {
+        let mut m = RunManifest::new("x", 1, "t");
+        assert!(!m.to_json().contains("control"));
+        m.control_json = Some(r#"{"mitigation":"pulser","ports":1}"#.to_string());
+        assert!(m
+            .to_json()
+            .contains(r#""control":{"mitigation":"pulser","ports":1}"#));
+        // A function of the run's inputs, so the determinism view keeps it.
+        assert!(m.deterministic().to_json().contains(r#""control":"#));
     }
 
     #[test]

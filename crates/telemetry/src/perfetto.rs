@@ -169,6 +169,14 @@ impl PerfettoSink {
             PktDetail::QuicData { pn, .. } => format!("qd{}.{}.{}", pkt.flow, pn, link),
             PktDetail::QuicAck { largest, .. } => format!("qa{}.{}.{}", pkt.flow, largest, link),
             PktDetail::Ctrl { burst, .. } => format!("c{}.{}.{}", pkt.flow, burst, link),
+            // A notification is unique per (ctrl flow, epoch, target) while
+            // in flight; the ack mirrors it in the reverse direction.
+            PktDetail::Notif { epoch, .. } => {
+                format!("n{}.{}.{}.{}", pkt.flow, epoch, pkt.dst, link)
+            }
+            PktDetail::NotifAck { epoch } => {
+                format!("na{}.{}.{}.{}", pkt.flow, epoch, pkt.src, link)
+            }
         }
     }
 
@@ -206,6 +214,14 @@ impl PerfettoSink {
                 }
             }
             PktDetail::Ctrl { burst, .. } => format!("f{} ctrl b{}", pkt.flow, burst),
+            PktDetail::Notif { epoch, cut, .. } => {
+                if cut {
+                    format!("f{} notif e{} cut", pkt.flow, epoch)
+                } else {
+                    format!("f{} notif e{} pause", pkt.flow, epoch)
+                }
+            }
+            PktDetail::NotifAck { epoch } => format!("f{} nack e{}", pkt.flow, epoch),
         }
     }
 
@@ -461,6 +477,24 @@ impl EventSink for PerfettoSink {
                     t,
                     PID_NET,
                     *target,
+                    &args,
+                );
+            }
+            EventKind::CtrlEpisode {
+                node,
+                link,
+                epoch,
+                phase,
+                targets,
+            } => {
+                self.name_pid(PID_NET, "network");
+                let args = format!("\"node\":{node},\"epoch\":{epoch},\"targets\":{targets}");
+                self.instant(
+                    &format!("ctrl:{phase}"),
+                    "ctrl",
+                    t,
+                    PID_NET,
+                    *link as u64,
                     &args,
                 );
             }

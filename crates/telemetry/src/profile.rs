@@ -18,12 +18,14 @@ pub struct EventTallies {
     pub timer: u64,
     /// Scheduled fault-plan events.
     pub fault: u64,
+    /// Switch control-plane timers (incast notification retries).
+    pub ctrl: u64,
 }
 
 impl EventTallies {
     /// Total events across kinds.
     pub fn total(&self) -> u64 {
-        self.tx_complete + self.delivery + self.timer + self.fault
+        self.tx_complete + self.delivery + self.timer + self.fault + self.ctrl
     }
 }
 
@@ -63,6 +65,7 @@ impl LoopProfile {
         self.tallies.delivery += other.tallies.delivery;
         self.tallies.timer += other.tallies.timer;
         self.tallies.fault += other.tallies.fault;
+        self.tallies.ctrl += other.tallies.ctrl;
         self.wall += other.wall;
     }
 
@@ -78,7 +81,7 @@ impl LoopProfile {
             format!("{eps:.0} ev/s")
         };
         format!(
-            "{} events in {:.2}s ({}; tx {}, rx {}, timer {}, fault {})",
+            "{} events in {:.2}s ({}; tx {}, rx {}, timer {}, fault {}, ctrl {})",
             self.events(),
             self.wall.as_secs_f64(),
             eps_str,
@@ -86,6 +89,7 @@ impl LoopProfile {
             self.tallies.delivery,
             self.tallies.timer,
             self.tallies.fault,
+            self.tallies.ctrl,
         )
     }
 }
@@ -101,8 +105,9 @@ mod tests {
             delivery: 2,
             timer: 3,
             fault: 4,
+            ctrl: 5,
         };
-        assert_eq!(t.total(), 10);
+        assert_eq!(t.total(), 15);
     }
 
     #[test]
@@ -128,6 +133,7 @@ mod tests {
                 delivery: 2,
                 timer: 3,
                 fault: 1,
+                ctrl: 1,
             },
             wall: Duration::from_millis(10),
         };
@@ -137,11 +143,12 @@ mod tests {
                 delivery: 20,
                 timer: 30,
                 fault: 2,
+                ctrl: 2,
             },
             wall: Duration::from_millis(90),
         };
         a.merge(&b);
-        assert_eq!(a.events(), 69);
+        assert_eq!(a.events(), 72);
         assert_eq!(a.wall, Duration::from_millis(100));
     }
 
@@ -160,18 +167,19 @@ mod tests {
     }
 
     #[test]
-    fn summary_reports_fault_tally() {
+    fn summary_reports_fault_and_ctrl_tallies() {
         let p = LoopProfile {
             tallies: EventTallies {
                 tx_complete: 1,
                 delivery: 2,
                 timer: 3,
                 fault: 4,
+                ctrl: 5,
             },
             wall: Duration::from_millis(10),
         };
         assert!(
-            p.summary().contains("tx 1, rx 2, timer 3, fault 4"),
+            p.summary().contains("tx 1, rx 2, timer 3, fault 4, ctrl 5"),
             "{}",
             p.summary()
         );

@@ -74,6 +74,13 @@ impl<T> FlowTable<T> {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|t| (FlowId(i as u32), t)))
     }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (FlowId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|t| (FlowId(i as u32), t)))
+    }
 }
 
 /// Connection tables and configuration for one host.
@@ -86,6 +93,15 @@ pub struct HostCore {
     sink: Option<SinkRef>,
     /// Packets for unknown flows (should stay zero in healthy runs).
     pub stray_packets: u64,
+    /// Highest control-plane notification epoch applied per control flow
+    /// (one entry per congested switch port heard from). Duplicated,
+    /// reordered, or retried notifications with a stale epoch are
+    /// acknowledged but not re-applied.
+    notif_epochs: Vec<(FlowId, u32)>,
+    /// Notifications received / applied (stale ones count only the first).
+    pub notifs_seen: u64,
+    /// Notifications whose epoch was fresh and whose action was applied.
+    pub notifs_applied: u64,
 }
 
 impl HostCore {
@@ -97,6 +113,25 @@ impl HostCore {
             receivers: FlowTable::new(),
             sink: None,
             stray_packets: 0,
+            notif_epochs: Vec::new(),
+            notifs_seen: 0,
+            notifs_applied: 0,
+        }
+    }
+
+    /// Records `epoch` for `ctrl_flow`; returns true when it is fresh
+    /// (strictly newer than anything applied for that control flow).
+    fn note_epoch(&mut self, ctrl_flow: FlowId, epoch: u32) -> bool {
+        match self.notif_epochs.iter_mut().find(|(f, _)| *f == ctrl_flow) {
+            Some((_, last)) if *last >= epoch => false,
+            Some((_, last)) => {
+                *last = epoch;
+                true
+            }
+            None => {
+                self.notif_epochs.push((ctrl_flow, epoch));
+                true
+            }
         }
     }
 
@@ -349,6 +384,27 @@ impl Endpoint for TcpHost {
                     app.on_ctrl(api, pkt.src, pkt.flow, demand, burst)
                 });
             }
+            PacketKind::Notif { epoch, pause, cut } => {
+                // ALWAYS acknowledge — even a stale or duplicate epoch —
+                // so the switch stops retrying; the ack rides the control
+                // flow id, which names the congested port.
+                ctx.send(Packet::notif_ack(pkt.flow, ctx.node(), pkt.src, epoch));
+                self.core.notifs_seen += 1;
+                if !self.core.note_epoch(pkt.flow, epoch) {
+                    return;
+                }
+                self.core.notifs_applied += 1;
+                for (_, tx) in self.core.senders.iter_mut() {
+                    if cut {
+                        tx.apply_cut(ctx);
+                    } else {
+                        tx.apply_pause(ctx, pause);
+                    }
+                }
+            }
+            // A notification ack terminates at its switch; one reaching a
+            // host is a routing bug.
+            PacketKind::NotifAck { .. } => self.core.stray_packets += 1,
         }
     }
 
@@ -367,6 +423,11 @@ impl Endpoint for TcpHost {
             TimerKind::Pace(flow) => {
                 if let Some(tx) = self.core.senders.get_mut(flow) {
                     tx.on_pace(ctx);
+                }
+            }
+            TimerKind::Guard(flow) => {
+                if let Some(tx) = self.core.senders.get_mut(flow) {
+                    tx.on_guard(ctx);
                 }
             }
             TimerKind::App(id) => {

@@ -11,7 +11,8 @@ const KIND_RTO: u64 = 0;
 const KIND_DELACK: u64 = 1;
 const KIND_PACE: u64 = 2;
 const KIND_PTO: u64 = 3;
-const KIND_BITS: u64 = 2;
+const KIND_GUARD: u64 = 4;
+const KIND_BITS: u64 = 3;
 
 /// Application timers live above this base.
 pub const APP_KEY_BASE: u64 = 1 << 48;
@@ -36,6 +37,12 @@ pub fn pto_key(flow: FlowId) -> u64 {
     ((flow.0 as u64) << KIND_BITS) | KIND_PTO
 }
 
+/// Pause-guard timer key for a flow (control-plane pause self-expiry; a
+/// lost resume can delay a flow but never deadlock it).
+pub fn guard_key(flow: FlowId) -> u64 {
+    ((flow.0 as u64) << KIND_BITS) | KIND_GUARD
+}
+
 /// Key for application timer `id`.
 pub fn app_key(id: u64) -> u64 {
     assert!(id < APP_KEY_BASE, "app timer id too large");
@@ -53,6 +60,8 @@ pub enum TimerKind {
     Pace(FlowId),
     /// A flow's probe timeout (QUIC-style stack).
     Pto(FlowId),
+    /// A flow's pause-guard timer (control-plane pause self-expiry).
+    Guard(FlowId),
     /// An application timer with its id.
     App(u64),
 }
@@ -68,6 +77,7 @@ pub fn decode(key: u64) -> TimerKind {
         KIND_DELACK => TimerKind::Delack(flow),
         KIND_PACE => TimerKind::Pace(flow),
         KIND_PTO => TimerKind::Pto(flow),
+        KIND_GUARD => TimerKind::Guard(flow),
         other => panic!("unknown timer kind {other}"),
     }
 }
@@ -82,6 +92,7 @@ mod tests {
         assert_eq!(decode(delack_key(FlowId(7))), TimerKind::Delack(FlowId(7)));
         assert_eq!(decode(pace_key(FlowId(7))), TimerKind::Pace(FlowId(7)));
         assert_eq!(decode(pto_key(FlowId(7))), TimerKind::Pto(FlowId(7)));
+        assert_eq!(decode(guard_key(FlowId(7))), TimerKind::Guard(FlowId(7)));
         assert_eq!(decode(app_key(99)), TimerKind::App(99));
     }
 
@@ -92,10 +103,12 @@ mod tests {
             delack_key(FlowId(0)),
             pace_key(FlowId(0)),
             pto_key(FlowId(0)),
+            guard_key(FlowId(0)),
             rto_key(FlowId(1)),
             delack_key(FlowId(1)),
             pace_key(FlowId(1)),
             pto_key(FlowId(1)),
+            guard_key(FlowId(1)),
             app_key(0),
             app_key(1),
         ];

@@ -81,6 +81,11 @@ pub struct TxCtx<'a, 'c> {
     pub min_cwnd: u64,
     /// Absolute end of the application's byte stream so far.
     pub demand_end: u64,
+    /// Control-plane pause deadline: no *new* data leaves while
+    /// `now < pause_until`. Always bounded (senders clamp to
+    /// [`crate::sender::MAX_PAUSE`] and arm a guard timer), so a lost
+    /// resume can delay a flow but never deadlock it; `ZERO` = unpaused.
+    pub pause_until: SimTime,
     /// The congestion controller (shared by both stacks).
     pub cca: &'a mut dyn Cca,
     /// The RTT estimator (RTO and PTO base).
@@ -97,6 +102,12 @@ impl TxCtx<'_, '_> {
     /// Effective congestion window in bytes (floor applied).
     pub fn cwnd(&self) -> u64 {
         self.cca.cwnd().max(self.min_cwnd)
+    }
+
+    /// True while a control-plane pause is in force. An expired deadline
+    /// counts as unpaused, so transmission can never be gated forever.
+    pub fn paused(&self) -> bool {
+        self.ctx.now() < self.pause_until
     }
 
     /// Builds a [`CcaCtx`] around the engine's current sequence state.

@@ -333,6 +333,12 @@ impl Recovery for QuicRecovery {
     /// Transmits — retransmissions first, then new data — while the window
     /// and the PRR allowance permit. Whole segments only.
     fn fill(&mut self, tx: &mut TxCtx) {
+        // Control-plane pause gate: nothing leaves via the window path
+        // while paused (the PTO probe path is independent). The sender's
+        // guard timer re-fills at the bounded pause deadline.
+        if tx.paused() {
+            return;
+        }
         loop {
             let budget = self.send_budget(tx);
             let (offset, len, retx) = if let Some(&(lo, hi)) = self.retx_queue.ranges().first() {

@@ -209,6 +209,12 @@ impl Recovery for TcpRecovery {
 
     /// Transmits new segments while the window allows.
     fn fill(&mut self, tx: &mut TxCtx) {
+        // Control-plane pause gate: no new data while paused. Recovery
+        // retransmissions and the RTO machinery run underneath, and the
+        // sender's guard timer re-fills at the (bounded) deadline.
+        if tx.paused() {
+            return;
+        }
         // Pacing gate: nothing (new) leaves before the pacer's next tick.
         if self.pacing && tx.ctx.now() < self.next_pace_at && self.snd_nxt < tx.demand_end {
             let at = self.next_pace_at;

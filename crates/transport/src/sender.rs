@@ -16,6 +16,7 @@
 
 use crate::cca::{Cca, CcaCtx};
 use crate::config::{TcpConfig, TransportKind};
+use crate::keys;
 use crate::recovery::{self, AckView, Recovery, TxCtx};
 use crate::rtt::RttEstimator;
 use crate::stats::{FlightRecorder, SenderStats};
@@ -67,6 +68,22 @@ impl FlowProbe {
     }
 }
 
+/// Upper bound on any control-plane pause, regardless of what a
+/// notification frame asks for. Every pause self-expires by this much at
+/// the latest (a guard timer is armed at the deadline), so a lost or
+/// blackholed "resume" can delay a flow but never deadlock it.
+pub const MAX_PAUSE: SimTime = SimTime::from_ms(5);
+
+/// Minimum spacing between applied cwnd-cut notifications when no RTT
+/// sample exists yet (matches the default switch detection window, so an
+/// unestablished flow cannot be cut faster than the plane re-detects).
+pub const CUT_HOLDOFF_FLOOR: SimTime = SimTime::from_us(100);
+
+/// Control-plane cuts never shrink cwnd below this many segments: the
+/// dup-ACK threshold (3) plus one, the smallest window from which fast
+/// retransmit can still repair a single loss without waiting out min-RTO.
+pub const CUT_FLOOR_SEGS: u64 = 4;
+
 /// Result of processing an ACK, for the host/application layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AckOutcome {
@@ -97,6 +114,12 @@ pub struct Sender {
     idle_restart: Option<(SimTime, u64, crate::cca::CcaKind)>,
     /// Last time this connection sent or received anything.
     last_activity: SimTime,
+    /// Control-plane pause deadline (`ZERO` = unpaused). Bounded by
+    /// [`MAX_PAUSE`] past the applying notification's arrival.
+    pause_until: SimTime,
+    /// Earliest time the next cwnd-cut notification may take effect
+    /// (one reduction per RTT, see [`Sender::apply_cut`]).
+    cut_holdoff: SimTime,
 }
 
 impl Sender {
@@ -132,6 +155,8 @@ impl Sender {
                 .idle_restart_after
                 .map(|t| (t, cfg.init_cwnd_bytes(), cfg.cca)),
             last_activity: SimTime::ZERO,
+            pause_until: SimTime::ZERO,
+            cut_holdoff: SimTime::ZERO,
         }
     }
 
@@ -148,6 +173,7 @@ impl Sender {
                 mss: self.mss,
                 min_cwnd: self.min_cwnd,
                 demand_end: self.demand_end,
+                pause_until: self.pause_until,
                 cca: &mut *self.cca,
                 rtt: &mut self.rtt,
                 stats: &mut self.stats,
@@ -335,6 +361,81 @@ impl Sender {
     pub fn on_rto(&mut self, ctx: &mut Ctx) {
         let (rec, mut tx) = self.split(ctx);
         rec.on_retx_timer(&mut tx);
+    }
+
+    /// A control-plane pause notification arrived: stop releasing *new*
+    /// data until `now + pause` (clamped to [`MAX_PAUSE`]). A guard timer
+    /// is armed at the deadline so the pause always self-expires — loss
+    /// recovery keeps running underneath, and a shorter or duplicate pause
+    /// never shortens one already in force.
+    pub fn apply_pause(&mut self, ctx: &mut Ctx, pause: SimTime) {
+        let until = ctx.now() + pause.min(MAX_PAUSE);
+        if until > self.pause_until {
+            self.pause_until = until;
+            ctx.set_timer(keys::guard_key(self.flow), until);
+        }
+        #[cfg(feature = "check")]
+        if self.pause_until > ctx.now() + MAX_PAUSE {
+            simnet::check::violated(
+                crate::spec::keys::PAUSE_GUARD,
+                format_args!(
+                    "flow {}: pause deadline {} ps exceeds now + MAX_PAUSE ({} ps)",
+                    self.flow.0,
+                    self.pause_until.as_ps(),
+                    (ctx.now() + MAX_PAUSE).as_ps()
+                ),
+            );
+        }
+    }
+
+    /// A control-plane cwnd-cut notification arrived: enter recovery-style
+    /// window reduction via the CCA's own hook (idempotency across
+    /// duplicate notifications is the caller's job, via epochs).
+    ///
+    /// The cut is advisory, and the transport defends itself two ways:
+    ///
+    /// - **One reduction per RTT**, and none while loss recovery is
+    ///   already reducing the window (RFC 5681's one-reduction-per-window
+    ///   rule). The switch re-detects every cooldown for as long as the
+    ///   incast persists; applying every epoch stacks multiplicative
+    ///   decreases and pins cwnd at the floor.
+    /// - **A recovery-viable floor** ([`CUT_FLOOR_SEGS`] segments):
+    ///   control-plane cuts never shrink the window below what dup-ACK
+    ///   fast retransmit needs to function. Burst-start overflow drops
+    ///   and notifications arrive together; a cut below this floor
+    ///   starves recovery of inflight and converts RTT-scale repair into
+    ///   min-RTO stalls (the fuzzer found bursts regressing ~700x that
+    ///   way). Loss-driven reductions keep their own, lower floor.
+    pub fn apply_cut(&mut self, ctx: &mut Ctx) {
+        if self.recovery.in_recovery() || ctx.now() < self.cut_holdoff {
+            return;
+        }
+        let holdoff = self
+            .srtt()
+            .unwrap_or(CUT_HOLDOFF_FLOOR)
+            .max(CUT_HOLDOFF_FLOOR);
+        self.cut_holdoff = ctx.now() + holdoff;
+        let mut cctx = self.cca_ctx(ctx.now());
+        cctx.min_cwnd = cctx.min_cwnd.max(CUT_FLOOR_SEGS * self.mss);
+        self.cca.on_enter_recovery(&cctx);
+        self.probe_window(ctx.now(), WindowTrigger::Ece);
+    }
+
+    /// The pause-guard timer fired: if the deadline it was armed for still
+    /// stands, clear the pause and resume transmission. A guard superseded
+    /// by a later, longer pause is a no-op (the newer timer will fire).
+    pub fn on_guard(&mut self, ctx: &mut Ctx) {
+        if ctx.now() < self.pause_until {
+            return;
+        }
+        self.pause_until = SimTime::ZERO;
+        let (rec, mut tx) = self.split(ctx);
+        rec.fill(&mut tx);
+    }
+
+    /// True while a control-plane pause is in force (diagnostic).
+    pub fn is_paused(&self, now: SimTime) -> bool {
+        now < self.pause_until
     }
 }
 
@@ -772,6 +873,121 @@ mod tests {
         assert_eq!(h.quic_ack(&[(0, 3)], false), AckOutcome::AllAcked);
         assert!(h.tx.is_idle());
         assert_eq!(h.tx.stats().bytes_acked, 3 * MSS + 100);
+    }
+
+    // ---- control-plane pause / cut / guard ----
+
+    #[test]
+    fn pause_gates_new_data_until_guard_expiry() {
+        let mut h = Harness::default();
+        h.demand(40 * MSS);
+        h.sent();
+        // Pause arrives; acks open the window but release nothing new.
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.apply_pause(&mut ctx, SimTime::from_us(100));
+        }
+        let armed: Vec<_> = h
+            .cmds
+            .drain(..)
+            .filter(|c| matches!(c, Cmd::SetTimer { .. }))
+            .collect();
+        assert_eq!(armed.len(), 1, "guard timer armed");
+        h.ack(2 * MSS, false);
+        assert!(h.sent().is_empty(), "paused: no new data on ack");
+        // Guard fires at the deadline: transmission resumes.
+        h.now = SimTime::from_us(100);
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.on_guard(&mut ctx);
+        }
+        assert!(!h.sent().is_empty(), "guard expiry releases data");
+        assert!(!h.tx.is_paused(h.now));
+    }
+
+    #[test]
+    fn pause_is_clamped_to_max_pause() {
+        let mut h = Harness::default();
+        let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+        h.tx.apply_pause(&mut ctx, SimTime::from_secs(3600));
+        assert!(h.tx.is_paused(MAX_PAUSE - SimTime(1)));
+        assert!(!h.tx.is_paused(MAX_PAUSE), "deadline bounded by MAX_PAUSE");
+    }
+
+    #[test]
+    fn shorter_duplicate_pause_never_shortens() {
+        let mut h = Harness::default();
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.apply_pause(&mut ctx, SimTime::from_us(200));
+            h.tx.apply_pause(&mut ctx, SimTime::from_us(50));
+        }
+        assert!(h.tx.is_paused(SimTime::from_us(199)));
+        // A stale guard (armed for the superseded shorter pause) is a no-op.
+        h.now = SimTime::from_us(50);
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.on_guard(&mut ctx);
+        }
+        assert!(h.tx.is_paused(SimTime::from_us(199)), "guard was stale");
+    }
+
+    #[test]
+    fn pause_does_not_block_rto_retransmit() {
+        let mut h = Harness::default();
+        h.demand(5 * MSS);
+        h.sent();
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.apply_pause(&mut ctx, SimTime::from_ms(1));
+        }
+        h.cmds.clear();
+        h.rto();
+        let sent = h.sent();
+        assert_eq!(sent, vec![(0, MSS as u32, true)], "recovery runs paused");
+    }
+
+    #[test]
+    fn cut_shrinks_window_like_recovery_entry() {
+        let mut h = Harness::default();
+        h.demand(20 * MSS);
+        h.sent();
+        let before = h.tx.cwnd();
+        let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+        h.tx.apply_cut(&mut ctx);
+        assert!(h.tx.cwnd() < before, "cut must reduce the window");
+    }
+
+    /// One window reduction per RTT: a burst of cut notifications (the
+    /// switch re-detects every window while congestion persists) must not
+    /// stack multiplicative decreases — that pins cwnd at the floor and
+    /// turns RTT-scale loss repair into min-RTO stalls.
+    #[test]
+    fn cuts_are_rate_limited_to_one_per_rtt() {
+        let mut h = Harness::default();
+        h.demand(20 * MSS);
+        h.sent();
+        let before = h.tx.cwnd();
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.apply_cut(&mut ctx);
+            let after_first = h.tx.cwnd();
+            assert!(after_first < before);
+            // A second cut inside the holdoff is a no-op.
+            h.tx.apply_cut(&mut ctx);
+            assert_eq!(h.tx.cwnd(), after_first, "back-to-back cuts stacked");
+        }
+        // Past the holdoff (no RTT sample yet ⇒ the floor) it bites again.
+        let after_first = h.tx.cwnd();
+        h.now += CUT_HOLDOFF_FLOOR;
+        {
+            let mut ctx = Ctx::new(h.now, NodeId(0), &mut h.cmds);
+            h.tx.apply_cut(&mut ctx);
+        }
+        assert!(
+            h.tx.cwnd() < after_first,
+            "cut must apply after the holdoff"
+        );
     }
 
     #[test]

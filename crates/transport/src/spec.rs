@@ -74,6 +74,12 @@ pub mod keys {
     /// (RFC 9002 §7.6.2).
     pub const PERSISTENT_CONGESTION_COLLAPSE: &str = "persistent_congestion_collapse";
 
+    // ---- incast control plane (paper-derived, specs/control-plane.toml) ----
+    /// A control-plane pause deadline exceeded `now + MAX_PAUSE` — every
+    /// pause must self-expire within the guard bound, so a lost resume
+    /// can delay a flow but never deadlock it.
+    pub const PAUSE_GUARD: &str = "pause_guard";
+
     /// Every invariant key the runtime oracle can report. `specs/` quotes
     /// may only reference keys listed here.
     pub const ALL: &[&str] = &[
@@ -96,6 +102,7 @@ pub mod keys {
         RECOVERY_NO_REENTER,
         RECOVERY_SSTHRESH_CUT,
         PERSISTENT_CONGESTION_COLLAPSE,
+        PAUSE_GUARD,
     ];
 
     /// Keys that must be backed by at least one `specs/` quote. `SEQ_SPACE`

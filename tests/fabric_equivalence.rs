@@ -14,7 +14,7 @@
 //!    re-running a Clos config reproduces the identical event stream.
 
 use incast_bursts::core_api::cache::CacheValue;
-use incast_bursts::core_api::modes::{run_incast_with, ModesConfig, TopologySpec};
+use incast_bursts::core_api::modes::{run_incast_with, MitigationKind, ModesConfig, TopologySpec};
 use incast_bursts::simnet::{
     build_clos_with, build_fabric_with, ClosConfig, EventQueue, FabricConfig, Scheduler, Shared,
     SimTime, TextTracer, TimingWheel,
@@ -63,6 +63,12 @@ fn wheel_and_heap_agree_byte_for_byte_on_seeded_clos_configs() {
     let mut faulted = clos_cfg(3, 2, 12, 7);
     faulted.faults.spine_blackhole = Some((SimTime::from_us(200), SimTime::from_ms(2), 1));
     cfgs.push(faulted);
+    // ...and one 8-rack fabric running the distributed control plane: every
+    // tier's ports detect and notify, and those frames are compared bytes.
+    let mut mitigated = clos_cfg(8, 4, 32, 17);
+    mitigated.mitigation.kind = MitigationKind::Distributed;
+    mitigated.mitigation.notif_loss = 0.1;
+    cfgs.push(mitigated);
 
     assert!(cfgs.len() >= 6, "acceptance floor: six seeded Clos configs");
     for cfg in &cfgs {
@@ -79,6 +85,12 @@ fn wheel_and_heap_agree_byte_for_byte_on_seeded_clos_configs() {
             assert!(
                 stream_w.contains(r#""ev":"fault""#),
                 "faulted config streamed no fault events"
+            );
+        }
+        if !cfg.mitigation.is_off() {
+            assert!(
+                manifest_w.contains(r#""control":{"mitigation":"distributed""#),
+                "mitigated Clos manifest missing the control rollup: {manifest_w}"
             );
         }
     }

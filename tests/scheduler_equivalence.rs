@@ -6,7 +6,7 @@
 //! and, at the raw simnet layer, the full packet trace and counters of
 //! seeded random topologies.
 
-use incast_bursts::core_api::modes::{run_incast_with, ModesConfig, TopologySpec};
+use incast_bursts::core_api::modes::{run_incast_with, MitigationKind, ModesConfig, TopologySpec};
 use incast_bursts::simnet::{
     build_fabric_with, EventQueue, FabricConfig, Scheduler, Shared, SimTime, TextTracer,
     TimingWheel,
@@ -113,6 +113,62 @@ fn wheel_and_heap_agree_byte_for_byte_under_scheduled_faults() {
         // The faults really applied (and are part of the compared bytes).
         assert!(manifest_w.contains("\"faults_injected\":"), "{manifest_w}");
     }
+}
+
+/// The in-fabric control plane is ordinary event traffic: notification
+/// frames, retry timers, and injected notification loss must not perturb
+/// scheduler equivalence. One clean Pulser config, one Pulser config with
+/// 30 % notification loss (exercising the seeded control-path RNG and the
+/// retry/backoff machinery), and one Distributed config on a data-loss
+/// fault window all emit byte-identical telemetry, manifests, and
+/// completions on both schedulers.
+#[test]
+fn wheel_and_heap_agree_byte_for_byte_with_the_control_plane() {
+    use incast_bursts::simnet::SimTime as T;
+    let mitigated = |kind: MitigationKind, seed: u64| {
+        let mut cfg = ModesConfig {
+            num_flows: 12,
+            burst_duration_ms: 0.5,
+            num_bursts: 2,
+            warmup_bursts: 0,
+            seed,
+            ..ModesConfig::default()
+        };
+        cfg.mitigation.kind = kind;
+        cfg
+    };
+    let clean = mitigated(MitigationKind::Pulser, 3);
+    let mut lossy = mitigated(MitigationKind::Pulser, 5);
+    lossy.mitigation.notif_loss = 0.3;
+    let mut faulted = mitigated(MitigationKind::Distributed, 7);
+    faulted.faults.loss = Some((T::from_us(50), T::from_ms(2), 0.08));
+
+    for cfg in [&clean, &lossy, &faulted] {
+        let label = format!("{:?} seed {}", cfg.mitigation.kind, cfg.seed);
+        let (stream_w, manifest_w, bcts_w) = run_with::<TimingWheel>(cfg);
+        let (stream_h, manifest_h, bcts_h) = run_with::<EventQueue>(cfg);
+        assert_eq!(stream_w, stream_h, "JSONL diverged ({label})");
+        assert_eq!(manifest_w, manifest_h, "manifests diverged ({label})");
+        assert_eq!(bcts_w, bcts_h, "completions diverged ({label})");
+        // The plane really engaged, and its tallies are compared bytes.
+        assert!(
+            manifest_w.contains(r#""control":{"mitigation""#),
+            "manifest missing the control rollup ({label}): {manifest_w}"
+        );
+        assert!(
+            !manifest_w.contains(r#""notif_sent":0"#),
+            "control plane never fired ({label}): {manifest_w}"
+        );
+    }
+    let (stream_w, manifest_w, _) = run_with::<TimingWheel>(&lossy);
+    assert!(
+        stream_w.contains(r#""ctrl""#),
+        "no control-plane events in the telemetry stream"
+    );
+    assert!(
+        !manifest_w.contains(r#""notif_lost":0"#),
+        "lossy config lost no notifications: {manifest_w}"
+    );
 }
 
 /// Multi-rack Clos fabrics ride the same event loop and the same ECMP
